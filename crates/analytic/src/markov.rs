@@ -1,0 +1,557 @@
+//! Steady-state analysis via the embedded Markov chain.
+//!
+//! Cycle-time analysis ([`crate::analyze`]) is exact but limited to
+//! marked graphs — no choice. For nets *with* probabilistic choice, the
+//! timed reachability graph `[RP84]` plus the firing-frequency semantics
+//! `[WPS86]` induce a semi-Markov process:
+//!
+//! * in a state where transitions can start, one is chosen with
+//!   probability proportional to its relative firing frequency and the
+//!   move is instantaneous (sojourn 0);
+//! * in a state where only time can pass, the single `Advance(dt)` edge
+//!   is taken with probability 1 after a sojourn of `dt` ticks.
+//!
+//! The long-run fraction of time spent in each state is the stationary
+//! distribution of the embedded jump chain weighted by sojourn times;
+//! from it follow *analytical* place utilizations and transition
+//! throughputs — the numbers `stat` estimates from one random trace,
+//! computed here without any randomness at all.
+//!
+//! The construction matches the simulator's semantics, so the two agree
+//! up to sampling noise (tested).
+
+use pnut_core::{Net, PlaceId, TransitionId};
+use pnut_reach::graph::{build_timed, EdgeLabel, ReachOptions, ReachabilityGraph};
+use std::fmt;
+
+/// Why steady-state analysis failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// The timed reachability graph could not be built (enabling times,
+    /// expression delays, randomness, or state explosion).
+    Reach(pnut_reach::ReachError),
+    /// The graph has deadlock states: the long-run behaviour is
+    /// absorption, not a steady state.
+    Deadlock {
+        /// A deadlocked state index.
+        state: usize,
+    },
+    /// The chain never lets time pass (a zero-delay cycle): sojourn
+    /// times are all zero and utilization is undefined.
+    Zeno,
+    /// The graph is too large for dense analysis.
+    TooLarge {
+        /// States found.
+        states: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The iteration did not converge (pathological chain).
+    NoConvergence,
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::Reach(e) => write!(f, "timed reachability failed: {e}"),
+            MarkovError::Deadlock { state } => {
+                write!(f, "state {state} deadlocks; no steady state exists")
+            }
+            MarkovError::Zeno => write!(f, "no time ever passes (zero-delay cycle)"),
+            MarkovError::TooLarge { states, cap } => {
+                write!(f, "{states} states exceed the analysis cap of {cap}")
+            }
+            MarkovError::NoConvergence => write!(f, "stationary iteration did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarkovError::Reach(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pnut_reach::ReachError> for MarkovError {
+    fn from(e: pnut_reach::ReachError) -> Self {
+        MarkovError::Reach(e)
+    }
+}
+
+/// Limits for the analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarkovOptions {
+    /// Maximum states for the dense chain.
+    pub max_states: usize,
+    /// Power-iteration sweep cap.
+    pub max_iterations: usize,
+    /// L1 convergence tolerance on the running average.
+    pub tolerance: f64,
+}
+
+impl Default for MarkovOptions {
+    fn default() -> Self {
+        MarkovOptions {
+            max_states: 20_000,
+            max_iterations: 200_000,
+            tolerance: 1e-12,
+        }
+    }
+}
+
+/// Analytical steady-state quantities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteadyState {
+    /// Long-run fraction of *time* spent in each reachability-graph
+    /// state.
+    pub state_fraction: Vec<f64>,
+    /// Time-average token count per place (place-id order) — the
+    /// analytical counterpart of the Figure 5 "Avg Tokens" column.
+    pub place_average_tokens: Vec<f64>,
+    /// Firings per tick per transition (transition-id order) — the
+    /// analytical counterpart of the "Throughput" column.
+    pub transition_throughput: Vec<f64>,
+    /// Mean ticks per embedded jump (the normalization constant).
+    pub mean_sojourn: f64,
+}
+
+impl SteadyState {
+    /// Average tokens of one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn avg_tokens(&self, place: PlaceId) -> f64 {
+        self.place_average_tokens[place.index()]
+    }
+
+    /// Throughput of one transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn throughput(&self, transition: TransitionId) -> f64 {
+        self.transition_throughput[transition.index()]
+    }
+}
+
+/// Compute the steady state of `net` (constant firing times, no enabling
+/// times, no randomness — the timed-reachability class).
+///
+/// # Errors
+///
+/// See [`MarkovError`].
+///
+/// # Example
+///
+/// ```
+/// use pnut_analytic::markov::{steady_state, MarkovOptions};
+/// use pnut_core::NetBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetBuilder::new("ring");
+/// b.place("a", 1);
+/// b.place("b", 0);
+/// b.transition("ab").input("a").output("b").firing(3).add();
+/// b.transition("ba").input("b").output("a").firing(1).add();
+/// let net = b.build()?;
+/// let ss = steady_state(&net, &MarkovOptions::default())?;
+/// // Each transition completes once per 4-tick cycle.
+/// let ab = net.transition_id("ab").unwrap();
+/// assert!((ss.throughput(ab) - 0.25).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[allow(clippy::needless_range_loop)] // matrix/state indexing reads clearest with indices
+pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, MarkovError> {
+    let graph = build_timed(
+        net,
+        &ReachOptions {
+            max_states: options.max_states,
+        },
+    )?;
+    let n = graph.state_count();
+    if n > options.max_states {
+        return Err(MarkovError::TooLarge {
+            states: n,
+            cap: options.max_states,
+        });
+    }
+    if let Some(&d) = graph.deadlocks().first() {
+        return Err(MarkovError::Deadlock { state: d });
+    }
+
+    // Embedded jump chain: per state, (successor, probability, label).
+    let mut jumps: Vec<Vec<(usize, f64, EdgeLabel)>> = Vec::with_capacity(n);
+    let mut sojourn = vec![0.0f64; n];
+    for s in 0..n {
+        let edges = graph.successors(s);
+        let fires: Vec<_> = edges
+            .iter()
+            .filter(|(l, _)| matches!(l, EdgeLabel::Fire(_)))
+            .collect();
+        if !fires.is_empty() {
+            let total: f64 = fires
+                .iter()
+                .map(|&&(l, _)| match l {
+                    EdgeLabel::Fire(t) => net.transition(t).frequency(),
+                    EdgeLabel::Advance(_) => 0.0,
+                })
+                .sum();
+            jumps.push(
+                fires
+                    .iter()
+                    .map(|&&(l, to)| {
+                        let f = match l {
+                            EdgeLabel::Fire(t) => net.transition(t).frequency(),
+                            EdgeLabel::Advance(_) => 0.0,
+                        };
+                        (to, f / total, l)
+                    })
+                    .collect(),
+            );
+        } else {
+            // Exactly one Advance edge (maximal-progress construction).
+            let &(label, to) = edges.first().expect("non-deadlock state has an edge");
+            let EdgeLabel::Advance(dt) = label else {
+                unreachable!("non-fire edge is an advance");
+            };
+            sojourn[s] = dt as f64;
+            jumps.push(vec![(to, 1.0, label)]);
+        }
+    }
+    if sojourn.iter().all(|&t| t == 0.0) {
+        return Err(MarkovError::Zeno);
+    }
+
+    // The long-run behaviour lives in the bottom strongly connected
+    // component reachable from the initial state (transient start-up
+    // states have zero long-run weight). Physical models have exactly
+    // one; several would mean the long run depends on random absorption
+    // and no single steady state exists.
+    let recurrent = bottom_scc(&jumps, n)?;
+
+    // Stationary distribution of the jump chain on the recurrent class,
+    // by power iteration on the *lazy* chain (P + I) / 2 — aperiodic by
+    // construction with the same stationary vector, so convergence is
+    // geometric even for periodic nets.
+    let mut average = vec![0.0f64; n];
+    {
+        let members: Vec<usize> = (0..n).filter(|&s| recurrent[s]).collect();
+        for &s in &members {
+            average[s] = 1.0 / members.len() as f64;
+        }
+    }
+    let mut converged = false;
+    for _ in 0..options.max_iterations {
+        let mut next = vec![0.0f64; n];
+        for (s, out) in jumps.iter().enumerate() {
+            if average[s] == 0.0 {
+                continue;
+            }
+            next[s] += 0.5 * average[s];
+            for &(to, p, _) in out {
+                next[to] += 0.5 * average[s] * p;
+            }
+        }
+        let delta: f64 = next
+            .iter()
+            .zip(&average)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        average = next;
+        if delta < options.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(MarkovError::NoConvergence);
+    }
+
+    // Time-weight by sojourns.
+    let mean_sojourn: f64 = average.iter().zip(&sojourn).map(|(&p, &t)| p * t).sum();
+    if mean_sojourn <= 0.0 {
+        return Err(MarkovError::Zeno);
+    }
+    let state_fraction: Vec<f64> = average
+        .iter()
+        .zip(&sojourn)
+        .map(|(&p, &t)| p * t / mean_sojourn)
+        .collect();
+
+    // Place averages: Σ fraction(s) · tokens_s(p).
+    let places = net.place_count();
+    let mut place_average_tokens = vec![0.0f64; places];
+    for (s, &frac) in state_fraction.iter().enumerate() {
+        if frac == 0.0 {
+            continue;
+        }
+        let m = &graph.state(s).marking;
+        for p in 0..places {
+            place_average_tokens[p] += frac * f64::from(m.tokens(PlaceId::new(p)));
+        }
+    }
+
+    // Throughput of t: expected Fire(t) jumps per tick
+    //   = Σ_s π(s) · P(s fires t) / mean_sojourn.
+    let mut transition_throughput = vec![0.0f64; net.transition_count()];
+    for (s, out) in jumps.iter().enumerate() {
+        for &(_, p, label) in out {
+            if let EdgeLabel::Fire(t) = label {
+                transition_throughput[t.index()] += average[s] * p;
+            }
+        }
+    }
+    for v in &mut transition_throughput {
+        *v /= mean_sojourn;
+    }
+
+    Ok(SteadyState {
+        state_fraction,
+        place_average_tokens,
+        transition_throughput,
+        mean_sojourn,
+    })
+}
+
+
+/// The set of states in the unique bottom SCC reachable from state 0.
+///
+/// # Errors
+///
+/// [`MarkovError::NoConvergence`] is *not* used here; multiple bottom
+/// SCCs are reported as deadlock-like absence of a single steady state.
+fn bottom_scc(
+    jumps: &[Vec<(usize, f64, EdgeLabel)>],
+    n: usize,
+) -> Result<Vec<bool>, MarkovError> {
+    // Tarjan-free approach: repeatedly test, for each state s reachable
+    // from 0, whether s is in a bottom class: every state reachable from
+    // s can reach s. Model graphs are small; O(n * edges) is fine.
+    let reachable_from = |start: usize| -> Vec<bool> {
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            for &(w, _, _) in &jumps[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    };
+    // Reverse adjacency for co-reachability.
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (v, out) in jumps.iter().enumerate() {
+        for &(w, _, _) in out {
+            reverse[w].push(v);
+        }
+    }
+    let coreachable_of = |start: usize| -> Vec<bool> {
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(v) = stack.pop() {
+            for &w in &reverse[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    };
+    let from_initial = reachable_from(0);
+    let mut recurrent = vec![false; n];
+    let mut found_class_rep: Option<usize> = None;
+    for s in 0..n {
+        if !from_initial[s] || recurrent[s] {
+            continue;
+        }
+        let reach_s = reachable_from(s);
+        let coreach_s = coreachable_of(s);
+        // s is recurrent iff everything reachable from s reaches s back.
+        let is_recurrent = (0..n).filter(|&v| reach_s[v]).all(|v| coreach_s[v]);
+        if is_recurrent {
+            match found_class_rep {
+                None => {
+                    found_class_rep = Some(s);
+                    for (v, r) in recurrent.iter_mut().enumerate() {
+                        *r = reach_s[v];
+                    }
+                }
+                Some(rep) => {
+                    // Same class if s reaches rep.
+                    if !reach_s[rep] {
+                        return Err(MarkovError::NoConvergence);
+                    }
+                }
+            }
+        }
+    }
+    if found_class_rep.is_none() {
+        return Err(MarkovError::NoConvergence);
+    }
+    Ok(recurrent)
+}
+
+/// Sanity shim so the module is reachable from the crate root docs.
+pub(crate) fn _module_marker(_: &ReachabilityGraph) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnut_core::{NetBuilder, Time};
+
+    fn ring(d1: u64, d2: u64) -> pnut_core::Net {
+        let mut b = NetBuilder::new("ring");
+        b.place("a", 1);
+        b.place("bp", 0);
+        b.transition("ab").input("a").output("bp").firing(d1).add();
+        b.transition("ba").input("bp").output("a").firing(d2).add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic_ring_exact() {
+        let net = ring(3, 1);
+        let ss = steady_state(&net, &MarkovOptions::default()).unwrap();
+        let ab = net.transition_id("ab").unwrap();
+        let ba = net.transition_id("ba").unwrap();
+        assert!((ss.throughput(ab) - 0.25).abs() < 1e-9);
+        assert!((ss.throughput(ba) - 0.25).abs() < 1e-9);
+        // Tokens are inside transitions while firing: both places are
+        // almost always empty in this net (instantaneous hand-offs
+        // happen at measure-zero instants), so fractions reflect the
+        // in-flight pattern instead; totals must stay in [0, 1].
+        let a = net.place_id("a").unwrap();
+        assert!(ss.avg_tokens(a) <= 1.0 + 1e-9);
+        assert!((ss.mean_sojourn - 1.0).abs() < 1e-9, "sojourns 0,3,0,1 over 4 jumps");
+        let total: f64 = ss.state_fraction.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilistic_choice_matches_simulation() {
+        // One token; two competing service loops with different delays
+        // and frequencies .7/.3 — a stochastic net the marked-graph tool
+        // rejects.
+        let mut b = NetBuilder::new("choice");
+        b.place("idle", 1);
+        b.place("fast_done", 0);
+        b.place("slow_done", 0);
+        b.transition("fast")
+            .input("idle")
+            .output("fast_done")
+            .firing(1)
+            .frequency(0.7)
+            .add();
+        b.transition("slow")
+            .input("idle")
+            .output("slow_done")
+            .firing(5)
+            .frequency(0.3)
+            .add();
+        b.transition("rf").input("fast_done").output("idle").add();
+        b.transition("rs").input("slow_done").output("idle").add();
+        let net = b.build().unwrap();
+
+        assert!(crate::analyze(&net).is_err(), "not a marked graph");
+        let ss = steady_state(&net, &MarkovOptions::default()).unwrap();
+
+        let trace = pnut_sim::simulate(&net, 7, Time::from_ticks(200_000)).unwrap();
+        let report = pnut_stat::analyze(&trace);
+        for name in ["fast", "slow"] {
+            let analytic = ss.throughput(net.transition_id(name).unwrap());
+            let simulated = report.transition(name).unwrap().throughput;
+            assert!(
+                (analytic - simulated).abs() / simulated < 0.03,
+                "{name}: analytic {analytic} vs simulated {simulated}"
+            );
+        }
+        // Expected: per cycle, p=.7 takes 1 tick, p=.3 takes 5 → mean
+        // cycle 0.7*1 + 0.3*5 = 2.2; fast throughput = .7/2.2.
+        let fast = ss.throughput(net.transition_id("fast").unwrap());
+        assert!((fast - 0.7 / 2.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn place_occupancy_analytic() {
+        // Token *rests* on places (zero firing times move it; holding
+        // is modeled by a delayed drain): a -> (hold 3) -> b -> (hold 1) -> a.
+        // Build with firing times on the move *out* of each place, so
+        // `a` is occupied while `drain_a` is in flight... instead use a
+        // structure where occupancy is visible: a holds the token while
+        // `leave_a` (firing 0) is blocked by a timer loop. Simplest
+        // observable case: tokens rest during *other* transitions'
+        // firing.
+        let mut b = NetBuilder::new("rest");
+        b.place("waiting", 1);
+        b.place("go", 0);
+        b.place("spent", 0);
+        // A 4-tick timer runs while the token waits on `waiting`.
+        b.place("timer", 1);
+        b.transition("tick").input("timer").output("go").firing(4).add();
+        b.transition("move")
+            .input("waiting")
+            .input("go")
+            .output("spent")
+            .output("timer")
+            .firing(1)
+            .add();
+        b.transition("reset").input("spent").output("waiting").add();
+        let net = b.build().unwrap();
+        let ss = steady_state(&net, &MarkovOptions::default()).unwrap();
+        // Cycle: 4 ticks timing (waiting occupied) + 1 tick moving.
+        let waiting = net.place_id("waiting").unwrap();
+        assert!(
+            (ss.avg_tokens(waiting) - 0.8).abs() < 1e-9,
+            "waiting occupied 4 of 5 ticks: {}",
+            ss.avg_tokens(waiting)
+        );
+    }
+
+    #[test]
+    fn deadlock_and_zeno_detected() {
+        let mut b = NetBuilder::new("dead");
+        b.place("p", 1);
+        b.place("q", 0);
+        b.transition("t").input("p").output("q").firing(1).add();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            steady_state(&net, &MarkovOptions::default()),
+            Err(MarkovError::Deadlock { .. })
+        ));
+
+        let mut b = NetBuilder::new("zeno");
+        b.place("p", 1);
+        b.transition("t").input("p").output("p").add();
+        let net = b.build().unwrap();
+        // A zero-delay self-loop: the timed graph is 1 state with a Fire
+        // self-edge and no Advance; no time ever passes.
+        assert!(matches!(
+            steady_state(&net, &MarkovOptions::default()),
+            Err(MarkovError::Zeno)
+        ));
+    }
+
+    #[test]
+    fn class_restrictions_propagate() {
+        let mut b = NetBuilder::new("en");
+        b.place("p", 1);
+        b.place("q", 0);
+        b.transition("t").input("p").output("q").enabling(3).add();
+        b.transition("r").input("q").output("p").add();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            steady_state(&net, &MarkovOptions::default()),
+            Err(MarkovError::Reach(_))
+        ));
+    }
+}

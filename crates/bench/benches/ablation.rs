@@ -1,0 +1,113 @@
+//! Ablation benches for the engine's design choices:
+//!
+//! * conflict-resolution cost as the competing set grows (the engine
+//!   re-scans eligibility after every firing — how does that scale?);
+//! * reachability-graph growth as the instruction buffer grows (the
+//!   state-interning HashMap under increasing load);
+//! * trace-pipeline depth (null sink vs recorder vs tee-of-three) — the
+//!   price of the paper's decoupled-tools architecture.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use pnut_core::{Net, NetBuilder, Time};
+use pnut_pipeline::{three_stage, ThreeStageConfig};
+use pnut_reach::graph;
+use pnut_sim::Simulator;
+use pnut_stat::StatCollector;
+use pnut_trace::{CountingSink, NullSink, Recorder, Tee};
+
+/// `n` transitions competing for one recycled token.
+fn conflict_net(n: usize) -> Net {
+    let mut b = NetBuilder::new("conflict");
+    b.place("tok", 1);
+    for i in 0..n {
+        b.transition(format!("t{i}"))
+            .input("tok")
+            .output("tok")
+            .firing(1)
+            .frequency(1.0 + i as f64)
+            .add();
+    }
+    b.build().expect("builds")
+}
+
+fn bench_conflict_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/conflict_set_size");
+    for n in [2usize, 8, 32, 128] {
+        let net = conflict_net(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &net, |b, net| {
+            b.iter_batched(
+                || Simulator::new(net, 1).expect("constructs"),
+                |mut sim| {
+                    let mut sink = NullSink;
+                    sim.run(Time::from_ticks(1_000), &mut sink).expect("runs")
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_reachability_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reach_vs_ibuf");
+    for words in [2u32, 4, 6, 8] {
+        let mut config = ThreeStageConfig::default();
+        config.ibuf_words = words;
+        let net = three_stage::build(&config).expect("builds");
+        group.bench_with_input(BenchmarkId::from_parameter(words), &net, |b, net| {
+            b.iter(|| graph::build_untimed(net, &graph::ReachOptions::default()).expect("bounded"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sink_stack_depth(c: &mut Criterion) {
+    let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
+    let mut group = c.benchmark_group("ablation/sink_stack");
+    group.bench_function("null", |b| {
+        b.iter_batched(
+            || Simulator::new(&net, 1).expect("constructs"),
+            |mut sim| {
+                let mut sink = NullSink;
+                sim.run(Time::from_ticks(1_000), &mut sink).expect("runs")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("recorder", |b| {
+        b.iter_batched(
+            || Simulator::new(&net, 1).expect("constructs"),
+            |mut sim| {
+                let mut sink = Recorder::new();
+                sim.run(Time::from_ticks(1_000), &mut sink).expect("runs");
+                sink
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("tee3", |b| {
+        b.iter_batched(
+            || Simulator::new(&net, 1).expect("constructs"),
+            |mut sim| {
+                let mut sink = Tee::new(
+                    StatCollector::new(),
+                    Tee::new(Recorder::new(), CountingSink::new()),
+                );
+                sim.run(Time::from_ticks(1_000), &mut sink).expect("runs");
+                sink
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablation,
+    bench_conflict_scaling,
+    bench_reachability_scaling,
+    bench_sink_stack_depth
+);
+criterion_main!(ablation);

@@ -1,0 +1,83 @@
+//! Criterion benches for the simulation engine: the cost envelope of
+//! the figure-generating workloads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pnut_core::{NetBuilder, Time};
+use pnut_pipeline::{interpreted, sequential, three_stage, ThreeStageConfig};
+use pnut_sim::Simulator;
+use pnut_trace::{CountingSink, NullSink};
+
+/// The Figure 5 workload: 1 000 cycles of the §2 model.
+fn bench_three_stage(c: &mut Criterion) {
+    let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
+    c.bench_function("sim/three_stage_1k_cycles", |b| {
+        b.iter_batched(
+            || Simulator::new(&net, 1).expect("constructs"),
+            |mut sim| {
+                let mut sink = NullSink;
+                sim.run(Time::from_ticks(1_000), &mut sink).expect("runs")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// The Figure 4 workload: the interpreted model, whose predicates and
+/// actions exercise the expression evaluator on every firing.
+fn bench_interpreted(c: &mut Criterion) {
+    let net = interpreted::build(&interpreted::InterpretedConfig::default()).expect("builds");
+    c.bench_function("sim/interpreted_1k_cycles", |b| {
+        b.iter_batched(
+            || Simulator::new(&net, 1).expect("constructs"),
+            |mut sim| {
+                let mut sink = NullSink;
+                sim.run(Time::from_ticks(1_000), &mut sink).expect("runs")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// The sequential baseline used by the sweeps.
+fn bench_sequential(c: &mut Criterion) {
+    let net = sequential::build(&ThreeStageConfig::default()).expect("builds");
+    c.bench_function("sim/sequential_1k_cycles", |b| {
+        b.iter_batched(
+            || Simulator::new(&net, 1).expect("constructs"),
+            |mut sim| {
+                let mut sink = NullSink;
+                sim.run(Time::from_ticks(1_000), &mut sink).expect("runs")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Raw token-pushing rate on a minimal cyclic net (engine ceiling).
+fn bench_ring(c: &mut Criterion) {
+    let mut b = NetBuilder::new("ring");
+    b.place("a", 1);
+    b.place("b", 0);
+    b.transition("ab").input("a").output("b").firing(1).add();
+    b.transition("ba").input("b").output("a").firing(1).add();
+    let net = b.build().expect("builds");
+    c.bench_function("sim/ring_10k_firings", |b| {
+        b.iter_batched(
+            || Simulator::new(&net, 1).expect("constructs"),
+            |mut sim| {
+                let mut sink = CountingSink::new();
+                sim.run(Time::from_ticks(10_000), &mut sink).expect("runs")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    engine,
+    bench_three_stage,
+    bench_interpreted,
+    bench_sequential,
+    bench_ring
+);
+criterion_main!(engine);

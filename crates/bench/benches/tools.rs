@@ -1,0 +1,137 @@
+//! Criterion benches for the analysis tools: statistics collection,
+//! trace filtering, query evaluation, timeline sampling, reachability
+//! construction, CTL checking, and the textual language.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pnut_core::Time;
+use pnut_pipeline::{three_stage, ThreeStageConfig};
+use pnut_reach::{ctl, graph};
+use pnut_stat::StatCollector;
+use pnut_trace::{Filter, FilterSpec, RecordedTrace};
+use pnut_tracer::query::Query;
+use pnut_tracer::timeline::{Signal, Timeline};
+
+fn paper_trace(cycles: u64) -> RecordedTrace {
+    let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
+    pnut_sim::simulate(&net, 1, Time::from_ticks(cycles)).expect("runs")
+}
+
+/// Replaying a 2 000-cycle trace through the stat tool (the Figure 5
+/// analysis step in isolation).
+fn bench_stat(c: &mut Criterion) {
+    let trace = paper_trace(2_000);
+    c.bench_function("tools/stat_replay_2k", |b| {
+        b.iter(|| {
+            let mut collector = StatCollector::new();
+            trace.replay(&mut collector);
+            collector.into_report().expect("complete")
+        });
+    });
+}
+
+/// The filtering tool on the same trace (keep the Figure 7 signals).
+fn bench_filter(c: &mut Criterion) {
+    let trace = paper_trace(2_000);
+    let spec = FilterSpec::new()
+        .keep_places(["Bus_busy", "pre_fetching", "fetching", "storing"])
+        .keep_transitions(["Issue"]);
+    c.bench_function("tools/filter_replay_2k", |b| {
+        b.iter(|| {
+            let mut filter = Filter::new(spec.clone(), pnut_trace::CountingSink::new());
+            trace.replay(&mut filter);
+            filter.into_inner()
+        });
+    });
+}
+
+/// The §4.4 bus-invariant query over a 2 000-cycle trace.
+fn bench_query(c: &mut Criterion) {
+    let trace = paper_trace(2_000);
+    let q = Query::parse("forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]").expect("parses");
+    c.bench_function("tools/query_invariant_2k", |b| {
+        b.iter(|| q.check(&trace).expect("evaluates"));
+    });
+}
+
+/// The Figure 7 timeline sampling (100-cycle window, 11 signals).
+fn bench_timeline(c: &mut Criterion) {
+    let trace = paper_trace(2_000);
+    let signals = vec![
+        Signal::place("Bus_busy"),
+        Signal::place("pre_fetching"),
+        Signal::place("fetching"),
+        Signal::place("storing"),
+        Signal::transition("exec_type_1"),
+        Signal::transition("exec_type_5"),
+        Signal::function(
+            "all_exec",
+            "exec_type_1 + exec_type_2 + exec_type_3 + exec_type_4 + exec_type_5",
+        )
+        .expect("parses"),
+        Signal::place("Empty_I_buffers"),
+    ];
+    c.bench_function("tools/timeline_100_ticks", |b| {
+        b.iter(|| {
+            Timeline::sample(
+                &trace,
+                &signals,
+                Time::from_ticks(100),
+                Time::from_ticks(200),
+            )
+            .expect("samples")
+        });
+    });
+}
+
+/// Untimed reachability of the full §2 model.
+fn bench_reachability(c: &mut Criterion) {
+    let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
+    c.bench_function("tools/reach_untimed_pipeline", |b| {
+        b.iter(|| graph::build_untimed(&net, &graph::ReachOptions::default()).expect("bounded"));
+    });
+}
+
+/// CTL model checking of the bus invariant over that graph.
+fn bench_ctl(c: &mut Criterion) {
+    let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
+    let g = graph::build_untimed(&net, &graph::ReachOptions::default()).expect("bounded");
+    let f = ctl::Formula::parse("AG (Bus_free + Bus_busy = 1)").expect("parses");
+    c.bench_function("tools/ctl_invariant", |b| {
+        b.iter(|| ctl::check(&g, &net, &f).expect("checks"));
+    });
+}
+
+/// Textual-language round-trip of the full model.
+fn bench_lang(c: &mut Criterion) {
+    let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
+    let text = pnut_lang::print(&net);
+    c.bench_function("tools/lang_parse_pipeline", |b| {
+        b.iter(|| pnut_lang::parse(&text).expect("parses"));
+    });
+}
+
+/// Expression evaluation (the §3 interpreted models' hot path).
+fn bench_expr(c: &mut Criterion) {
+    use pnut_core::expr::{Env, Expr, Value};
+    let mut env = Env::new();
+    env.define_table("operands", vec![0, 1, 2, 2, 3]);
+    env.set_var("ty", Value::Int(3));
+    env.set_var("ops_needed", Value::Int(2));
+    let e = Expr::parse("ops_needed > 0 && operands[ty] + 1 < 10").expect("parses");
+    c.bench_function("tools/expr_eval", |b| {
+        b.iter(|| e.eval_pure(&env).expect("evaluates"));
+    });
+}
+
+criterion_group!(
+    tools,
+    bench_stat,
+    bench_filter,
+    bench_query,
+    bench_timeline,
+    bench_reachability,
+    bench_ctl,
+    bench_lang,
+    bench_expr
+);
+criterion_main!(tools);

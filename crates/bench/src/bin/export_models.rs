@@ -1,0 +1,20 @@
+//! Regenerate the checked-in `models/*.pn` files from the model
+//! builders, so the textual artifacts can never drift from the code
+//! (`tests/models.rs` asserts they stay identical).
+//!
+//! Run from the workspace root: `cargo run -p pnut-bench --bin export_models`
+
+fn main() {
+    let three = pnut_pipeline::three_stage::build(&pnut_pipeline::ThreeStageConfig::default())
+        .expect("default config is valid");
+    std::fs::write("models/three_stage.pn", pnut_lang::print(&three)).expect("writable");
+    let interp = pnut_pipeline::interpreted::build(
+        &pnut_pipeline::interpreted::InterpretedConfig::default(),
+    )
+    .expect("default config is valid");
+    std::fs::write("models/interpreted.pn", pnut_lang::print(&interp)).expect("writable");
+    let seq = pnut_pipeline::sequential::build(&pnut_pipeline::ThreeStageConfig::default())
+        .expect("default config is valid");
+    std::fs::write("models/sequential.pn", pnut_lang::print(&seq)).expect("writable");
+    println!("wrote models/three_stage.pn, models/interpreted.pn, models/sequential.pn");
+}

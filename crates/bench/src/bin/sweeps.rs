@@ -1,0 +1,149 @@
+//! Parameter sweeps backing the paper's introductory claims: memory
+//! speed and processor organization "have a strong yet difficult to
+//! predict impact" on performance.
+//!
+//! Five sweeps (20 000 cycles each):
+//!   1. memory latency, pipelined vs sequential baseline (speedup);
+//!   2. instruction-buffer size;
+//!   3. instruction mix (memory-heaviness);
+//!   4. branch fraction (interpreted model, buffer flush on branch);
+//!   5. cache hit ratio (§3 extension).
+
+use pnut_bench::{paper_config, seed_from_args};
+use pnut_core::Time;
+use pnut_pipeline::interpreted::{build as build_interpreted, InstructionType, InterpretedConfig};
+use pnut_pipeline::{sequential, three_stage, CacheConfig, InstructionMix};
+
+const CYCLES: u64 = 20_000;
+
+fn pipe_ipc(config: &pnut_pipeline::ThreeStageConfig, seed: u64) -> f64 {
+    let net = three_stage::build(config).expect("config validated");
+    let trace = pnut_sim::simulate(&net, seed, Time::from_ticks(CYCLES)).expect("runs");
+    pnut_stat::analyze(&trace)
+        .transition("Issue")
+        .expect("model has Issue")
+        .throughput
+}
+
+fn seq_ipc(config: &pnut_pipeline::ThreeStageConfig, seed: u64) -> f64 {
+    let net = sequential::build(config).expect("config validated");
+    let trace = pnut_sim::simulate(&net, seed, Time::from_ticks(CYCLES)).expect("runs");
+    sequential::instructions_per_cycle(&pnut_stat::analyze(&trace)).expect("model has retire")
+}
+
+fn bus_util(config: &pnut_pipeline::ThreeStageConfig, seed: u64) -> f64 {
+    let net = three_stage::build(config).expect("config validated");
+    let trace = pnut_sim::simulate(&net, seed, Time::from_ticks(CYCLES)).expect("runs");
+    pnut_stat::analyze(&trace)
+        .place("Bus_busy")
+        .expect("model has a bus")
+        .avg_tokens
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let base = paper_config();
+
+    println!("== Sweep 1: memory latency (cycles per access) ==");
+    println!(
+        "{:>6} {:>10} {:>10} {:>9} {:>10}",
+        "mem", "pipe IPC", "seq IPC", "speedup", "bus util"
+    );
+    for mem in [1u64, 2, 3, 4, 5, 6, 8, 10, 12, 16] {
+        let mut c = base.clone();
+        c.mem_access_cycles = mem;
+        let p = pipe_ipc(&c, seed);
+        let s = seq_ipc(&c, seed);
+        println!(
+            "{:>6} {:>10.4} {:>10.4} {:>8.2}x {:>10.4}",
+            mem,
+            p,
+            s,
+            p / s,
+            bus_util(&c, seed)
+        );
+    }
+
+    println!("\n== Sweep 2: instruction-buffer size (words) ==");
+    println!("{:>6} {:>10} {:>10}", "words", "IPC", "bus util");
+    for words in [2u32, 4, 6, 8, 10, 12] {
+        let mut c = base.clone();
+        c.ibuf_words = words;
+        println!(
+            "{:>6} {:>10.4} {:>10.4}",
+            words,
+            pipe_ipc(&c, seed),
+            bus_util(&c, seed)
+        );
+    }
+
+    println!("\n== Sweep 3: instruction mix (share of memory-operand instructions) ==");
+    println!("{:>16} {:>10} {:>10}", "mix (0/1/2 ops)", "IPC", "bus util");
+    for (z, one, two) in [
+        (1.0, 0.0, 0.0),
+        (0.9, 0.08, 0.02),
+        (0.7, 0.2, 0.1),
+        (0.5, 0.3, 0.2),
+        (0.3, 0.4, 0.3),
+    ] {
+        let mut c = base.clone();
+        c.instruction_mix = InstructionMix {
+            zero_operand: z,
+            one_operand: one,
+            two_operand: two,
+        };
+        println!(
+            "{:>16} {:>10.4} {:>10.4}",
+            format!("{z:.1}/{one:.2}/{two:.2}"),
+            pipe_ipc(&c, seed),
+            bus_util(&c, seed)
+        );
+    }
+
+    println!("\n== Sweep 4: branch fraction (interpreted model, buffer flush on branch) ==");
+    println!("{:>8} {:>10} {:>10} {:>10}", "branches", "IPC", "bus util", "flushes");
+    for branch_slots in [0usize, 1, 2, 4, 6, 8] {
+        // A 10-slot ISA of 1-cycle register ops; `branch_slots` of them
+        // are taken branches that flush the prefetch buffer.
+        let mut types = vec![InstructionType::simple(0, 1, 1); 10];
+        for t in types.iter_mut().take(branch_slots) {
+            t.is_branch = true;
+        }
+        let config = InterpretedConfig {
+            instruction_types: types,
+            ibuf_words: 6,
+            words_per_prefetch: 2,
+            decode_cycles: 1,
+            mem_access_cycles: 5,
+        };
+        let net = build_interpreted(&config).expect("config valid");
+        let trace = pnut_sim::simulate(&net, seed, Time::from_ticks(CYCLES)).expect("runs");
+        let report = pnut_stat::analyze(&trace);
+        println!(
+            "{:>7}0% {:>10.4} {:>10.4} {:>10}",
+            branch_slots,
+            report.transition("Issue").expect("exists").throughput,
+            report.place("Bus_busy").expect("exists").avg_tokens,
+            report
+                .transition("flush_done")
+                .map(|t| t.ends)
+                .unwrap_or(0),
+        );
+    }
+
+    println!("\n== Sweep 5: cache hit ratio (hit = 1 cycle, miss = 5) ==");
+    println!("{:>6} {:>10} {:>10}", "hit", "IPC", "bus util");
+    for hit in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let mut c = base.clone();
+        c.cache = Some(CacheConfig {
+            hit_ratio: hit,
+            hit_cycles: 1,
+        });
+        println!(
+            "{:>6.2} {:>10.4} {:>10.4}",
+            hit,
+            pipe_ipc(&c, seed),
+            bus_util(&c, seed)
+        );
+    }
+}

@@ -1,0 +1,923 @@
+//! # pnut-cli — the P-NUT toolset as a command line
+//!
+//! P-NUT is "a collection of tools" (paper abstract) in the UNIX mold:
+//! the simulator emits traces, and specialized tools consume them. This
+//! crate packages the reproduction the same way:
+//!
+//! ```text
+//! pnut check model.pn                 structural report + invariants
+//! pnut print model.pn                 parse and pretty-print (canonicalize)
+//! pnut sim model.pn --until 10000 --seed 1 -o trace.json
+//! pnut stat trace.json                Figure 5 statistics report
+//! pnut filter trace.json --place Bus_busy --trans Issue -o small.json
+//! pnut query trace.json 'forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]'
+//! pnut timeline trace.json --from 100 --to 200 --probe Bus_busy
+//! pnut anim trace.json --max-frames 20
+//! pnut reach model.pn --ctl 'AG (Bus_free + Bus_busy = 1)'
+//! pnut cover model.pn                 Karp–Miller boundedness check
+//! pnut cycle model.pn                 analytic cycle time (marked graphs)
+//! ```
+//!
+//! Exit codes: `0` success, `1` usage or processing error, `2` a check
+//! or query evaluated to *false* (so shell scripts can branch on model
+//! properties, grep-style).
+
+use pnut_core::{Net, Time};
+use pnut_trace::{RecordedTrace, TraceSink};
+use std::fmt::Write as _;
+use std::fs;
+
+/// Everything that can go wrong while running a command.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        err(format!("i/o error: {e}"))
+    }
+}
+
+/// Minimal argument cursor: positionals plus `--flag value` options.
+struct Args<'a> {
+    items: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Args<'a> {
+    fn new(items: &'a [String]) -> Self {
+        Args {
+            items,
+            used: vec![false; items.len()],
+        }
+    }
+
+    /// All values of a repeatable `--name value` option.
+    fn values(&mut self, name: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.items.len() {
+            if !self.used[i] && self.items[i] == name {
+                if let Some(v) = self.items.get(i + 1) {
+                    self.used[i] = true;
+                    self.used[i + 1] = true;
+                    out.push(v.clone());
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn value(&mut self, name: &str) -> Option<String> {
+        self.values(name).into_iter().next()
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        for (i, item) in self.items.iter().enumerate() {
+            if !self.used[i] && item == name {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Next unused positional argument.
+    fn positional(&mut self) -> Option<String> {
+        for (i, item) in self.items.iter().enumerate() {
+            if !self.used[i] && !item.starts_with("--") {
+                self.used[i] = true;
+                return Some(item.clone());
+            }
+        }
+        None
+    }
+
+    fn finish(self) -> Result<(), CliError> {
+        for (i, item) in self.items.iter().enumerate() {
+            if !self.used[i] {
+                return Err(err(format!("unexpected argument `{item}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn load_net(path: &str) -> Result<Net, CliError> {
+    let text = fs::read_to_string(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
+    pnut_lang::parse(&text).map_err(|e| err(format!("{path}: {e}")))
+}
+
+fn load_trace(path: &str) -> Result<RecordedTrace, CliError> {
+    let file = fs::File::open(path).map_err(|e| err(format!("cannot open `{path}`: {e}")))?;
+    RecordedTrace::read_json(std::io::BufReader::new(file))
+        .map_err(|e| err(format!("{path}: not a trace: {e}")))
+}
+
+fn save_trace(trace: &RecordedTrace, path: Option<&str>, out: &mut String) -> Result<(), CliError> {
+    match path {
+        Some(p) => {
+            let file = fs::File::create(p).map_err(|e| err(format!("cannot write `{p}`: {e}")))?;
+            trace
+                .write_json(std::io::BufWriter::new(file))
+                .map_err(|e| err(format!("serialize: {e}")))?;
+            let _ = writeln!(out, "wrote {} deltas to {p}", trace.deltas().len());
+        }
+        None => {
+            let mut buf = Vec::new();
+            trace
+                .write_json(&mut buf)
+                .map_err(|e| err(format!("serialize: {e}")))?;
+            out.push_str(&String::from_utf8_lossy(&buf));
+            out.push('\n');
+        }
+    }
+    Ok(())
+}
+
+/// Run one command. `argv` excludes the program name. Output text is
+/// appended to `out`; the returned code follows the grep convention
+/// (`0` ok, `2` property false).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage errors, unreadable files, malformed
+/// models/traces/queries, and tool failures.
+pub fn run(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let Some(command) = argv.first() else {
+        out.push_str(USAGE);
+        return Ok(1);
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            out.push_str(USAGE);
+            Ok(0)
+        }
+        "check" => cmd_check(rest, out),
+        "print" => cmd_print(rest, out),
+        "dot" => cmd_dot(rest, out),
+        "sim" => cmd_sim(rest, out),
+        "stat" => cmd_stat(rest, out),
+        "filter" => cmd_filter(rest, out),
+        "query" => cmd_query(rest, out),
+        "timeline" => cmd_timeline(rest, out),
+        "anim" => cmd_anim(rest, out),
+        "reach" => cmd_reach(rest, out),
+        "cover" => cmd_cover(rest, out),
+        "cycle" => cmd_cycle(rest, out),
+        "markov" => cmd_markov(rest, out),
+        "heatmap" => cmd_heatmap(rest, out),
+        "measure" => cmd_measure(rest, out),
+        other => Err(err(format!("unknown command `{other}`; try `pnut help`"))),
+    }
+}
+
+const USAGE: &str = "\
+pnut — Petri-Net Utility Tools (Razouk 1987/88 reproduction)
+
+usage: pnut <command> [args]
+
+  check <model.pn>                     structural report + P/T-invariants
+  print <model.pn>                     parse and pretty-print
+  dot <model.pn>                       Graphviz rendering of the net
+  sim <model.pn> [--until N] [--seed S] [-o trace.json]
+  stat <trace.json>                    statistics report (Figure 5)
+  filter <trace.json> [--place P]... [--trans T]... [--vars] [-o out.json]
+  query <trace.json> <query>           forall/exists/inev over trace states
+  timeline <trace.json> [--from A] [--to B] [--probe NAME]... [--fn L=EXPR]...
+  anim <trace.json> [--max-frames N]
+  reach <model.pn> [--timed] [--ctl FORMULA]
+  cover <model.pn>                     Karp–Miller boundedness
+  cycle <model.pn>                     analytic cycle time (marked graphs)
+  markov <model.pn>                    analytic steady state (timed nets with choice)
+  heatmap <trace.json>                 activity heatmap (bottleneck feedback)
+  measure <trace.json> [--pulses PLACE] [--intervals TRANS] [--latency FROM,TO]
+
+exit codes: 0 ok · 1 error · 2 checked property is false
+";
+
+fn cmd_check(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args.positional().ok_or_else(|| err("check: need a model file"))?;
+    args.finish()?;
+    let net = load_net(&path)?;
+    let report = pnut_core::analysis::structural_report(&net);
+    let _ = writeln!(
+        out,
+        "net `{}`: {} places, {} transitions",
+        net.name(),
+        net.place_count(),
+        net.transition_count()
+    );
+    let name_list = |ids: &[pnut_core::PlaceId]| -> String {
+        ids.iter()
+            .map(|&p| net.place(p).name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let tname_list = |ids: &[pnut_core::TransitionId]| -> String {
+        ids.iter()
+            .map(|&t| net.transition(t).name().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut clean = true;
+    if !report.isolated_places.is_empty() {
+        clean = false;
+        let _ = writeln!(out, "isolated places: {}", name_list(&report.isolated_places));
+    }
+    if !report.source_only_places.is_empty() {
+        clean = false;
+        let _ = writeln!(
+            out,
+            "drain-only places (no producer): {}",
+            name_list(&report.source_only_places)
+        );
+    }
+    if !report.sink_only_places.is_empty() {
+        clean = false;
+        let _ = writeln!(
+            out,
+            "accumulate-only places (no consumer): {}",
+            name_list(&report.sink_only_places)
+        );
+    }
+    if !report.sourceless_transitions.is_empty() {
+        clean = false;
+        let _ = writeln!(
+            out,
+            "input-free transitions: {}",
+            tname_list(&report.sourceless_transitions)
+        );
+    }
+    if !report.structurally_dead_transitions.is_empty() {
+        clean = false;
+        let _ = writeln!(
+            out,
+            "structurally dead transitions: {}",
+            tname_list(&report.structurally_dead_transitions)
+        );
+    }
+    if clean {
+        let _ = writeln!(out, "structure: clean");
+    }
+
+    let pinv = pnut_core::invariant::p_invariants(&net);
+    let _ = writeln!(out, "P-invariants ({}):", pinv.len());
+    for inv in &pinv {
+        let terms: Vec<String> = inv
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .map(|(i, &w)| {
+                let n = net.place(pnut_core::PlaceId::new(i)).name();
+                if w == 1 {
+                    n.to_string()
+                } else {
+                    format!("{w}·{n}")
+                }
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {} = {}",
+            terms.join(" + "),
+            inv.token_sum(&net.initial_marking())
+        );
+    }
+    let tinv = pnut_core::invariant::t_invariants(&net);
+    let _ = writeln!(out, "T-invariants ({})", tinv.len());
+    Ok(if clean { 0 } else { 2 })
+}
+
+fn cmd_print(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args.positional().ok_or_else(|| err("print: need a model file"))?;
+    args.finish()?;
+    let net = load_net(&path)?;
+    out.push_str(&pnut_lang::print(&net));
+    Ok(0)
+}
+
+fn cmd_dot(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args.positional().ok_or_else(|| err("dot: need a model file"))?;
+    args.finish()?;
+    let net = load_net(&path)?;
+    out.push_str(&pnut_lang::to_dot(&net));
+    Ok(0)
+}
+
+fn cmd_sim(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args.positional().ok_or_else(|| err("sim: need a model file"))?;
+    let until: u64 = args
+        .value("--until")
+        .map(|v| v.parse().map_err(|_| err("sim: --until must be an integer")))
+        .transpose()?
+        .unwrap_or(10_000);
+    let seed: u64 = args
+        .value("--seed")
+        .map(|v| v.parse().map_err(|_| err("sim: --seed must be an integer")))
+        .transpose()?
+        .unwrap_or(1);
+    let output = args.value("-o");
+    args.finish()?;
+
+    let net = load_net(&path)?;
+    let trace = pnut_sim::simulate(&net, seed, Time::from_ticks(until))
+        .map_err(|e| err(format!("simulation failed: {e}")))?;
+    save_trace(&trace, output.as_deref(), out)?;
+    Ok(0)
+}
+
+fn cmd_stat(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args.positional().ok_or_else(|| err("stat: need a trace file"))?;
+    args.finish()?;
+    let trace = load_trace(&path)?;
+    let _ = write!(out, "{}", pnut_stat::analyze(&trace));
+    Ok(0)
+}
+
+fn cmd_filter(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("filter: need a trace file"))?;
+    let mut spec = pnut_trace::FilterSpec::new()
+        .keep_places(args.values("--place"))
+        .keep_transitions(args.values("--trans"));
+    if args.flag("--vars") {
+        spec = spec.keep_variables();
+    }
+    let output = args.value("-o");
+    args.finish()?;
+
+    let trace = load_trace(&path)?;
+    let mut filter = pnut_trace::Filter::new(spec, pnut_trace::Recorder::new());
+    trace.replay(&mut filter);
+    let filtered = filter
+        .into_inner()
+        .into_trace()
+        .expect("replay is complete");
+    save_trace(&filtered, output.as_deref(), out)?;
+    Ok(0)
+}
+
+fn cmd_query(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("query: need a trace file"))?;
+    let text = args
+        .positional()
+        .ok_or_else(|| err("query: need a query string"))?;
+    args.finish()?;
+
+    let trace = load_trace(&path)?;
+    let query =
+        pnut_tracer::query::Query::parse(&text).map_err(|e| err(format!("query: {e}")))?;
+    let outcome = query.check(&trace).map_err(|e| err(format!("query: {e}")))?;
+    match (outcome.holds, outcome.witness) {
+        (true, Some(w)) => {
+            let _ = writeln!(out, "HOLDS (witness state #{w})");
+        }
+        (true, None) => {
+            let _ = writeln!(out, "HOLDS");
+        }
+        (false, Some(w)) => {
+            let _ = writeln!(out, "FAILS (counterexample state #{w})");
+        }
+        (false, None) => {
+            let _ = writeln!(out, "FAILS");
+        }
+    }
+    Ok(if outcome.holds { 0 } else { 2 })
+}
+
+fn cmd_timeline(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("timeline: need a trace file"))?;
+    let from: u64 = args
+        .value("--from")
+        .map(|v| v.parse().map_err(|_| err("timeline: --from must be an integer")))
+        .transpose()?
+        .unwrap_or(0);
+    let to: u64 = args
+        .value("--to")
+        .map(|v| v.parse().map_err(|_| err("timeline: --to must be an integer")))
+        .transpose()?
+        .unwrap_or(from + 100);
+    let mut signals: Vec<pnut_tracer::Signal> = args
+        .values("--probe")
+        .into_iter()
+        .map(pnut_tracer::Signal::place)
+        .collect();
+    for spec in args.values("--fn") {
+        let (label, expr) = spec
+            .split_once('=')
+            .ok_or_else(|| err("timeline: --fn needs LABEL=EXPR"))?;
+        signals.push(
+            pnut_tracer::Signal::function(label, expr)
+                .map_err(|e| err(format!("timeline: bad --fn expression: {e}")))?,
+        );
+    }
+    args.finish()?;
+    if signals.is_empty() {
+        return Err(err("timeline: need at least one --probe or --fn"));
+    }
+
+    let trace = load_trace(&path)?;
+    let tl = pnut_tracer::Timeline::sample(
+        &trace,
+        &signals,
+        Time::from_ticks(from),
+        Time::from_ticks(to),
+    )
+    .map_err(|e| err(format!("timeline: {e}")))?;
+    let _ = write!(out, "{tl}");
+    Ok(0)
+}
+
+fn cmd_anim(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("anim: need a trace file"))?;
+    let max_frames: usize = args
+        .value("--max-frames")
+        .map(|v| v.parse().map_err(|_| err("anim: --max-frames must be an integer")))
+        .transpose()?
+        .unwrap_or(usize::MAX);
+    args.finish()?;
+
+    let trace = load_trace(&path)?;
+    let mut anim = pnut_anim::Animator::new(&trace);
+    let _ = write!(out, "{}", anim.initial_frame());
+    let mut shown = 0;
+    while shown < max_frames {
+        match anim.step() {
+            Some(f) => {
+                let _ = write!(out, "{f}");
+                shown += 1;
+            }
+            None => break,
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("reach: need a model file"))?;
+    let timed = args.flag("--timed");
+    let ctl = args.value("--ctl");
+    args.finish()?;
+
+    let net = load_net(&path)?;
+    let options = pnut_reach::ReachOptions::default();
+    let graph = if timed {
+        pnut_reach::graph::build_timed(&net, &options)
+    } else {
+        pnut_reach::graph::build_untimed(&net, &options)
+    }
+    .map_err(|e| err(format!("reach: {e}")))?;
+
+    let _ = writeln!(
+        out,
+        "{} states, {} edges, {} deadlock(s)",
+        graph.state_count(),
+        graph.edge_count(),
+        graph.deadlocks().len()
+    );
+    let bounds = graph.place_bounds();
+    for (pid, p) in net.places() {
+        let _ = writeln!(out, "  bound({}) = {}", p.name(), bounds[pid.index()]);
+    }
+
+    if let Some(formula_text) = ctl {
+        let formula = pnut_reach::ctl::Formula::parse(&formula_text)
+            .map_err(|e| err(format!("ctl: {e}")))?;
+        let outcome = pnut_reach::ctl::check(&graph, &net, &formula)
+            .map_err(|e| err(format!("ctl: {e}")))?;
+        let _ = writeln!(
+            out,
+            "CTL `{formula_text}`: {} ({} of {} states satisfy)",
+            if outcome.holds_initially { "HOLDS" } else { "FAILS" },
+            outcome.count(),
+            graph.state_count()
+        );
+        return Ok(if outcome.holds_initially { 0 } else { 2 });
+    }
+    Ok(0)
+}
+
+fn cmd_cover(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("cover: need a model file"))?;
+    args.finish()?;
+    let net = load_net(&path)?;
+    let tree = pnut_reach::coverability::coverability_tree(
+        &net,
+        &pnut_reach::coverability::CoverOptions::default(),
+    )
+    .map_err(|e| err(format!("cover: {e}")))?;
+    let _ = writeln!(
+        out,
+        "coverability tree: {} nodes; net is {}",
+        tree.nodes().len(),
+        if tree.is_unbounded() { "UNBOUNDED" } else { "bounded" }
+    );
+    for (pid, p) in net.places() {
+        match tree.place_bound(pid) {
+            Some(b) => {
+                let _ = writeln!(out, "  bound({}) = {b}", p.name());
+            }
+            None => {
+                let _ = writeln!(out, "  bound({}) = ω", p.name());
+            }
+        }
+    }
+    Ok(if tree.is_unbounded() { 2 } else { 0 })
+}
+
+fn cmd_cycle(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("cycle: need a model file"))?;
+    args.finish()?;
+    let net = load_net(&path)?;
+    let analysis = pnut_analytic::analyze(&net).map_err(|e| err(format!("cycle: {e}")))?;
+    let _ = writeln!(out, "cycle time: {} ticks/firing", analysis.cycle_time);
+    let _ = writeln!(out, "throughput: {:.6} firings/tick", analysis.throughput());
+    let names: Vec<&str> = analysis
+        .critical_cycle
+        .iter()
+        .map(|&t| net.transition(t).name())
+        .collect();
+    let _ = writeln!(out, "critical cycle: {}", names.join(" -> "));
+    let _ = writeln!(out, "circuits examined: {}", analysis.circuits_examined);
+    Ok(0)
+}
+
+fn cmd_heatmap(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("heatmap: need a trace file"))?;
+    args.finish()?;
+    let trace = load_trace(&path)?;
+    let _ = write!(out, "{}", pnut_anim::Heatmap::from_trace(&trace));
+    Ok(0)
+}
+
+fn cmd_measure(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    use pnut_tracer::measure;
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("measure: need a trace file"))?;
+    let pulses = args.values("--pulses");
+    let intervals = args.values("--intervals");
+    let latencies = args.values("--latency");
+    args.finish()?;
+    if pulses.is_empty() && intervals.is_empty() && latencies.is_empty() {
+        return Err(err(
+            "measure: need at least one of --pulses / --intervals / --latency",
+        ));
+    }
+    let trace = load_trace(&path)?;
+    for place in pulses {
+        match measure::place_pulses(&trace, &place) {
+            Some(stats) => {
+                let _ = writeln!(out, "pulses({place}): {stats}");
+            }
+            None => return Err(err(format!("measure: unknown place `{place}`"))),
+        }
+    }
+    for trans in intervals {
+        match measure::inter_start_intervals(&trace, &trans) {
+            Some(iv) if iv.is_empty() => {
+                let _ = writeln!(out, "intervals({trans}): fewer than two firings");
+            }
+            Some(iv) => {
+                let mean = iv.iter().sum::<u64>() as f64 / iv.len() as f64;
+                let _ = writeln!(
+                    out,
+                    "intervals({trans}): {} samples, mean {mean:.2} ticks",
+                    iv.len()
+                );
+                let _ = write!(out, "{}", measure::Histogram::new(&iv, (mean / 4.0).max(1.0) as u64));
+            }
+            None => return Err(err(format!("measure: unknown transition `{trans}`"))),
+        }
+    }
+    for pair in latencies {
+        let (from, to) = pair
+            .split_once(',')
+            .ok_or_else(|| err("measure: --latency needs FROM,TO"))?;
+        match measure::latencies(&trace, from, to) {
+            Some(lat) if lat.is_empty() => {
+                let _ = writeln!(out, "latency({from} -> {to}): no matched pairs");
+            }
+            Some(lat) => {
+                let mean = lat.iter().sum::<u64>() as f64 / lat.len() as f64;
+                let _ = writeln!(
+                    out,
+                    "latency({from} -> {to}): {} pairs, mean {mean:.2} ticks",
+                    lat.len()
+                );
+            }
+            None => return Err(err("measure: unknown transition in --latency".to_string())),
+        }
+    }
+    Ok(0)
+}
+
+fn cmd_markov(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let path = args
+        .positional()
+        .ok_or_else(|| err("markov: need a model file"))?;
+    args.finish()?;
+    let net = load_net(&path)?;
+    let ss = pnut_analytic::markov::steady_state(
+        &net,
+        &pnut_analytic::markov::MarkovOptions::default(),
+    )
+    .map_err(|e| err(format!("markov: {e}")))?;
+    let _ = writeln!(out, "ANALYTIC STEADY STATE (semi-Markov, exact semantics)");
+    let _ = writeln!(out, "mean sojourn per jump: {:.4} ticks", ss.mean_sojourn);
+    let _ = writeln!(out, "place average tokens:");
+    for (pid, p) in net.places() {
+        let _ = writeln!(out, "  {:<28} {:.6}", p.name(), ss.avg_tokens(pid));
+    }
+    let _ = writeln!(out, "transition throughput (firings/tick):");
+    for (tid, t) in net.transitions() {
+        let _ = writeln!(out, "  {:<28} {:.6}", t.name(), ss.throughput(tid));
+    }
+    Ok(0)
+}
+
+// `TraceSink` is used through `Filter`'s replay path; re-assert the
+// import is intentional for readers.
+const _: fn() = || {
+    fn assert_sink<S: TraceSink>() {}
+    assert_sink::<pnut_trace::Recorder>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_args(args: &[&str]) -> (i32, String) {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = String::new();
+        let code = run(&argv, &mut out).unwrap_or_else(|e| panic!("{e}\n--- output:\n{out}"));
+        (code, out)
+    }
+
+    fn write_model(dir: &std::path::Path) -> String {
+        let model = dir.join("bus.pn");
+        fs::write(
+            &model,
+            "net bus\nplace Bus_free = 1\nplace Bus_busy = 0\n\
+             trans seize\n  in Bus_free\n  out Bus_busy\n  enabling 1\nend\n\
+             trans release\n  in Bus_busy\n  out Bus_free\n  enabling 2\nend\n",
+        )
+        .unwrap();
+        model.to_string_lossy().into_owned()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pnut-cli-test-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        let (code, out) = run_args(&["help"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("usage"));
+        let mut s = String::new();
+        assert!(run(&["bogus".to_string()], &mut s).is_err());
+        assert_eq!(run(&[], &mut s).unwrap(), 1);
+    }
+
+    #[test]
+    fn check_reports_invariants() {
+        let dir = tmpdir("check");
+        let model = write_model(&dir);
+        let (code, out) = run_args(&["check", &model]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("structure: clean"));
+        assert!(out.contains("Bus_free + Bus_busy = 1"));
+    }
+
+    #[test]
+    fn sim_stat_query_pipeline() {
+        let dir = tmpdir("pipeline");
+        let model = write_model(&dir);
+        let trace_path = dir.join("t.json").to_string_lossy().into_owned();
+        let (code, _) = run_args(&["sim", &model, "--until", "100", "--seed", "3", "-o", &trace_path]);
+        assert_eq!(code, 0);
+
+        let (code, out) = run_args(&["stat", &trace_path]);
+        assert_eq!(code, 0);
+        assert!(out.contains("PLACE STATISTICS"));
+        assert!(out.contains("Bus_busy"));
+
+        let (code, out) = run_args(&[
+            "query",
+            &trace_path,
+            "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("HOLDS"));
+
+        let (code, out) = run_args(&["query", &trace_path, "exists s in S [ Bus_free(s) = 2 ]"]);
+        assert_eq!(code, 2, "false property exits 2");
+        assert!(out.contains("FAILS"));
+    }
+
+    #[test]
+    fn filter_and_anim_and_timeline() {
+        let dir = tmpdir("tools");
+        let model = write_model(&dir);
+        let trace_path = dir.join("t.json").to_string_lossy().into_owned();
+        run_args(&["sim", &model, "--until", "50", "-o", &trace_path]);
+
+        let small = dir.join("small.json").to_string_lossy().into_owned();
+        let (code, _) = run_args(&["filter", &trace_path, "--place", "Bus_busy", "-o", &small]);
+        assert_eq!(code, 0);
+        let full = load_trace(&trace_path).unwrap();
+        let filtered = load_trace(&small).unwrap();
+        assert!(filtered.deltas().len() < full.deltas().len());
+
+        let (code, out) = run_args(&["anim", &trace_path, "--max-frames", "3"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("frame 1"));
+        assert!(!out.contains("frame 4"));
+
+        let (code, out) = run_args(&[
+            "timeline",
+            &trace_path,
+            "--from",
+            "0",
+            "--to",
+            "20",
+            "--probe",
+            "Bus_busy",
+            "--fn",
+            "sum=Bus_busy + Bus_free",
+        ]);
+        assert_eq!(code, 0);
+        assert!(out.contains("Bus_busy"));
+        assert!(out.contains("sum"));
+    }
+
+    #[test]
+    fn reach_with_ctl_and_cover_and_cycle() {
+        let dir = tmpdir("verify");
+        let model = write_model(&dir);
+
+        let (code, out) = run_args(&["reach", &model, "--ctl", "AG (Bus_free + Bus_busy = 1)"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("HOLDS"));
+
+        let (code, out) = run_args(&["reach", &model, "--ctl", "AG (Bus_busy = 0)"]);
+        assert_eq!(code, 2);
+        assert!(out.contains("FAILS"));
+
+        let (code, out) = run_args(&["cover", &model]);
+        assert_eq!(code, 0);
+        assert!(out.contains("bounded"));
+
+        // cycle needs firing times; write a marked-graph model.
+        let ring = dir.join("ring.pn");
+        fs::write(
+            &ring,
+            "net ring\nplace a = 1\nplace b = 0\n\
+             trans t0\n  in a\n  out b\n  firing 3\nend\n\
+             trans t1\n  in b\n  out a\n  firing 2\nend\n",
+        )
+        .unwrap();
+        let (code, out) = run_args(&["cycle", &ring.to_string_lossy()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("cycle time: 5"));
+        assert!(out.contains("t0"));
+    }
+
+    #[test]
+    fn markov_subcommand_reports_steady_state() {
+        let dir = tmpdir("markov");
+        let ring = dir.join("ring.pn");
+        fs::write(
+            &ring,
+            "net ring\nplace a = 1\nplace b = 0\n\
+             trans t0\n  in a\n  out b\n  firing 3\nend\n\
+             trans t1\n  in b\n  out a\n  firing 1\nend\n",
+        )
+        .unwrap();
+        let (code, out) = run_args(&["markov", &ring.to_string_lossy()]);
+        assert_eq!(code, 0);
+        assert!(out.contains("0.250000"), "throughput 1/4: {out}");
+    }
+
+    #[test]
+    fn heatmap_and_measure_subcommands() {
+        let dir = tmpdir("hm");
+        let model = write_model(&dir);
+        let trace_path = dir.join("t.json").to_string_lossy().into_owned();
+        run_args(&["sim", &model, "--until", "200", "-o", &trace_path]);
+
+        let (code, out) = run_args(&["heatmap", &trace_path]);
+        assert_eq!(code, 0);
+        assert!(out.contains("ACTIVITY HEATMAP"));
+        assert!(out.contains("Bus_busy"));
+
+        let (code, out) = run_args(&[
+            "measure",
+            &trace_path,
+            "--pulses",
+            "Bus_busy",
+            "--intervals",
+            "seize",
+            "--latency",
+            "seize,release",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("pulses(Bus_busy)"));
+        assert!(out.contains("intervals(seize)"));
+        assert!(out.contains("latency(seize -> release)"));
+
+        let mut s = String::new();
+        assert!(run(&["measure".to_string(), trace_path], &mut s).is_err());
+    }
+
+    #[test]
+    fn dot_subcommand_renders_graphviz() {
+        let dir = tmpdir("dot");
+        let model = write_model(&dir);
+        let (code, out) = run_args(&["dot", &model]);
+        assert_eq!(code, 0);
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("Bus_free"));
+    }
+
+    #[test]
+    fn print_canonicalizes_roundtrip() {
+        let dir = tmpdir("print");
+        let model = write_model(&dir);
+        let (code, printed) = run_args(&["print", &model]);
+        assert_eq!(code, 0);
+        let reparsed = pnut_lang::parse(&printed).unwrap();
+        assert_eq!(reparsed.name(), "bus");
+    }
+
+    #[test]
+    fn usage_errors_are_reported() {
+        let mut out = String::new();
+        assert!(run(&["stat".to_string()], &mut out).is_err());
+        assert!(run(
+            &["sim".to_string(), "nonexistent.pn".to_string()],
+            &mut out
+        )
+        .is_err());
+        assert!(run(
+            &[
+                "sim".to_string(),
+                "x.pn".to_string(),
+                "--until".to_string(),
+                "abc".to_string()
+            ],
+            &mut out
+        )
+        .is_err());
+    }
+}

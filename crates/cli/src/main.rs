@@ -1,0 +1,19 @@
+//! The `pnut` binary: thin wrapper over [`pnut_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match pnut_cli::run(&argv, &mut out) {
+        Ok(code) => {
+            print!("{out}");
+            ExitCode::from(u8::try_from(code).unwrap_or(1))
+        }
+        Err(e) => {
+            print!("{out}");
+            eprintln!("pnut: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Structural analysis of nets (no simulation required).
+//!
+//! These checks catch modeling mistakes of the kind §4.4 of the paper
+//! warns about *before* a simulation is run: places nothing ever feeds,
+//! transitions that can never fire, and token-conservation structure such
+//! as the paper's `Bus_free`/`Bus_busy` complementary-place pattern.
+
+use crate::net::{Net, PlaceId, TransitionId};
+
+/// Summary of structural properties of a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralReport {
+    /// Places with no producing transition (their tokens can only drain).
+    pub source_only_places: Vec<PlaceId>,
+    /// Places with no consuming transition (their tokens only accumulate).
+    pub sink_only_places: Vec<PlaceId>,
+    /// Places connected to no transition at all.
+    pub isolated_places: Vec<PlaceId>,
+    /// Transitions with no input arcs: always marking-enabled, so they
+    /// can fire unboundedly often (legal but worth flagging).
+    pub sourceless_transitions: Vec<TransitionId>,
+    /// Transitions that are structurally dead in the initial marking:
+    /// some input place is unmarked *and* has no producers.
+    pub structurally_dead_transitions: Vec<TransitionId>,
+}
+
+impl StructuralReport {
+    /// Whether the report flags nothing.
+    pub fn is_clean(&self) -> bool {
+        self.source_only_places.is_empty()
+            && self.sink_only_places.is_empty()
+            && self.isolated_places.is_empty()
+            && self.sourceless_transitions.is_empty()
+            && self.structurally_dead_transitions.is_empty()
+    }
+}
+
+/// Compute the [`StructuralReport`] for `net`.
+///
+/// # Example
+///
+/// ```
+/// use pnut_core::{NetBuilder, analysis};
+///
+/// # fn main() -> Result<(), pnut_core::NetError> {
+/// let mut b = NetBuilder::new("n");
+/// b.place("a", 1);
+/// b.place("orphan", 0);
+/// b.transition("t").input("a").output("a").add();
+/// let report = analysis::structural_report(&b.build()?);
+/// assert_eq!(report.isolated_places.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn structural_report(net: &Net) -> StructuralReport {
+    let mut has_producer = vec![false; net.place_count()];
+    let mut has_consumer = vec![false; net.place_count()];
+    for (_, t) in net.transitions() {
+        for &(p, _) in t.outputs() {
+            has_producer[p.index()] = true;
+        }
+        for &(p, _) in t.inputs() {
+            has_consumer[p.index()] = true;
+        }
+    }
+
+    let mut source_only = Vec::new();
+    let mut sink_only = Vec::new();
+    let mut isolated = Vec::new();
+    for (id, _) in net.places() {
+        match (has_producer[id.index()], has_consumer[id.index()]) {
+            (false, true) => source_only.push(id),
+            (true, false) => sink_only.push(id),
+            (false, false) => isolated.push(id),
+            (true, true) => {}
+        }
+    }
+
+    let initial = net.initial_marking();
+    let mut sourceless = Vec::new();
+    let mut dead = Vec::new();
+    for (id, t) in net.transitions() {
+        if t.inputs().is_empty() {
+            sourceless.push(id);
+        }
+        let starved = t
+            .inputs()
+            .iter()
+            .any(|&(p, w)| initial.tokens(p) < w && !has_producer[p.index()]);
+        if starved {
+            dead.push(id);
+        }
+    }
+
+    StructuralReport {
+        source_only_places: source_only,
+        sink_only_places: sink_only,
+        isolated_places: isolated,
+        sourceless_transitions: sourceless,
+        structurally_dead_transitions: dead,
+    }
+}
+
+/// Check whether a set of places is a *complementary group*: every
+/// transition that touches any of them preserves their token sum.
+///
+/// This is the structural form of the paper's §4.4 invariant
+/// `Bus_busy + Bus_free = 1`: if the group is complementary and the
+/// transitions moving tokens inside the group all have zero firing time,
+/// the sum is constant in every observable state.
+///
+/// Returns the names of transitions that violate conservation (empty =
+/// the group is complementary).
+pub fn conservation_violations(net: &Net, group: &[PlaceId]) -> Vec<TransitionId> {
+    let in_group = |p: PlaceId| group.contains(&p);
+    net.transitions()
+        .filter(|(_, t)| {
+            let consumed: i64 = t
+                .inputs()
+                .iter()
+                .filter(|&&(p, _)| in_group(p))
+                .map(|&(_, w)| i64::from(w))
+                .sum();
+            let produced: i64 = t
+                .outputs()
+                .iter()
+                .filter(|&&(p, _)| in_group(p))
+                .map(|&(_, w)| i64::from(w))
+                .sum();
+            consumed != produced
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Transitions in the group that move tokens *within* `group` but have a
+/// non-zero (or non-constant) firing time — these make the group's token
+/// sum observably dip during firing, the §4.2 modeling bug the paper
+/// demonstrates catching with a trace query.
+pub fn nonatomic_group_movers(net: &Net, group: &[PlaceId]) -> Vec<TransitionId> {
+    let in_group = |p: PlaceId| group.contains(&p);
+    net.transitions()
+        .filter(|(_, t)| {
+            let touches = t.inputs().iter().any(|&(p, _)| in_group(p))
+                && t.outputs().iter().any(|&(p, _)| in_group(p));
+            touches && !t.firing_time().is_zero_constant()
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetBuilder;
+
+    fn bus_net(atomic: bool) -> Net {
+        let mut b = NetBuilder::new("bus");
+        b.place("Bus_free", 1);
+        b.place("Bus_busy", 0);
+        b.place("work", 1);
+        let t = b
+            .transition("acquire")
+            .input("Bus_free")
+            .input("work")
+            .output("Bus_busy");
+        let t = if atomic { t } else { t.firing(3) };
+        t.add();
+        b.transition("release")
+            .input("Bus_busy")
+            .output("Bus_free")
+            .output("work")
+            .add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn complementary_bus_group_is_conserved() {
+        let net = bus_net(true);
+        let group = [
+            net.place_id("Bus_free").unwrap(),
+            net.place_id("Bus_busy").unwrap(),
+        ];
+        assert!(conservation_violations(&net, &group).is_empty());
+        assert!(nonatomic_group_movers(&net, &group).is_empty());
+    }
+
+    #[test]
+    fn nonzero_firing_time_flagged_as_nonatomic() {
+        let net = bus_net(false);
+        let group = [
+            net.place_id("Bus_free").unwrap(),
+            net.place_id("Bus_busy").unwrap(),
+        ];
+        // Conservation still holds structurally...
+        assert!(conservation_violations(&net, &group).is_empty());
+        // ...but the mover is non-atomic: the §4.2 bug.
+        let movers = nonatomic_group_movers(&net, &group);
+        assert_eq!(movers.len(), 1);
+        assert_eq!(net.transition(movers[0]).name(), "acquire");
+    }
+
+    #[test]
+    fn violation_detected_when_group_leaks() {
+        let mut b = NetBuilder::new("leak");
+        b.place("a", 1);
+        b.place("b", 0);
+        b.place("outside", 0);
+        b.transition("leak").input("a").output("outside").add();
+        let net = b.build().unwrap();
+        let group = [net.place_id("a").unwrap(), net.place_id("b").unwrap()];
+        let v = conservation_violations(&net, &group);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn structural_report_flags_everything() {
+        let mut b = NetBuilder::new("messy");
+        b.place("isolated", 0);
+        b.place("fed", 0);
+        b.place("drain", 1);
+        b.place("starved", 0);
+        b.transition("spont").output("fed").add();
+        b.transition("eat").input("drain").output("fed").add();
+        b.transition("dead").input("starved").add();
+        let net = b.build().unwrap();
+        let r = structural_report(&net);
+        assert_eq!(r.isolated_places.len(), 1);
+        assert_eq!(r.sink_only_places.len(), 1, "fed is produce-only");
+        assert_eq!(r.source_only_places.len(), 2, "drain and starved");
+        assert_eq!(r.sourceless_transitions.len(), 1);
+        assert_eq!(r.structurally_dead_transitions.len(), 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn clean_net_reports_clean() {
+        let mut b = NetBuilder::new("ring");
+        b.place("a", 1);
+        b.place("b", 0);
+        b.transition("ab").input("a").output("b").add();
+        b.transition("ba").input("b").output("a").add();
+        let r = structural_report(&b.build().unwrap());
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,244 @@
+//! Variable environment for interpreted nets.
+
+use super::EvalError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value: the language is integer/boolean only, matching the
+/// paper's usage (instruction types, operand counts, delays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Extract an integer.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::TypeMismatch`] if the value is a boolean.
+    pub fn as_int(self) -> Result<i64, EvalError> {
+        match self {
+            Value::Int(v) => Ok(v),
+            Value::Bool(_) => Err(EvalError::TypeMismatch {
+                expected: "int",
+                found: "bool",
+            }),
+        }
+    }
+
+    /// Extract a boolean.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::TypeMismatch`] if the value is an integer.
+    pub fn as_bool(self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(v) => Ok(v),
+            Value::Int(_) => Err(EvalError::TypeMismatch {
+                expected: "bool",
+                found: "int",
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// The variable environment: named scalar variables plus named integer
+/// lookup tables (the paper's `operands[type]` pattern, §3).
+///
+/// Uses `BTreeMap` so iteration order — and therefore trace output and
+/// simulation behaviour that observes it — is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use pnut_core::expr::{Env, Value};
+///
+/// let mut env = Env::new();
+/// env.set_var("type", Value::Int(3));
+/// env.define_table("operands", vec![0, 1, 2, 2]);
+/// assert_eq!(env.int("type").unwrap(), 3);
+/// assert_eq!(env.table_elem("operands", 3).unwrap(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Env {
+    vars: BTreeMap<String, Value>,
+    tables: BTreeMap<String, Vec<i64>>,
+}
+
+impl Env {
+    /// An empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set (or create) a variable.
+    pub fn set_var(&mut self, name: impl Into<String>, value: Value) {
+        self.vars.insert(name.into(), value);
+    }
+
+    /// Look up a variable.
+    pub fn var(&self, name: &str) -> Option<Value> {
+        self.vars.get(name).copied()
+    }
+
+    /// Look up a variable as an integer.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnknownVariable`] if absent, [`EvalError::TypeMismatch`]
+    /// if it holds a boolean.
+    pub fn int(&self, name: &str) -> Result<i64, EvalError> {
+        self.var(name)
+            .ok_or_else(|| EvalError::UnknownVariable(name.to_string()))?
+            .as_int()
+    }
+
+    /// Define (or replace) a lookup table.
+    pub fn define_table(&mut self, name: impl Into<String>, values: Vec<i64>) {
+        self.tables.insert(name.into(), values);
+    }
+
+    /// Borrow a table's contents.
+    pub fn table(&self, name: &str) -> Option<&[i64]> {
+        self.tables.get(name).map(Vec::as_slice)
+    }
+
+    /// Read a table element.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::UnknownTable`] if the table does not exist,
+    /// [`EvalError::IndexOutOfBounds`] if the index is negative or past the
+    /// end.
+    pub fn table_elem(&self, name: &str, index: i64) -> Result<i64, EvalError> {
+        let t = self
+            .tables
+            .get(name)
+            .ok_or_else(|| EvalError::UnknownTable(name.to_string()))?;
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| t.get(i).copied())
+            .ok_or(EvalError::IndexOutOfBounds {
+                table: name.to_string(),
+                index,
+                len: t.len(),
+            })
+    }
+
+    /// Write a table element.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Env::table_elem`].
+    pub fn set_table_elem(&mut self, name: &str, index: i64, value: i64) -> Result<(), EvalError> {
+        let t = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| EvalError::UnknownTable(name.to_string()))?;
+        let len = t.len();
+        let slot = usize::try_from(index)
+            .ok()
+            .and_then(|i| t.get_mut(i))
+            .ok_or(EvalError::IndexOutOfBounds {
+                table: name.to_string(),
+                index,
+                len,
+            })?;
+        *slot = value;
+        Ok(())
+    }
+
+    /// Iterate over variables in name order.
+    pub fn vars(&self) -> impl Iterator<Item = (&str, Value)> + '_ {
+        self.vars.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate over tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &[i64])> + '_ {
+        self.tables.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Number of defined variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert!(Value::Int(7).as_bool().is_err());
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert!(Value::Bool(true).as_int().is_err());
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let env = Env::new();
+        assert!(matches!(env.int("x"), Err(EvalError::UnknownVariable(_))));
+        assert!(matches!(
+            env.table_elem("t", 0),
+            Err(EvalError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn table_bounds_checked() {
+        let mut env = Env::new();
+        env.define_table("t", vec![10, 20]);
+        assert_eq!(env.table_elem("t", 1).unwrap(), 20);
+        assert!(matches!(
+            env.table_elem("t", 2),
+            Err(EvalError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            env.table_elem("t", -1),
+            Err(EvalError::IndexOutOfBounds { .. })
+        ));
+        env.set_table_elem("t", 0, 99).unwrap();
+        assert_eq!(env.table("t").unwrap(), &[99, 20]);
+        assert!(env.set_table_elem("t", 5, 0).is_err());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut env = Env::new();
+        env.set_var("b", Value::Int(2));
+        env.set_var("a", Value::Int(1));
+        let names: Vec<&str> = env.vars().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(env.var_count(), 2);
+    }
+}

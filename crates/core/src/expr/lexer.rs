@@ -1,0 +1,303 @@
+//! Tokenizer for the expression language.
+
+use super::parser::ParseExprError;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(super) struct Spanned {
+    pub tok: Tok,
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(super) enum Tok {
+    Int(i64),
+    Ident(String),
+    True,
+    False,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Assign,
+    Question,
+    Colon,
+    Comma,
+    Semi,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+}
+
+/// Tokenize `src`. Identifiers may contain letters, digits and `_`; a `#`
+/// starts a comment to end of line.
+pub(super) fn lex(src: &str) -> Result<Vec<Spanned>, ParseExprError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: i64 = text.parse().map_err(|_| ParseExprError {
+                    message: format!("integer literal `{text}` out of range"),
+                    position: start,
+                })?;
+                toks.push(Spanned {
+                    tok: Tok::Int(v),
+                    pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                toks.push(Spanned { tok, pos });
+            }
+            '+' => {
+                toks.push(Spanned {
+                    tok: Tok::Plus,
+                    pos,
+                });
+                i += 1;
+            }
+            '-' => {
+                toks.push(Spanned {
+                    tok: Tok::Minus,
+                    pos,
+                });
+                i += 1;
+            }
+            '*' => {
+                toks.push(Spanned {
+                    tok: Tok::Star,
+                    pos,
+                });
+                i += 1;
+            }
+            '/' => {
+                toks.push(Spanned {
+                    tok: Tok::Slash,
+                    pos,
+                });
+                i += 1;
+            }
+            '%' => {
+                toks.push(Spanned {
+                    tok: Tok::Percent,
+                    pos,
+                });
+                i += 1;
+            }
+            '?' => {
+                toks.push(Spanned {
+                    tok: Tok::Question,
+                    pos,
+                });
+                i += 1;
+            }
+            ':' => {
+                toks.push(Spanned {
+                    tok: Tok::Colon,
+                    pos,
+                });
+                i += 1;
+            }
+            ',' => {
+                toks.push(Spanned {
+                    tok: Tok::Comma,
+                    pos,
+                });
+                i += 1;
+            }
+            ';' => {
+                toks.push(Spanned { tok: Tok::Semi, pos });
+                i += 1;
+            }
+            '(' => {
+                toks.push(Spanned {
+                    tok: Tok::LParen,
+                    pos,
+                });
+                i += 1;
+            }
+            ')' => {
+                toks.push(Spanned {
+                    tok: Tok::RParen,
+                    pos,
+                });
+                i += 1;
+            }
+            '[' => {
+                toks.push(Spanned {
+                    tok: Tok::LBracket,
+                    pos,
+                });
+                i += 1;
+            }
+            ']' => {
+                toks.push(Spanned {
+                    tok: Tok::RBracket,
+                    pos,
+                });
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { tok: Tok::EqEq, pos });
+                    i += 2;
+                } else {
+                    toks.push(Spanned {
+                        tok: Tok::Assign,
+                        pos,
+                    });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned {
+                        tok: Tok::NotEq,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    toks.push(Spanned { tok: Tok::Not, pos });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { tok: Tok::Le, pos });
+                    i += 2;
+                } else {
+                    toks.push(Spanned { tok: Tok::Lt, pos });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(Spanned { tok: Tok::Ge, pos });
+                    i += 2;
+                } else {
+                    toks.push(Spanned { tok: Tok::Gt, pos });
+                    i += 1;
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    toks.push(Spanned {
+                        tok: Tok::AndAnd,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseExprError {
+                        message: "expected `&&`".to_string(),
+                        position: pos,
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    toks.push(Spanned {
+                        tok: Tok::OrOr,
+                        pos,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseExprError {
+                        message: "expected `||`".to_string(),
+                        position: pos,
+                    });
+                }
+            }
+            other => {
+                return Err(ParseExprError {
+                    message: format!("unexpected character `{other}`"),
+                    position: pos,
+                });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_all_operator_forms() {
+        let toks = lex("a == b != c <= d >= e < f > g && h || !i").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|s| &s.tok).collect();
+        assert!(kinds.contains(&&Tok::EqEq));
+        assert!(kinds.contains(&&Tok::NotEq));
+        assert!(kinds.contains(&&Tok::Le));
+        assert!(kinds.contains(&&Tok::Ge));
+        assert!(kinds.contains(&&Tok::AndAnd));
+        assert!(kinds.contains(&&Tok::OrOr));
+        assert!(kinds.contains(&&Tok::Not));
+    }
+
+    #[test]
+    fn comments_and_whitespace_skipped() {
+        let toks = lex("1 # a comment\n + 2").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn rejects_stray_ampersand_and_garbage() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = lex("ab + 1").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+        assert_eq!(toks[2].pos, 5);
+    }
+}

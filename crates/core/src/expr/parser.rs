@@ -1,0 +1,345 @@
+//! Recursive-descent parser for expressions and actions.
+
+use super::ast::{Assignment, BinOp, Expr, Func, Target, UnaryOp};
+use super::lexer::{lex, Spanned, Tok};
+use super::Action;
+use std::fmt;
+
+/// Error produced when expression or action source text is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the source where the problem was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.position)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+pub(super) fn parse_expr(src: &str) -> Result<Expr, ParseExprError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+pub(super) fn parse_action(src: &str) -> Result<Action, ParseExprError> {
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+    };
+    let mut assignments = Vec::new();
+    while !p.at_eof() {
+        assignments.push(p.assignment()?);
+        if !p.eat(&Tok::Semi) && !p.at_eof() {
+            return Err(p.error_here("expected `;` between assignments"));
+        }
+    }
+    Ok(Action::new(assignments))
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|s| s.pos)
+            .unwrap_or_else(|| self.toks.last().map(|s| s.pos + 1).unwrap_or(0))
+    }
+
+    fn error_here(&self, msg: &str) -> ParseExprError {
+        ParseExprError {
+            message: msg.to_string(),
+            position: self.here(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseExprError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.error_here(&format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseExprError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.error_here("unexpected trailing input"))
+        }
+    }
+
+    fn assignment(&mut self) -> Result<Assignment, ParseExprError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(n)) => n,
+            _ => return Err(self.error_here("expected assignment target")),
+        };
+        let target = if self.eat(&Tok::LBracket) {
+            let idx = self.expr()?;
+            self.expect(&Tok::RBracket, "`]`")?;
+            Target::TableElem(name, Box::new(idx))
+        } else {
+            Target::Var(name)
+        };
+        self.expect(&Tok::Assign, "`=`")?;
+        let expr = self.expr()?;
+        Ok(Assignment { target, expr })
+    }
+
+    /// expr := or_expr ( `?` expr `:` expr )?
+    fn expr(&mut self) -> Result<Expr, ParseExprError> {
+        let cond = self.or_expr()?;
+        if self.eat(&Tok::Question) {
+            let a = self.expr()?;
+            self.expect(&Tok::Colon, "`:`")?;
+            let b = self.expr()?;
+            Ok(Expr::If(Box::new(cond), Box::new(a), Box::new(b)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => BinOp::Eq,
+            Some(Tok::NotEq) => BinOp::Ne,
+            Some(Tok::Lt) => BinOp::Lt,
+            Some(Tok::Le) => BinOp::Le,
+            Some(Tok::Gt) => BinOp::Gt,
+            Some(Tok::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseExprError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseExprError> {
+        if self.eat(&Tok::Minus) {
+            Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary_expr()?)))
+        } else if self.eat(&Tok::Not) {
+            Ok(Expr::Unary(UnaryOp::Not, Box::new(self.unary_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseExprError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::True) => Ok(Expr::Bool(true)),
+            Some(Tok::False) => Ok(Expr::Bool(false)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.eat(&Tok::LParen) {
+                    let func = match name.as_str() {
+                        "irand" => Func::Irand,
+                        "min" => Func::Min,
+                        "max" => Func::Max,
+                        "abs" => Func::Abs,
+                        other => {
+                            return Err(self.error_here(&format!("unknown function `{other}`")))
+                        }
+                    };
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, "`,` or `)`")?;
+                        }
+                    }
+                    if args.len() != func.arity() {
+                        return Err(self.error_here(&format!(
+                            "`{}` takes {} argument(s), got {}",
+                            func.name(),
+                            func.arity(),
+                            args.len()
+                        )));
+                    }
+                    Ok(Expr::Call(func, args))
+                } else if self.eat(&Tok::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket, "`]`")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            _ => Err(self.error_here("expected expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_precedence_correctly() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Int(2)),
+                    Box::new(Expr::Int(3))
+                ))
+            )
+        );
+    }
+
+    #[test]
+    fn parses_conditional() {
+        let e = parse_expr("a > 0 ? 1 : 2").unwrap();
+        assert!(matches!(e, Expr::If(..)));
+    }
+
+    #[test]
+    fn parses_calls_and_index() {
+        let e = parse_expr("operands[irand(1, max_type)]").unwrap();
+        assert!(matches!(e, Expr::Index(..)));
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        assert!(parse_expr("irand(1)").is_err());
+        assert!(parse_expr("abs(1, 2)").is_err());
+        assert!(parse_expr("foo(1)").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_expr("1 + 2 3").is_err());
+        assert!(parse_expr("(1 + 2").is_err());
+    }
+
+    #[test]
+    fn comparison_does_not_chain() {
+        // a < b < c is rejected: the second `<` has no parse.
+        assert!(parse_expr("a < b < c").is_err());
+    }
+
+    #[test]
+    fn action_with_optional_final_semicolon() {
+        assert!(parse_action("x = 1; y = 2").is_ok());
+        assert!(parse_action("x = 1; y = 2;").is_ok());
+        assert!(parse_action("x = 1 y = 2").is_err());
+        assert!(parse_action("3 = x;").is_err());
+    }
+
+    #[test]
+    fn left_associativity_of_sub() {
+        let e = parse_expr("10 - 3 - 2").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::Binary(
+                    BinOp::Sub,
+                    Box::new(Expr::Int(10)),
+                    Box::new(Expr::Int(3))
+                )),
+                Box::new(Expr::Int(2))
+            )
+        );
+    }
+}

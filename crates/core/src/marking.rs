@@ -1,0 +1,183 @@
+//! Markings: the token state of a net.
+
+use crate::net::PlaceId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A marking assigns a token count to every place of a net.
+///
+/// Conditions that are true are modeled by tokens on places (paper §1);
+/// boolean conditions by presence/absence, counted resources (buffer
+/// slots, bus words) by multiple tokens.
+///
+/// # Example
+///
+/// ```
+/// use pnut_core::{Marking, PlaceId};
+///
+/// let mut m = Marking::new(3);
+/// m.set(PlaceId::new(0), 6);
+/// m.add(PlaceId::new(0), 1);
+/// assert_eq!(m.tokens(PlaceId::new(0)), 7);
+/// assert_eq!(m.total_tokens(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Marking(Vec<u32>);
+
+impl Marking {
+    /// A marking over `places` places, all empty.
+    pub fn new(places: usize) -> Self {
+        Marking(vec![0; places])
+    }
+
+    /// Construct from explicit per-place counts.
+    pub fn from_counts(counts: Vec<u32>) -> Self {
+        Marking(counts)
+    }
+
+    /// Number of places covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the marking covers zero places.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Tokens on `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range for this marking.
+    pub fn tokens(&self, place: PlaceId) -> u32 {
+        self.0[place.index()]
+    }
+
+    /// Set the token count of `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range.
+    pub fn set(&mut self, place: PlaceId, tokens: u32) {
+        self.0[place.index()] = tokens;
+    }
+
+    /// Add tokens to `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range or the count overflows `u32`.
+    pub fn add(&mut self, place: PlaceId, tokens: u32) {
+        let slot = &mut self.0[place.index()];
+        *slot = slot
+            .checked_add(tokens)
+            .expect("token count overflowed u32");
+    }
+
+    /// Remove tokens from `place`, returning `false` (and leaving the
+    /// marking unchanged) if there are not enough tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range.
+    pub fn try_remove(&mut self, place: PlaceId, tokens: u32) -> bool {
+        let slot = &mut self.0[place.index()];
+        match slot.checked_sub(tokens) {
+            Some(rest) => {
+                *slot = rest;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `place` holds at least `tokens` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range.
+    pub fn covers(&self, place: PlaceId, tokens: u32) -> bool {
+        self.0[place.index()] >= tokens
+    }
+
+    /// Total tokens across all places.
+    pub fn total_tokens(&self) -> u64 {
+        self.0.iter().map(|&t| u64::from(t)).sum()
+    }
+
+    /// Iterate `(place, tokens)` pairs in place order.
+    pub fn iter(&self) -> impl Iterator<Item = (PlaceId, u32)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (PlaceId::new(i), t))
+    }
+
+    /// The raw token counts in place order.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<u32> for Marking {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Marking(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_cover() {
+        let mut m = Marking::new(2);
+        let p = PlaceId::new(1);
+        m.add(p, 3);
+        assert!(m.covers(p, 3));
+        assert!(!m.covers(p, 4));
+        assert!(m.try_remove(p, 2));
+        assert_eq!(m.tokens(p), 1);
+        assert!(!m.try_remove(p, 2));
+        assert_eq!(m.tokens(p), 1, "failed removal must not change marking");
+    }
+
+    #[test]
+    fn totals_and_iteration() {
+        let m: Marking = vec![1u32, 0, 4].into_iter().collect();
+        assert_eq!(m.total_tokens(), 5);
+        assert_eq!(m.len(), 3);
+        let pairs: Vec<(usize, u32)> = m.iter().map(|(p, t)| (p.index(), t)).collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 0), (2, 4)]);
+    }
+
+    #[test]
+    fn display_format() {
+        let m = Marking::from_counts(vec![1, 0, 6]);
+        assert_eq!(m.to_string(), "[1 0 6]");
+    }
+
+    #[test]
+    fn orderable_and_hashable_for_reachability() {
+        use std::collections::BTreeSet;
+        let mut set = BTreeSet::new();
+        set.insert(Marking::from_counts(vec![1, 0]));
+        set.insert(Marking::from_counts(vec![0, 1]));
+        set.insert(Marking::from_counts(vec![1, 0]));
+        assert_eq!(set.len(), 2);
+    }
+}

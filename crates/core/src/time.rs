@@ -1,0 +1,134 @@
+//! Discrete simulation time.
+//!
+//! The paper's processor models are clocked in *processor cycles*; all
+//! delays (decoding = 1 cycle, memory access = 5 cycles, ...) are integer
+//! multiples of a cycle, so time is a `u64` tick count wrapped in a
+//! newtype for static distinction (C-NEWTYPE).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) discrete simulation time, in ticks.
+///
+/// One tick corresponds to one processor cycle in the paper's models.
+///
+/// # Example
+///
+/// ```
+/// use pnut_core::Time;
+///
+/// let t = Time::ZERO + Time::from_ticks(5);
+/// assert_eq!(t.ticks(), 5);
+/// assert!(t > Time::ZERO);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(u64);
+
+impl Time {
+    /// The start of simulation time.
+    pub const ZERO: Time = Time(0);
+
+    /// The greatest representable time; used as the "no pending event"
+    /// sentinel by schedulers.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct a time from a raw tick count.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// The raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a tick count.
+    pub const fn saturating_add_ticks(self, ticks: u64) -> Self {
+        Time(self.0.saturating_add(ticks))
+    }
+
+    /// Checked subtraction, `None` if `other > self`.
+    pub const fn checked_sub(self, other: Time) -> Option<Time> {
+        match self.0.checked_sub(other.0) {
+            Some(d) => Some(Time(d)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(ticks: u64) -> Self {
+        Time(ticks)
+    }
+}
+
+impl From<Time> for u64 {
+    fn from(t: Time) -> Self {
+        t.0
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    /// # Panics
+    ///
+    /// Panics on underflow, exactly like integer subtraction in debug
+    /// builds; use [`Time::checked_sub`] when the ordering is not known.
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = Time::from_ticks(3);
+        let b = Time::from_ticks(7);
+        assert_eq!((a + b).ticks(), 10);
+        assert_eq!((b - a).ticks(), 4);
+        assert!(a < b);
+        assert_eq!(b.checked_sub(a), Some(Time::from_ticks(4)));
+        assert_eq!(a.checked_sub(b), None);
+    }
+
+    #[test]
+    fn saturating_add_does_not_overflow() {
+        assert_eq!(Time::MAX.saturating_add_ticks(5), Time::MAX);
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let t: Time = 42u64.into();
+        assert_eq!(t.to_string(), "42");
+        let raw: u64 = t.into();
+        assert_eq!(raw, 42);
+    }
+}

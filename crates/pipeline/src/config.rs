@@ -1,0 +1,297 @@
+//! Parameterization of the processor models.
+
+use std::fmt;
+
+/// Relative frequencies of the three instruction classes of the §2 model
+/// (zero / one / two memory operands). The paper uses 70-20-10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    /// Register-only instructions (no memory operand).
+    pub zero_operand: f64,
+    /// One-memory-operand instructions.
+    pub one_operand: f64,
+    /// Two-memory-operand instructions.
+    pub two_operand: f64,
+}
+
+impl Default for InstructionMix {
+    fn default() -> Self {
+        InstructionMix {
+            zero_operand: 0.7,
+            one_operand: 0.2,
+            two_operand: 0.1,
+        }
+    }
+}
+
+/// One execution-delay class: instructions taking `cycles` with relative
+/// frequency `frequency`. The paper's classes are 1-2-5-10-50 cycles with
+/// frequencies .5-.3-.1-.05-.05.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecClass {
+    /// Execution time in processor cycles.
+    pub cycles: u64,
+    /// Relative frequency of this class.
+    pub frequency: f64,
+}
+
+/// Probabilistic cache in front of main memory (§3: "instruction and
+/// data caches can be easily modeled probabilistically, assuming some
+/// given hit ratio").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Probability that an access hits the cache.
+    pub hit_ratio: f64,
+    /// Access time on a hit, in cycles.
+    pub hit_cycles: u64,
+}
+
+/// Full parameterization of the §2 three-stage pipeline model.
+///
+/// The default value is exactly the paper's configuration, so
+/// `ThreeStageConfig::default()` reproduces the Figure 5 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreeStageConfig {
+    /// Instruction-buffer capacity in 16-bit words (paper: 6).
+    pub ibuf_words: u32,
+    /// Words transferred per prefetch bus access (paper: 2).
+    pub words_per_prefetch: u32,
+    /// Decode time in cycles (paper: 1).
+    pub decode_cycles: u64,
+    /// Effective-address calculation time per memory operand (paper: 2).
+    pub eaddr_cycles_per_operand: u64,
+    /// Main-memory access time in cycles (paper: 5).
+    pub mem_access_cycles: u64,
+    /// Instruction mix (paper: 70-20-10).
+    pub instruction_mix: InstructionMix,
+    /// Probability an instruction stores a result (paper: 0.2).
+    pub store_probability: f64,
+    /// Execution-delay classes (paper: five classes).
+    pub exec_classes: Vec<ExecClass>,
+    /// Optional probabilistic cache in front of memory (§3 extension);
+    /// `None` = every access goes to main memory, as in §2.
+    pub cache: Option<CacheConfig>,
+}
+
+impl Default for ThreeStageConfig {
+    fn default() -> Self {
+        ThreeStageConfig {
+            ibuf_words: 6,
+            words_per_prefetch: 2,
+            decode_cycles: 1,
+            eaddr_cycles_per_operand: 2,
+            mem_access_cycles: 5,
+            instruction_mix: InstructionMix::default(),
+            store_probability: 0.2,
+            exec_classes: vec![
+                ExecClass { cycles: 1, frequency: 0.5 },
+                ExecClass { cycles: 2, frequency: 0.3 },
+                ExecClass { cycles: 5, frequency: 0.1 },
+                ExecClass { cycles: 10, frequency: 0.05 },
+                ExecClass { cycles: 50, frequency: 0.05 },
+            ],
+            cache: None,
+        }
+    }
+}
+
+impl ThreeStageConfig {
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ModelError`] found.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.ibuf_words == 0 {
+            return Err(ModelError::EmptyInstructionBuffer);
+        }
+        if self.words_per_prefetch == 0 || self.words_per_prefetch > self.ibuf_words {
+            return Err(ModelError::BadPrefetchWidth {
+                words: self.words_per_prefetch,
+                capacity: self.ibuf_words,
+            });
+        }
+        let m = &self.instruction_mix;
+        for (name, f) in [
+            ("zero_operand", m.zero_operand),
+            ("one_operand", m.one_operand),
+            ("two_operand", m.two_operand),
+        ] {
+            if !(f.is_finite() && f >= 0.0) {
+                return Err(ModelError::BadFrequency {
+                    what: name,
+                    value: f,
+                });
+            }
+        }
+        if m.zero_operand + m.one_operand + m.two_operand <= 0.0 {
+            return Err(ModelError::EmptyMix);
+        }
+        if !(0.0..=1.0).contains(&self.store_probability) {
+            return Err(ModelError::BadProbability {
+                what: "store_probability",
+                value: self.store_probability,
+            });
+        }
+        if self.exec_classes.is_empty() {
+            return Err(ModelError::NoExecClasses);
+        }
+        for c in &self.exec_classes {
+            if !(c.frequency.is_finite() && c.frequency > 0.0) {
+                return Err(ModelError::BadFrequency {
+                    what: "exec class",
+                    value: c.frequency,
+                });
+            }
+        }
+        if let Some(cache) = &self.cache {
+            if !(0.0..=1.0).contains(&cache.hit_ratio) {
+                return Err(ModelError::BadProbability {
+                    what: "cache hit_ratio",
+                    value: cache.hit_ratio,
+                });
+            }
+        }
+        if self.mem_access_cycles == 0 {
+            return Err(ModelError::ZeroMemoryLatency);
+        }
+        Ok(())
+    }
+}
+
+/// Configuration error for the processor models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// `ibuf_words` was zero.
+    EmptyInstructionBuffer,
+    /// Prefetch width zero or larger than the buffer.
+    BadPrefetchWidth {
+        /// Words per prefetch requested.
+        words: u32,
+        /// Buffer capacity.
+        capacity: u32,
+    },
+    /// A relative frequency was negative, NaN, or (where required) zero.
+    BadFrequency {
+        /// Which parameter.
+        what: &'static str,
+        /// The value supplied.
+        value: f64,
+    },
+    /// All instruction-mix frequencies were zero.
+    EmptyMix,
+    /// A probability was outside `[0, 1]`.
+    BadProbability {
+        /// Which parameter.
+        what: &'static str,
+        /// The value supplied.
+        value: f64,
+    },
+    /// No execution classes supplied.
+    NoExecClasses,
+    /// Memory access time of zero cycles.
+    ZeroMemoryLatency,
+    /// Building the net failed (programming error in the generator).
+    Net(pnut_core::NetError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyInstructionBuffer => write!(f, "instruction buffer has zero words"),
+            ModelError::BadPrefetchWidth { words, capacity } => write!(
+                f,
+                "prefetch width {words} invalid for buffer of {capacity} words"
+            ),
+            ModelError::BadFrequency { what, value } => {
+                write!(f, "invalid frequency {value} for {what}")
+            }
+            ModelError::EmptyMix => write!(f, "instruction mix has no positive frequency"),
+            ModelError::BadProbability { what, value } => {
+                write!(f, "{what} = {value} is not a probability")
+            }
+            ModelError::NoExecClasses => write!(f, "no execution delay classes"),
+            ModelError::ZeroMemoryLatency => write!(f, "memory access time must be at least 1"),
+            ModelError::Net(e) => write!(f, "net construction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pnut_core::NetError> for ModelError {
+    fn from(e: pnut_core::NetError) -> Self {
+        ModelError::Net(e)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_configuration() {
+        let c = ThreeStageConfig::default();
+        assert_eq!(c.ibuf_words, 6);
+        assert_eq!(c.words_per_prefetch, 2);
+        assert_eq!(c.mem_access_cycles, 5);
+        assert_eq!(c.exec_classes.len(), 5);
+        assert_eq!(c.exec_classes[4].cycles, 50);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = ThreeStageConfig::default();
+        c.ibuf_words = 0;
+        assert_eq!(c.validate(), Err(ModelError::EmptyInstructionBuffer));
+
+        let mut c = ThreeStageConfig::default();
+        c.words_per_prefetch = 7;
+        assert!(matches!(
+            c.validate(),
+            Err(ModelError::BadPrefetchWidth { .. })
+        ));
+
+        let mut c = ThreeStageConfig::default();
+        c.store_probability = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(ModelError::BadProbability { .. })
+        ));
+
+        let mut c = ThreeStageConfig::default();
+        c.exec_classes.clear();
+        assert_eq!(c.validate(), Err(ModelError::NoExecClasses));
+
+        let mut c = ThreeStageConfig::default();
+        c.instruction_mix = InstructionMix {
+            zero_operand: 0.0,
+            one_operand: 0.0,
+            two_operand: 0.0,
+        };
+        assert_eq!(c.validate(), Err(ModelError::EmptyMix));
+
+        let mut c = ThreeStageConfig::default();
+        c.mem_access_cycles = 0;
+        assert_eq!(c.validate(), Err(ModelError::ZeroMemoryLatency));
+
+        let mut c = ThreeStageConfig::default();
+        c.cache = Some(CacheConfig {
+            hit_ratio: 2.0,
+            hit_cycles: 1,
+        });
+        assert!(matches!(
+            c.validate(),
+            Err(ModelError::BadProbability { .. })
+        ));
+    }
+}

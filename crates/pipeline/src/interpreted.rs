@@ -1,0 +1,505 @@
+//! The §3 table-driven "interpreted" model (Figure 4).
+//!
+//! Modern instruction sets have many instruction types, variable
+//! lengths, and dozens of addressing modes; one subnet per type would
+//! explode the net. The paper's answer: one `Decode` transition whose
+//! *action* randomly selects the instruction type and looks up its
+//! properties in tables, while small predicate-guarded loops consume the
+//! instruction's extra words and fetch its operands one at a time. "The
+//! Petri net itself would be used to model what Petri nets model best:
+//! the contention for the bus and the synchronization between different
+//! portions of the pipeline."
+//!
+//! The decode action is exactly the paper's:
+//!
+//! ```text
+//! ty = irand(1, max_type);
+//! ops_needed = operands[ty];
+//! ```
+//!
+//! and the operand loop carries the paper's predicates
+//! (`ops_needed > 0` on `fetch_operand`, `ops_needed == 0` on
+//! `operand_fetching_done`) and the decrement action on `end_fetch`.
+
+use crate::config::ModelError;
+use pnut_core::{Expr, Net, NetBuilder};
+
+/// One instruction type for the interpreted model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstructionType {
+    /// Memory operands to fetch.
+    pub operands: u32,
+    /// Total instruction length in buffer words (≥ 1).
+    pub length_words: u32,
+    /// Execution time in cycles.
+    pub exec_cycles: u64,
+    /// Whether the instruction stores a result to memory.
+    pub stores_result: bool,
+    /// Whether the instruction is a taken branch: issuing it flushes the
+    /// prefetched instruction buffer (the words belong to the wrong
+    /// path) and stalls prefetching until the flush completes.
+    pub is_branch: bool,
+}
+
+impl InstructionType {
+    /// A non-branching, non-storing instruction (convenience).
+    pub fn simple(operands: u32, length_words: u32, exec_cycles: u64) -> Self {
+        InstructionType {
+            operands,
+            length_words,
+            exec_cycles,
+            stores_result: false,
+            is_branch: false,
+        }
+    }
+}
+
+/// Configuration of the interpreted model.
+///
+/// `irand` selects types uniformly; to model a non-uniform distribution,
+/// repeat an entry (the table is indexed by type number, so duplicates
+/// cost one table slot each — the paper's "according to some
+/// distribution").
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpretedConfig {
+    /// The instruction set, indexed by type number 1..=N.
+    pub instruction_types: Vec<InstructionType>,
+    /// Instruction-buffer capacity in words.
+    pub ibuf_words: u32,
+    /// Words per prefetch bus access.
+    pub words_per_prefetch: u32,
+    /// Decode time in cycles.
+    pub decode_cycles: u64,
+    /// Main-memory access time in cycles.
+    pub mem_access_cycles: u64,
+}
+
+impl Default for InterpretedConfig {
+    /// A small CISC-flavoured instruction set: register ops, one- and
+    /// two-operand memory ops of varying length, and a long stored
+    /// multiply — enough to exercise every table and loop.
+    fn default() -> Self {
+        InterpretedConfig {
+            instruction_types: vec![
+                InstructionType { operands: 0, length_words: 1, exec_cycles: 1, stores_result: false, is_branch: false },
+                InstructionType { operands: 0, length_words: 1, exec_cycles: 2, stores_result: false, is_branch: false },
+                InstructionType { operands: 1, length_words: 2, exec_cycles: 2, stores_result: false, is_branch: false },
+                InstructionType { operands: 1, length_words: 2, exec_cycles: 5, stores_result: true, is_branch: false },
+                InstructionType { operands: 2, length_words: 3, exec_cycles: 10, stores_result: true, is_branch: true },
+            ],
+            ibuf_words: 6,
+            words_per_prefetch: 2,
+            decode_cycles: 1,
+            mem_access_cycles: 5,
+        }
+    }
+}
+
+impl InterpretedConfig {
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] for an empty instruction set, zero-length
+    /// instructions, an empty buffer, or invalid prefetch width.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.instruction_types.is_empty() {
+            return Err(ModelError::NoExecClasses);
+        }
+        if self.ibuf_words == 0 {
+            return Err(ModelError::EmptyInstructionBuffer);
+        }
+        if self.words_per_prefetch == 0 || self.words_per_prefetch > self.ibuf_words {
+            return Err(ModelError::BadPrefetchWidth {
+                words: self.words_per_prefetch,
+                capacity: self.ibuf_words,
+            });
+        }
+        if self.mem_access_cycles == 0 {
+            return Err(ModelError::ZeroMemoryLatency);
+        }
+        for t in &self.instruction_types {
+            if t.length_words == 0 {
+                return Err(ModelError::BadPrefetchWidth {
+                    words: 0,
+                    capacity: self.ibuf_words,
+                });
+            }
+            if t.length_words > self.ibuf_words {
+                return Err(ModelError::BadPrefetchWidth {
+                    words: t.length_words,
+                    capacity: self.ibuf_words,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the interpreted net from `config`.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the configuration is invalid.
+///
+/// # Example
+///
+/// ```
+/// use pnut_pipeline::interpreted::{build, InterpretedConfig};
+///
+/// # fn main() -> Result<(), pnut_pipeline::ModelError> {
+/// let net = build(&InterpretedConfig::default())?;
+/// assert!(net.transition_id("fetch_operand").is_some());
+/// assert!(net.transition_id("operand_fetching_done").is_some());
+/// assert!(net.uses_random(), "decode uses irand to pick the type");
+/// # Ok(())
+/// # }
+/// ```
+pub fn build(config: &InterpretedConfig) -> Result<Net, ModelError> {
+    config.validate()?;
+    let mut b = NetBuilder::new("interpreted_pipeline");
+    let max_type = config.instruction_types.len() as i64;
+
+    // Tables indexed by type number; slot 0 is unused padding so the
+    // paper's 1-based `irand(1, max_type)` indexes directly.
+    let pad = |f: &dyn Fn(&InstructionType) -> i64| -> Vec<i64> {
+        std::iter::once(0)
+            .chain(config.instruction_types.iter().map(f))
+            .collect()
+    };
+    b.table("operands", pad(&|t| i64::from(t.operands)));
+    b.table("length", pad(&|t| i64::from(t.length_words)));
+    b.table("exec", pad(&|t| t.exec_cycles as i64));
+    b.table("stores", pad(&|t| i64::from(t.stores_result)));
+    b.table("branches", pad(&|t| i64::from(t.is_branch)));
+    b.var("max_type", max_type);
+    b.var("ty", 0);
+    b.var("ops_needed", 0);
+    b.var("extra_words", 0);
+    b.var("will_store", 0);
+    b.var("exec_ty", 0);
+    b.var("exec_store", 0);
+    b.var("is_br", 0);
+    b.var("exec_branch", 0);
+
+    // Shared resources.
+    b.place("Bus_free", 1);
+    b.place("Bus_busy", 0);
+    b.place("Decoder_ready", 1);
+    b.place("Execution_unit", 1);
+
+    // Stage 1: prefetch (same shape as the §2 model, Figure 1).
+    b.place("Empty_I_buffers", config.ibuf_words);
+    b.place("Full_I_buffers", 0);
+    b.place("pre_fetching", 0);
+    b.transition("Start_prefetch")
+        .input("Bus_free")
+        .input_weighted("Empty_I_buffers", config.words_per_prefetch)
+        .inhibitor("Op_loop")
+        .inhibitor("Store_pending")
+        .inhibitor("Flushing")
+        .output("Bus_busy")
+        .output("pre_fetching")
+        .add();
+    b.transition("End_prefetch")
+        .input("Bus_busy")
+        .input("pre_fetching")
+        .output("Bus_free")
+        .output_weighted("Full_I_buffers", config.words_per_prefetch)
+        .enabling(config.mem_access_cycles)
+        .add();
+
+    // Stage 2: interpreted decode (Figure 4).
+    b.place("Word_loop", 0);
+    b.place("Op_loop", 0);
+    b.place("fetching", 0);
+    b.place("ready_to_issue_instruction", 0);
+
+    b.transition("Decode")
+        .input("Full_I_buffers")
+        .input("Decoder_ready")
+        .output("Word_loop")
+        .output("Empty_I_buffers")
+        .firing(config.decode_cycles)
+        .action_str(
+            "ty = irand(1, max_type); \
+             ops_needed = operands[ty]; \
+             extra_words = length[ty] - 1; \
+             will_store = stores[ty]; \
+             is_br = branches[ty];",
+        )?
+        .add();
+
+    // Consume the instruction's remaining words from the buffer.
+    b.transition("consume_word")
+        .input("Word_loop")
+        .input("Full_I_buffers")
+        .output("Word_loop")
+        .output("Empty_I_buffers")
+        .predicate_str("extra_words > 0")?
+        .action_str("extra_words = extra_words - 1;")?
+        .add();
+    b.transition("words_done")
+        .input("Word_loop")
+        .output("Op_loop")
+        .predicate_str("extra_words == 0")?
+        .add();
+
+    // The paper's operand-fetch loop, verbatim predicates and action.
+    b.transition("fetch_operand")
+        .input("Op_loop")
+        .input("Bus_free")
+        .output("Bus_busy")
+        .output("fetching")
+        .predicate_str("ops_needed > 0")?
+        .add();
+    b.transition("end_fetch")
+        .input("Bus_busy")
+        .input("fetching")
+        .output("Bus_free")
+        .output("Op_loop")
+        .enabling(config.mem_access_cycles)
+        .action_str("ops_needed = ops_needed - 1;")?
+        .add();
+    b.transition("operand_fetching_done")
+        .input("Op_loop")
+        .output("ready_to_issue_instruction")
+        .predicate_str("ops_needed == 0")?
+        .add();
+
+    // Stage 3: issue copies the per-instruction variables so the decoder
+    // can start on the next instruction without clobbering them.
+    b.place("Issued_instruction", 0);
+    b.place("Executed", 0);
+    b.place("Store_pending", 0);
+    b.place("storing", 0);
+
+    b.place("Post_issue", 0);
+    b.place("Flushing", 0);
+    b.transition("Issue")
+        .input("ready_to_issue_instruction")
+        .input("Execution_unit")
+        .output("Issued_instruction")
+        .output("Post_issue")
+        .output("Decoder_ready")
+        .action_str("exec_ty = ty; exec_store = will_store; exec_branch = is_br;")?
+        .add();
+    // Branch handling: a taken branch invalidates everything prefetched
+    // (wrong path). `flush_word` drains the buffer word by word and
+    // `flush_done` ends the episode once it is empty; prefetching is
+    // inhibited throughout.
+    b.transition("branch_flush")
+        .input("Post_issue")
+        .output("Flushing")
+        .predicate_str("exec_branch == 1")?
+        .add();
+    b.transition("no_branch")
+        .input("Post_issue")
+        .predicate_str("exec_branch == 0")?
+        .add();
+    b.transition("flush_word")
+        .input("Flushing")
+        .input("Full_I_buffers")
+        .output("Flushing")
+        .output("Empty_I_buffers")
+        .add();
+    b.transition("flush_done")
+        .input("Flushing")
+        .inhibitor("Full_I_buffers")
+        .add();
+    b.transition("execute")
+        .input("Issued_instruction")
+        .output("Executed")
+        .firing_expr(Expr::parse("exec[exec_ty]").expect("table lookup parses"))
+        .add();
+    b.transition("no_store_done")
+        .input("Executed")
+        .output("Execution_unit")
+        .predicate_str("exec_store == 0")?
+        .add();
+    b.transition("decide_store")
+        .input("Executed")
+        .output("Store_pending")
+        .predicate_str("exec_store == 1")?
+        .add();
+    b.transition("start_store")
+        .input("Store_pending")
+        .input("Bus_free")
+        .output("Bus_busy")
+        .output("storing")
+        .add();
+    b.transition("end_store")
+        .input("Bus_busy")
+        .input("storing")
+        .output("Bus_free")
+        .output("Execution_unit")
+        .enabling(config.mem_access_cycles)
+        .add();
+
+    b.build().map_err(ModelError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnut_core::Time;
+
+    #[test]
+    fn default_builds_and_runs() {
+        let net = build(&InterpretedConfig::default()).unwrap();
+        let trace = pnut_sim::simulate(&net, 5, Time::from_ticks(3000)).unwrap();
+        let report = pnut_stat::analyze(&trace);
+        let issued = report.transition("Issue").unwrap();
+        assert!(issued.ends > 10, "instructions must flow: {}", issued.ends);
+        // Bus invariant holds in every state.
+        let bus_free = trace.header().place_id("Bus_free").unwrap();
+        let bus_busy = trace.header().place_id("Bus_busy").unwrap();
+        for s in trace.states() {
+            assert_eq!(
+                s.marking.tokens(bus_free) + s.marking.tokens(bus_busy),
+                1,
+                "bus invariant violated at state {}",
+                s.index
+            );
+        }
+    }
+
+    #[test]
+    fn register_only_isa_never_touches_operand_bus() {
+        let config = InterpretedConfig {
+            instruction_types: vec![InstructionType::simple(0, 1, 2)],
+            ..InterpretedConfig::default()
+        };
+        let net = build(&config).unwrap();
+        let trace = pnut_sim::simulate(&net, 2, Time::from_ticks(1000)).unwrap();
+        let report = pnut_stat::analyze(&trace);
+        assert_eq!(report.transition("fetch_operand").unwrap().starts, 0);
+        assert_eq!(report.transition("start_store").unwrap().starts, 0);
+        assert!(report.transition("Issue").unwrap().ends > 50);
+    }
+
+    #[test]
+    fn multi_word_instructions_consume_extra_words() {
+        let config = InterpretedConfig {
+            instruction_types: vec![InstructionType::simple(0, 3, 1)],
+            ..InterpretedConfig::default()
+        };
+        let net = build(&config).unwrap();
+        let trace = pnut_sim::simulate(&net, 2, Time::from_ticks(2000)).unwrap();
+        let report = pnut_stat::analyze(&trace);
+        let decodes = report.transition("Decode").unwrap().ends;
+        let consumed = report.transition("consume_word").unwrap().ends;
+        assert!(decodes > 0);
+        // Every decoded instruction consumes exactly 2 extra words; the
+        // final instruction may still be mid-consumption at the horizon.
+        assert!(
+            consumed == 2 * decodes || consumed + 1 == 2 * decodes || consumed + 2 == 2 * decodes,
+            "consumed {consumed} vs decodes {decodes}"
+        );
+    }
+
+    #[test]
+    fn two_operand_instructions_fetch_twice() {
+        let config = InterpretedConfig {
+            instruction_types: vec![InstructionType::simple(2, 1, 1)],
+            ..InterpretedConfig::default()
+        };
+        let net = build(&config).unwrap();
+        let trace = pnut_sim::simulate(&net, 2, Time::from_ticks(2000)).unwrap();
+        let report = pnut_stat::analyze(&trace);
+        let issues = report.transition("Issue").unwrap().ends;
+        let fetches = report.transition("end_fetch").unwrap().ends;
+        assert!(issues > 0);
+        assert!(
+            fetches >= 2 * issues,
+            "each issued instruction needed 2 operand fetches: {fetches} vs {issues}"
+        );
+    }
+
+    #[test]
+    fn store_instructions_use_the_bus() {
+        let config = InterpretedConfig {
+            instruction_types: vec![InstructionType {
+                operands: 0,
+                length_words: 1,
+                exec_cycles: 1,
+                stores_result: true,
+                is_branch: false,
+            }],
+            ..InterpretedConfig::default()
+        };
+        let net = build(&config).unwrap();
+        let trace = pnut_sim::simulate(&net, 2, Time::from_ticks(1000)).unwrap();
+        let report = pnut_stat::analyze(&trace);
+        assert!(report.transition("end_store").unwrap().ends > 0);
+        assert_eq!(report.transition("no_store_done").unwrap().starts, 0);
+    }
+
+    #[test]
+    fn branches_flush_the_buffer() {
+        let config = InterpretedConfig {
+            instruction_types: vec![InstructionType {
+                operands: 0,
+                length_words: 1,
+                exec_cycles: 1,
+                stores_result: false,
+                is_branch: true,
+            }],
+            ..InterpretedConfig::default()
+        };
+        let net = build(&config).unwrap();
+        let trace = pnut_sim::simulate(&net, 4, Time::from_ticks(2000)).unwrap();
+        let report = pnut_stat::analyze(&trace);
+        let issues = report.transition("Issue").unwrap().ends;
+        let flush_episodes = report.transition("flush_done").unwrap().ends;
+        assert!(issues > 0);
+        assert!(
+            flush_episodes >= issues - 1,
+            "every branch issue flushes: {flush_episodes} vs {issues}"
+        );
+        assert_eq!(report.transition("no_branch").unwrap().starts, 0);
+    }
+
+    #[test]
+    fn branches_cost_throughput() {
+        let no_branch = InterpretedConfig {
+            instruction_types: vec![InstructionType::simple(0, 1, 1); 4],
+            ..InterpretedConfig::default()
+        };
+        let mut all_branch = no_branch.clone();
+        for t in &mut all_branch.instruction_types {
+            t.is_branch = true;
+        }
+        let ipc = |c: &InterpretedConfig| {
+            let net = build(c).unwrap();
+            let trace = pnut_sim::simulate(&net, 9, Time::from_ticks(5000)).unwrap();
+            pnut_stat::analyze(&trace)
+                .transition("Issue")
+                .unwrap()
+                .throughput
+        };
+        let fast = ipc(&no_branch);
+        let slow = ipc(&all_branch);
+        // With 1-word instructions the buffer is shallow, so the flush
+        // penalty is modest but must be strictly visible.
+        assert!(
+            slow < fast * 0.95,
+            "flushing must hurt: no-branch {fast} vs all-branch {slow}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_isa() {
+        let mut c = InterpretedConfig::default();
+        c.instruction_types.clear();
+        assert!(build(&c).is_err());
+
+        let mut c = InterpretedConfig::default();
+        c.instruction_types[0].length_words = 0;
+        assert!(build(&c).is_err());
+
+        let mut c = InterpretedConfig::default();
+        c.instruction_types[0].length_words = 99;
+        assert!(build(&c).is_err());
+    }
+}

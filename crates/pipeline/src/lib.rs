@@ -1,0 +1,102 @@
+//! # pnut-pipeline — the paper's pipelined-processor models
+//!
+//! Petri-net models of the microprocessors from Razouk's paper:
+//!
+//! * [`three_stage`] — the §2 model (Figures 1–3): a 3-stage pipeline
+//!   with prefetch into a 6-word instruction buffer (two words per bus
+//!   access), decode / effective-address calculation / operand fetch,
+//!   and execution with five delay classes and probabilistic result
+//!   stores. Fully parameterized through [`ThreeStageConfig`].
+//! * [`interpreted`] — the §3 table-driven model (Figure 4): predicates
+//!   and actions select an instruction type with `irand`, look up its
+//!   operand count / length / execution delay in tables, and loop the
+//!   operand-fetch subnet — net complexity stays constant as the
+//!   instruction set grows.
+//! * [`sequential`] — a non-pipelined baseline processor built from the
+//!   same workload parameters, for speedup comparisons (the paper's
+//!   motivation: understanding what pipelining buys under different
+//!   memory speeds).
+//! * [`metrics`] — the §4.2 mapping from place/transition statistics to
+//!   processor-level concepts: bus utilization and its
+//!   prefetch/fetch/store breakdown, instruction processing rate,
+//!   stage utilizations.
+//!
+//! # Example: reproduce the Figure 5 experiment
+//!
+//! ```
+//! use pnut_pipeline::{run_experiment, ThreeStageConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ThreeStageConfig::default(); // the paper's §2 parameters
+//! let outcome = run_experiment(&config, 1, 10_000)?;
+//! let m = &outcome.metrics;
+//! assert!(m.bus_utilization > 0.3 && m.bus_utilization < 1.0);
+//! assert!(m.instructions_per_cycle > 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+pub mod interpreted;
+pub mod replication;
+pub mod metrics;
+pub mod sequential;
+pub mod three_stage;
+
+pub use config::{CacheConfig, ExecClass, InstructionMix, ModelError, ThreeStageConfig};
+pub use replication::{replicate, Estimate, ReplicatedMetrics};
+pub use metrics::{MetricsError, PipelineMetrics};
+
+use pnut_core::Time;
+use pnut_stat::StatReport;
+
+/// Everything produced by one simulation experiment on the three-stage
+/// model.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// The raw place/transition statistics (Figure 5).
+    pub report: StatReport,
+    /// The processor-level interpretation (§4.2).
+    pub metrics: PipelineMetrics,
+    /// Events started/finished, horizon (run block of Figure 5).
+    pub summary: pnut_sim::RunSummary,
+}
+
+/// Build the §2 model from `config`, simulate `cycles` processor cycles
+/// with `seed`, and return statistics plus processor metrics.
+///
+/// # Errors
+///
+/// Returns the model-validation, simulation, or metric-extraction error,
+/// boxed.
+pub fn run_experiment(
+    config: &ThreeStageConfig,
+    seed: u64,
+    cycles: u64,
+) -> Result<ExperimentOutcome, Box<dyn std::error::Error>> {
+    let net = three_stage::build(config)?;
+    let mut sim = pnut_sim::Simulator::new(&net, seed)?;
+    let mut collector = pnut_stat::StatCollector::new();
+    let summary = sim.run(Time::from_ticks(cycles), &mut collector)?;
+    let report = collector
+        .into_report()
+        .expect("collector saw a complete run");
+    let metrics = PipelineMetrics::from_report(&report)?;
+    Ok(ExperimentOutcome {
+        report,
+        metrics,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_experiment_is_reproducible() {
+        let a = run_experiment(&ThreeStageConfig::default(), 7, 2000).unwrap();
+        let b = run_experiment(&ThreeStageConfig::default(), 7, 2000).unwrap();
+        assert_eq!(a.report, b.report);
+    }
+}

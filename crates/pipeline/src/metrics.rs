@@ -1,0 +1,194 @@
+//! Mapping place/transition statistics to processor-level concepts.
+//!
+//! "In order to properly interpret simulation statistics a careful
+//! mapping must be done from the modeling primitives back to some higher
+//! level concept" (§4.2). This module encodes the paper's mappings for
+//! the three-stage model:
+//!
+//! * bus utilization = average tokens on `Bus_busy` (valid because the
+//!   bus group is complementary and atomic);
+//! * bus activity breakdown = averages of `pre_fetching`, `fetching`,
+//!   `storing`;
+//! * instruction processing rate = throughput of `Issue`;
+//! * per-class execution occupancy = average concurrent firings of
+//!   `exec_type_k`;
+//! * stage idleness = averages of `Decoder_ready` / `Execution_unit`.
+
+use pnut_stat::StatReport;
+use std::fmt;
+
+/// Error produced when a report does not contain the three-stage model's
+/// places/transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsError {
+    /// The missing place or transition name.
+    pub missing: String,
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "report does not look like the three-stage model: `{}` missing",
+            self.missing
+        )
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+/// Processor-level metrics of one three-stage-pipeline experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineMetrics {
+    /// Fraction of time the bus is busy (`Bus_busy` average).
+    pub bus_utilization: f64,
+    /// Fraction of time the bus is prefetching instructions.
+    pub bus_prefetch: f64,
+    /// Fraction of time the bus is fetching operands.
+    pub bus_operand_fetch: f64,
+    /// Fraction of time the bus is storing results.
+    pub bus_store: f64,
+    /// Instructions issued per processor cycle (`Issue` throughput).
+    pub instructions_per_cycle: f64,
+    /// Fraction of time spent executing each delay class
+    /// (`exec_type_k` average concurrent firings, §4.2).
+    pub exec_busy: Vec<f64>,
+    /// Fraction of time the execution unit is *idle*
+    /// (`Execution_unit` token present).
+    pub exec_unit_idle: f64,
+    /// Fraction of time the decoder is *idle* (`Decoder_ready` token
+    /// present).
+    pub decoder_idle: f64,
+    /// Average number of empty instruction-buffer slots.
+    pub avg_empty_ibuf: f64,
+    /// Average number of full instruction-buffer slots.
+    pub avg_full_ibuf: f64,
+    /// Fraction of time an instruction is ready to issue.
+    pub ready_to_issue: f64,
+    /// Instructions decoded per type `(Type_1, Type_2, Type_3)` start
+    /// counts; zero for types absent from the model.
+    pub type_counts: (u64, u64, u64),
+}
+
+impl PipelineMetrics {
+    /// Extract metrics from a `stat` report of the three-stage model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError`] naming the first place/transition that
+    /// the report lacks.
+    pub fn from_report(report: &StatReport) -> Result<Self, MetricsError> {
+        let place_avg = |name: &str| -> Result<f64, MetricsError> {
+            report
+                .place(name)
+                .map(|p| p.avg_tokens)
+                .ok_or_else(|| MetricsError {
+                    missing: name.to_string(),
+                })
+        };
+        let trans_starts =
+            |name: &str| report.transition(name).map(|t| t.starts).unwrap_or(0);
+
+        let issue = report.transition("Issue").ok_or_else(|| MetricsError {
+            missing: "Issue".to_string(),
+        })?;
+
+        let mut exec_busy = Vec::new();
+        let mut k = 1;
+        while let Some(t) = report.transition(&format!("exec_type_{k}")) {
+            exec_busy.push(t.avg_concurrent);
+            k += 1;
+        }
+        if exec_busy.is_empty() {
+            return Err(MetricsError {
+                missing: "exec_type_1".to_string(),
+            });
+        }
+
+        Ok(PipelineMetrics {
+            bus_utilization: place_avg("Bus_busy")?,
+            bus_prefetch: place_avg("pre_fetching")?,
+            bus_operand_fetch: place_avg("fetching")?,
+            bus_store: place_avg("storing")?,
+            instructions_per_cycle: issue.throughput,
+            exec_busy,
+            exec_unit_idle: place_avg("Execution_unit")?,
+            decoder_idle: place_avg("Decoder_ready")?,
+            avg_empty_ibuf: place_avg("Empty_I_buffers")?,
+            avg_full_ibuf: place_avg("Full_I_buffers")?,
+            ready_to_issue: place_avg("ready_to_issue_instruction")?,
+            type_counts: (
+                trans_starts("Type_1"),
+                trans_starts("Type_2"),
+                trans_starts("Type_3"),
+            ),
+        })
+    }
+
+    /// Total fraction of time the execution unit is busy executing.
+    pub fn exec_busy_total(&self) -> f64 {
+        self.exec_busy.iter().sum()
+    }
+}
+
+impl fmt::Display for PipelineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PROCESSOR METRICS")?;
+        writeln!(f, "instructions / cycle      {:.4}", self.instructions_per_cycle)?;
+        writeln!(f, "bus utilization           {:.4}", self.bus_utilization)?;
+        writeln!(f, "  prefetching             {:.4}", self.bus_prefetch)?;
+        writeln!(f, "  operand fetching        {:.4}", self.bus_operand_fetch)?;
+        writeln!(f, "  storing results         {:.4}", self.bus_store)?;
+        writeln!(f, "execution unit busy       {:.4}", self.exec_busy_total())?;
+        for (i, b) in self.exec_busy.iter().enumerate() {
+            writeln!(f, "  class {}                 {:.4}", i + 1, b)?;
+        }
+        writeln!(f, "execution unit idle       {:.4}", self.exec_unit_idle)?;
+        writeln!(f, "decoder idle              {:.4}", self.decoder_idle)?;
+        writeln!(f, "avg empty I-buffer slots  {:.4}", self.avg_empty_ibuf)?;
+        writeln!(f, "avg full I-buffer slots   {:.4}", self.avg_full_ibuf)?;
+        writeln!(f, "ready-to-issue fraction   {:.4}", self.ready_to_issue)?;
+        let (t1, t2, t3) = self.type_counts;
+        writeln!(f, "type counts (0/1/2 ops)   {t1}/{t2}/{t3}")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_experiment, ThreeStageConfig};
+
+    #[test]
+    fn metrics_extracted_from_real_run() {
+        let o = run_experiment(&ThreeStageConfig::default(), 1, 5000).unwrap();
+        let m = &o.metrics;
+        // Breakdown must not exceed the total.
+        assert!(m.bus_prefetch + m.bus_operand_fetch + m.bus_store <= m.bus_utilization + 1e-9);
+        assert!(m.bus_utilization <= 1.0);
+        assert!(m.exec_unit_idle <= 1.0);
+        assert!(m.decoder_idle <= 1.0);
+        assert!(m.avg_empty_ibuf <= 6.0);
+        assert!(m.exec_busy.len() == 5);
+        let (t1, t2, t3) = m.type_counts;
+        assert!(t1 > t2 && t2 > t3, "mix 70/20/10 must order type counts");
+        let s = m.to_string();
+        assert!(s.contains("bus utilization"));
+    }
+
+    #[test]
+    fn missing_names_reported() {
+        let report = pnut_stat::StatReport {
+            run_number: 1,
+            initial_clock: pnut_core::Time::ZERO,
+            end_time: pnut_core::Time::ZERO,
+            length: pnut_core::Time::ZERO,
+            events_started: 0,
+            events_finished: 0,
+            places: vec![],
+            transitions: vec![],
+        };
+        let e = PipelineMetrics::from_report(&report).unwrap_err();
+        assert_eq!(e.missing, "Issue");
+    }
+}

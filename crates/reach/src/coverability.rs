@@ -1,0 +1,378 @@
+//! Coverability analysis (Karp–Miller tree).
+//!
+//! The reachability constructions in [`crate::graph`] abort on unbounded
+//! nets with [`crate::graph::ReachError::StateLimit`]. The Karp–Miller
+//! tree decides boundedness exactly: repeated token gain along a path is
+//! *accelerated* to the symbolic count ω, so the tree is always finite
+//! and a place is unbounded iff some node marks it ω.
+//!
+//! Restrictions: acceleration relies on the monotonicity of the plain
+//! firing rule, which inhibitor arcs and predicates break (coverability
+//! with inhibitors is undecidable in general), and actions make the
+//! state infinite-dimensional — such nets are rejected with a precise
+//! error rather than analyzed unsoundly.
+
+use crate::graph::ReachError;
+use pnut_core::{Marking, Net, TransitionId};
+use std::fmt;
+
+/// A token count that may be the symbolic "arbitrarily many".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Count {
+    /// A concrete token count.
+    Finite(u32),
+    /// Arbitrarily many tokens (ω).
+    Omega,
+}
+
+impl Count {
+    fn covers(self, w: u32) -> bool {
+        match self {
+            Count::Finite(v) => v >= w,
+            Count::Omega => true,
+        }
+    }
+
+    fn minus(self, w: u32) -> Count {
+        match self {
+            Count::Finite(v) => Count::Finite(v - w),
+            Count::Omega => Count::Omega,
+        }
+    }
+
+    fn plus(self, w: u32) -> Count {
+        match self {
+            Count::Finite(v) => Count::Finite(v.saturating_add(w)),
+            Count::Omega => Count::Omega,
+        }
+    }
+}
+
+impl fmt::Display for Count {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Count::Finite(v) => write!(f, "{v}"),
+            Count::Omega => write!(f, "ω"),
+        }
+    }
+}
+
+/// A marking extended with ω components.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OmegaMarking(Vec<Count>);
+
+impl OmegaMarking {
+    fn from_marking(m: &Marking) -> Self {
+        OmegaMarking(m.as_slice().iter().map(|&t| Count::Finite(t)).collect())
+    }
+
+    /// The count of one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the place is out of range.
+    pub fn count(&self, place: pnut_core::PlaceId) -> Count {
+        self.0[place.index()]
+    }
+
+    /// Componentwise `self >= other`.
+    pub fn covers(&self, other: &OmegaMarking) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| match (a, b) {
+            (Count::Omega, _) => true,
+            (Count::Finite(_), Count::Omega) => false,
+            (Count::Finite(x), Count::Finite(y)) => x >= y,
+        })
+    }
+
+    /// Whether any component is ω.
+    pub fn has_omega(&self) -> bool {
+        self.0.iter().any(|c| matches!(c, Count::Omega))
+    }
+}
+
+impl fmt::Display for OmegaMarking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A node of the coverability tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverNode {
+    /// The (possibly ω) marking.
+    pub marking: OmegaMarking,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Children as `(transition fired, node index)`.
+    pub children: Vec<(TransitionId, usize)>,
+}
+
+/// The Karp–Miller coverability tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverabilityTree {
+    nodes: Vec<CoverNode>,
+}
+
+impl CoverabilityTree {
+    /// All nodes (index 0 is the root / initial marking).
+    pub fn nodes(&self) -> &[CoverNode] {
+        &self.nodes
+    }
+
+    /// Whether the net is unbounded (some node carries an ω).
+    pub fn is_unbounded(&self) -> bool {
+        self.nodes.iter().any(|n| n.marking.has_omega())
+    }
+
+    /// The bound of `place`: `None` if unbounded, otherwise the maximum
+    /// count over all nodes.
+    pub fn place_bound(&self, place: pnut_core::PlaceId) -> Option<u32> {
+        let mut max = 0;
+        for n in &self.nodes {
+            match n.marking.count(place) {
+                Count::Omega => return None,
+                Count::Finite(v) => max = max.max(v),
+            }
+        }
+        Some(max)
+    }
+
+    /// Whether some reachable (ω-)marking covers `target` componentwise
+    /// — the classical coverability question ("can this many tokens ever
+    /// be present simultaneously?").
+    pub fn covers(&self, target: &Marking) -> bool {
+        let t = OmegaMarking::from_marking(target);
+        self.nodes.iter().any(|n| n.marking.covers(&t))
+    }
+}
+
+/// Construction limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverOptions {
+    /// Abort beyond this many tree nodes (the tree is finite in theory,
+    /// but can be enormous).
+    pub max_nodes: usize,
+}
+
+impl Default for CoverOptions {
+    fn default() -> Self {
+        CoverOptions { max_nodes: 100_000 }
+    }
+}
+
+/// Build the Karp–Miller coverability tree of `net`.
+///
+/// # Errors
+///
+/// [`ReachError::UsesRandom`] / [`ReachError::Eval`]-free by
+/// construction; instead rejects inhibitor arcs, predicates and actions
+/// via [`ReachError::NotPlain`], and very large trees via
+/// [`ReachError::StateLimit`].
+///
+/// # Example
+///
+/// ```
+/// use pnut_core::NetBuilder;
+/// use pnut_reach::coverability::{coverability_tree, CoverOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = NetBuilder::new("producer");
+/// b.place("items", 0);
+/// b.place("turn", 1);
+/// b.transition("produce").input("turn").output("turn").output("items").add();
+/// let net = b.build()?;
+/// let tree = coverability_tree(&net, &CoverOptions::default())?;
+/// assert!(tree.is_unbounded());
+/// assert_eq!(tree.place_bound(net.place_id("items").unwrap()), None);
+/// assert_eq!(tree.place_bound(net.place_id("turn").unwrap()), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn coverability_tree(
+    net: &Net,
+    options: &CoverOptions,
+) -> Result<CoverabilityTree, ReachError> {
+    for (_, t) in net.transitions() {
+        if !t.inhibitors().is_empty() || t.predicate().is_some() || t.action().is_some() {
+            return Err(ReachError::NotPlain {
+                transition: t.name().to_string(),
+            });
+        }
+    }
+
+    let root = CoverNode {
+        marking: OmegaMarking::from_marking(&net.initial_marking()),
+        parent: None,
+        children: Vec::new(),
+    };
+    let mut nodes = vec![root];
+    let mut work = vec![0usize];
+
+    while let Some(cur) = work.pop() {
+        let marking = nodes[cur].marking.clone();
+        // A node whose marking repeats an ancestor's is a leaf.
+        let mut ancestor = nodes[cur].parent;
+        let mut repeats = false;
+        while let Some(a) = ancestor {
+            if nodes[a].marking == marking {
+                repeats = true;
+                break;
+            }
+            ancestor = nodes[a].parent;
+        }
+        if repeats {
+            continue;
+        }
+
+        for (tid, t) in net.transitions() {
+            let enabled = t.inputs().iter().all(|&(p, w)| marking.0[p.index()].covers(w));
+            if !enabled {
+                continue;
+            }
+            let mut next = marking.clone();
+            for &(p, w) in t.inputs() {
+                next.0[p.index()] = next.0[p.index()].minus(w);
+            }
+            for &(p, w) in t.outputs() {
+                next.0[p.index()] = next.0[p.index()].plus(w);
+            }
+            // Accelerate: if an ancestor is strictly covered, set ω on
+            // the strictly-increased places.
+            let mut a = Some(cur);
+            while let Some(idx) = a {
+                let anc = &nodes[idx].marking;
+                if next.covers(anc) && next != *anc {
+                    for i in 0..next.0.len() {
+                        if let (Count::Finite(x), Count::Finite(y)) = (next.0[i], anc.0[i]) {
+                            if x > y {
+                                next.0[i] = Count::Omega;
+                            }
+                        }
+                    }
+                }
+                a = nodes[idx].parent;
+            }
+
+            let child = nodes.len();
+            if child >= options.max_nodes {
+                return Err(ReachError::StateLimit {
+                    limit: options.max_nodes,
+                });
+            }
+            nodes.push(CoverNode {
+                marking: next,
+                parent: Some(cur),
+                children: Vec::new(),
+            });
+            nodes[cur].children.push((tid, child));
+            work.push(child);
+        }
+    }
+    Ok(CoverabilityTree { nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnut_core::NetBuilder;
+
+    #[test]
+    fn bounded_ring_has_no_omega() {
+        let mut b = NetBuilder::new("ring");
+        b.place("a", 2);
+        b.place("bp", 0);
+        b.transition("ab").input("a").output("bp").add();
+        b.transition("ba").input("bp").output("a").add();
+        let net = b.build().unwrap();
+        let tree = coverability_tree(&net, &CoverOptions::default()).unwrap();
+        assert!(!tree.is_unbounded());
+        assert_eq!(tree.place_bound(net.place_id("a").unwrap()), Some(2));
+        assert_eq!(tree.place_bound(net.place_id("bp").unwrap()), Some(2));
+        assert!(tree.covers(&Marking::from_counts(vec![1, 1])));
+        assert!(!tree.covers(&Marking::from_counts(vec![3, 0])));
+    }
+
+    #[test]
+    fn producer_is_unbounded_and_detected_finitely() {
+        let mut b = NetBuilder::new("producer");
+        b.place("items", 0);
+        b.place("turn", 1);
+        b.transition("produce")
+            .input("turn")
+            .output("turn")
+            .output("items")
+            .add();
+        b.transition("consume").input("items").add();
+        let net = b.build().unwrap();
+        let tree = coverability_tree(&net, &CoverOptions::default()).unwrap();
+        assert!(tree.is_unbounded());
+        assert_eq!(tree.place_bound(net.place_id("items").unwrap()), None);
+        // ω covers any finite demand.
+        assert!(tree.covers(&Marking::from_counts(vec![1000, 1])));
+        assert!(tree.nodes().len() < 100, "acceleration keeps it small");
+    }
+
+    #[test]
+    fn weighted_gain_accelerates() {
+        // Each cycle nets +1 token on p (consumes 1, produces 2).
+        let mut b = NetBuilder::new("gain");
+        b.place("p", 1);
+        b.transition("t").input("p").output_weighted("p", 2).add();
+        let net = b.build().unwrap();
+        let tree = coverability_tree(&net, &CoverOptions::default()).unwrap();
+        assert!(tree.is_unbounded());
+    }
+
+    #[test]
+    fn rejects_non_plain_nets() {
+        let mut b = NetBuilder::new("inh");
+        b.place("p", 1);
+        b.place("q", 0);
+        b.transition("t").input("p").inhibitor("q").add();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            coverability_tree(&net, &CoverOptions::default()),
+            Err(ReachError::NotPlain { .. })
+        ));
+
+        let mut b = NetBuilder::new("pred");
+        b.place("p", 1);
+        b.var("x", 0);
+        b.transition("t")
+            .input("p")
+            .predicate_str("x == 0")
+            .unwrap()
+            .add();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            coverability_tree(&net, &CoverOptions::default()),
+            Err(ReachError::NotPlain { .. })
+        ));
+    }
+
+    #[test]
+    fn omega_display() {
+        assert_eq!(Count::Omega.to_string(), "ω");
+        assert_eq!(Count::Finite(3).to_string(), "3");
+        let m = OmegaMarking(vec![Count::Finite(1), Count::Omega]);
+        assert_eq!(m.to_string(), "[1 ω]");
+    }
+
+    #[test]
+    fn deadlocked_root_yields_single_node() {
+        let mut b = NetBuilder::new("dead");
+        b.place("p", 0);
+        b.transition("t").input("p").add();
+        let net = b.build().unwrap();
+        let tree = coverability_tree(&net, &CoverOptions::default()).unwrap();
+        assert_eq!(tree.nodes().len(), 1);
+        assert!(!tree.is_unbounded());
+    }
+}

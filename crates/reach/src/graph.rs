@@ -1,0 +1,609 @@
+//! Reachability graph construction.
+
+use pnut_core::expr::Env;
+use pnut_core::{Marking, Net, Time, TransitionId};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Limits for graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachOptions {
+    /// Stop with [`ReachError::StateLimit`] beyond this many states.
+    pub max_states: usize,
+}
+
+impl Default for ReachOptions {
+    fn default() -> Self {
+        ReachOptions { max_states: 100_000 }
+    }
+}
+
+/// Construction errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReachError {
+    /// The state space exceeded [`ReachOptions::max_states`] — the net
+    /// may be unbounded.
+    StateLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// The net uses `irand`; reachability must be deterministic.
+    UsesRandom,
+    /// A predicate or action failed to evaluate.
+    Eval {
+        /// The transition involved.
+        transition: String,
+        /// The underlying failure.
+        source: pnut_core::EvalError,
+    },
+    /// Timed construction requested for a net with enabling times
+    /// (unsupported: enabling clocks are not part of the `[RP84]` state).
+    EnablingTimesUnsupported {
+        /// The transition with a non-zero enabling time.
+        transition: String,
+    },
+    /// Timed construction requires constant (non-expression) delays.
+    NonConstantDelay {
+        /// The transition with an expression-valued delay.
+        transition: String,
+    },
+    /// Coverability analysis requires a *plain* net: no inhibitor arcs,
+    /// predicates, or actions (they break the monotonicity that the
+    /// Karp–Miller acceleration relies on).
+    NotPlain {
+        /// The offending transition.
+        transition: String,
+    },
+}
+
+impl fmt::Display for ReachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReachError::StateLimit { limit } => {
+                write!(f, "state space exceeds {limit} states (unbounded net?)")
+            }
+            ReachError::UsesRandom => write!(f, "net uses irand; reachability requires determinism"),
+            ReachError::Eval { transition, source } => {
+                write!(f, "evaluation failed in `{transition}`: {source}")
+            }
+            ReachError::EnablingTimesUnsupported { transition } => write!(
+                f,
+                "timed reachability does not support enabling times (`{transition}`)"
+            ),
+            ReachError::NonConstantDelay { transition } => write!(
+                f,
+                "timed reachability requires constant delays (`{transition}`)"
+            ),
+            ReachError::NotPlain { transition } => write!(
+                f,
+                "coverability requires a plain net without inhibitors/predicates/actions (`{transition}`)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReachError {}
+
+/// The data of one reachable state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateData {
+    /// Token counts.
+    pub marking: Marking,
+    /// Variable environment (constant for nets without actions).
+    pub env: Env,
+    /// In-flight firings as `(transition, remaining ticks)`, sorted —
+    /// empty for untimed graphs.
+    pub in_flight: Vec<(TransitionId, u64)>,
+}
+
+/// An edge label: a transition start, or the passage of time to the
+/// next completion (timed graphs only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeLabel {
+    /// Transition `t` started (and, untimed, completed) firing.
+    Fire(TransitionId),
+    /// Time advanced by the given number of ticks.
+    Advance(u64),
+}
+
+/// A reachability graph: states, labeled edges, and the initial state
+/// (index 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachabilityGraph {
+    states: Vec<StateData>,
+    edges: Vec<Vec<(EdgeLabel, usize)>>,
+}
+
+impl ReachabilityGraph {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The data of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn state(&self, i: usize) -> &StateData {
+        &self.states[i]
+    }
+
+    /// Outgoing edges of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn successors(&self, i: usize) -> &[(EdgeLabel, usize)] {
+        &self.edges[i]
+    }
+
+    /// Indices of deadlock states (no outgoing edges).
+    pub fn deadlocks(&self) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| self.edges[i].is_empty())
+            .collect()
+    }
+
+    /// The bound of each place: the maximum token count over all
+    /// reachable states (a net is k-bounded iff every entry ≤ k).
+    pub fn place_bounds(&self) -> Vec<u32> {
+        let places = self.states.first().map(|s| s.marking.len()).unwrap_or(0);
+        let mut bounds = vec![0u32; places];
+        for s in &self.states {
+            for (p, t) in s.marking.iter() {
+                bounds[p.index()] = bounds[p.index()].max(t);
+            }
+        }
+        bounds
+    }
+
+    /// Whether `transition` fires on some edge (L1-liveness witness).
+    pub fn ever_fires(&self, transition: TransitionId) -> bool {
+        self.edges
+            .iter()
+            .flatten()
+            .any(|&(l, _)| l == EdgeLabel::Fire(transition))
+    }
+}
+
+fn check_deterministic(net: &Net) -> Result<(), ReachError> {
+    if net.uses_random() {
+        return Err(ReachError::UsesRandom);
+    }
+    Ok(())
+}
+
+/// Build the untimed (classical occurrence semantics) reachability
+/// graph: each enabled transition fires atomically.
+///
+/// # Errors
+///
+/// See [`ReachError`]; most commonly [`ReachError::StateLimit`] for
+/// unbounded nets.
+pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGraph, ReachError> {
+    check_deterministic(net)?;
+    let initial = StateData {
+        marking: net.initial_marking(),
+        env: net.initial_env().clone(),
+        in_flight: Vec::new(),
+    };
+    let mut states = vec![initial.clone()];
+    let mut index: HashMap<StateData, usize> = HashMap::from([(initial, 0)]);
+    let mut edges: Vec<Vec<(EdgeLabel, usize)>> = vec![Vec::new()];
+    let mut queue = VecDeque::from([0usize]);
+
+    while let Some(cur) = queue.pop_front() {
+        let state = states[cur].clone();
+        for (tid, t) in net.transitions() {
+            if !t.marking_enabled(&state.marking) {
+                continue;
+            }
+            if let Some(p) = t.predicate() {
+                let ok = p
+                    .eval_pure(&state.env)
+                    .and_then(|v| v.as_bool())
+                    .map_err(|source| ReachError::Eval {
+                        transition: t.name().to_string(),
+                        source,
+                    })?;
+                if !ok {
+                    continue;
+                }
+            }
+            let mut marking = state.marking.clone();
+            for &(p, w) in t.inputs() {
+                let ok = marking.try_remove(p, w);
+                debug_assert!(ok);
+            }
+            for &(p, w) in t.outputs() {
+                marking.add(p, w);
+            }
+            let mut env = state.env.clone();
+            if let Some(a) = t.action() {
+                a.apply_pure(&mut env).map_err(|source| ReachError::Eval {
+                    transition: t.name().to_string(),
+                    source,
+                })?;
+            }
+            let next = StateData {
+                marking,
+                env,
+                in_flight: Vec::new(),
+            };
+            let target = match index.get(&next) {
+                Some(&i) => i,
+                None => {
+                    let i = states.len();
+                    if i >= options.max_states {
+                        return Err(ReachError::StateLimit {
+                            limit: options.max_states,
+                        });
+                    }
+                    states.push(next.clone());
+                    index.insert(next, i);
+                    edges.push(Vec::new());
+                    queue.push_back(i);
+                    i
+                }
+            };
+            edges[cur].push((EdgeLabel::Fire(tid), target));
+        }
+    }
+    Ok(ReachabilityGraph { states, edges })
+}
+
+/// Build the timed reachability graph per `[RP84]`: states carry in-flight
+/// firings with remaining times; from each state either an enabled
+/// transition starts firing (consuming its inputs) or — when no
+/// transition can start — time advances to the earliest completion.
+///
+/// Restrictions: constant delays, no enabling times (see
+/// [`ReachError::EnablingTimesUnsupported`]).
+///
+/// # Errors
+///
+/// See [`ReachError`].
+pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGraph, ReachError> {
+    check_deterministic(net)?;
+    let mut firing_ticks = Vec::with_capacity(net.transition_count());
+    for (_, t) in net.transitions() {
+        if !t.enabling_time().is_zero_constant() {
+            return Err(ReachError::EnablingTimesUnsupported {
+                transition: t.name().to_string(),
+            });
+        }
+        match t.firing_time() {
+            pnut_core::Delay::Fixed(ticks) => firing_ticks.push(*ticks),
+            pnut_core::Delay::Expr(_) => {
+                return Err(ReachError::NonConstantDelay {
+                    transition: t.name().to_string(),
+                });
+            }
+        }
+    }
+
+    let initial = StateData {
+        marking: net.initial_marking(),
+        env: net.initial_env().clone(),
+        in_flight: Vec::new(),
+    };
+    let mut states = vec![initial.clone()];
+    let mut index: HashMap<StateData, usize> = HashMap::from([(initial, 0)]);
+    let mut edges: Vec<Vec<(EdgeLabel, usize)>> = vec![Vec::new()];
+    let mut queue = VecDeque::from([0usize]);
+
+    let mut intern = |next: StateData,
+                      states: &mut Vec<StateData>,
+                      edges: &mut Vec<Vec<(EdgeLabel, usize)>>,
+                      queue: &mut VecDeque<usize>|
+     -> Result<usize, ReachError> {
+        match index.get(&next) {
+            Some(&i) => Ok(i),
+            None => {
+                let i = states.len();
+                if i >= options.max_states {
+                    return Err(ReachError::StateLimit {
+                        limit: options.max_states,
+                    });
+                }
+                states.push(next.clone());
+                index.insert(next, i);
+                edges.push(Vec::new());
+                queue.push_back(i);
+                Ok(i)
+            }
+        }
+    };
+
+    while let Some(cur) = queue.pop_front() {
+        let state = states[cur].clone();
+        let mut can_start = false;
+        for (tid, t) in net.transitions() {
+            if !t.marking_enabled(&state.marking) {
+                continue;
+            }
+            if let Some(cap) = t.max_concurrent() {
+                let inflight = state
+                    .in_flight
+                    .iter()
+                    .filter(|&&(x, _)| x == tid)
+                    .count() as u32;
+                if inflight >= cap {
+                    continue;
+                }
+            }
+            if let Some(p) = t.predicate() {
+                let ok = p
+                    .eval_pure(&state.env)
+                    .and_then(|v| v.as_bool())
+                    .map_err(|source| ReachError::Eval {
+                        transition: t.name().to_string(),
+                        source,
+                    })?;
+                if !ok {
+                    continue;
+                }
+            }
+            can_start = true;
+            let mut marking = state.marking.clone();
+            for &(p, w) in t.inputs() {
+                let ok = marking.try_remove(p, w);
+                debug_assert!(ok);
+            }
+            let mut env = state.env.clone();
+            if let Some(a) = t.action() {
+                a.apply_pure(&mut env).map_err(|source| ReachError::Eval {
+                    transition: t.name().to_string(),
+                    source,
+                })?;
+            }
+            let mut in_flight = state.in_flight.clone();
+            let ticks = firing_ticks[tid.index()];
+            if ticks == 0 {
+                // Atomic: outputs appear immediately.
+                for &(p, w) in t.outputs() {
+                    marking.add(p, w);
+                }
+            } else {
+                in_flight.push((tid, ticks));
+                in_flight.sort();
+            }
+            let next = StateData {
+                marking,
+                env,
+                in_flight,
+            };
+            let target = intern(next, &mut states, &mut edges, &mut queue)?;
+            edges[cur].push((EdgeLabel::Fire(tid), target));
+        }
+
+        // Maximal-progress time advance: only when nothing can start.
+        if !can_start && !state.in_flight.is_empty() {
+            let dt = state
+                .in_flight
+                .iter()
+                .map(|&(_, r)| r)
+                .min()
+                .expect("non-empty");
+            let mut marking = state.marking.clone();
+            let mut in_flight = Vec::new();
+            for &(tid, r) in &state.in_flight {
+                if r == dt {
+                    for &(p, w) in net.transition(tid).outputs() {
+                        marking.add(p, w);
+                    }
+                } else {
+                    in_flight.push((tid, r - dt));
+                }
+            }
+            in_flight.sort();
+            let next = StateData {
+                marking,
+                env: state.env.clone(),
+                in_flight,
+            };
+            let target = intern(next, &mut states, &mut edges, &mut queue)?;
+            edges[cur].push((EdgeLabel::Advance(dt), target));
+        }
+    }
+    let _ = Time::ZERO; // Time is part of the public vocabulary via labels.
+    Ok(ReachabilityGraph { states, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnut_core::NetBuilder;
+
+    fn ring(tokens: u32) -> Net {
+        let mut b = NetBuilder::new("ring");
+        b.place("a", tokens);
+        b.place("b", 0);
+        b.transition("ab").input("a").output("b").add();
+        b.transition("ba").input("b").output("a").add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn untimed_ring_has_expected_states() {
+        let net = ring(1);
+        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.deadlocks().is_empty());
+        assert_eq!(g.place_bounds(), vec![1, 1]);
+        assert!(g.ever_fires(net.transition_id("ab").unwrap()));
+    }
+
+    #[test]
+    fn untimed_counts_multi_token_interleavings() {
+        let net = ring(2);
+        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        // Markings: (2,0), (1,1), (0,2).
+        assert_eq!(g.state_count(), 3);
+        assert_eq!(g.place_bounds(), vec![2, 2]);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut b = NetBuilder::new("dead");
+        b.place("a", 1);
+        b.place("b", 0);
+        b.transition("t").input("a").output("b").add();
+        let net = b.build().unwrap();
+        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        assert_eq!(g.deadlocks().len(), 1);
+        let d = g.deadlocks()[0];
+        assert_eq!(g.state(d).marking.tokens(net.place_id("b").unwrap()), 1);
+    }
+
+    #[test]
+    fn unbounded_net_hits_state_limit() {
+        let mut b = NetBuilder::new("unbounded");
+        b.place("p", 0);
+        b.transition("gen").output("p").add();
+        let net = b.build().unwrap();
+        let e = build_untimed(&net, &ReachOptions { max_states: 50 }).unwrap_err();
+        assert_eq!(e, ReachError::StateLimit { limit: 50 });
+    }
+
+    #[test]
+    fn random_nets_rejected() {
+        let mut b = NetBuilder::new("r");
+        b.place("p", 1);
+        b.var("x", 0);
+        b.transition("t")
+            .input("p")
+            .output("p")
+            .action_str("x = irand(0, 1);")
+            .unwrap()
+            .add();
+        let net = b.build().unwrap();
+        assert_eq!(
+            build_untimed(&net, &ReachOptions::default()).unwrap_err(),
+            ReachError::UsesRandom
+        );
+    }
+
+    #[test]
+    fn predicates_prune_untimed_edges() {
+        let mut b = NetBuilder::new("p");
+        b.place("p", 1);
+        b.place("q", 0);
+        b.var("gate", 0);
+        b.transition("blocked")
+            .input("p")
+            .output("q")
+            .predicate_str("gate == 1")
+            .unwrap()
+            .add();
+        let net = b.build().unwrap();
+        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 1, "gate closed: nothing reachable");
+        assert_eq!(g.deadlocks(), vec![0]);
+    }
+
+    #[test]
+    fn actions_differentiate_states() {
+        // Same marking, different variable values → distinct states.
+        let mut b = NetBuilder::new("v");
+        b.place("p", 1);
+        b.var("n", 0);
+        b.transition("inc")
+            .input("p")
+            .output("p")
+            .predicate_str("n < 3")
+            .unwrap()
+            .action_str("n = n + 1;")
+            .unwrap()
+            .add();
+        let net = b.build().unwrap();
+        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 4, "n in 0..=3");
+        assert_eq!(g.deadlocks().len(), 1);
+    }
+
+    #[test]
+    fn timed_graph_tracks_in_flight() {
+        let mut b = NetBuilder::new("t");
+        b.place("a", 1);
+        b.place("b", 0);
+        b.transition("work").input("a").output("b").firing(3).add();
+        let net = b.build().unwrap();
+        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        // (a=1), (in flight, 3 left), (b=1).
+        assert_eq!(g.state_count(), 3);
+        let mid = g.state(1);
+        assert_eq!(mid.in_flight.len(), 1);
+        assert_eq!(mid.in_flight[0].1, 3);
+        // The advance edge carries the delay.
+        assert!(g
+            .successors(1)
+            .iter()
+            .any(|&(l, _)| l == EdgeLabel::Advance(3)));
+    }
+
+    #[test]
+    fn timed_interleaves_concurrent_firings() {
+        let mut b = NetBuilder::new("t2");
+        b.place("a", 2);
+        b.place("b", 0);
+        b.transition("work").input("a").output("b").firing(2).add();
+        let net = b.build().unwrap();
+        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        // Both tokens must start before time advances (maximal progress):
+        // (2,0,[]) -> (1,0,[2]) -> (0,0,[2,2]) -> (0,2,[]) done.
+        assert_eq!(g.state_count(), 4);
+        assert!(g.deadlocks().len() == 1, "final state is quiescent");
+    }
+
+    #[test]
+    fn timed_graph_respects_concurrency_caps() {
+        let mut b = NetBuilder::new("cap");
+        b.place("q", 2);
+        b.place("done", 0);
+        b.transition("serve")
+            .input("q")
+            .output("done")
+            .firing(2)
+            .max_concurrent(1)
+            .add();
+        let net = b.build().unwrap();
+        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        for i in 0..g.state_count() {
+            let inflight = g.state(i).in_flight.len();
+            assert!(inflight <= 1, "state {i} has {inflight} concurrent serves");
+        }
+    }
+
+    #[test]
+    fn timed_rejects_enabling_and_expression_delays() {
+        let mut b = NetBuilder::new("e");
+        b.place("a", 1);
+        b.transition("t").input("a").enabling(2).add();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            build_timed(&net, &ReachOptions::default()),
+            Err(ReachError::EnablingTimesUnsupported { .. })
+        ));
+
+        let mut b = NetBuilder::new("e2");
+        b.place("a", 1);
+        b.var("d", 1);
+        b.transition("t")
+            .input("a")
+            .firing_expr(pnut_core::Expr::parse("d").unwrap())
+            .add();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            build_timed(&net, &ReachOptions::default()),
+            Err(ReachError::NonConstantDelay { .. })
+        ));
+    }
+}

@@ -1,0 +1,51 @@
+//! # pnut-reach — reachability analysis and temporal-logic verification
+//!
+//! The P-NUT system "includes tools for constructing and analyzing
+//! complete reachability graphs (timed `[RP84]` and untimed `[MR87]`)"
+//! (paper §4). This crate provides both constructions plus the
+//! branching-time temporal-logic analyzer of `[MR87]` that the paper's
+//! tracertool borrows its specification language from:
+//!
+//! * [`graph::build_untimed`] — classical occurrence-semantics
+//!   reachability: states are (marking, variable-environment) pairs,
+//!   firings are atomic. Detects deadlocks and per-place bounds.
+//! * [`graph::build_timed`] — timed reachability per `[RP84]`: states
+//!   additionally carry the multiset of in-flight firings with their
+//!   remaining times; edges are either transition starts or time
+//!   advances. All conflict alternatives are explored (reachability is
+//!   about *possibility*, so firing frequencies are ignored).
+//! * [`ctl`] — CTL-style branching-time temporal logic over either
+//!   graph: `AG`, `EF`, `AF`, `EG`, `EX`, `AX`, `E[.U.]`, `A[.U.]` over
+//!   atomic propositions comparing place token counts.
+//!
+//! # Example
+//!
+//! ```
+//! use pnut_core::NetBuilder;
+//! use pnut_reach::{ctl, graph};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetBuilder::new("mutex");
+//! b.place("free", 1);
+//! b.place("a_cs", 0);
+//! b.place("b_cs", 0);
+//! b.transition("a_enter").input("free").output("a_cs").add();
+//! b.transition("a_exit").input("a_cs").output("free").add();
+//! b.transition("b_enter").input("free").output("b_cs").add();
+//! b.transition("b_exit").input("b_cs").output("free").add();
+//! let net = b.build()?;
+//!
+//! let g = graph::build_untimed(&net, &graph::ReachOptions::default())?;
+//! let mutual_exclusion = ctl::Formula::parse("AG (a_cs + b_cs <= 1)")?;
+//! assert!(ctl::check(&g, &net, &mutual_exclusion)?.holds_initially);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod coverability;
+pub mod ctl;
+pub mod graph;
+
+pub use coverability::{CoverOptions, CoverabilityTree};
+pub use ctl::{CheckOutcome, CtlError, Formula};
+pub use graph::{ReachError, ReachOptions, ReachabilityGraph, StateData};

@@ -1,0 +1,86 @@
+//! Simulation errors.
+
+use pnut_core::{EvalError, Time};
+use std::fmt;
+
+/// Error produced while constructing or running a [`crate::Simulator`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A predicate uses `irand`. Predicates gate *enabledness*, which the
+    /// engine re-checks many times per instant; random predicates would
+    /// make enabledness unstable and the semantics ill-defined.
+    PredicateUsesRandom {
+        /// The offending transition.
+        transition: String,
+    },
+    /// An expression failed to evaluate during the run.
+    Eval {
+        /// The transition whose predicate/action/delay failed.
+        transition: String,
+        /// The underlying failure.
+        source: EvalError,
+    },
+    /// More than [`crate::SimOptions::max_firings_per_instant`] firings
+    /// occurred without time advancing — almost always a zero-delay cycle
+    /// in the model (a modeling bug, not an engine limit).
+    InstantLivelock {
+        /// The instant at which the livelock was detected.
+        time: Time,
+        /// The configured cap that was exceeded.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PredicateUsesRandom { transition } => {
+                write!(f, "predicate of transition `{transition}` uses irand")
+            }
+            SimError::Eval { transition, source } => {
+                write!(f, "evaluation failed in transition `{transition}`: {source}")
+            }
+            SimError::InstantLivelock { time, cap } => write!(
+                f,
+                "more than {cap} firings at time {time} without time advancing (zero-delay cycle?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Eval { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_transition() {
+        let e = SimError::PredicateUsesRandom {
+            transition: "Decode".into(),
+        };
+        assert!(e.to_string().contains("Decode"));
+        let e = SimError::InstantLivelock {
+            time: Time::from_ticks(5),
+            cap: 100,
+        };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn eval_errors_chain() {
+        use std::error::Error;
+        let e = SimError::Eval {
+            transition: "t".into(),
+            source: EvalError::DivisionByZero,
+        };
+        assert!(e.source().is_some());
+    }
+}

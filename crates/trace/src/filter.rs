@@ -1,0 +1,286 @@
+//! Trace filtering — the paper's answer to "too much detail".
+//!
+//! "By default the P-NUT simulator retains all information about all
+//! places and transitions in the net. Yet, usually only a handful of
+//! places and transitions are of interest in performing a particular
+//! analysis. The P-NUT system therefore provides a filtering tool from
+//! which significantly smaller traces can be obtained." (paper §4.1)
+
+use crate::{Delta, DeltaKind, TraceHeader, TraceSink};
+use pnut_core::{PlaceId, Time, TransitionId};
+use std::collections::BTreeSet;
+
+/// What a [`Filter`] keeps. Build with the `keep_*` methods; everything
+/// not explicitly kept is dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterSpec {
+    places: BTreeSet<String>,
+    transitions: BTreeSet<String>,
+    keep_vars: bool,
+}
+
+impl FilterSpec {
+    /// Keep nothing (the empty filter).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keep deltas touching the named place.
+    pub fn keep_place(mut self, name: impl Into<String>) -> Self {
+        self.places.insert(name.into());
+        self
+    }
+
+    /// Keep deltas touching the named transition.
+    pub fn keep_transition(mut self, name: impl Into<String>) -> Self {
+        self.transitions.insert(name.into());
+        self
+    }
+
+    /// Keep several places.
+    pub fn keep_places<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.places.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Keep several transitions.
+    pub fn keep_transitions<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.transitions.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Keep variable assignments.
+    pub fn keep_variables(mut self) -> Self {
+        self.keep_vars = true;
+        self
+    }
+}
+
+/// A [`TraceSink`] adapter that forwards only the deltas selected by a
+/// [`FilterSpec`] to its inner sink.
+///
+/// The header passes through unchanged (ids stay valid), so filtered
+/// traces remain readable by every analysis tool; they are just smaller.
+///
+/// # Example
+///
+/// ```
+/// use pnut_trace::{Filter, FilterSpec, Recorder};
+///
+/// let spec = FilterSpec::new().keep_place("Bus_busy").keep_transition("Issue");
+/// let filter = Filter::new(spec, Recorder::new());
+/// # let _ = filter;
+/// ```
+#[derive(Debug)]
+pub struct Filter<S> {
+    spec: FilterSpec,
+    inner: S,
+    // Resolved at `begin` time from the header.
+    place_ids: BTreeSet<PlaceId>,
+    transition_ids: BTreeSet<TransitionId>,
+}
+
+impl<S: TraceSink> Filter<S> {
+    /// Wrap `inner` with the given spec.
+    pub fn new(spec: FilterSpec, inner: S) -> Self {
+        Filter {
+            spec,
+            inner,
+            place_ids: BTreeSet::new(),
+            transition_ids: BTreeSet::new(),
+        }
+    }
+
+    /// Recover the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn keeps(&self, delta: &Delta) -> bool {
+        match &delta.kind {
+            DeltaKind::Start { transition, .. } | DeltaKind::Finish { transition, .. } => {
+                self.transition_ids.contains(transition)
+            }
+            DeltaKind::PlaceDelta { place, .. } => self.place_ids.contains(place),
+            DeltaKind::VarSet { .. } => self.spec.keep_vars,
+        }
+    }
+}
+
+impl<S: TraceSink> TraceSink for Filter<S> {
+    fn begin(&mut self, header: &TraceHeader) {
+        self.place_ids = self
+            .spec
+            .places
+            .iter()
+            .filter_map(|n| header.place_id(n))
+            .collect();
+        self.transition_ids = self
+            .spec
+            .transitions
+            .iter()
+            .filter_map(|n| header.transition_id(n))
+            .collect();
+        self.inner.begin(header);
+    }
+
+    fn delta(&mut self, delta: &Delta) {
+        if self.keeps(delta) {
+            self.inner.delta(delta);
+        }
+    }
+
+    fn end(&mut self, end_time: Time) {
+        self.inner.end(end_time);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingSink, Recorder};
+    use pnut_core::expr::Value;
+
+    fn header() -> TraceHeader {
+        TraceHeader::new(
+            "n",
+            vec!["a".into(), "b".into()],
+            vec!["t0".into(), "t1".into()],
+        )
+        .with_initial_marking(vec![0, 0])
+    }
+
+    fn deltas() -> Vec<Delta> {
+        vec![
+            Delta::new(
+                Time::from_ticks(1),
+                0,
+                DeltaKind::Start {
+                    transition: TransitionId::new(0),
+                    firing: 0,
+                },
+            ),
+            Delta::new(
+                Time::from_ticks(1),
+                0,
+                DeltaKind::PlaceDelta {
+                    place: PlaceId::new(0),
+                    delta: 1,
+                },
+            ),
+            Delta::new(
+                Time::from_ticks(2),
+                1,
+                DeltaKind::PlaceDelta {
+                    place: PlaceId::new(1),
+                    delta: 1,
+                },
+            ),
+            Delta::new(
+                Time::from_ticks(3),
+                2,
+                DeltaKind::VarSet {
+                    name: "x".into(),
+                    value: Value::Int(1),
+                },
+            ),
+        ]
+    }
+
+    fn run_filter(spec: FilterSpec) -> usize {
+        let mut f = Filter::new(spec, CountingSink::new());
+        f.begin(&header());
+        for d in deltas() {
+            f.delta(&d);
+        }
+        f.end(Time::from_ticks(5));
+        f.into_inner().deltas as usize
+    }
+
+    #[test]
+    fn empty_filter_drops_everything() {
+        assert_eq!(run_filter(FilterSpec::new()), 0);
+    }
+
+    #[test]
+    fn selects_by_place_and_transition() {
+        assert_eq!(run_filter(FilterSpec::new().keep_place("a")), 1);
+        assert_eq!(run_filter(FilterSpec::new().keep_transition("t0")), 1);
+        assert_eq!(
+            run_filter(FilterSpec::new().keep_places(["a", "b"])),
+            2
+        );
+        assert_eq!(
+            run_filter(
+                FilterSpec::new()
+                    .keep_places(["a", "b"])
+                    .keep_transitions(["t0"])
+                    .keep_variables()
+            ),
+            4
+        );
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        assert_eq!(run_filter(FilterSpec::new().keep_place("nope")), 0);
+    }
+
+    #[test]
+    fn filtered_trace_is_still_a_trace() {
+        let spec = FilterSpec::new().keep_place("b");
+        let mut f = Filter::new(spec, Recorder::new());
+        f.begin(&header());
+        for d in deltas() {
+            f.delta(&d);
+        }
+        f.end(Time::from_ticks(5));
+        let t = f.into_inner().into_trace().unwrap();
+        assert_eq!(t.deltas().len(), 1);
+        assert_eq!(t.header().place_names.len(), 2, "header unchanged");
+    }
+
+    #[test]
+    fn filtered_trace_reconstructs_partial_states() {
+        let spec = FilterSpec::new().keep_place("a").keep_variables();
+        let mut f = Filter::new(spec, Recorder::new());
+        f.begin(&header());
+        for d in deltas() {
+            f.delta(&d);
+        }
+        f.end(Time::from_ticks(5));
+        let t = f.into_inner().into_trace().unwrap();
+        // Place `a` evolves; place `b` (filtered out) stays at its
+        // initial value in reconstructed states.
+        let states: Vec<_> = t.states().collect();
+        let last = states.last().unwrap();
+        assert_eq!(last.marking.tokens(PlaceId::new(0)), 1, "a updated");
+        assert_eq!(last.marking.tokens(PlaceId::new(1)), 0, "b frozen");
+        assert_eq!(last.env.var("x"), Some(Value::Int(1)), "kept variable");
+    }
+
+    #[test]
+    fn filter_is_idempotent() {
+        let spec = FilterSpec::new().keep_place("a").keep_transition("t0");
+        let mut once = Filter::new(spec.clone(), Recorder::new());
+        once.begin(&header());
+        for d in deltas() {
+            once.delta(&d);
+        }
+        once.end(Time::from_ticks(5));
+        let first = once.into_inner().into_trace().unwrap();
+
+        let mut twice = Filter::new(spec, Recorder::new());
+        first.replay(&mut twice);
+        let second = twice.into_inner().into_trace().unwrap();
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,54 @@
+//! # pnut-tracer — timing analysis and trace verification
+//!
+//! Reproduction of the P-NUT *tracertool* (paper §4.4), which plays two
+//! roles:
+//!
+//! 1. **Software logic state analyzer** ([`timeline`]): "Probes are
+//!    placed at relevant inputs ... and the resulting timing traces are
+//!    examined." Any places or transitions can be plotted over time, and
+//!    arbitrary functions of them can be defined — the module reuses the
+//!    core expression language, treating each place name as its token
+//!    count and each transition name as its concurrent-firing count.
+//!    Markers can be positioned and the tool measures the interval
+//!    between them (the `O <-> X 48` readout of Figure 7).
+//!
+//! 2. **Trace verification** ([`query`]): high-level specifications in
+//!    first-order predicate calculus over the states of a trace, with
+//!    the temporal operator `inev` — used to *test* (not prove)
+//!    correctness of a simulation run. The concrete syntax follows the
+//!    paper:
+//!
+//!    ```text
+//!    forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]
+//!    exists s in (S - {#0}) [ Empty_I_buffers(s) = 6 ]
+//!    forall s in {s' in S | Bus_busy(s')} [ inev(s, Bus_free(C), true) ]
+//!    ```
+//!
+//! # Example
+//!
+//! ```
+//! use pnut_core::{NetBuilder, Time};
+//! use pnut_tracer::query::Query;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = NetBuilder::new("bus");
+//! b.place("Bus_free", 1);
+//! b.place("Bus_busy", 0);
+//! b.transition("seize").input("Bus_free").output("Bus_busy").enabling(1).add();
+//! b.transition("release").input("Bus_busy").output("Bus_free").enabling(2).add();
+//! let net = b.build()?;
+//! let trace = pnut_sim::simulate(&net, 0, Time::from_ticks(50))?;
+//!
+//! let q = Query::parse("forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]")?;
+//! assert!(q.check(&trace)?.holds);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod measure;
+pub mod query;
+pub mod timeline;
+
+pub use measure::{Histogram, Pulse, PulseStats};
+pub use query::{Query, QueryError, QueryOutcome};
+pub use timeline::{Marker, Signal, Timeline, TimelineError};

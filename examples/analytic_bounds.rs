@@ -1,0 +1,110 @@
+//! Analytical bounds vs. simulation, replications, and bottleneck
+//! feedback — the toolset beyond single traces.
+//!
+//! 1. Build an idealized marked-graph abstraction of the pipeline (no
+//!    choice: every instruction decodes 1 cycle, executes 3, one bus
+//!    access of 5) and compute its *exact* cycle time analytically.
+//! 2. Simulate the same marked graph and confirm agreement.
+//! 3. Run the full stochastic §2 model with independent replications and
+//!    a 95% confidence interval, and compare against the analytic
+//!    serialized-fetch ideal — the real pipeline *beats* it, which
+//!    quantifies exactly what the 6-word two-at-a-time prefetch buffer
+//!    buys (amortized memory latency).
+//! 4. Print the activity heatmap and timing measurements that point at
+//!    the bottleneck.
+//!
+//! Run with: `cargo run --example analytic_bounds`
+
+use pnut::anim::Heatmap;
+use pnut::core::{Net, NetBuilder, Time};
+use pnut::pipeline::{replicate, three_stage, ThreeStageConfig};
+use pnut::tracer::measure;
+
+/// An idealized deterministic pipeline as a timed marked graph:
+/// fetch (5) -> decode (1) -> execute (3), one instruction slot per
+/// stage, stages coupled by ready/free places.
+fn ideal_pipeline() -> Result<Net, Box<dyn std::error::Error>> {
+    let mut b = NetBuilder::new("ideal_pipeline");
+    // Stage occupancy rings: each stage alternates busy/free.
+    b.place("fetch_free", 1);
+    b.place("fetched", 0);
+    b.place("decode_free", 1);
+    b.place("decoded", 0);
+    b.place("exec_free", 1);
+    b.transition("fetch")
+        .input("fetch_free")
+        .input("decode_free")
+        .output("fetched")
+        .firing(5)
+        .add();
+    b.transition("decode")
+        .input("fetched")
+        .input("exec_free")
+        .output("decoded")
+        .output("fetch_free")
+        .firing(1)
+        .add();
+    b.transition("execute")
+        .input("decoded")
+        .output("decode_free")
+        .output("exec_free")
+        .firing(3)
+        .add();
+    Ok(b.build()?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Exact analysis --------------------------------------------------
+    let ideal = ideal_pipeline()?;
+    let analysis = pnut::analytic::analyze(&ideal)?;
+    println!("IDEAL PIPELINE (timed marked graph)");
+    println!("  cycle time        {} cycles/instruction", analysis.cycle_time);
+    println!("  throughput        {:.4} instructions/cycle", analysis.throughput());
+    let names: Vec<&str> = analysis
+        .critical_cycle
+        .iter()
+        .map(|&t| ideal.transition(t).name())
+        .collect();
+    println!("  critical cycle    {}", names.join(" -> "));
+
+    // --- 2. Simulation agrees with the analysis -----------------------------
+    let trace = pnut::sim::simulate(&ideal, 0, Time::from_ticks(20_000))?;
+    let report = pnut::stat::analyze(&trace);
+    let simulated = report
+        .transition("execute")
+        .expect("model executes")
+        .throughput;
+    println!(
+        "  simulated         {simulated:.4} instructions/cycle (Δ {:.2}%)",
+        (simulated - analysis.throughput()).abs() / analysis.throughput() * 100.0
+    );
+
+    // --- 3. The stochastic model under replication --------------------------
+    let replicated = replicate(&ThreeStageConfig::default(), 8, 10_000)?;
+    println!("\n{replicated}");
+    let gain = (replicated.instructions_per_cycle.mean / analysis.throughput() - 1.0) * 100.0;
+    println!(
+        "The serialized-fetch ideal manages {:.4}; the real pipeline's buffered\n\
+         two-word prefetch amortizes memory latency and gains {gain:+.1}% despite\n\
+         its stochastic stalls.",
+        analysis.throughput(),
+    );
+
+    // --- 4. Where is the bottleneck? ----------------------------------------
+    let net = three_stage::build(&ThreeStageConfig::default())?;
+    let full_trace = pnut::sim::simulate(&net, 1, Time::from_ticks(10_000))?;
+    println!("\n{}", Heatmap::from_trace(&full_trace));
+
+    if let Some(stats) = measure::place_pulses(&full_trace, "Bus_busy") {
+        println!("Bus_busy pulses: {stats}");
+    }
+    if let Some(intervals) = measure::inter_start_intervals(&full_trace, "Issue") {
+        println!("\nIssue-to-Issue interval histogram (bucket = 4 cycles):");
+        print!("{}", measure::Histogram::new(&intervals, 4));
+    }
+    if let Some(lat) = measure::latencies(&full_trace, "Decode", "Issue") {
+        let mean = lat.iter().sum::<u64>() as f64 / lat.len().max(1) as f64;
+        println!("Decode -> Issue mean latency: {mean:.2} cycles over {} pairs", lat.len());
+    }
+    Ok(())
+}

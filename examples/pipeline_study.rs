@@ -1,0 +1,66 @@
+//! Performance study of the paper's three-stage pipelined processor.
+//!
+//! Reproduces the §2/§4.2 experiment (Figure 5) and then does what the
+//! paper's introduction motivates: varies memory speed to see its
+//! "strong yet difficult to predict impact" on performance, and
+//! compares against a non-pipelined baseline.
+//!
+//! Run with: `cargo run --example pipeline_study`
+
+use pnut::core::Time;
+use pnut::pipeline::{run_experiment, sequential, three_stage, ThreeStageConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- The Figure 5 experiment -----------------------------------------
+    let config = ThreeStageConfig::default();
+    let outcome = run_experiment(&config, 1, 10_000)?;
+    println!("{}", outcome.report);
+    println!("{}", outcome.metrics);
+
+    // --- Memory-speed sweep (intro motivation) ---------------------------
+    println!("MEMORY-SPEED SWEEP (pipelined vs sequential, 20k cycles, seed 7)");
+    println!("{:>10} {:>12} {:>12} {:>9}", "mem cycles", "pipe IPC", "seq IPC", "speedup");
+    for mem in [1u64, 2, 3, 5, 8, 12] {
+        let mut c = config.clone();
+        c.mem_access_cycles = mem;
+
+        let pipe_net = three_stage::build(&c)?;
+        let pipe_trace = pnut::sim::simulate(&pipe_net, 7, Time::from_ticks(20_000))?;
+        let pipe_report = pnut::stat::analyze(&pipe_trace);
+        let pipe_ipc = pipe_report
+            .transition("Issue")
+            .expect("model has Issue")
+            .throughput;
+
+        let seq_net = sequential::build(&c)?;
+        let seq_trace = pnut::sim::simulate(&seq_net, 7, Time::from_ticks(20_000))?;
+        let seq_report = pnut::stat::analyze(&seq_trace);
+        let seq_ipc =
+            sequential::instructions_per_cycle(&seq_report).expect("baseline has retire");
+
+        println!(
+            "{:>10} {:>12.4} {:>12.4} {:>8.2}x",
+            mem,
+            pipe_ipc,
+            seq_ipc,
+            pipe_ipc / seq_ipc
+        );
+    }
+
+    // --- Cache extension (§3) ---------------------------------------------
+    println!("\nCACHE HIT-RATIO SWEEP (pipelined, mem=5, hit=1 cycle)");
+    println!("{:>10} {:>12} {:>14}", "hit ratio", "IPC", "bus utilization");
+    for hit in [0.0, 0.5, 0.8, 0.95] {
+        let mut c = config.clone();
+        c.cache = Some(pnut::pipeline::CacheConfig {
+            hit_ratio: hit,
+            hit_cycles: 1,
+        });
+        let o = run_experiment(&c, 7, 20_000)?;
+        println!(
+            "{:>10.2} {:>12.4} {:>14.4}",
+            hit, o.metrics.instructions_per_cycle, o.metrics.bus_utilization
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! A stop-and-wait protocol with timeout retransmission — the paper's
+//! other domain.
+//!
+//! "This form of time is particularly convenient for modeling timeouts
+//! in communications protocols" (§1, on enabling times): Razouk and
+//! Phelps' earlier P-NUT work [RP84] analyzed protocols. This example
+//! models a sender/receiver pair over a lossy channel:
+//!
+//! * the channel loses each frame with probability 0.2 (competing
+//!   deliver/lose transitions with frequencies 0.8/0.2);
+//! * delivery takes 3 ticks (enabling time on `deliver`);
+//! * the sender retransmits if no ack arrives within 10 ticks — an
+//!   enabling-time *timeout* that is cancelled (its clock reset) when
+//!   the ack arrives first, exactly the semantics firing times cannot
+//!   express;
+//! * acks use a reverse channel with the same loss behaviour.
+//!
+//! The run demonstrates timeout cancellation, measures goodput and
+//! retransmission rate, and verifies liveness queries on the trace.
+//!
+//! Run with: `cargo run --example protocol_timeout`
+
+use pnut::core::{NetBuilder, Time};
+use pnut::tracer::measure;
+use pnut::tracer::query::Query;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut b = NetBuilder::new("stop_and_wait");
+
+    // Sender.
+    b.place("ready_to_send", 1);
+    b.place("awaiting_ack", 0);
+    // Forward channel.
+    b.place("frame_in_flight", 0);
+    // Receiver.
+    b.place("frame_delivered", 0);
+    // Reverse channel.
+    b.place("ack_in_flight", 0);
+    // Counters as token sinks.
+    b.place("delivered_count", 0);
+    b.place("retransmit_count", 0);
+    b.place("lost_count", 0);
+
+    // Send (or retransmit): put a frame on the channel, start waiting.
+    b.transition("send")
+        .input("ready_to_send")
+        .output("frame_in_flight")
+        .output("awaiting_ack")
+        .firing(1)
+        .add();
+
+    // The lossy forward channel: deliver in 3 ticks or lose instantly
+    // (the loss/delivery choice is resolved probabilistically the
+    // moment both are possible; the enabling delay then models transit).
+    b.transition("chan_deliver")
+        .input("frame_in_flight")
+        .output("frame_delivered")
+        .enabling(3)
+        .frequency(0.8)
+        .add();
+    b.transition("chan_lose")
+        .input("frame_in_flight")
+        .output("lost_count")
+        .enabling(3)
+        .frequency(0.2)
+        .add();
+
+    // Receiver acks; ack crosses the reverse channel (same loss model).
+    b.transition("recv_and_ack")
+        .input("frame_delivered")
+        .output("ack_in_flight")
+        .output("delivered_count")
+        .firing(1)
+        .add();
+    b.transition("ack_deliver")
+        .input("ack_in_flight")
+        .inhibitor("frame_in_flight") // half-duplex reverse path
+        .enabling(3)
+        .frequency(0.8)
+        .output("ack_received")
+        .add();
+    b.transition("ack_lose")
+        .input("ack_in_flight")
+        .enabling(3)
+        .frequency(0.2)
+        .output("lost_count")
+        .add();
+    b.place("ack_received", 0);
+
+    // Ack completes the exchange...
+    b.transition("complete")
+        .input("awaiting_ack")
+        .input("ack_received")
+        .output("ready_to_send")
+        .add();
+
+    // ...or the timeout fires after 10 ticks of *continuous* waiting.
+    // If the ack arrives first, `complete` consumes `awaiting_ack`,
+    // disabling `timeout` and resetting its clock — the §1 semantics.
+    b.transition("timeout")
+        .input("awaiting_ack")
+        .inhibitor("ack_received")
+        .output("ready_to_send")
+        .output("retransmit_count")
+        .enabling(10)
+        .add();
+
+    let net = b.build()?;
+
+    let trace = pnut::sim::simulate(&net, 2024, Time::from_ticks(20_000))?;
+    let report = pnut::stat::analyze(&trace);
+
+    let sends = report.transition("send").expect("model sends").ends;
+    let delivered = report
+        .place("delivered_count")
+        .expect("counter exists")
+        .max_tokens;
+    let retransmits = report
+        .place("retransmit_count")
+        .expect("counter exists")
+        .max_tokens;
+    let lost = report.place("lost_count").expect("counter exists").max_tokens;
+
+    println!("STOP-AND-WAIT OVER A LOSSY CHANNEL (20 000 ticks, loss 20%)");
+    println!("  frames sent (incl. retransmissions) {sends}");
+    println!("  frames delivered                    {delivered}");
+    println!("  timeouts / retransmissions          {retransmits}");
+    println!("  frames or acks lost                 {lost}");
+    println!(
+        "  goodput                             {:.4} frames/tick",
+        f64::from(delivered) / 20_000.0
+    );
+
+    // Timing: the interval between successive completed exchanges.
+    // (send→complete pairing is ill-defined under retransmission, since
+    // several sends map to one completion; the exchange period is the
+    // meaningful latency population.)
+    if let Some(intervals) = measure::inter_start_intervals(&trace, "complete") {
+        let mean = intervals.iter().sum::<u64>() as f64 / intervals.len().max(1) as f64;
+        println!("  mean exchange period                {mean:.2} ticks");
+        println!("\nexchange-period histogram (bucket = 5 ticks):");
+        print!("{}", measure::Histogram::new(&intervals, 5));
+    }
+
+    // Verification: every send eventually returns the sender to ready.
+    println!("\nVERIFICATION");
+    for (note, text) in [
+        (
+            "sender never duplicated",
+            "forall s in S [ ready_to_send(s) + awaiting_ack(s) <= 1 ]",
+        ),
+        (
+            "waiting always ends (ack or timeout)",
+            "forall s in {s' in S | awaiting_ack(s')} [ inev(s, ready_to_send(C), true) ]",
+        ),
+        ("progress was made", "exists s in S [ delivered_count(s) > 10 ]"),
+        ("timeouts actually occurred", "exists s in S [ retransmit_count(s) > 0 ]"),
+    ] {
+        let outcome = Query::parse(text)?.check(&trace)?;
+        println!("  [{}] {note}", if outcome.holds { "PASS" } else { "FAIL" });
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # pnut — Petri-Net Utility Tools, reproduced in Rust
+//!
+//! A reproduction of the P-NUT system from Razouk, *The Use of Petri
+//! Nets for Modeling Pipelined Processors* (UC Irvine ICS TR 87-29 /
+//! DAC 1988): an extended timed Petri net model plus the toolset the
+//! paper describes for simulating, animating, and analyzing models of
+//! pipelined processors.
+//!
+//! This umbrella crate re-exports the individual tools:
+//!
+//! | module | crate | paper section |
+//! |---|---|---|
+//! | [`core`] | `pnut-core` | §1 — the extended TPN model |
+//! | [`sim`] | `pnut-sim` | §4.1 — the simulation engine |
+//! | [`trace`] | `pnut-trace` | §4.1 — traces, filtering, piping |
+//! | [`stat`] | `pnut-stat` | §4.2 — performance statistics |
+//! | [`anim`] | `pnut-anim` | §4.3 — animation |
+//! | [`tracer`] | `pnut-tracer` | §4.4 — timing analysis & queries |
+//! | [`reach`] | `pnut-reach` | §4 — reachability & temporal logic |
+//! | [`lang`] | `pnut-lang` | — the textual net format |
+//! | [`pipeline`] | `pnut-pipeline` | §2–§3 — the processor models |
+//!
+//! # Quickstart
+//!
+//! Reproduce the paper's Figure 5 experiment and read off the processor
+//! metrics:
+//!
+//! ```
+//! use pnut::pipeline::{run_experiment, ThreeStageConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let outcome = run_experiment(&ThreeStageConfig::default(), 1, 10_000)?;
+//! println!("{}", outcome.report);   // Figure 5 layout
+//! println!("{}", outcome.metrics);  // §4.2 interpretation
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pnut_analytic as analytic;
+pub use pnut_anim as anim;
+pub use pnut_core as core;
+pub use pnut_lang as lang;
+pub use pnut_pipeline as pipeline;
+pub use pnut_reach as reach;
+pub use pnut_sim as sim;
+pub use pnut_stat as stat;
+pub use pnut_trace as trace;
+pub use pnut_tracer as tracer;

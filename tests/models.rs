@@ -1,0 +1,43 @@
+//! The checked-in `models/*.pn` artifacts must stay in sync with the
+//! model builders (regenerate with
+//! `cargo run -p pnut-bench --bin export_models`).
+
+use std::path::Path;
+
+fn read_model(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("models").join(name);
+    std::fs::read_to_string(path).expect("model file exists")
+}
+
+#[test]
+fn three_stage_model_file_matches_builder() {
+    let net = pnut::pipeline::three_stage::build(&pnut::pipeline::ThreeStageConfig::default())
+        .expect("builds");
+    assert_eq!(read_model("three_stage.pn"), pnut::lang::print(&net));
+}
+
+#[test]
+fn interpreted_model_file_matches_builder() {
+    let net = pnut::pipeline::interpreted::build(
+        &pnut::pipeline::interpreted::InterpretedConfig::default(),
+    )
+    .expect("builds");
+    assert_eq!(read_model("interpreted.pn"), pnut::lang::print(&net));
+}
+
+#[test]
+fn sequential_model_file_matches_builder() {
+    let net = pnut::pipeline::sequential::build(&pnut::pipeline::ThreeStageConfig::default())
+        .expect("builds");
+    assert_eq!(read_model("sequential.pn"), pnut::lang::print(&net));
+}
+
+#[test]
+fn model_files_parse_and_simulate() {
+    for name in ["three_stage.pn", "interpreted.pn", "sequential.pn"] {
+        let net = pnut::lang::parse(&read_model(name)).expect("parses");
+        let trace = pnut::sim::simulate(&net, 1, pnut::core::Time::from_ticks(500))
+            .expect("simulates");
+        assert!(!trace.deltas().is_empty(), "{name} produced no events");
+    }
+}

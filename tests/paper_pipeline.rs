@@ -1,0 +1,178 @@
+//! End-to-end reproduction checks for the paper's §2 experiment:
+//! build the three-stage model, simulate 10 000 cycles, and verify that
+//! the statistics have the *shape* of Figure 5 and that the §4.4
+//! queries hold on the real trace.
+#![allow(clippy::field_reassign_with_default)]
+
+use pnut::core::Time;
+use pnut::pipeline::{run_experiment, three_stage, ThreeStageConfig};
+use pnut::tracer::query::Query;
+
+fn fig5() -> pnut::pipeline::ExperimentOutcome {
+    run_experiment(&ThreeStageConfig::default(), 1, 10_000).expect("experiment runs")
+}
+
+#[test]
+fn run_statistics_block_shape() {
+    let o = fig5();
+    // Paper: 11755 started / 11753 finished over 10 000 cycles. Our
+    // transition inventory differs slightly; assert the same regime.
+    assert!(o.summary.events_started > 5_000);
+    assert!(o.summary.events_started < 20_000);
+    assert!(o.summary.events_finished <= o.summary.events_started);
+    assert!(o.summary.events_started - o.summary.events_finished < 10);
+    assert!(!o.summary.quiescent, "pipeline never deadlocks");
+}
+
+#[test]
+fn instruction_rate_matches_paper_regime() {
+    // Paper: Issue throughput 0.1238 instructions/cycle.
+    let o = fig5();
+    let ipc = o.metrics.instructions_per_cycle;
+    assert!(
+        (0.08..=0.16).contains(&ipc),
+        "IPC should be near the paper's 0.124, got {ipc}"
+    );
+}
+
+#[test]
+fn bus_utilization_and_breakdown() {
+    // Paper: bus 0.6582 = prefetch 0.3107 + fetch 0.2275 + store 0.12.
+    let o = fig5();
+    let m = &o.metrics;
+    assert!(
+        (0.5..=0.8).contains(&m.bus_utilization),
+        "bus utilization near 0.66, got {}",
+        m.bus_utilization
+    );
+    let sum = m.bus_prefetch + m.bus_operand_fetch + m.bus_store;
+    assert!(
+        (sum - m.bus_utilization).abs() < 0.02,
+        "breakdown must account for (almost) all bus activity: {sum} vs {}",
+        m.bus_utilization
+    );
+    // Ordering as in the paper: prefetch > fetch > store.
+    assert!(m.bus_prefetch > m.bus_operand_fetch);
+    assert!(m.bus_operand_fetch > m.bus_store);
+}
+
+#[test]
+fn buffer_and_stage_occupancy_shape() {
+    // Paper: Full 4.621 / Empty 0.7576; decoder almost always busy
+    // (0.0014 idle); execution unit idle 0.2739.
+    let o = fig5();
+    let m = &o.metrics;
+    assert!(m.avg_full_ibuf > 3.5, "buffer mostly full: {}", m.avg_full_ibuf);
+    assert!(m.avg_empty_ibuf < 1.5, "few empty slots: {}", m.avg_empty_ibuf);
+    assert!(m.decoder_idle < 0.05, "decoder nearly saturated: {}", m.decoder_idle);
+    assert!(
+        (0.1..=0.5).contains(&m.exec_unit_idle),
+        "execution unit partially idle: {}",
+        m.exec_unit_idle
+    );
+    // Figure 5's largest execution occupancy is the 50-cycle class.
+    let busiest = m
+        .exec_busy
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("five classes");
+    assert_eq!(busiest, 4, "exec_type_5 dominates occupancy (paper: 0.29)");
+}
+
+#[test]
+fn instruction_mix_follows_frequencies() {
+    let o = fig5();
+    let (t1, t2, t3) = o.metrics.type_counts;
+    let total = (t1 + t2 + t3) as f64;
+    assert!(total > 500.0);
+    let share1 = t1 as f64 / total;
+    let share2 = t2 as f64 / total;
+    let share3 = t3 as f64 / total;
+    assert!((0.62..=0.78).contains(&share1), "type 1 ~70%: {share1}");
+    assert!((0.14..=0.26).contains(&share2), "type 2 ~20%: {share2}");
+    assert!((0.05..=0.16).contains(&share3), "type 3 ~10%: {share3}");
+}
+
+#[test]
+fn paper_queries_hold_on_the_real_trace() {
+    let net = three_stage::build(&ThreeStageConfig::default()).expect("model builds");
+    let trace = pnut::sim::simulate(&net, 1, Time::from_ticks(10_000)).expect("runs");
+
+    let invariant = Query::parse("forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]")
+        .expect("parses");
+    assert!(invariant.check(&trace).expect("evaluates").holds);
+
+    // The paper asks whether the buffer ever refills completely after
+    // the initial state; in the steady state it rarely does, but with a
+    // full buffer at t=0 being *drained*, the complement query must
+    // hold: it is sometimes not full.
+    let sometimes_drained = Query::parse("exists s in S [ Empty_I_buffers(s) > 0 ]")
+        .expect("parses");
+    assert!(sometimes_drained.check(&trace).expect("evaluates").holds);
+
+    let type5 = Query::parse("exists s in S [ exec_type_5(s) > 0 ]").expect("parses");
+    assert!(
+        type5.check(&trace).expect("evaluates").holds,
+        "a 50-cycle instruction occurs in 10k cycles with p=.05"
+    );
+}
+
+#[test]
+fn different_seeds_are_statistically_consistent() {
+    // Five seeds: IPC spread should be modest (the model is ergodic).
+    let ipcs: Vec<f64> = (0..5)
+        .map(|seed| {
+            run_experiment(&ThreeStageConfig::default(), seed, 10_000)
+                .expect("runs")
+                .metrics
+                .instructions_per_cycle
+        })
+        .collect();
+    let mean = ipcs.iter().sum::<f64>() / ipcs.len() as f64;
+    for ipc in &ipcs {
+        assert!(
+            (ipc - mean).abs() / mean < 0.15,
+            "seed variation too large: {ipcs:?}"
+        );
+    }
+}
+
+#[test]
+fn memory_speed_sweep_is_monotone() {
+    // The intro claim: memory speed strongly affects performance.
+    let mut prev_ipc = f64::INFINITY;
+    for mem in [1u64, 3, 5, 9, 15] {
+        let mut c = ThreeStageConfig::default();
+        c.mem_access_cycles = mem;
+        let o = run_experiment(&c, 11, 15_000).expect("runs");
+        let ipc = o.metrics.instructions_per_cycle;
+        assert!(
+            ipc <= prev_ipc * 1.03,
+            "slower memory must not speed up the pipeline: mem={mem} ipc={ipc} prev={prev_ipc}"
+        );
+        prev_ipc = ipc;
+    }
+}
+
+#[test]
+fn ibuf_size_sweep_saturates() {
+    // Bigger buffers help until the decoder is the bottleneck.
+    let ipc_at = |words: u32| {
+        let mut c = ThreeStageConfig::default();
+        c.ibuf_words = words;
+        run_experiment(&c, 5, 15_000)
+            .expect("runs")
+            .metrics
+            .instructions_per_cycle
+    };
+    let small = ipc_at(2);
+    let medium = ipc_at(6);
+    let large = ipc_at(12);
+    assert!(medium >= small * 0.98, "6 words >= 2 words: {medium} vs {small}");
+    assert!(
+        (large - medium).abs() / medium < 0.2,
+        "returns diminish past the paper's 6 words: {large} vs {medium}"
+    );
+}

@@ -1,0 +1,206 @@
+//! Cross-crate semantic checks: the §1 time-semantics claims, the trace
+//! pipeline composition, and tool agreement on the same run.
+
+use pnut::core::{NetBuilder, Time};
+use pnut::sim::Simulator;
+use pnut::stat::StatCollector;
+use pnut::trace::{Filter, FilterSpec, Recorder, Tee};
+
+/// "Firing times can be easily simulated using enabling times" (§1):
+/// a transition with firing time d behaves, for place occupancy of its
+/// surroundings, like hold-place + enabling-d + atomic-move.
+#[test]
+fn firing_time_simulated_by_enabling_time() {
+    // Version A: firing time 4 on `work`.
+    let mut a = NetBuilder::new("firing");
+    a.place("src", 1);
+    a.place("dst", 0);
+    a.transition("work").input("src").output("dst").firing(4).add();
+    a.transition("back").input("dst").output("src").firing(1).add();
+    let net_a = a.build().expect("builds");
+
+    // Version B: explicit holding place + enabling time 4 + atomic end.
+    let mut b = NetBuilder::new("enabling");
+    b.place("src", 1);
+    b.place("hold", 0);
+    b.place("dst", 0);
+    b.transition("work_start").input("src").output("hold").add();
+    b.transition("work_end")
+        .input("hold")
+        .output("dst")
+        .enabling(4)
+        .add();
+    b.transition("back").input("dst").output("src").firing(1).add();
+    let net_b = b.build().expect("builds");
+
+    let horizon = Time::from_ticks(1000);
+    let ra = pnut::stat::analyze(&pnut::sim::simulate(&net_a, 0, horizon).expect("runs"));
+    let rb = pnut::stat::analyze(&pnut::sim::simulate(&net_b, 0, horizon).expect("runs"));
+
+    // dst occupancy identical: filled at 4, 9, 14, ... for 1 tick each.
+    let da = ra.place("dst").expect("exists").avg_tokens;
+    let db = rb.place("dst").expect("exists").avg_tokens;
+    assert!((da - db).abs() < 1e-9, "dst occupancy: {da} vs {db}");
+    // Completion counts identical.
+    assert_eq!(
+        ra.transition("work").expect("exists").ends,
+        rb.transition("work_end").expect("exists").ends
+    );
+}
+
+/// The converse direction is impossible (§1): an enabling time reacts to
+/// *disabling* by resetting, which a firing time cannot, because firing
+/// removes the tokens. Demonstrate the observable difference.
+#[test]
+fn enabling_time_not_expressible_as_firing_time() {
+    // A competitor steals the token after 2 ticks. With enabling time 4,
+    // `slow` never completes; with firing time 4 it grabs the token at
+    // t=0 and always completes.
+    let build = |use_enabling: bool| {
+        let mut b = NetBuilder::new("steal");
+        b.place("tok", 1);
+        b.place("slow_done", 0);
+        b.place("gone", 0);
+        let t = b.transition("slow").input("tok").output("slow_done");
+        if use_enabling {
+            t.enabling(4).add();
+        } else {
+            t.firing(4).add();
+        }
+        b.transition("thief")
+            .input("tok")
+            .output("gone")
+            .enabling(2)
+            .add();
+        b.build().expect("builds")
+    };
+
+    let horizon = Time::from_ticks(100);
+    let with_enabling =
+        pnut::stat::analyze(&pnut::sim::simulate(&build(true), 0, horizon).expect("runs"));
+    let with_firing =
+        pnut::stat::analyze(&pnut::sim::simulate(&build(false), 0, horizon).expect("runs"));
+
+    assert_eq!(
+        with_enabling.transition("slow").expect("exists").ends,
+        0,
+        "enabling version loses the race and resets"
+    );
+    assert_eq!(
+        with_firing.transition("slow").expect("exists").ends,
+        1,
+        "firing version commits at t=0 (both start-eligible, but firing \
+         wins instantly while enabling must wait)"
+    );
+}
+
+/// Filtered statistics agree with unfiltered statistics on the places
+/// kept — filtering loses detail, never accuracy (§4.1).
+#[test]
+fn filter_preserves_kept_statistics() {
+    let net = pnut::pipeline::three_stage::build(&pnut::pipeline::ThreeStageConfig::default())
+        .expect("builds");
+    let mut sim = Simulator::new(&net, 9).expect("constructs");
+
+    let spec = FilterSpec::new()
+        .keep_place("Bus_busy")
+        .keep_transition("Issue");
+    let mut sinks = Tee::new(
+        StatCollector::new(),
+        Filter::new(spec, Tee::new(StatCollector::new(), Recorder::new())),
+    );
+    sim.run(Time::from_ticks(5_000), &mut sinks).expect("runs");
+    let (full, filtered_stack) = sinks.into_parts();
+    let (filtered, recorder) = filtered_stack.into_inner().into_parts();
+
+    let full = full.into_report().expect("complete");
+    let filtered = filtered.into_report().expect("complete");
+
+    let a = full.place("Bus_busy").expect("kept");
+    let b = filtered.place("Bus_busy").expect("kept");
+    assert!((a.avg_tokens - b.avg_tokens).abs() < 1e-12);
+    assert_eq!(a.max_tokens, b.max_tokens);
+
+    let ia = full.transition("Issue").expect("kept");
+    let ib = filtered.transition("Issue").expect("kept");
+    assert_eq!(ia.starts, ib.starts);
+    assert!((ia.throughput - ib.throughput).abs() < 1e-12);
+
+    // And the filtered trace really is significantly smaller.
+    let small = recorder.into_trace().expect("complete");
+    assert!(
+        small.deltas().len() < 6_000,
+        "filtered trace is a fraction of the full one ({} deltas kept)",
+        small.deltas().len()
+    );
+}
+
+/// The animator, the state iterator, and the stat tool must agree on
+/// event counts for the same trace.
+#[test]
+fn tools_agree_on_event_counts() {
+    let net = pnut::pipeline::three_stage::build(&pnut::pipeline::ThreeStageConfig::default())
+        .expect("builds");
+    let trace = pnut::sim::simulate(&net, 4, Time::from_ticks(2_000)).expect("runs");
+    let report = pnut::stat::analyze(&trace);
+
+    // Frames = atomic steps; states = steps + initial.
+    let mut anim = pnut::anim::Animator::new(&trace);
+    let mut frames = 0usize;
+    while anim.step().is_some() {
+        frames += 1;
+    }
+    assert_eq!(frames + 1, trace.states().count());
+
+    // Start deltas == summed transition starts.
+    let start_deltas = trace
+        .deltas()
+        .iter()
+        .filter(|d| matches!(d.kind, pnut::trace::DeltaKind::Start { .. }))
+        .count() as u64;
+    assert_eq!(start_deltas, report.events_started);
+}
+
+/// A recorded trace replayed through the stat tool gives the same
+/// report as live streaming (determinism of the trace pipeline).
+#[test]
+fn replay_equals_live() {
+    let net = pnut::pipeline::three_stage::build(&pnut::pipeline::ThreeStageConfig::default())
+        .expect("builds");
+    let mut sim = Simulator::new(&net, 21).expect("constructs");
+    let mut sinks = Tee::new(Recorder::new(), StatCollector::new());
+    sim.run(Time::from_ticks(3_000), &mut sinks).expect("runs");
+    let (rec, live) = sinks.into_parts();
+    let live = live.into_report().expect("complete");
+    let replayed = pnut::stat::analyze(&rec.into_trace().expect("complete"));
+    assert_eq!(live, replayed);
+}
+
+/// JSON round-trip across crate boundaries with a real model trace.
+#[test]
+fn trace_json_roundtrip_full_model() {
+    let net = pnut::pipeline::three_stage::build(&pnut::pipeline::ThreeStageConfig::default())
+        .expect("builds");
+    let trace = pnut::sim::simulate(&net, 6, Time::from_ticks(500)).expect("runs");
+    let mut buf = Vec::new();
+    trace.write_json(&mut buf).expect("serializes");
+    let back = pnut::trace::RecordedTrace::read_json(buf.as_slice()).expect("deserializes");
+    assert_eq!(trace, back);
+    assert_eq!(pnut::stat::analyze(&trace), pnut::stat::analyze(&back));
+}
+
+/// The textual language round-trips the full paper model and the
+/// parsed net simulates identically.
+#[test]
+fn lang_roundtrip_preserves_behaviour() {
+    let net = pnut::pipeline::three_stage::build(&pnut::pipeline::ThreeStageConfig::default())
+        .expect("builds");
+    let text = pnut::lang::print(&net);
+    let reparsed = pnut::lang::parse(&text).expect("parses");
+    assert_eq!(net, reparsed);
+
+    let horizon = Time::from_ticks(2_000);
+    let t1 = pnut::sim::simulate(&net, 77, horizon).expect("runs");
+    let t2 = pnut::sim::simulate(&reparsed, 77, horizon).expect("runs");
+    assert_eq!(t1.deltas(), t2.deltas());
+}
