@@ -219,7 +219,9 @@ impl CycleTimeAnalysis {
 
 /// Check the marked-graph preconditions and return, per place, its
 /// producer and consumer.
-fn marked_graph_edges(net: &Net) -> Result<Vec<(PlaceId, TransitionId, TransitionId)>, AnalyticError> {
+fn marked_graph_edges(
+    net: &Net,
+) -> Result<Vec<(PlaceId, TransitionId, TransitionId)>, AnalyticError> {
     for (_, t) in net.transitions() {
         if !t.inhibitors().is_empty()
             || t.predicate().is_some()
@@ -309,10 +311,7 @@ pub fn analyze(net: &Net) -> Result<CycleTimeAnalysis, AnalyticError> {
                     let mut places: Vec<PlaceId> = path.iter().map(|&(_, pl)| pl).collect();
                     places.push(place);
                     let delay: u64 = transitions.iter().map(|&t| firing_ticks(net, t)).sum();
-                    let tokens: u64 = places
-                        .iter()
-                        .map(|&pl| u64::from(initial.tokens(pl)))
-                        .sum();
+                    let tokens: u64 = places.iter().map(|&pl| u64::from(initial.tokens(pl))).sum();
                     if tokens == 0 {
                         return Err(AnalyticError::TokenFreeCircuit {
                             circuit: transitions
@@ -445,7 +444,10 @@ mod tests {
             .iter()
             .map(|&t| net.transition(t).name())
             .collect();
-        assert!(names.contains(&"t1"), "critical cycle passes the slow stage");
+        assert!(
+            names.contains(&"t1"),
+            "critical cycle passes the slow stage"
+        );
     }
 
     #[test]
@@ -495,7 +497,10 @@ mod tests {
         b.transition("t").input_weighted("p", 2).output("q").add();
         b.transition("r").input("q").output_weighted("p", 2).add();
         let net = b.build().unwrap();
-        assert!(matches!(analyze(&net), Err(AnalyticError::WeightedArc { .. })));
+        assert!(matches!(
+            analyze(&net),
+            Err(AnalyticError::WeightedArc { .. })
+        ));
 
         // Enabling time.
         let mut b = NetBuilder::new("e");

@@ -209,7 +209,7 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
                             EdgeLabel::Fire(t) => net.transition(t).frequency(),
                             EdgeLabel::Advance(_) => 0.0,
                         };
-                        (to, f / total, l)
+                        (to as usize, f / total, l)
                     })
                     .collect(),
             );
@@ -220,7 +220,7 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
                 unreachable!("non-fire edge is an advance");
             };
             sojourn[s] = dt as f64;
-            jumps.push(vec![(to, 1.0, label)]);
+            jumps.push(vec![(to as usize, 1.0, label)]);
         }
     }
     if sojourn.iter().all(|&t| t == 0.0) {
@@ -257,11 +257,7 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
                 next[to] += 0.5 * average[s] * p;
             }
         }
-        let delta: f64 = next
-            .iter()
-            .zip(&average)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = next.iter().zip(&average).map(|(a, b)| (a - b).abs()).sum();
         average = next;
         if delta < options.tolerance {
             converged = true;
@@ -318,17 +314,13 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
     })
 }
 
-
 /// The set of states in the unique bottom SCC reachable from state 0.
 ///
 /// # Errors
 ///
 /// [`MarkovError::NoConvergence`] is *not* used here; multiple bottom
 /// SCCs are reported as deadlock-like absence of a single steady state.
-fn bottom_scc(
-    jumps: &[Vec<(usize, f64, EdgeLabel)>],
-    n: usize,
-) -> Result<Vec<bool>, MarkovError> {
+fn bottom_scc(jumps: &[Vec<(usize, f64, EdgeLabel)>], n: usize) -> Result<Vec<bool>, MarkovError> {
     // Tarjan-free approach: repeatedly test, for each state s reachable
     // from 0, whether s is in a bottom class: every state reachable from
     // s can reach s. Model graphs are small; O(n * edges) is fine.
@@ -432,7 +424,10 @@ mod tests {
         // in-flight pattern instead; totals must stay in [0, 1].
         let a = net.place_id("a").unwrap();
         assert!(ss.avg_tokens(a) <= 1.0 + 1e-9);
-        assert!((ss.mean_sojourn - 1.0).abs() < 1e-9, "sojourns 0,3,0,1 over 4 jumps");
+        assert!(
+            (ss.mean_sojourn - 1.0).abs() < 1e-9,
+            "sojourns 0,3,0,1 over 4 jumps"
+        );
         let total: f64 = ss.state_fraction.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
@@ -497,7 +492,11 @@ mod tests {
         b.place("spent", 0);
         // A 4-tick timer runs while the token waits on `waiting`.
         b.place("timer", 1);
-        b.transition("tick").input("timer").output("go").firing(4).add();
+        b.transition("tick")
+            .input("timer")
+            .output("go")
+            .firing(4)
+            .add();
         b.transition("move")
             .input("waiting")
             .input("go")

@@ -123,11 +123,23 @@ impl fmt::Display for Heatmap {
         writeln!(f, "ACTIVITY HEATMAP (fraction of time non-idle)")?;
         writeln!(f, "places:")?;
         for r in &self.places {
-            writeln!(f, "  {:<28} {:>6.1}% {}", r.name, r.activity * 100.0, bar(r.activity))?;
+            writeln!(
+                f,
+                "  {:<28} {:>6.1}% {}",
+                r.name,
+                r.activity * 100.0,
+                bar(r.activity)
+            )?;
         }
         writeln!(f, "transitions:")?;
         for r in &self.transitions {
-            writeln!(f, "  {:<28} {:>6.1}% {}", r.name, r.activity * 100.0, bar(r.activity))?;
+            writeln!(
+                f,
+                "  {:<28} {:>6.1}% {}",
+                r.name,
+                r.activity * 100.0,
+                bar(r.activity)
+            )?;
         }
         Ok(())
     }
@@ -151,7 +163,11 @@ mod tests {
         let h = Heatmap::from_trace(&trace);
         let hottest = h.hottest_transition().unwrap();
         assert_eq!(hottest.name, "slow");
-        assert!(hottest.activity > 0.8, "slow is busy 90%: {}", hottest.activity);
+        assert!(
+            hottest.activity > 0.8,
+            "slow is busy 90%: {}",
+            hottest.activity
+        );
         let fast = h.transitions.iter().find(|r| r.name == "fast").unwrap();
         assert!(fast.activity < 0.2);
     }
@@ -161,13 +177,25 @@ mod tests {
         let mut b = NetBuilder::new("hold");
         b.place("idle", 1);
         b.place("held", 0);
-        b.transition("take").input("idle").output("held").enabling(2).add();
-        b.transition("give").input("held").output("idle").enabling(8).add();
+        b.transition("take")
+            .input("idle")
+            .output("held")
+            .enabling(2)
+            .add();
+        b.transition("give")
+            .input("held")
+            .output("idle")
+            .enabling(8)
+            .add();
         let net = b.build().unwrap();
         let trace = pnut_sim::simulate(&net, 0, Time::from_ticks(100)).unwrap();
         let h = Heatmap::from_trace(&trace);
         let held = h.places.iter().find(|r| r.name == "held").unwrap();
-        assert!((held.activity - 0.8).abs() < 0.05, "held 8 of 10: {}", held.activity);
+        assert!(
+            (held.activity - 0.8).abs() < 0.05,
+            "held 8 of 10: {}",
+            held.activity
+        );
     }
 
     #[test]

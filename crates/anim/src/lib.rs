@@ -65,7 +65,11 @@ pub struct Frame {
 
 impl fmt::Display for Frame {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "── frame {} @ t={} ─ {}", self.index, self.time, self.caption)?;
+        writeln!(
+            f,
+            "── frame {} @ t={} ─ {}",
+            self.index, self.time, self.caption
+        )?;
         for m in &self.movements {
             writeln!(f, "   {m}")?;
         }
@@ -178,13 +182,7 @@ impl<'t> Animator<'t> {
         touched.dedup();
         let marking_lines = touched
             .into_iter()
-            .map(|i| {
-                format!(
-                    "{}: {}",
-                    header.place_names[i],
-                    tokens(self.marking[i])
-                )
-            })
+            .map(|i| format!("{}: {}", header.place_names[i], tokens(self.marking[i])))
             .collect();
         Some(Frame {
             time,

@@ -1,0 +1,131 @@
+//! Construction cost of the reachability engine: the interned
+//! `StateStore` + CSR build in `pnut_reach` versus the frozen seed
+//! construction ([`pnut_bench::legacy_reach`]) on the paper's state
+//! spaces, plus a peak-memory comparison of the two layouts.
+//!
+//! Set `PNUT_BENCH_JSON=BENCH_reach.json` to append one JSON line per
+//! measurement (timings from the harness, `reach/mem/...` and
+//! `reach/speedup/...` lines from the summary pass).
+
+use criterion::{criterion_group, Criterion};
+use pnut_bench::{legacy_reach, workloads};
+use pnut_core::Net;
+use pnut_reach::graph::{build_timed, build_untimed, ReachOptions, ReachabilityGraph};
+use std::io::Write as _;
+use std::time::Instant;
+
+const OPTIONS: ReachOptions = ReachOptions {
+    max_states: 100_000,
+};
+
+fn untimed_workloads() -> Vec<(&'static str, Net)> {
+    vec![
+        ("three_stage", workloads::three_stage_net()),
+        ("interpreted", workloads::interpreted_net()),
+    ]
+}
+
+fn bench_untimed(c: &mut Criterion) {
+    for (name, net) in untimed_workloads() {
+        let mut g = c.benchmark_group(format!("reach/untimed/{name}"));
+        g.bench_function("interned", |b| {
+            b.iter(|| build_untimed(&net, &OPTIONS).expect("bounded"))
+        });
+        g.bench_function("baseline", |b| {
+            b.iter(|| legacy_reach::build_untimed(&net, &OPTIONS).expect("bounded"))
+        });
+        g.finish();
+    }
+}
+
+fn bench_timed(c: &mut Criterion) {
+    let net = workloads::timed_fragment(6);
+    let mut g = c.benchmark_group("reach/timed/fragment");
+    g.bench_function("interned", |b| {
+        b.iter(|| build_timed(&net, &OPTIONS).expect("bounded"))
+    });
+    g.bench_function("baseline", |b| {
+        b.iter(|| legacy_reach::build_timed(&net, &OPTIONS).expect("bounded"))
+    });
+    g.finish();
+}
+
+criterion_group!(reach, bench_untimed, bench_timed);
+
+fn export(name: &str, key: &str, value: f64) {
+    let Ok(path) = std::env::var("PNUT_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(f, "{{\"name\":\"{name}\",\"{key}\":{value:.1}}}");
+    }
+}
+
+/// Min-of-N wall clock for one builder, in nanoseconds.
+fn min_ns<G>(runs: usize, mut build: impl FnMut() -> G) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(build());
+            start.elapsed().as_nanos() as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Head-to-head speedup and memory summary, printed after the harness
+/// runs and exported alongside its JSON lines.
+fn summary() {
+    println!("\n-- interned vs. seed baseline (min of 10 builds) --");
+    let report = |name: &str,
+                  interned: &dyn Fn() -> ReachabilityGraph,
+                  baseline: &dyn Fn() -> legacy_reach::LegacyGraph| {
+        let fast = min_ns(10, interned);
+        let slow = min_ns(10, baseline);
+        let speedup = slow / fast;
+        let g = interned();
+        let l = baseline();
+        let shrink = l.approx_bytes() as f64 / g.approx_bytes() as f64;
+        println!(
+            "{name:<24} {:>7} states  speedup {speedup:>5.2}x  memory {:>8} vs {:>8} B ({shrink:.2}x smaller)",
+            g.state_count(),
+            g.approx_bytes(),
+            l.approx_bytes(),
+        );
+        export(&format!("reach/speedup/{name}"), "ratio", speedup);
+        export(
+            &format!("reach/mem/{name}/interned"),
+            "bytes",
+            g.approx_bytes() as f64,
+        );
+        export(
+            &format!("reach/mem/{name}/baseline"),
+            "bytes",
+            l.approx_bytes() as f64,
+        );
+    };
+    for (name, net) in untimed_workloads() {
+        report(
+            name,
+            &|| build_untimed(&net, &OPTIONS).expect("bounded"),
+            &|| legacy_reach::build_untimed(&net, &OPTIONS).expect("bounded"),
+        );
+    }
+    let net = workloads::timed_fragment(6);
+    report(
+        "timed_fragment",
+        &|| build_timed(&net, &OPTIONS).expect("bounded"),
+        &|| legacy_reach::build_timed(&net, &OPTIONS).expect("bounded"),
+    );
+}
+
+fn main() {
+    reach();
+    summary();
+}

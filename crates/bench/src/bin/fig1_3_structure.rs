@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         net.transition_count()
     );
     let text = pnut_lang::print(&net);
-    println!(
-        "our textual form is {} lines:\n",
-        text.lines().count()
-    );
+    println!("our textual form is {} lines:\n", text.lines().count());
     println!("{text}");
 
     println!("== Structural checks ==");
@@ -50,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nStage inventory (Figure -> subnet):");
     for (fig, stage, transitions) in [
-        ("Figure 1", "prefetch", vec!["Start_prefetch", "End_prefetch"]),
+        (
+            "Figure 1",
+            "prefetch",
+            vec!["Start_prefetch", "End_prefetch"],
+        ),
         (
             "Figure 2",
             "decode/eaddr/operand-fetch",
@@ -88,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .filter(|t| net.transition_id(t).is_some())
             .count();
-        println!("  {fig} ({stage}): {present}/{} transitions present", transitions.len());
+        println!(
+            "  {fig} ({stage}): {present}/{} transitions present",
+            transitions.len()
+        );
     }
     Ok(())
 }

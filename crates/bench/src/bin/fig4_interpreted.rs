@@ -40,7 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fetches = report.transition("end_fetch").expect("exists").ends;
     let words = report.transition("consume_word").expect("exists").ends;
     println!("instructions decoded: {decodes}");
-    println!("extra words consumed: {words} ({:.2}/instruction)", words as f64 / decodes as f64);
-    println!("operand fetches:      {fetches} ({:.2}/instruction)", fetches as f64 / decodes as f64);
+    println!(
+        "extra words consumed: {words} ({:.2}/instruction)",
+        words as f64 / decodes as f64
+    );
+    println!(
+        "operand fetches:      {fetches} ({:.2}/instruction)",
+        fetches as f64 / decodes as f64
+    );
     Ok(())
 }

@@ -42,17 +42,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (
             "Type_1 starts",
             887.0,
-            r.transition("Type_1").map(|t| t.starts as f64).unwrap_or(0.0),
+            r.transition("Type_1")
+                .map(|t| t.starts as f64)
+                .unwrap_or(0.0),
         ),
         (
             "Type_2 starts",
             247.0,
-            r.transition("Type_2").map(|t| t.starts as f64).unwrap_or(0.0),
+            r.transition("Type_2")
+                .map(|t| t.starts as f64)
+                .unwrap_or(0.0),
         ),
         (
             "Type_3 starts",
             104.0,
-            r.transition("Type_3").map(|t| t.starts as f64).unwrap_or(0.0),
+            r.transition("Type_3")
+                .map(|t| t.starts as f64)
+                .unwrap_or(0.0),
         ),
     ];
     for (what, paper, ours) in rows {

@@ -33,6 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     while anim.step().is_some() {
         remaining += 1;
     }
-    println!("... {remaining} further frames in the 60-cycle trace (single-step or animate all, §4.3)");
+    println!(
+        "... {remaining} further frames in the 60-cycle trace (single-step or animate all, §4.3)"
+    );
     Ok(())
 }

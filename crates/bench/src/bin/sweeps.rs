@@ -101,7 +101,10 @@ fn main() {
     }
 
     println!("\n== Sweep 4: branch fraction (interpreted model, buffer flush on branch) ==");
-    println!("{:>8} {:>10} {:>10} {:>10}", "branches", "IPC", "bus util", "flushes");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "branches", "IPC", "bus util", "flushes"
+    );
     for branch_slots in [0usize, 1, 2, 4, 6, 8] {
         // A 10-slot ISA of 1-cycle register ops; `branch_slots` of them
         // are taken branches that flush the prefetch buffer.
@@ -111,10 +114,7 @@ fn main() {
         }
         let config = InterpretedConfig {
             instruction_types: types,
-            ibuf_words: 6,
-            words_per_prefetch: 2,
-            decode_cycles: 1,
-            mem_access_cycles: 5,
+            ..InterpretedConfig::default()
         };
         let net = build_interpreted(&config).expect("config valid");
         let trace = pnut_sim::simulate(&net, seed, Time::from_ticks(CYCLES)).expect("runs");
@@ -124,10 +124,7 @@ fn main() {
             branch_slots,
             report.transition("Issue").expect("exists").throughput,
             report.place("Bus_busy").expect("exists").avg_tokens,
-            report
-                .transition("flush_done")
-                .map(|t| t.ends)
-                .unwrap_or(0),
+            report.transition("flush_done").map(|t| t.ends).unwrap_or(0),
         );
     }
 

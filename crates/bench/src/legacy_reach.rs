@@ -1,0 +1,315 @@
+//! The **pre-refactor** reachability construction, kept verbatim as a
+//! performance and semantics baseline.
+//!
+//! This is the seed implementation that `pnut_reach` replaced with the
+//! interned [`StateStore`](pnut_reach::StateStore) + CSR layout: every
+//! state is stored twice (once in `Vec<StateData>`, once as the owned
+//! key of a `HashMap<StateData, usize>`), every visit clones the popped
+//! state, every successor allocates fresh `Marking`/`Env` values, and
+//! lookups hash whole states with SipHash. Do **not** "fix" or optimize
+//! it — `benches/reach.rs` measures the new engine against it, and the
+//! golden tests in `tests/reach_golden.rs` assert the new engine is
+//! semantically identical to it. Its only deviations from the seed are
+//! mechanical: it borrows `EdgeLabel`/`ReachOptions`/`ReachError` from
+//! `pnut_reach` so results are directly comparable.
+
+use pnut_core::expr::Env;
+use pnut_core::{Marking, Net, TransitionId};
+use pnut_reach::graph::{EdgeLabel, ReachError, ReachOptions};
+use std::collections::{HashMap, VecDeque};
+
+/// The data of one reachable state (owned, as in the seed).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateData {
+    /// Token counts.
+    pub marking: Marking,
+    /// Variable environment (constant for nets without actions).
+    pub env: Env,
+    /// In-flight firings as `(transition, remaining ticks)`, sorted —
+    /// empty for untimed graphs.
+    pub in_flight: Vec<(TransitionId, u64)>,
+}
+
+/// A reachability graph in the seed's doubled, pointer-heavy layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegacyGraph {
+    states: Vec<StateData>,
+    edges: Vec<Vec<(EdgeLabel, usize)>>,
+}
+
+impl LegacyGraph {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The data of state `i`.
+    pub fn state(&self, i: usize) -> &StateData {
+        &self.states[i]
+    }
+
+    /// Outgoing edges of state `i`.
+    pub fn successors(&self, i: usize) -> &[(EdgeLabel, usize)] {
+        &self.edges[i]
+    }
+
+    /// Structural estimate of the layout's heap footprint in bytes:
+    /// both copies of every state (arena `Vec` + owned `HashMap` key),
+    /// the per-state edge `Vec` headers, and the table's control bytes.
+    pub fn approx_bytes(&self) -> usize {
+        fn state_bytes(s: &StateData) -> usize {
+            std::mem::size_of::<StateData>()
+                + s.marking.len() * 4
+                + s.env.vars().map(|(n, _)| n.len() + 48).sum::<usize>()
+                + s.env
+                    .tables()
+                    .map(|(n, t)| n.len() + 8 * t.len() + 48)
+                    .sum::<usize>()
+                + s.in_flight.capacity() * std::mem::size_of::<(TransitionId, u64)>()
+        }
+        let states: usize = self.states.iter().map(state_bytes).sum();
+        // The owned-key index duplicates every state plus ~16 bytes of
+        // hash-table entry overhead (usize value + control byte + load
+        // factor slack).
+        let index = states + self.states.len() * 16;
+        let edges: usize = self
+            .edges
+            .iter()
+            .map(|row| {
+                std::mem::size_of::<Vec<(EdgeLabel, usize)>>()
+                    + row.capacity() * std::mem::size_of::<(EdgeLabel, usize)>()
+            })
+            .sum();
+        states + index + edges
+    }
+}
+
+fn check_deterministic(net: &Net) -> Result<(), ReachError> {
+    if net.uses_random() {
+        return Err(ReachError::UsesRandom);
+    }
+    Ok(())
+}
+
+/// The seed's untimed construction: BFS with per-visit clones and an
+/// owned-key duplicate index.
+pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<LegacyGraph, ReachError> {
+    check_deterministic(net)?;
+    let initial = StateData {
+        marking: net.initial_marking(),
+        env: net.initial_env().clone(),
+        in_flight: Vec::new(),
+    };
+    let mut states = vec![initial.clone()];
+    let mut index: HashMap<StateData, usize> = HashMap::from([(initial, 0)]);
+    let mut edges: Vec<Vec<(EdgeLabel, usize)>> = vec![Vec::new()];
+    let mut queue = VecDeque::from([0usize]);
+
+    while let Some(cur) = queue.pop_front() {
+        let state = states[cur].clone();
+        for (tid, t) in net.transitions() {
+            if !t.marking_enabled(&state.marking) {
+                continue;
+            }
+            if let Some(p) = t.predicate() {
+                let ok = p
+                    .eval_pure(&state.env)
+                    .and_then(|v| v.as_bool())
+                    .map_err(|source| ReachError::Eval {
+                        transition: t.name().to_string(),
+                        source,
+                    })?;
+                if !ok {
+                    continue;
+                }
+            }
+            let mut marking = state.marking.clone();
+            for &(p, w) in t.inputs() {
+                let ok = marking.try_remove(p, w);
+                debug_assert!(ok);
+            }
+            for &(p, w) in t.outputs() {
+                marking.add(p, w);
+            }
+            let mut env = state.env.clone();
+            if let Some(a) = t.action() {
+                a.apply_pure(&mut env).map_err(|source| ReachError::Eval {
+                    transition: t.name().to_string(),
+                    source,
+                })?;
+            }
+            let next = StateData {
+                marking,
+                env,
+                in_flight: Vec::new(),
+            };
+            let target = match index.get(&next) {
+                Some(&i) => i,
+                None => {
+                    let i = states.len();
+                    if i >= options.max_states {
+                        return Err(ReachError::StateLimit {
+                            limit: options.max_states,
+                        });
+                    }
+                    states.push(next.clone());
+                    index.insert(next, i);
+                    edges.push(Vec::new());
+                    queue.push_back(i);
+                    i
+                }
+            };
+            edges[cur].push((EdgeLabel::Fire(tid), target));
+        }
+    }
+    Ok(LegacyGraph { states, edges })
+}
+
+/// The seed's timed construction (`[RP84]` semantics), with the same
+/// clone-per-successor cost profile as [`build_untimed`].
+pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<LegacyGraph, ReachError> {
+    check_deterministic(net)?;
+    let mut firing_ticks = Vec::with_capacity(net.transition_count());
+    for (_, t) in net.transitions() {
+        if !t.enabling_time().is_zero_constant() {
+            return Err(ReachError::EnablingTimesUnsupported {
+                transition: t.name().to_string(),
+            });
+        }
+        match t.firing_time() {
+            pnut_core::Delay::Fixed(ticks) => firing_ticks.push(*ticks),
+            pnut_core::Delay::Expr(_) => {
+                return Err(ReachError::NonConstantDelay {
+                    transition: t.name().to_string(),
+                });
+            }
+        }
+    }
+
+    let initial = StateData {
+        marking: net.initial_marking(),
+        env: net.initial_env().clone(),
+        in_flight: Vec::new(),
+    };
+    let mut states = vec![initial.clone()];
+    let mut index: HashMap<StateData, usize> = HashMap::from([(initial, 0)]);
+    let mut edges: Vec<Vec<(EdgeLabel, usize)>> = vec![Vec::new()];
+    let mut queue = VecDeque::from([0usize]);
+
+    let mut intern = |next: StateData,
+                      states: &mut Vec<StateData>,
+                      edges: &mut Vec<Vec<(EdgeLabel, usize)>>,
+                      queue: &mut VecDeque<usize>|
+     -> Result<usize, ReachError> {
+        match index.get(&next) {
+            Some(&i) => Ok(i),
+            None => {
+                let i = states.len();
+                if i >= options.max_states {
+                    return Err(ReachError::StateLimit {
+                        limit: options.max_states,
+                    });
+                }
+                states.push(next.clone());
+                index.insert(next, i);
+                edges.push(Vec::new());
+                queue.push_back(i);
+                Ok(i)
+            }
+        }
+    };
+
+    while let Some(cur) = queue.pop_front() {
+        let state = states[cur].clone();
+        let mut can_start = false;
+        for (tid, t) in net.transitions() {
+            if !t.marking_enabled(&state.marking) {
+                continue;
+            }
+            if let Some(cap) = t.max_concurrent() {
+                let inflight = state.in_flight.iter().filter(|&&(x, _)| x == tid).count() as u32;
+                if inflight >= cap {
+                    continue;
+                }
+            }
+            if let Some(p) = t.predicate() {
+                let ok = p
+                    .eval_pure(&state.env)
+                    .and_then(|v| v.as_bool())
+                    .map_err(|source| ReachError::Eval {
+                        transition: t.name().to_string(),
+                        source,
+                    })?;
+                if !ok {
+                    continue;
+                }
+            }
+            can_start = true;
+            let mut marking = state.marking.clone();
+            for &(p, w) in t.inputs() {
+                let ok = marking.try_remove(p, w);
+                debug_assert!(ok);
+            }
+            let mut env = state.env.clone();
+            if let Some(a) = t.action() {
+                a.apply_pure(&mut env).map_err(|source| ReachError::Eval {
+                    transition: t.name().to_string(),
+                    source,
+                })?;
+            }
+            let mut in_flight = state.in_flight.clone();
+            let ticks = firing_ticks[tid.index()];
+            if ticks == 0 {
+                // Atomic: outputs appear immediately.
+                for &(p, w) in t.outputs() {
+                    marking.add(p, w);
+                }
+            } else {
+                in_flight.push((tid, ticks));
+                in_flight.sort();
+            }
+            let next = StateData {
+                marking,
+                env,
+                in_flight,
+            };
+            let target = intern(next, &mut states, &mut edges, &mut queue)?;
+            edges[cur].push((EdgeLabel::Fire(tid), target));
+        }
+
+        // Maximal-progress time advance: only when nothing can start.
+        if !can_start && !state.in_flight.is_empty() {
+            let dt = state
+                .in_flight
+                .iter()
+                .map(|&(_, r)| r)
+                .min()
+                .expect("non-empty");
+            let mut marking = state.marking.clone();
+            let mut in_flight = Vec::new();
+            for &(tid, r) in &state.in_flight {
+                if r == dt {
+                    for &(p, w) in net.transition(tid).outputs() {
+                        marking.add(p, w);
+                    }
+                } else {
+                    in_flight.push((tid, r - dt));
+                }
+            }
+            in_flight.sort();
+            let next = StateData {
+                marking,
+                env: state.env.clone(),
+                in_flight,
+            };
+            let target = intern(next, &mut states, &mut edges, &mut queue)?;
+            edges[cur].push((EdgeLabel::Advance(dt), target));
+        }
+    }
+    Ok(LegacyGraph { states, edges })
+}

@@ -16,6 +16,9 @@
 //! (default 1) and prints to stdout; see EXPERIMENTS.md for the
 //! paper-vs-measured record.
 
+pub mod legacy_reach;
+pub mod workloads;
+
 use pnut_pipeline::ThreeStageConfig;
 
 /// Parse `argv[1]` as the experiment seed (default 1).

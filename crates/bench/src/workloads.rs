@@ -1,0 +1,60 @@
+//! Shared reachability workloads used by `benches/reach.rs` and the
+//! golden equivalence tests.
+
+use pnut_core::{Net, NetBuilder};
+use pnut_pipeline::{interpreted, three_stage, ThreeStageConfig};
+
+/// The §2 three-stage pipeline in the paper's configuration (614
+/// untimed states).
+pub fn three_stage_net() -> Net {
+    three_stage::build(&ThreeStageConfig::default()).expect("paper config builds")
+}
+
+/// The §3 interpreted pipeline in its analysis variant — round-robin
+/// dispatch, serialized branch resolution (3383 untimed states; the
+/// simulation variant uses `irand` and is rejected by reachability).
+pub fn interpreted_net() -> Net {
+    let config = interpreted::InterpretedConfig {
+        for_analysis: true,
+        ..interpreted::InterpretedConfig::default()
+    };
+    interpreted::build(&config).expect("analysis config builds")
+}
+
+/// A timed fragment of the §2 pipeline: decode feeding a shared
+/// execution unit with fixed firing delays and a concurrency-capped
+/// memory stage. The full pipeline models use enabling times, which the
+/// `[RP84]` timed state construction rejects, so timed workloads run on
+/// this fragment; `tokens` scales the instruction stream and with it
+/// the interleaving depth.
+pub fn timed_fragment(tokens: u32) -> Net {
+    let mut b = NetBuilder::new("timed_fragment");
+    b.place("ibuf", tokens);
+    b.place("decoded", 0);
+    b.place("unit_free", 1);
+    b.place("executing", 0);
+    b.place("done", 0);
+    b.transition("decode")
+        .input("ibuf")
+        .output("decoded")
+        .firing(1)
+        .add();
+    b.transition("issue")
+        .input("decoded")
+        .input("unit_free")
+        .output("executing")
+        .add();
+    b.transition("execute")
+        .input("executing")
+        .output("done")
+        .output("unit_free")
+        .firing(5)
+        .max_concurrent(1)
+        .add();
+    b.transition("store")
+        .input("done")
+        .output("ibuf")
+        .firing(2)
+        .add();
+    b.build().expect("fragment builds")
+}

@@ -124,8 +124,7 @@ fn load_net(path: &str) -> Result<Net, CliError> {
 
 fn load_trace(path: &str) -> Result<RecordedTrace, CliError> {
     let file = fs::File::open(path).map_err(|e| err(format!("cannot open `{path}`: {e}")))?;
-    RecordedTrace::read_json(std::io::BufReader::new(file))
-        .map_err(|e| err(format!("{path}: not a trace: {e}")))
+    RecordedTrace::read_json(std::io::BufReader::new(file)).map_err(|e| err(format!("{path}: {e}")))
 }
 
 fn save_trace(trace: &RecordedTrace, path: Option<&str>, out: &mut String) -> Result<(), CliError> {
@@ -213,7 +212,9 @@ exit codes: 0 ok · 1 error · 2 checked property is false
 
 fn cmd_check(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut args = Args::new(argv);
-    let path = args.positional().ok_or_else(|| err("check: need a model file"))?;
+    let path = args
+        .positional()
+        .ok_or_else(|| err("check: need a model file"))?;
     args.finish()?;
     let net = load_net(&path)?;
     let report = pnut_core::analysis::structural_report(&net);
@@ -239,7 +240,11 @@ fn cmd_check(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut clean = true;
     if !report.isolated_places.is_empty() {
         clean = false;
-        let _ = writeln!(out, "isolated places: {}", name_list(&report.isolated_places));
+        let _ = writeln!(
+            out,
+            "isolated places: {}",
+            name_list(&report.isolated_places)
+        );
     }
     if !report.source_only_places.is_empty() {
         clean = false;
@@ -308,7 +313,9 @@ fn cmd_check(argv: &[String], out: &mut String) -> Result<i32, CliError> {
 
 fn cmd_print(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut args = Args::new(argv);
-    let path = args.positional().ok_or_else(|| err("print: need a model file"))?;
+    let path = args
+        .positional()
+        .ok_or_else(|| err("print: need a model file"))?;
     args.finish()?;
     let net = load_net(&path)?;
     out.push_str(&pnut_lang::print(&net));
@@ -317,7 +324,9 @@ fn cmd_print(argv: &[String], out: &mut String) -> Result<i32, CliError> {
 
 fn cmd_dot(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut args = Args::new(argv);
-    let path = args.positional().ok_or_else(|| err("dot: need a model file"))?;
+    let path = args
+        .positional()
+        .ok_or_else(|| err("dot: need a model file"))?;
     args.finish()?;
     let net = load_net(&path)?;
     out.push_str(&pnut_lang::to_dot(&net));
@@ -326,10 +335,15 @@ fn cmd_dot(argv: &[String], out: &mut String) -> Result<i32, CliError> {
 
 fn cmd_sim(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut args = Args::new(argv);
-    let path = args.positional().ok_or_else(|| err("sim: need a model file"))?;
+    let path = args
+        .positional()
+        .ok_or_else(|| err("sim: need a model file"))?;
     let until: u64 = args
         .value("--until")
-        .map(|v| v.parse().map_err(|_| err("sim: --until must be an integer")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| err("sim: --until must be an integer"))
+        })
         .transpose()?
         .unwrap_or(10_000);
     let seed: u64 = args
@@ -349,7 +363,9 @@ fn cmd_sim(argv: &[String], out: &mut String) -> Result<i32, CliError> {
 
 fn cmd_stat(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let mut args = Args::new(argv);
-    let path = args.positional().ok_or_else(|| err("stat: need a trace file"))?;
+    let path = args
+        .positional()
+        .ok_or_else(|| err("stat: need a trace file"))?;
     args.finish()?;
     let trace = load_trace(&path)?;
     let _ = write!(out, "{}", pnut_stat::analyze(&trace));
@@ -392,9 +408,10 @@ fn cmd_query(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     args.finish()?;
 
     let trace = load_trace(&path)?;
-    let query =
-        pnut_tracer::query::Query::parse(&text).map_err(|e| err(format!("query: {e}")))?;
-    let outcome = query.check(&trace).map_err(|e| err(format!("query: {e}")))?;
+    let query = pnut_tracer::query::Query::parse(&text).map_err(|e| err(format!("query: {e}")))?;
+    let outcome = query
+        .check(&trace)
+        .map_err(|e| err(format!("query: {e}")))?;
     match (outcome.holds, outcome.witness) {
         (true, Some(w)) => {
             let _ = writeln!(out, "HOLDS (witness state #{w})");
@@ -419,12 +436,18 @@ fn cmd_timeline(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         .ok_or_else(|| err("timeline: need a trace file"))?;
     let from: u64 = args
         .value("--from")
-        .map(|v| v.parse().map_err(|_| err("timeline: --from must be an integer")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| err("timeline: --from must be an integer"))
+        })
         .transpose()?
         .unwrap_or(0);
     let to: u64 = args
         .value("--to")
-        .map(|v| v.parse().map_err(|_| err("timeline: --to must be an integer")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| err("timeline: --to must be an integer"))
+        })
         .transpose()?
         .unwrap_or(from + 100);
     let mut signals: Vec<pnut_tracer::Signal> = args
@@ -465,7 +488,10 @@ fn cmd_anim(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         .ok_or_else(|| err("anim: need a trace file"))?;
     let max_frames: usize = args
         .value("--max-frames")
-        .map(|v| v.parse().map_err(|_| err("anim: --max-frames must be an integer")))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| err("anim: --max-frames must be an integer"))
+        })
         .transpose()?
         .unwrap_or(usize::MAX);
     args.finish()?;
@@ -511,20 +537,30 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         graph.edge_count(),
         graph.deadlocks().len()
     );
+    let _ = writeln!(
+        out,
+        "interned store: {} distinct environment(s), ~{} KiB",
+        graph.store().env_count(),
+        graph.approx_bytes() / 1024,
+    );
     let bounds = graph.place_bounds();
     for (pid, p) in net.places() {
         let _ = writeln!(out, "  bound({}) = {}", p.name(), bounds[pid.index()]);
     }
 
     if let Some(formula_text) = ctl {
-        let formula = pnut_reach::ctl::Formula::parse(&formula_text)
-            .map_err(|e| err(format!("ctl: {e}")))?;
-        let outcome = pnut_reach::ctl::check(&graph, &net, &formula)
-            .map_err(|e| err(format!("ctl: {e}")))?;
+        let formula =
+            pnut_reach::ctl::Formula::parse(&formula_text).map_err(|e| err(format!("ctl: {e}")))?;
+        let outcome =
+            pnut_reach::ctl::check(&graph, &net, &formula).map_err(|e| err(format!("ctl: {e}")))?;
         let _ = writeln!(
             out,
             "CTL `{formula_text}`: {} ({} of {} states satisfy)",
-            if outcome.holds_initially { "HOLDS" } else { "FAILS" },
+            if outcome.holds_initially {
+                "HOLDS"
+            } else {
+                "FAILS"
+            },
             outcome.count(),
             graph.state_count()
         );
@@ -548,8 +584,12 @@ fn cmd_cover(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let _ = writeln!(
         out,
         "coverability tree: {} nodes; net is {}",
-        tree.nodes().len(),
-        if tree.is_unbounded() { "UNBOUNDED" } else { "bounded" }
+        tree.node_count(),
+        if tree.is_unbounded() {
+            "UNBOUNDED"
+        } else {
+            "bounded"
+        }
     );
     for (pid, p) in net.places() {
         match tree.place_bound(pid) {
@@ -631,7 +671,11 @@ fn cmd_measure(argv: &[String], out: &mut String) -> Result<i32, CliError> {
                     "intervals({trans}): {} samples, mean {mean:.2} ticks",
                     iv.len()
                 );
-                let _ = write!(out, "{}", measure::Histogram::new(&iv, (mean / 4.0).max(1.0) as u64));
+                let _ = write!(
+                    out,
+                    "{}",
+                    measure::Histogram::new(&iv, (mean / 4.0).max(1.0) as u64)
+                );
             }
             None => return Err(err(format!("measure: unknown transition `{trans}`"))),
         }
@@ -665,11 +709,9 @@ fn cmd_markov(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         .ok_or_else(|| err("markov: need a model file"))?;
     args.finish()?;
     let net = load_net(&path)?;
-    let ss = pnut_analytic::markov::steady_state(
-        &net,
-        &pnut_analytic::markov::MarkovOptions::default(),
-    )
-    .map_err(|e| err(format!("markov: {e}")))?;
+    let ss =
+        pnut_analytic::markov::steady_state(&net, &pnut_analytic::markov::MarkovOptions::default())
+            .map_err(|e| err(format!("markov: {e}")))?;
     let _ = writeln!(out, "ANALYTIC STEADY STATE (semi-Markov, exact semantics)");
     let _ = writeln!(out, "mean sojourn per jump: {:.4} ticks", ss.mean_sojourn);
     let _ = writeln!(out, "place average tokens:");
@@ -744,7 +786,16 @@ mod tests {
         let dir = tmpdir("pipeline");
         let model = write_model(&dir);
         let trace_path = dir.join("t.json").to_string_lossy().into_owned();
-        let (code, _) = run_args(&["sim", &model, "--until", "100", "--seed", "3", "-o", &trace_path]);
+        let (code, _) = run_args(&[
+            "sim",
+            &model,
+            "--until",
+            "100",
+            "--seed",
+            "3",
+            "-o",
+            &trace_path,
+        ]);
         assert_eq!(code, 0);
 
         let (code, out) = run_args(&["stat", &trace_path]);
@@ -904,11 +955,7 @@ mod tests {
     fn usage_errors_are_reported() {
         let mut out = String::new();
         assert!(run(&["stat".to_string()], &mut out).is_err());
-        assert!(run(
-            &["sim".to_string(), "nonexistent.pn".to_string()],
-            &mut out
-        )
-        .is_err());
+        assert!(run(&["sim".to_string(), "nonexistent.pn".to_string()], &mut out).is_err());
         assert!(run(
             &[
                 "sim".to_string(),

@@ -53,10 +53,16 @@ impl fmt::Display for NetError {
             NetError::DuplicatePlace(n) => write!(f, "duplicate place `{n}`"),
             NetError::DuplicateTransition(n) => write!(f, "duplicate transition `{n}`"),
             NetError::UnknownPlace { transition, place } => {
-                write!(f, "transition `{transition}` references unknown place `{place}`")
+                write!(
+                    f,
+                    "transition `{transition}` references unknown place `{place}`"
+                )
             }
             NetError::ZeroWeight { transition, place } => {
-                write!(f, "transition `{transition}` has a zero-weight arc to `{place}`")
+                write!(
+                    f,
+                    "transition `{transition}` has a zero-weight arc to `{place}`"
+                )
             }
             NetError::InvalidFrequency {
                 transition,
@@ -66,7 +72,10 @@ impl fmt::Display for NetError {
                 "transition `{transition}` has invalid firing frequency {frequency}"
             ),
             NetError::BadExpression { transition, source } => {
-                write!(f, "transition `{transition}` has a bad expression: {source}")
+                write!(
+                    f,
+                    "transition `{transition}` has a bad expression: {source}"
+                )
             }
             NetError::ZeroConcurrency { transition } => {
                 write!(f, "transition `{transition}` has max_concurrent = 0")

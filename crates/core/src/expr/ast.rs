@@ -1,11 +1,10 @@
 //! Abstract syntax for the expression language.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Binary operators, in increasing binding strength groups:
 /// `||` < `&&` < comparisons < `+ -` < `* / %`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Logical or (short-circuiting).
     Or,
@@ -57,7 +56,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     /// Arithmetic negation, `-x`.
     Neg,
@@ -66,7 +65,7 @@ pub enum UnaryOp {
 }
 
 /// Built-in functions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Func {
     /// `irand(lo, hi)`: uniform random integer in `lo..=hi` — the paper's
     /// instruction-type selector (§3).
@@ -100,7 +99,7 @@ impl Func {
 }
 
 /// An expression over the variable environment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Integer literal.
     Int(i64),
@@ -287,7 +286,7 @@ impl fmt::Display for Expr {
 }
 
 /// Assignment target: a variable or a table element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Target {
     /// Assign to a variable.
     Var(String),
@@ -305,7 +304,7 @@ impl fmt::Display for Target {
 }
 
 /// A single `target = expr` assignment within an [`super::Action`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// Where the value is stored.
     pub target: Target,

@@ -1,13 +1,12 @@
 //! Variable environment for interpreted nets.
 
 use super::EvalError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A runtime value: the language is integer/boolean only, matching the
 /// paper's usage (instruction types, operand counts, delays).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// An integer.
     Int(i64),
@@ -85,7 +84,7 @@ impl From<bool> for Value {
 /// assert_eq!(env.int("type").unwrap(), 3);
 /// assert_eq!(env.table_elem("operands", 3).unwrap(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Env {
     vars: BTreeMap<String, Value>,
     tables: BTreeMap<String, Vec<i64>>,

@@ -50,7 +50,10 @@ impl fmt::Display for EvalError {
             EvalError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
             EvalError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             EvalError::IndexOutOfBounds { table, index, len } => {
-                write!(f, "index {index} out of bounds for table `{table}` of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for table `{table}` of length {len}"
+                )
             }
             EvalError::TypeMismatch { expected, found } => {
                 write!(f, "type mismatch: expected {expected}, found {found}")
@@ -221,12 +224,7 @@ fn eval_binary(
     Ok(v)
 }
 
-fn eval_call(
-    func: Func,
-    args: &[Expr],
-    env: &Env,
-    rng: &mut Rng<'_>,
-) -> Result<Value, EvalError> {
+fn eval_call(func: Func, args: &[Expr], env: &Env, rng: &mut Rng<'_>) -> Result<Value, EvalError> {
     match func {
         Func::Irand => {
             let lo = eval_inner(&args[0], env, rng)?.as_int()?;
@@ -385,13 +383,19 @@ mod tests {
         let env = Env::new();
         let mut rng = CyclingRandomness::new();
         assert_eq!(
-            Expr::parse("1 + 1").unwrap().eval_int(&env, &mut rng).unwrap(),
+            Expr::parse("1 + 1")
+                .unwrap()
+                .eval_int(&env, &mut rng)
+                .unwrap(),
             2
         );
         assert!(Expr::parse("1 < 2")
             .unwrap()
             .eval_bool(&env, &mut rng)
             .unwrap());
-        assert!(Expr::parse("1 + 1").unwrap().eval_bool(&env, &mut rng).is_err());
+        assert!(Expr::parse("1 + 1")
+            .unwrap()
+            .eval_bool(&env, &mut rng)
+            .is_err());
     }
 }

@@ -146,7 +146,10 @@ pub(super) fn lex(src: &str) -> Result<Vec<Spanned>, ParseExprError> {
                 i += 1;
             }
             ';' => {
-                toks.push(Spanned { tok: Tok::Semi, pos });
+                toks.push(Spanned {
+                    tok: Tok::Semi,
+                    pos,
+                });
                 i += 1;
             }
             '(' => {
@@ -179,7 +182,10 @@ pub(super) fn lex(src: &str) -> Result<Vec<Spanned>, ParseExprError> {
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    toks.push(Spanned { tok: Tok::EqEq, pos });
+                    toks.push(Spanned {
+                        tok: Tok::EqEq,
+                        pos,
+                    });
                     i += 2;
                 } else {
                     toks.push(Spanned {

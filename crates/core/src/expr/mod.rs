@@ -52,7 +52,7 @@ use crate::Randomness;
 /// A sequence of assignments executed when a transition fires.
 ///
 /// See the [module documentation](self) for the surface syntax.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Action {
     assignments: Vec<Assignment>,
 }

@@ -256,15 +256,9 @@ fn null_space(a: &[Vec<i64>], cols: usize) -> Vec<Vec<i64>> {
         for v in &x {
             lcm = lcm / gcd128(lcm.unsigned_abs(), v.den.unsigned_abs()) as i128 * v.den;
         }
-        let mut ints: Vec<i64> = x
-            .iter()
-            .map(|v| (v.num * (lcm / v.den)) as i64)
-            .collect();
+        let mut ints: Vec<i64> = x.iter().map(|v| (v.num * (lcm / v.den)) as i64).collect();
         // Normalize: coprime, positive leading nonzero entry.
-        let g = ints
-            .iter()
-            .map(|v| v.unsigned_abs())
-            .fold(0u64, gcd64_acc);
+        let g = ints.iter().map(|v| v.unsigned_abs()).fold(0u64, gcd64_acc);
         if g > 1 {
             for v in &mut ints {
                 *v /= g as i64;
@@ -358,7 +352,10 @@ mod tests {
         b.place("a", 4);
         b.place("bp", 0);
         b.transition("t").input_weighted("a", 2).output("bp").add();
-        b.transition("back").input("bp").output_weighted("a", 2).add();
+        b.transition("back")
+            .input("bp")
+            .output_weighted("a", 2)
+            .add();
         let net = b.build().unwrap();
         let inv = p_invariants(&net);
         assert_eq!(inv.len(), 1);

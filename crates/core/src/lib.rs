@@ -45,10 +45,10 @@
 //! ```
 
 pub mod analysis;
-pub mod invariant;
 mod builder;
 mod error;
 pub mod expr;
+pub mod invariant;
 mod marking;
 mod net;
 mod time;

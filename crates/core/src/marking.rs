@@ -1,7 +1,6 @@
 //! Markings: the token state of a net.
 
 use crate::net::PlaceId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A marking assigns a token count to every place of a net.
@@ -21,7 +20,7 @@ use std::fmt;
 /// assert_eq!(m.tokens(PlaceId::new(0)), 7);
 /// assert_eq!(m.total_tokens(), 7);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Marking(Vec<u32>);
 
 impl Marking {

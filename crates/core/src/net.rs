@@ -4,7 +4,6 @@ use crate::expr::{Action, Env, EvalError, Expr};
 use crate::marking::Marking;
 use crate::time::Time;
 use crate::Randomness;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -12,10 +11,7 @@ use std::fmt;
 ///
 /// Indices are dense (`0..net.place_count()`), so analysis tools may use
 /// them directly as vector indices.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PlaceId(usize);
 
 impl PlaceId {
@@ -37,10 +33,7 @@ impl fmt::Display for PlaceId {
 }
 
 /// Identifier of a transition within a [`Net`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TransitionId(usize);
 
 impl TransitionId {
@@ -62,7 +55,7 @@ impl fmt::Display for TransitionId {
 }
 
 /// A condition holder (paper §1: conditions correspond to places).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Place {
     name: String,
     initial_tokens: u32,
@@ -90,7 +83,7 @@ impl Place {
 /// A time annotation on a transition: a constant tick count or an
 /// expression evaluated (against the variable environment) each time the
 /// transition fires — the paper's table-driven delays (§3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Delay {
     /// A fixed number of ticks.
     Fixed(u64),
@@ -162,7 +155,7 @@ impl fmt::Display for Delay {
 }
 
 /// An event (paper §1: events correspond to transitions).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     name: String,
     inputs: Vec<(PlaceId, u32)>,
@@ -263,7 +256,10 @@ impl Transition {
     /// permits this transition to fire.
     pub fn marking_enabled(&self, marking: &Marking) -> bool {
         self.inputs.iter().all(|&(p, w)| marking.covers(p, w))
-            && self.inhibitors.iter().all(|&(p, th)| !marking.covers(p, th))
+            && self
+                .inhibitors
+                .iter()
+                .all(|&(p, th)| !marking.covers(p, th))
     }
 
     /// Whether the transition uses `irand` anywhere (predicate, action,
@@ -281,7 +277,7 @@ impl Transition {
 /// Construct with [`crate::NetBuilder`]; the structure is immutable once
 /// built, which lets simulators and analyzers index places and
 /// transitions densely.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Net {
     name: String,
     places: Vec<Place>,

@@ -5,7 +5,6 @@
 //! multiples of a cycle, so time is a `u64` tick count wrapped in a
 //! newtype for static distinction (C-NEWTYPE).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -22,10 +21,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.ticks(), 5);
 /// assert!(t > Time::ZERO);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Time(u64);
 
 impl Time {

@@ -251,7 +251,10 @@ fn transition_directive<'a>(
             .predicate_str(rest)
             .map_err(|e| err(line_no, e.to_string())),
         "act" => t.action_str(rest).map_err(|e| err(line_no, e.to_string())),
-        other => Err(err(line_no, format!("unknown transition directive `{other}`"))),
+        other => Err(err(
+            line_no,
+            format!("unknown transition directive `{other}`"),
+        )),
     }
 }
 
@@ -438,8 +441,8 @@ end
 
     #[test]
     fn roundtrip_the_paper_pipeline_model() {
-        let net = pnut_pipeline::three_stage::build(&pnut_pipeline::ThreeStageConfig::default())
-            .unwrap();
+        let net =
+            pnut_pipeline::three_stage::build(&pnut_pipeline::ThreeStageConfig::default()).unwrap();
         let printed = print(&net);
         let again = parse(&printed).unwrap();
         assert_eq!(net, again);
@@ -588,8 +591,8 @@ pub fn to_dot(net: &Net) -> String {
 mod dot_tests {
     #[test]
     fn dot_contains_all_elements() {
-        let net = pnut_pipeline::three_stage::build(&pnut_pipeline::ThreeStageConfig::default())
-            .unwrap();
+        let net =
+            pnut_pipeline::three_stage::build(&pnut_pipeline::ThreeStageConfig::default()).unwrap();
         let dot = super::to_dot(&net);
         assert!(dot.starts_with("digraph \"three_stage_pipeline\""));
         assert!(dot.contains("Bus_free [shape=circle"));

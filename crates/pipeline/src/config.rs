@@ -84,11 +84,26 @@ impl Default for ThreeStageConfig {
             instruction_mix: InstructionMix::default(),
             store_probability: 0.2,
             exec_classes: vec![
-                ExecClass { cycles: 1, frequency: 0.5 },
-                ExecClass { cycles: 2, frequency: 0.3 },
-                ExecClass { cycles: 5, frequency: 0.1 },
-                ExecClass { cycles: 10, frequency: 0.05 },
-                ExecClass { cycles: 50, frequency: 0.05 },
+                ExecClass {
+                    cycles: 1,
+                    frequency: 0.5,
+                },
+                ExecClass {
+                    cycles: 2,
+                    frequency: 0.3,
+                },
+                ExecClass {
+                    cycles: 5,
+                    frequency: 0.1,
+                },
+                ExecClass {
+                    cycles: 10,
+                    frequency: 0.05,
+                },
+                ExecClass {
+                    cycles: 50,
+                    frequency: 0.05,
+                },
             ],
             cache: None,
         }

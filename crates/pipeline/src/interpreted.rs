@@ -72,6 +72,18 @@ pub struct InterpretedConfig {
     pub decode_cycles: u64,
     /// Main-memory access time in cycles.
     pub mem_access_cycles: u64,
+    /// Build the net for exhaustive analysis instead of simulation:
+    ///
+    /// * instruction types are picked round-robin
+    ///   (`ty = ty % max_type + 1`) instead of with `irand`, so analyses
+    ///   that reject randomness (reachability, CTL) accept the net;
+    /// * the next instruction cannot issue until the previous branch
+    ///   decision has resolved (`Issue` is inhibited by `Post_issue`).
+    ///   Timed behavior is unchanged — decisions fire immediately — but
+    ///   without the inhibitor the untimed interleaving semantics lets
+    ///   `Post_issue` grow without bound, making the state space
+    ///   infinite.
+    pub for_analysis: bool,
 }
 
 impl Default for InterpretedConfig {
@@ -81,16 +93,47 @@ impl Default for InterpretedConfig {
     fn default() -> Self {
         InterpretedConfig {
             instruction_types: vec![
-                InstructionType { operands: 0, length_words: 1, exec_cycles: 1, stores_result: false, is_branch: false },
-                InstructionType { operands: 0, length_words: 1, exec_cycles: 2, stores_result: false, is_branch: false },
-                InstructionType { operands: 1, length_words: 2, exec_cycles: 2, stores_result: false, is_branch: false },
-                InstructionType { operands: 1, length_words: 2, exec_cycles: 5, stores_result: true, is_branch: false },
-                InstructionType { operands: 2, length_words: 3, exec_cycles: 10, stores_result: true, is_branch: true },
+                InstructionType {
+                    operands: 0,
+                    length_words: 1,
+                    exec_cycles: 1,
+                    stores_result: false,
+                    is_branch: false,
+                },
+                InstructionType {
+                    operands: 0,
+                    length_words: 1,
+                    exec_cycles: 2,
+                    stores_result: false,
+                    is_branch: false,
+                },
+                InstructionType {
+                    operands: 1,
+                    length_words: 2,
+                    exec_cycles: 2,
+                    stores_result: false,
+                    is_branch: false,
+                },
+                InstructionType {
+                    operands: 1,
+                    length_words: 2,
+                    exec_cycles: 5,
+                    stores_result: true,
+                    is_branch: false,
+                },
+                InstructionType {
+                    operands: 2,
+                    length_words: 3,
+                    exec_cycles: 10,
+                    stores_result: true,
+                    is_branch: true,
+                },
             ],
             ibuf_words: 6,
             words_per_prefetch: 2,
             decode_cycles: 1,
             mem_access_cycles: 5,
+            for_analysis: false,
         }
     }
 }
@@ -215,19 +258,24 @@ pub fn build(config: &InterpretedConfig) -> Result<Net, ModelError> {
     b.place("fetching", 0);
     b.place("ready_to_issue_instruction", 0);
 
+    let dispatch = if config.for_analysis {
+        "ty = ty % max_type + 1; "
+    } else {
+        "ty = irand(1, max_type); "
+    };
     b.transition("Decode")
         .input("Full_I_buffers")
         .input("Decoder_ready")
         .output("Word_loop")
         .output("Empty_I_buffers")
         .firing(config.decode_cycles)
-        .action_str(
-            "ty = irand(1, max_type); \
+        .action_str(&format!(
+            "{dispatch}\
              ops_needed = operands[ty]; \
              extra_words = length[ty] - 1; \
              will_store = stores[ty]; \
              is_br = branches[ty];",
-        )?
+        ))?
         .add();
 
     // Consume the instruction's remaining words from the buffer.
@@ -276,14 +324,18 @@ pub fn build(config: &InterpretedConfig) -> Result<Net, ModelError> {
 
     b.place("Post_issue", 0);
     b.place("Flushing", 0);
-    b.transition("Issue")
+    let mut issue = b
+        .transition("Issue")
         .input("ready_to_issue_instruction")
         .input("Execution_unit")
         .output("Issued_instruction")
         .output("Post_issue")
         .output("Decoder_ready")
-        .action_str("exec_ty = ty; exec_store = will_store; exec_branch = is_br;")?
-        .add();
+        .action_str("exec_ty = ty; exec_store = will_store; exec_branch = is_br;")?;
+    if config.for_analysis {
+        issue = issue.inhibitor("Post_issue");
+    }
+    issue.add();
     // Branch handling: a taken branch invalidates everything prefetched
     // (wrong path). `flush_word` drains the buffer word by word and
     // `flush_done` ends the episode once it is empty; prefetching is
@@ -343,6 +395,20 @@ pub fn build(config: &InterpretedConfig) -> Result<Net, ModelError> {
 mod tests {
     use super::*;
     use pnut_core::Time;
+
+    #[test]
+    fn analysis_variant_is_deterministic_and_still_flows() {
+        let config = InterpretedConfig {
+            for_analysis: true,
+            ..InterpretedConfig::default()
+        };
+        let net = build(&config).unwrap();
+        assert!(!net.uses_random(), "round-robin dispatch has no irand");
+        // The round-robin stream still executes instructions.
+        let trace = pnut_sim::simulate(&net, 5, Time::from_ticks(3000)).unwrap();
+        let report = pnut_stat::analyze(&trace);
+        assert!(report.transition("Issue").unwrap().ends > 10);
+    }
 
     #[test]
     fn default_builds_and_runs() {

@@ -38,14 +38,14 @@
 
 mod config;
 pub mod interpreted;
-pub mod replication;
 pub mod metrics;
+pub mod replication;
 pub mod sequential;
 pub mod three_stage;
 
 pub use config::{CacheConfig, ExecClass, InstructionMix, ModelError, ThreeStageConfig};
-pub use replication::{replicate, Estimate, ReplicatedMetrics};
 pub use metrics::{MetricsError, PipelineMetrics};
+pub use replication::{replicate, Estimate, ReplicatedMetrics};
 
 use pnut_core::Time;
 use pnut_stat::StatReport;

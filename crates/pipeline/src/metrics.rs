@@ -86,8 +86,7 @@ impl PipelineMetrics {
                     missing: name.to_string(),
                 })
         };
-        let trans_starts =
-            |name: &str| report.transition(name).map(|t| t.starts).unwrap_or(0);
+        let trans_starts = |name: &str| report.transition(name).map(|t| t.starts).unwrap_or(0);
 
         let issue = report.transition("Issue").ok_or_else(|| MetricsError {
             missing: "Issue".to_string(),
@@ -134,7 +133,11 @@ impl PipelineMetrics {
 impl fmt::Display for PipelineMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "PROCESSOR METRICS")?;
-        writeln!(f, "instructions / cycle      {:.4}", self.instructions_per_cycle)?;
+        writeln!(
+            f,
+            "instructions / cycle      {:.4}",
+            self.instructions_per_cycle
+        )?;
         writeln!(f, "bus utilization           {:.4}", self.bus_utilization)?;
         writeln!(f, "  prefetching             {:.4}", self.bus_prefetch)?;
         writeln!(f, "  operand fetching        {:.4}", self.bus_operand_fetch)?;

@@ -39,19 +39,18 @@ fn add_memory_completion(
     mem_cycles: u64,
     cache: Option<&CacheConfig>,
 ) {
-    let complete =
-        |b: &mut NetBuilder, tname: String, from_place: &str, cycles: u64| {
-            let mut t = b
-                .transition(tname)
-                .input("Bus_busy")
-                .input(from_place)
-                .output("Bus_free")
-                .enabling(cycles);
-            for &(p, w) in outputs {
-                t = t.output_weighted(p, w);
-            }
-            t.add();
-        };
+    let complete = |b: &mut NetBuilder, tname: String, from_place: &str, cycles: u64| {
+        let mut t = b
+            .transition(tname)
+            .input("Bus_busy")
+            .input(from_place)
+            .output("Bus_free")
+            .enabling(cycles);
+        for &(p, w) in outputs {
+            t = t.output_weighted(p, w);
+        }
+        t.add();
+    };
     match cache {
         Some(c) if c.hit_ratio >= 1.0 => {
             complete(b, format!("{name}_hit"), busy_place, c.hit_cycles);

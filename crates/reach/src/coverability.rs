@@ -6,6 +6,13 @@
 //! *accelerated* to the symbolic count ω, so the tree is always finite
 //! and a place is unbounded iff some node marks it ω.
 //!
+//! Like the reachability graph, the tree is stored flat: all node
+//! markings live in one dense `Count` arena (node `i` owns the row
+//! `i * places..(i + 1) * places`), parents are a `u32` column, and each
+//! node's child edges are a contiguous span of one shared edge array —
+//! no per-node heap allocations, and ancestor walks touch only two flat
+//! arrays.
+//!
 //! Restrictions: acceleration relies on the monotonicity of the plain
 //! firing rule, which inhibitor arcs and predicates break (coverability
 //! with inhibitors is undecidable in general), and actions make the
@@ -57,15 +64,12 @@ impl fmt::Display for Count {
     }
 }
 
-/// A marking extended with ω components.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct OmegaMarking(Vec<Count>);
+/// A borrowed view of one node's (possibly ω) marking — a row of the
+/// tree's count arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OmegaMarking<'a>(&'a [Count]);
 
-impl OmegaMarking {
-    fn from_marking(m: &Marking) -> Self {
-        OmegaMarking(m.as_slice().iter().map(|&t| Count::Finite(t)).collect())
-    }
-
+impl OmegaMarking<'_> {
     /// The count of one place.
     ///
     /// # Panics
@@ -75,13 +79,14 @@ impl OmegaMarking {
         self.0[place.index()]
     }
 
+    /// The raw counts in place order.
+    pub fn as_slice(&self) -> &[Count] {
+        self.0
+    }
+
     /// Componentwise `self >= other`.
-    pub fn covers(&self, other: &OmegaMarking) -> bool {
-        self.0.iter().zip(&other.0).all(|(a, b)| match (a, b) {
-            (Count::Omega, _) => true,
-            (Count::Finite(_), Count::Omega) => false,
-            (Count::Finite(x), Count::Finite(y)) => x >= y,
-        })
+    pub fn covers(&self, other: OmegaMarking<'_>) -> bool {
+        covers(self.0, other.0)
     }
 
     /// Whether any component is ω.
@@ -90,7 +95,15 @@ impl OmegaMarking {
     }
 }
 
-impl fmt::Display for OmegaMarking {
+fn covers(a: &[Count], b: &[Count]) -> bool {
+    a.iter().zip(b).all(|(x, y)| match (x, y) {
+        (Count::Omega, _) => true,
+        (Count::Finite(_), Count::Omega) => false,
+        (Count::Finite(x), Count::Finite(y)) => x >= y,
+    })
+}
+
+impl fmt::Display for OmegaMarking<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
         for (i, c) in self.0.iter().enumerate() {
@@ -103,40 +116,70 @@ impl fmt::Display for OmegaMarking {
     }
 }
 
-/// A node of the coverability tree.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CoverNode {
-    /// The (possibly ω) marking.
-    pub marking: OmegaMarking,
-    /// Parent node index (`None` for the root).
-    pub parent: Option<usize>,
-    /// Children as `(transition fired, node index)`.
-    pub children: Vec<(TransitionId, usize)>,
-}
+const NO_PARENT: u32 = u32::MAX;
 
-/// The Karp–Miller coverability tree.
+/// The Karp–Miller coverability tree in arena form.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoverabilityTree {
-    nodes: Vec<CoverNode>,
+    places: usize,
+    /// Dense node-marking matrix; row `i` is node `i`.
+    counts: Vec<Count>,
+    /// Parent of each node (`NO_PARENT` for the root).
+    parents: Vec<u32>,
+    /// Child edges of all nodes, grouped per parent.
+    child_edges: Vec<(TransitionId, u32)>,
+    /// Span of `child_edges` owned by each node.
+    child_spans: Vec<(u32, u32)>,
 }
 
 impl CoverabilityTree {
-    /// All nodes (index 0 is the root / initial marking).
-    pub fn nodes(&self) -> &[CoverNode] {
-        &self.nodes
+    /// Number of tree nodes (node 0 is the root / initial marking).
+    pub fn node_count(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// The marking of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn marking(&self, i: usize) -> OmegaMarking<'_> {
+        OmegaMarking(&self.counts[i * self.places..(i + 1) * self.places])
+    }
+
+    /// The parent of node `i` (`None` for the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        match self.parents[i] {
+            NO_PARENT => None,
+            p => Some(p as usize),
+        }
+    }
+
+    /// The children of node `i` as `(transition fired, node)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn children(&self, i: usize) -> &[(TransitionId, u32)] {
+        let (start, len) = self.child_spans[i];
+        &self.child_edges[start as usize..(start + len) as usize]
     }
 
     /// Whether the net is unbounded (some node carries an ω).
     pub fn is_unbounded(&self) -> bool {
-        self.nodes.iter().any(|n| n.marking.has_omega())
+        self.counts.iter().any(|c| matches!(c, Count::Omega))
     }
 
     /// The bound of `place`: `None` if unbounded, otherwise the maximum
     /// count over all nodes.
     pub fn place_bound(&self, place: pnut_core::PlaceId) -> Option<u32> {
         let mut max = 0;
-        for n in &self.nodes {
-            match n.marking.count(place) {
+        for row in self.counts.chunks_exact(self.places.max(1)) {
+            match row[place.index()] {
                 Count::Omega => return None,
                 Count::Finite(v) => max = max.max(v),
             }
@@ -148,8 +191,12 @@ impl CoverabilityTree {
     /// — the classical coverability question ("can this many tokens ever
     /// be present simultaneously?").
     pub fn covers(&self, target: &Marking) -> bool {
-        let t = OmegaMarking::from_marking(target);
-        self.nodes.iter().any(|n| n.marking.covers(&t))
+        let t: Vec<Count> = target
+            .as_slice()
+            .iter()
+            .map(|&v| Count::Finite(v))
+            .collect();
+        (0..self.node_count()).any(|i| covers(self.marking(i).0, &t))
     }
 }
 
@@ -207,75 +254,91 @@ pub fn coverability_tree(
         }
     }
 
-    let root = CoverNode {
-        marking: OmegaMarking::from_marking(&net.initial_marking()),
-        parent: None,
-        children: Vec::new(),
+    let places = net.place_count();
+    let mut tree = CoverabilityTree {
+        places,
+        counts: net
+            .initial_marking()
+            .as_slice()
+            .iter()
+            .map(|&t| Count::Finite(t))
+            .collect(),
+        parents: vec![NO_PARENT],
+        child_edges: Vec::new(),
+        child_spans: vec![(0, 0)],
     };
-    let mut nodes = vec![root];
-    let mut work = vec![0usize];
+    let mut work = vec![0u32];
+    // Scratch rows, reused across iterations.
+    let mut marking: Vec<Count> = Vec::with_capacity(places);
+    let mut next: Vec<Count> = Vec::with_capacity(places);
 
     while let Some(cur) = work.pop() {
-        let marking = nodes[cur].marking.clone();
+        let cur = cur as usize;
+        marking.clear();
+        marking.extend_from_slice(tree.marking(cur).0);
         // A node whose marking repeats an ancestor's is a leaf.
-        let mut ancestor = nodes[cur].parent;
+        let mut ancestor = tree.parent(cur);
         let mut repeats = false;
         while let Some(a) = ancestor {
-            if nodes[a].marking == marking {
+            if tree.marking(a).0 == &marking[..] {
                 repeats = true;
                 break;
             }
-            ancestor = nodes[a].parent;
+            ancestor = tree.parent(a);
         }
         if repeats {
             continue;
         }
 
+        let span_start = tree.child_edges.len() as u32;
         for (tid, t) in net.transitions() {
-            let enabled = t.inputs().iter().all(|&(p, w)| marking.0[p.index()].covers(w));
+            let enabled = t
+                .inputs()
+                .iter()
+                .all(|&(p, w)| marking[p.index()].covers(w));
             if !enabled {
                 continue;
             }
-            let mut next = marking.clone();
+            next.clear();
+            next.extend_from_slice(&marking);
             for &(p, w) in t.inputs() {
-                next.0[p.index()] = next.0[p.index()].minus(w);
+                next[p.index()] = next[p.index()].minus(w);
             }
             for &(p, w) in t.outputs() {
-                next.0[p.index()] = next.0[p.index()].plus(w);
+                next[p.index()] = next[p.index()].plus(w);
             }
             // Accelerate: if an ancestor is strictly covered, set ω on
             // the strictly-increased places.
             let mut a = Some(cur);
             while let Some(idx) = a {
-                let anc = &nodes[idx].marking;
-                if next.covers(anc) && next != *anc {
-                    for i in 0..next.0.len() {
-                        if let (Count::Finite(x), Count::Finite(y)) = (next.0[i], anc.0[i]) {
+                let anc = tree.marking(idx).0;
+                if covers(&next, anc) && next != anc {
+                    for i in 0..places {
+                        if let (Count::Finite(x), Count::Finite(y)) = (next[i], anc[i]) {
                             if x > y {
-                                next.0[i] = Count::Omega;
+                                next[i] = Count::Omega;
                             }
                         }
                     }
                 }
-                a = nodes[idx].parent;
+                a = tree.parent(idx);
             }
 
-            let child = nodes.len();
+            let child = tree.parents.len();
             if child >= options.max_nodes {
                 return Err(ReachError::StateLimit {
                     limit: options.max_nodes,
                 });
             }
-            nodes.push(CoverNode {
-                marking: next,
-                parent: Some(cur),
-                children: Vec::new(),
-            });
-            nodes[cur].children.push((tid, child));
-            work.push(child);
+            tree.counts.extend_from_slice(&next);
+            tree.parents.push(cur as u32);
+            tree.child_spans.push((0, 0));
+            tree.child_edges.push((tid, child as u32));
+            work.push(child as u32);
         }
+        tree.child_spans[cur] = (span_start, tree.child_edges.len() as u32 - span_start);
     }
-    Ok(CoverabilityTree { nodes })
+    Ok(tree)
 }
 
 #[cfg(test)]
@@ -316,7 +379,7 @@ mod tests {
         assert_eq!(tree.place_bound(net.place_id("items").unwrap()), None);
         // ω covers any finite demand.
         assert!(tree.covers(&Marking::from_counts(vec![1000, 1])));
-        assert!(tree.nodes().len() < 100, "acceleration keeps it small");
+        assert!(tree.node_count() < 100, "acceleration keeps it small");
     }
 
     #[test]
@@ -361,7 +424,7 @@ mod tests {
     fn omega_display() {
         assert_eq!(Count::Omega.to_string(), "ω");
         assert_eq!(Count::Finite(3).to_string(), "3");
-        let m = OmegaMarking(vec![Count::Finite(1), Count::Omega]);
+        let m = OmegaMarking(&[Count::Finite(1), Count::Omega]);
         assert_eq!(m.to_string(), "[1 ω]");
     }
 
@@ -372,7 +435,25 @@ mod tests {
         b.transition("t").input("p").add();
         let net = b.build().unwrap();
         let tree = coverability_tree(&net, &CoverOptions::default()).unwrap();
-        assert_eq!(tree.nodes().len(), 1);
+        assert_eq!(tree.node_count(), 1);
         assert!(!tree.is_unbounded());
+        assert_eq!(tree.parent(0), None);
+        assert!(tree.children(0).is_empty());
+    }
+
+    #[test]
+    fn tree_structure_is_consistent() {
+        let mut b = NetBuilder::new("ring");
+        b.place("a", 1);
+        b.place("bp", 0);
+        b.transition("ab").input("a").output("bp").add();
+        b.transition("ba").input("bp").output("a").add();
+        let net = b.build().unwrap();
+        let tree = coverability_tree(&net, &CoverOptions::default()).unwrap();
+        for i in 0..tree.node_count() {
+            for &(_, child) in tree.children(i) {
+                assert_eq!(tree.parent(child as usize), Some(i));
+            }
+        }
     }
 }

@@ -20,7 +20,8 @@
 //! Deadlock states are treated as having an implicit self-loop, the
 //! usual convention for CTL over finite graphs with terminal states.
 
-use crate::graph::{ReachabilityGraph, StateData};
+use crate::graph::ReachabilityGraph;
+use crate::store::StateRef;
 use pnut_core::Net;
 use std::fmt;
 
@@ -158,7 +159,7 @@ pub fn check(
     })
 }
 
-fn eval_term(term: &Term, state: &StateData, net: &Net) -> Result<i64, CtlError> {
+fn eval_term(term: &Term, state: StateRef<'_>, net: &Net) -> Result<i64, CtlError> {
     match term {
         Term::Int(v) => Ok(*v),
         Term::Name(n) => {
@@ -182,15 +183,11 @@ fn succ(graph: &ReachabilityGraph, i: usize) -> Vec<usize> {
     if s.is_empty() {
         vec![i]
     } else {
-        s.iter().map(|&(_, j)| j).collect()
+        s.iter().map(|&(_, j)| j as usize).collect()
     }
 }
 
-fn sat_set(
-    graph: &ReachabilityGraph,
-    net: &Net,
-    formula: &Formula,
-) -> Result<Vec<bool>, CtlError> {
+fn sat_set(graph: &ReachabilityGraph, net: &Net, formula: &Formula) -> Result<Vec<bool>, CtlError> {
     let n = graph.state_count();
     let all = |v: bool| vec![v; n];
     Ok(match formula {
@@ -236,11 +233,15 @@ fn sat_set(
         }
         Formula::Ex(f) => {
             let sf = sat_set(graph, net, f)?;
-            (0..n).map(|i| succ(graph, i).iter().any(|&j| sf[j])).collect()
+            (0..n)
+                .map(|i| succ(graph, i).iter().any(|&j| sf[j]))
+                .collect()
         }
         Formula::Ax(f) => {
             let sf = sat_set(graph, net, f)?;
-            (0..n).map(|i| succ(graph, i).iter().all(|&j| sf[j])).collect()
+            (0..n)
+                .map(|i| succ(graph, i).iter().all(|&j| sf[j]))
+                .collect()
         }
         Formula::Ef(f) => eu(graph, &vec![true; n], &sat_set(graph, net, f)?),
         Formula::Eu(a, b) => eu(graph, &sat_set(graph, net, a)?, &sat_set(graph, net, b)?),
@@ -274,11 +275,7 @@ fn sat_set(
             let sa = sat_set(graph, net, a)?;
             let sb = sat_set(graph, net, b)?;
             let not_b: Vec<bool> = sb.iter().map(|&x| !x).collect();
-            let not_a_and_not_b: Vec<bool> = sa
-                .iter()
-                .zip(&sb)
-                .map(|(&x, &y)| !x && !y)
-                .collect();
+            let not_a_and_not_b: Vec<bool> = sa.iter().zip(&sb).map(|(&x, &y)| !x && !y).collect();
             let e1 = eu(graph, &not_b, &not_a_and_not_b);
             let e2 = eg(graph, &not_b);
             e1.iter().zip(e2).map(|(&x, y)| !(x || y)).collect()
@@ -394,7 +391,11 @@ impl Parser {
                     }
                 }
                 '=' => {
-                    i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                    i += if bytes.get(i + 1) == Some(&b'=') {
+                        2
+                    } else {
+                        1
+                    };
                     toks.push((Tok::Eq, pos));
                 }
                 '!' => {

@@ -1,8 +1,17 @@
-//! Reachability graph construction.
+//! Reachability graph construction over the interned state store.
+//!
+//! States live in a [`StateStore`] (each distinct state exactly once, in
+//! flat arenas — see [`crate::store`]); edges are kept in compressed
+//! sparse row (CSR) form: one flat `Vec<(EdgeLabel, u32)>` plus an
+//! `offsets` array with `offsets[i]..offsets[i + 1]` delimiting the
+//! successors of state `i`. Breadth-first exploration discovers and
+//! finishes states in index order, so the CSR rows are emitted directly
+//! without a compaction pass, and two builds of the same net produce
+//! bit-identical graphs.
 
+use crate::store::{StateRef, StateStore};
 use pnut_core::expr::Env;
-use pnut_core::{Marking, Net, Time, TransitionId};
-use std::collections::{HashMap, VecDeque};
+use pnut_core::{Net, Time, Transition, TransitionId};
 use std::fmt;
 
 /// Limits for graph construction.
@@ -14,7 +23,9 @@ pub struct ReachOptions {
 
 impl Default for ReachOptions {
     fn default() -> Self {
-        ReachOptions { max_states: 100_000 }
+        ReachOptions {
+            max_states: 100_000,
+        }
     }
 }
 
@@ -54,6 +65,19 @@ pub enum ReachError {
         /// The offending transition.
         transition: String,
     },
+    /// Firing a transition produced an inconsistent marking: a token
+    /// count overflowed `u32`, or an input place underflowed despite the
+    /// enablement check (unreachable unless an internal invariant is
+    /// broken — `NetBuilder` merges duplicate arcs, and enablement
+    /// covers the merged weight). The seed construction only
+    /// `debug_assert!`-ed this; it is a hard error so release builds can
+    /// never continue from a corrupted marking.
+    MarkingCorrupt {
+        /// The transition being fired.
+        transition: String,
+        /// What exactly went wrong.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for ReachError {
@@ -78,23 +102,15 @@ impl fmt::Display for ReachError {
                 f,
                 "coverability requires a plain net without inhibitors/predicates/actions (`{transition}`)"
             ),
+            ReachError::MarkingCorrupt { transition, detail } => write!(
+                f,
+                "firing `{transition}` corrupted the marking: {detail}"
+            ),
         }
     }
 }
 
 impl std::error::Error for ReachError {}
-
-/// The data of one reachable state.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct StateData {
-    /// Token counts.
-    pub marking: Marking,
-    /// Variable environment (constant for nets without actions).
-    pub env: Env,
-    /// In-flight firings as `(transition, remaining ticks)`, sorted —
-    /// empty for untimed graphs.
-    pub in_flight: Vec<(TransitionId, u64)>,
-}
 
 /// An edge label: a transition start, or the passage of time to the
 /// next completion (timed graphs only).
@@ -106,58 +122,74 @@ pub enum EdgeLabel {
     Advance(u64),
 }
 
-/// A reachability graph: states, labeled edges, and the initial state
-/// (index 0).
+/// One outgoing edge: the label and the target state index.
+pub type Edge = (EdgeLabel, u32);
+
+/// A reachability graph: interned states, CSR-packed labeled edges, and
+/// the initial state (index 0).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReachabilityGraph {
-    states: Vec<StateData>,
-    edges: Vec<Vec<(EdgeLabel, usize)>>,
+    store: StateStore,
+    /// CSR row boundaries; `len == state_count() + 1`.
+    offsets: Vec<u32>,
+    /// All edges, grouped by source state.
+    edges: Vec<Edge>,
 }
 
 impl ReachabilityGraph {
     /// Number of states.
     pub fn state_count(&self) -> usize {
-        self.states.len()
+        self.store.len()
     }
 
     /// Total number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.iter().map(Vec::len).sum()
+        self.edges.len()
     }
 
-    /// The data of state `i`.
+    /// The interned state store (markings, environments, in-flight
+    /// multisets).
+    pub fn store(&self) -> &StateStore {
+        &self.store
+    }
+
+    /// A view of state `i`.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn state(&self, i: usize) -> &StateData {
-        &self.states[i]
+    pub fn state(&self, i: usize) -> StateRef<'_> {
+        self.store.state(i)
     }
 
-    /// Outgoing edges of state `i`.
+    /// Outgoing edges of state `i` as `(label, target)` pairs.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn successors(&self, i: usize) -> &[(EdgeLabel, usize)] {
-        &self.edges[i]
+    pub fn successors(&self, i: usize) -> &[Edge] {
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Indices of deadlock states (no outgoing edges).
     pub fn deadlocks(&self) -> Vec<usize> {
-        (0..self.states.len())
-            .filter(|&i| self.edges[i].is_empty())
+        (0..self.state_count())
+            .filter(|&i| self.offsets[i] == self.offsets[i + 1])
             .collect()
     }
 
     /// The bound of each place: the maximum token count over all
     /// reachable states (a net is k-bounded iff every entry ≤ k).
     pub fn place_bounds(&self) -> Vec<u32> {
-        let places = self.states.first().map(|s| s.marking.len()).unwrap_or(0);
+        let places = if self.store.is_empty() {
+            0
+        } else {
+            self.store.marking_slice(0).len()
+        };
         let mut bounds = vec![0u32; places];
-        for s in &self.states {
-            for (p, t) in s.marking.iter() {
-                bounds[p.index()] = bounds[p.index()].max(t);
+        for i in 0..self.store.len() {
+            for (b, &t) in bounds.iter_mut().zip(self.store.marking_slice(i)) {
+                *b = (*b).max(t);
             }
         }
         bounds
@@ -167,8 +199,15 @@ impl ReachabilityGraph {
     pub fn ever_fires(&self, transition: TransitionId) -> bool {
         self.edges
             .iter()
-            .flatten()
             .any(|&(l, _)| l == EdgeLabel::Fire(transition))
+    }
+
+    /// Approximate heap footprint of the graph (store arenas, intern
+    /// tables, and CSR edge arrays) in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.store.approx_bytes()
+            + self.offsets.capacity() * 4
+            + self.edges.capacity() * std::mem::size_of::<Edge>()
     }
 }
 
@@ -177,6 +216,277 @@ fn check_deterministic(net: &Net) -> Result<(), ReachError> {
         return Err(ReachError::UsesRandom);
     }
     Ok(())
+}
+
+fn eval_err(t: &Transition, source: pnut_core::EvalError) -> ReachError {
+    ReachError::Eval {
+        transition: t.name().to_string(),
+        source,
+    }
+}
+
+/// One transition lowered to flat index/delta form for the hot loop:
+/// raw place indices instead of `PlaceId`s, duplicate arcs merged, and
+/// the token movement of a firing as a single signed-delta pass.
+struct Compiled {
+    id: TransitionId,
+    /// `(place, tokens)` enablement lower bounds; duplicate input arcs
+    /// are merged by summing, so multi-arc requirements are exact.
+    needs: Vec<(u32, u32)>,
+    /// `(place, threshold)` inhibitor bounds (duplicates merged to the
+    /// tightest threshold); enabled iff tokens < threshold.
+    inhib: Vec<(u32, u32)>,
+    /// Net token movement of an atomic firing — inputs negative,
+    /// outputs positive, zero-sum self-loops dropped.
+    fire_delta: Vec<(u32, i64)>,
+    /// Token movement of a timed firing *start* (inputs only; outputs
+    /// are delivered at end-of-firing).
+    start_delta: Vec<(u32, i64)>,
+    /// Maximum concurrent firings (timed nets).
+    cap: Option<u32>,
+    has_predicate: bool,
+    has_action: bool,
+}
+
+fn compile(net: &Net) -> Vec<Compiled> {
+    use std::collections::BTreeMap;
+    net.transitions()
+        .map(|(id, t)| {
+            let mut needs: BTreeMap<u32, u64> = BTreeMap::new();
+            let mut inhib: BTreeMap<u32, u32> = BTreeMap::new();
+            let mut fire: BTreeMap<u32, i64> = BTreeMap::new();
+            let mut start: BTreeMap<u32, i64> = BTreeMap::new();
+            for &(p, w) in t.inputs() {
+                let p = p.index() as u32;
+                *needs.entry(p).or_default() += u64::from(w);
+                *fire.entry(p).or_default() -= i64::from(w);
+                *start.entry(p).or_default() -= i64::from(w);
+            }
+            for &(p, th) in t.inhibitors() {
+                let e = inhib.entry(p.index() as u32).or_insert(th);
+                *e = (*e).min(th);
+            }
+            for &(p, w) in t.outputs() {
+                *fire.entry(p.index() as u32).or_default() += i64::from(w);
+            }
+            Compiled {
+                id,
+                needs: needs
+                    .into_iter()
+                    // A summed requirement above u32::MAX is unsatisfiable
+                    // in practice; saturating keeps the type small.
+                    .map(|(p, w)| (p, u32::try_from(w).unwrap_or(u32::MAX)))
+                    .collect(),
+                inhib: inhib.into_iter().collect(),
+                fire_delta: fire.into_iter().filter(|&(_, d)| d != 0).collect(),
+                start_delta: start.into_iter().collect(),
+                cap: t.max_concurrent(),
+                has_predicate: t.predicate().is_some(),
+                has_action: t.action().is_some(),
+            }
+        })
+        .collect()
+}
+
+/// Apply merged token deltas to a scratch marking, keeping its
+/// commutative hash (see [`StateStore::marking_elem_hash`]) in sync.
+/// Returns the corruption detail on underflow/overflow.
+#[inline]
+fn apply_delta(
+    marking: &mut [u32],
+    hash: &mut u64,
+    delta: &[(u32, i64)],
+) -> Result<(), &'static str> {
+    for &(p, d) in delta {
+        let p = p as usize;
+        let old = marking[p];
+        let new = i64::from(old) + d;
+        let Ok(new) = u32::try_from(new) else {
+            return Err(if new < 0 {
+                "input place underflow (arc weights exceed tokens)"
+            } else {
+                "token count overflowed u32"
+            });
+        };
+        marking[p] = new;
+        *hash = hash
+            .wrapping_sub(StateStore::marking_elem_hash(p, old))
+            .wrapping_add(StateStore::marking_elem_hash(p, new));
+    }
+    Ok(())
+}
+
+/// Shared exploration machinery for the timed and untimed builds: the
+/// store, the CSR accumulators, the compiled transitions, and reusable
+/// scratch buffers that make successor generation allocation-free on
+/// the steady state.
+struct Explorer {
+    max_states: usize,
+    compiled: Vec<Compiled>,
+    store: StateStore,
+    offsets: Vec<u32>,
+    edges: Vec<Edge>,
+    /// Copy of the current state's marking (stable while `store` grows).
+    cur_marking: Vec<u32>,
+    /// Marking-part hash of `cur_marking`.
+    cur_hash: u64,
+    /// Copy of the current state's in-flight multiset.
+    cur_inflight: Vec<(TransitionId, u64)>,
+    /// Successor marking under construction.
+    next_marking: Vec<u32>,
+    /// Marking-part hash of `next_marking`, maintained incrementally.
+    next_hash: u64,
+    /// Successor in-flight multiset under construction.
+    next_inflight: Vec<(TransitionId, u64)>,
+}
+
+impl Explorer {
+    fn new(net: &Net, options: &ReachOptions) -> Self {
+        let places = net.place_count();
+        let mut store = StateStore::new(places);
+        let initial_env = store.intern_env(net.initial_env());
+        let initial = net.initial_marking();
+        store.intern(initial.as_slice(), initial_env, &[]);
+        Explorer {
+            max_states: options.max_states,
+            compiled: compile(net),
+            store,
+            offsets: Vec::new(),
+            edges: Vec::new(),
+            cur_marking: vec![0; places],
+            cur_hash: 0,
+            cur_inflight: Vec::new(),
+            next_marking: vec![0; places],
+            next_hash: 0,
+            next_inflight: Vec::new(),
+        }
+    }
+
+    /// Load state `cur` into the scratch copies.
+    fn load(&mut self, cur: usize) -> u32 {
+        self.cur_marking
+            .copy_from_slice(self.store.marking_slice(cur));
+        self.cur_hash = StateStore::marking_hash(&self.cur_marking);
+        self.cur_inflight.clear();
+        self.cur_inflight
+            .extend_from_slice(self.store.in_flight_slice(cur));
+        self.offsets
+            .push(u32::try_from(self.edges.len()).expect("more than u32::MAX edges"));
+        self.store.env_id(cur)
+    }
+
+    /// Whether compiled transition `ti` is marking-enabled in the
+    /// current state.
+    #[inline]
+    fn enabled(&self, ti: usize) -> bool {
+        let ct = &self.compiled[ti];
+        ct.needs
+            .iter()
+            .all(|&(p, w)| self.cur_marking[p as usize] >= w)
+            && ct
+                .inhib
+                .iter()
+                .all(|&(p, th)| self.cur_marking[p as usize] < th)
+    }
+
+    /// Reset the scratch successor to the current marking.
+    #[inline]
+    fn begin_next(&mut self) {
+        self.next_marking.copy_from_slice(&self.cur_marking);
+        self.next_hash = self.cur_hash;
+    }
+
+    /// Build the successor marking for firing `ti`: the full movement
+    /// when `atomic`, inputs only otherwise (timed nets deliver outputs
+    /// at end-of-firing).
+    fn fire(&mut self, net: &Net, ti: usize, atomic: bool) -> Result<(), ReachError> {
+        self.next_marking.copy_from_slice(&self.cur_marking);
+        self.next_hash = self.cur_hash;
+        let ct = &self.compiled[ti];
+        let delta = if atomic {
+            &ct.fire_delta
+        } else {
+            &ct.start_delta
+        };
+        apply_delta(&mut self.next_marking, &mut self.next_hash, delta).map_err(|detail| {
+            ReachError::MarkingCorrupt {
+                transition: net.transition(ct.id).name().to_string(),
+                detail,
+            }
+        })
+    }
+
+    /// Add `t`'s output tokens to the scratch successor.
+    fn deliver_outputs(&mut self, t: &Transition) -> Result<(), ReachError> {
+        for &(p, w) in t.outputs() {
+            let p = p.index();
+            let old = self.next_marking[p];
+            let new = old
+                .checked_add(w)
+                .ok_or_else(|| ReachError::MarkingCorrupt {
+                    transition: t.name().to_string(),
+                    detail: "token count overflowed u32",
+                })?;
+            self.next_marking[p] = new;
+            self.next_hash = self
+                .next_hash
+                .wrapping_sub(StateStore::marking_elem_hash(p, old))
+                .wrapping_add(StateStore::marking_elem_hash(p, new));
+        }
+        Ok(())
+    }
+
+    /// Run `ti`'s predicate against `env` (true when absent).
+    fn predicate_holds(&self, net: &Net, ti: usize, env_id: u32) -> Result<bool, ReachError> {
+        let t = net.transition(self.compiled[ti].id);
+        match t.predicate() {
+            None => Ok(true),
+            Some(p) => p
+                .eval_pure(self.store.env(env_id))
+                .and_then(|v| v.as_bool())
+                .map_err(|e| eval_err(t, e)),
+        }
+    }
+
+    /// Environment after `ti`'s action (the common actionless path
+    /// reuses the interned id without touching the environment at all).
+    fn next_env(&mut self, net: &Net, ti: usize, env_id: u32) -> Result<u32, ReachError> {
+        if !self.compiled[ti].has_action {
+            return Ok(env_id);
+        }
+        let t = net.transition(self.compiled[ti].id);
+        let a = t.action().expect("has_action");
+        let mut env: Env = self.store.env(env_id).clone();
+        a.apply_pure(&mut env).map_err(|e| eval_err(t, e))?;
+        Ok(self.store.intern_env(&env))
+    }
+
+    /// Intern the scratch successor and record an edge to it.
+    fn link(&mut self, label: EdgeLabel, env_id: u32) -> Result<(), ReachError> {
+        let (target, new) = self.store.intern_hashed(
+            &self.next_marking,
+            self.next_hash,
+            env_id,
+            &self.next_inflight,
+        );
+        if new && target >= self.max_states {
+            return Err(ReachError::StateLimit {
+                limit: self.max_states,
+            });
+        }
+        self.edges.push((label, target as u32));
+        Ok(())
+    }
+
+    fn finish(mut self) -> ReachabilityGraph {
+        self.offsets
+            .push(u32::try_from(self.edges.len()).expect("more than u32::MAX edges"));
+        ReachabilityGraph {
+            store: self.store,
+            offsets: self.offsets,
+            edges: self.edges,
+        }
+    }
 }
 
 /// Build the untimed (classical occurrence semantics) reachability
@@ -188,74 +498,28 @@ fn check_deterministic(net: &Net) -> Result<(), ReachError> {
 /// unbounded nets.
 pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGraph, ReachError> {
     check_deterministic(net)?;
-    let initial = StateData {
-        marking: net.initial_marking(),
-        env: net.initial_env().clone(),
-        in_flight: Vec::new(),
-    };
-    let mut states = vec![initial.clone()];
-    let mut index: HashMap<StateData, usize> = HashMap::from([(initial, 0)]);
-    let mut edges: Vec<Vec<(EdgeLabel, usize)>> = vec![Vec::new()];
-    let mut queue = VecDeque::from([0usize]);
-
-    while let Some(cur) = queue.pop_front() {
-        let state = states[cur].clone();
-        for (tid, t) in net.transitions() {
-            if !t.marking_enabled(&state.marking) {
+    let mut ex = Explorer::new(net, options);
+    let mut cur = 0;
+    // States are discovered in BFS order and numbered densely, so the
+    // frontier is simply "indices not yet scanned" — no queue needed.
+    while cur < ex.store.len() {
+        let env_id = ex.load(cur);
+        for ti in 0..ex.compiled.len() {
+            if !ex.enabled(ti) {
                 continue;
             }
-            if let Some(p) = t.predicate() {
-                let ok = p
-                    .eval_pure(&state.env)
-                    .and_then(|v| v.as_bool())
-                    .map_err(|source| ReachError::Eval {
-                        transition: t.name().to_string(),
-                        source,
-                    })?;
-                if !ok {
-                    continue;
-                }
+            if ex.compiled[ti].has_predicate && !ex.predicate_holds(net, ti, env_id)? {
+                continue;
             }
-            let mut marking = state.marking.clone();
-            for &(p, w) in t.inputs() {
-                let ok = marking.try_remove(p, w);
-                debug_assert!(ok);
-            }
-            for &(p, w) in t.outputs() {
-                marking.add(p, w);
-            }
-            let mut env = state.env.clone();
-            if let Some(a) = t.action() {
-                a.apply_pure(&mut env).map_err(|source| ReachError::Eval {
-                    transition: t.name().to_string(),
-                    source,
-                })?;
-            }
-            let next = StateData {
-                marking,
-                env,
-                in_flight: Vec::new(),
-            };
-            let target = match index.get(&next) {
-                Some(&i) => i,
-                None => {
-                    let i = states.len();
-                    if i >= options.max_states {
-                        return Err(ReachError::StateLimit {
-                            limit: options.max_states,
-                        });
-                    }
-                    states.push(next.clone());
-                    index.insert(next, i);
-                    edges.push(Vec::new());
-                    queue.push_back(i);
-                    i
-                }
-            };
-            edges[cur].push((EdgeLabel::Fire(tid), target));
+            ex.fire(net, ti, true)?;
+            ex.next_inflight.clear();
+            let next_env = ex.next_env(net, ti, env_id)?;
+            let label = EdgeLabel::Fire(ex.compiled[ti].id);
+            ex.link(label, next_env)?;
         }
+        cur += 1;
     }
-    Ok(ReachabilityGraph { states, edges })
+    Ok(ex.finish())
 }
 
 /// Build the timed reachability graph per `[RP84]`: states carry in-flight
@@ -288,132 +552,66 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
         }
     }
 
-    let initial = StateData {
-        marking: net.initial_marking(),
-        env: net.initial_env().clone(),
-        in_flight: Vec::new(),
-    };
-    let mut states = vec![initial.clone()];
-    let mut index: HashMap<StateData, usize> = HashMap::from([(initial, 0)]);
-    let mut edges: Vec<Vec<(EdgeLabel, usize)>> = vec![Vec::new()];
-    let mut queue = VecDeque::from([0usize]);
-
-    let mut intern = |next: StateData,
-                      states: &mut Vec<StateData>,
-                      edges: &mut Vec<Vec<(EdgeLabel, usize)>>,
-                      queue: &mut VecDeque<usize>|
-     -> Result<usize, ReachError> {
-        match index.get(&next) {
-            Some(&i) => Ok(i),
-            None => {
-                let i = states.len();
-                if i >= options.max_states {
-                    return Err(ReachError::StateLimit {
-                        limit: options.max_states,
-                    });
-                }
-                states.push(next.clone());
-                index.insert(next, i);
-                edges.push(Vec::new());
-                queue.push_back(i);
-                Ok(i)
-            }
-        }
-    };
-
-    while let Some(cur) = queue.pop_front() {
-        let state = states[cur].clone();
+    let mut ex = Explorer::new(net, options);
+    let mut cur = 0;
+    while cur < ex.store.len() {
+        let env_id = ex.load(cur);
         let mut can_start = false;
-        for (tid, t) in net.transitions() {
-            if !t.marking_enabled(&state.marking) {
+        #[allow(clippy::needless_range_loop)] // `ti` indexes `ex.compiled` too
+        for ti in 0..ex.compiled.len() {
+            if !ex.enabled(ti) {
                 continue;
             }
-            if let Some(cap) = t.max_concurrent() {
-                let inflight = state
-                    .in_flight
-                    .iter()
-                    .filter(|&&(x, _)| x == tid)
-                    .count() as u32;
+            let tid = ex.compiled[ti].id;
+            if let Some(cap) = ex.compiled[ti].cap {
+                let inflight = ex.cur_inflight.iter().filter(|&&(x, _)| x == tid).count() as u32;
                 if inflight >= cap {
                     continue;
                 }
             }
-            if let Some(p) = t.predicate() {
-                let ok = p
-                    .eval_pure(&state.env)
-                    .and_then(|v| v.as_bool())
-                    .map_err(|source| ReachError::Eval {
-                        transition: t.name().to_string(),
-                        source,
-                    })?;
-                if !ok {
-                    continue;
-                }
+            if ex.compiled[ti].has_predicate && !ex.predicate_holds(net, ti, env_id)? {
+                continue;
             }
             can_start = true;
-            let mut marking = state.marking.clone();
-            for &(p, w) in t.inputs() {
-                let ok = marking.try_remove(p, w);
-                debug_assert!(ok);
+            let ticks = firing_ticks[ti];
+            // Zero-delay firings are atomic: outputs appear immediately
+            // and the in-flight multiset is unchanged.
+            ex.fire(net, ti, ticks == 0)?;
+            ex.next_inflight.clear();
+            ex.next_inflight.extend_from_slice(&ex.cur_inflight);
+            if ticks != 0 {
+                ex.next_inflight.push((tid, ticks));
+                ex.next_inflight.sort_unstable();
             }
-            let mut env = state.env.clone();
-            if let Some(a) = t.action() {
-                a.apply_pure(&mut env).map_err(|source| ReachError::Eval {
-                    transition: t.name().to_string(),
-                    source,
-                })?;
-            }
-            let mut in_flight = state.in_flight.clone();
-            let ticks = firing_ticks[tid.index()];
-            if ticks == 0 {
-                // Atomic: outputs appear immediately.
-                for &(p, w) in t.outputs() {
-                    marking.add(p, w);
-                }
-            } else {
-                in_flight.push((tid, ticks));
-                in_flight.sort();
-            }
-            let next = StateData {
-                marking,
-                env,
-                in_flight,
-            };
-            let target = intern(next, &mut states, &mut edges, &mut queue)?;
-            edges[cur].push((EdgeLabel::Fire(tid), target));
+            let next_env = ex.next_env(net, ti, env_id)?;
+            ex.link(EdgeLabel::Fire(tid), next_env)?;
         }
 
         // Maximal-progress time advance: only when nothing can start.
-        if !can_start && !state.in_flight.is_empty() {
-            let dt = state
-                .in_flight
+        if !can_start && !ex.cur_inflight.is_empty() {
+            let dt = ex
+                .cur_inflight
                 .iter()
                 .map(|&(_, r)| r)
                 .min()
                 .expect("non-empty");
-            let mut marking = state.marking.clone();
-            let mut in_flight = Vec::new();
-            for &(tid, r) in &state.in_flight {
+            ex.begin_next();
+            ex.next_inflight.clear();
+            for i in 0..ex.cur_inflight.len() {
+                let (tid, r) = ex.cur_inflight[i];
                 if r == dt {
-                    for &(p, w) in net.transition(tid).outputs() {
-                        marking.add(p, w);
-                    }
+                    ex.deliver_outputs(net.transition(tid))?;
                 } else {
-                    in_flight.push((tid, r - dt));
+                    ex.next_inflight.push((tid, r - dt));
                 }
             }
-            in_flight.sort();
-            let next = StateData {
-                marking,
-                env: state.env.clone(),
-                in_flight,
-            };
-            let target = intern(next, &mut states, &mut edges, &mut queue)?;
-            edges[cur].push((EdgeLabel::Advance(dt), target));
+            ex.next_inflight.sort_unstable();
+            ex.link(EdgeLabel::Advance(dt), env_id)?;
         }
+        cur += 1;
     }
     let _ = Time::ZERO; // Time is part of the public vocabulary via labels.
-    Ok(ReachabilityGraph { states, edges })
+    Ok(ex.finish())
 }
 
 #[cfg(test)]
@@ -527,6 +725,15 @@ mod tests {
         let g = build_untimed(&net, &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 4, "n in 0..=3");
         assert_eq!(g.deadlocks().len(), 1);
+        // The four states share nothing but still intern four distinct
+        // environments (n = 0..=3).
+        assert_eq!(g.store().env_count(), 4);
+    }
+
+    #[test]
+    fn actionless_nets_intern_one_environment() {
+        let g = build_untimed(&ring(2), &ReachOptions::default()).unwrap();
+        assert_eq!(g.store().env_count(), 1, "no actions → one shared env");
     }
 
     #[test]
@@ -605,5 +812,50 @@ mod tests {
             build_timed(&net, &ReachOptions::default()),
             Err(ReachError::NonConstantDelay { .. })
         ));
+    }
+
+    #[test]
+    fn duplicate_input_arcs_merge_and_cannot_underflow() {
+        // NetBuilder merges duplicate arcs, so two weight-1 inputs from
+        // one place require 2 tokens — with only 1 the transition is
+        // disabled outright (the seed checked each arc in isolation,
+        // considered it enabled, then underflowed under a bare
+        // debug_assert!). With 2 tokens it fires normally.
+        let dup = |tokens| {
+            let mut b = NetBuilder::new("dup");
+            b.place("p", tokens);
+            b.place("q", 0);
+            b.transition("t").input("p").input("p").output("q").add();
+            b.build().unwrap()
+        };
+        let g = build_untimed(&dup(1), &ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 1, "merged arcs need 2 tokens");
+        assert_eq!(g.deadlocks(), vec![0]);
+
+        let g = build_untimed(&dup(2), &ReachOptions::default()).unwrap();
+        assert_eq!(g.state_count(), 2);
+        let fired = g.state(1);
+        assert_eq!(fired.marking.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn csr_rows_partition_the_edge_list() {
+        let net = ring(2);
+        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        let total: usize = (0..g.state_count()).map(|i| g.successors(i).len()).sum();
+        assert_eq!(total, g.edge_count());
+        for i in 0..g.state_count() {
+            for &(_, target) in g.successors(i) {
+                assert!((target as usize) < g.state_count());
+            }
+        }
+    }
+
+    #[test]
+    fn rebuilds_are_bit_identical() {
+        let net = ring(3);
+        let a = build_untimed(&net, &ReachOptions::default()).unwrap();
+        let b = build_untimed(&net, &ReachOptions::default()).unwrap();
+        assert_eq!(a, b);
     }
 }

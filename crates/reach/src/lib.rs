@@ -17,6 +17,31 @@
 //! * [`ctl`] — CTL-style branching-time temporal logic over either
 //!   graph: `AG`, `EF`, `AF`, `EG`, `EX`, `AX`, `E[.U.]`, `A[.U.]` over
 //!   atomic propositions comparing place token counts.
+//! * [`coverability`] — the Karp–Miller tree for exact boundedness.
+//!
+//! # Representation
+//!
+//! State-space construction is bounded by duplicate-detection
+//! throughput, so the data layout is built around it (see [`store`] for
+//! the full story):
+//!
+//! * **Interned states.** A [`StateStore`] keeps each distinct state
+//!   exactly once in flat arenas (markings as a dense `u32` matrix,
+//!   in-flight multisets in CSR form, environments deduplicated
+//!   separately). Duplicate detection is a raw open-addressing table of
+//!   `(FxHash, index)` pairs probing straight into the arenas — no
+//!   owned keys, no second copy of any state, no per-visit allocation.
+//! * **CSR edges.** [`ReachabilityGraph`] stores all edges in one flat
+//!   `(label, target)` array with row offsets per state, emitted
+//!   directly by the breadth-first exploration. Analyses that sweep
+//!   edges repeatedly (CTL fixpoints, Markov-chain extraction) walk a
+//!   contiguous array instead of chasing one heap `Vec` per state.
+//! * **Views, not copies.** [`ReachabilityGraph::state`] returns a
+//!   borrowed [`StateRef`] into the arenas; nothing is materialized.
+//!
+//! Construction is O(edges × marking width) time with exactly one arena
+//! copy per distinct state; two builds of the same net yield
+//! bit-identical graphs (exploration order is deterministic).
 //!
 //! # Example
 //!
@@ -45,7 +70,9 @@
 pub mod coverability;
 pub mod ctl;
 pub mod graph;
+pub mod store;
 
 pub use coverability::{CoverOptions, CoverabilityTree};
 pub use ctl::{CheckOutcome, CtlError, Formula};
-pub use graph::{ReachError, ReachOptions, ReachabilityGraph, StateData};
+pub use graph::{Edge, EdgeLabel, ReachError, ReachOptions, ReachabilityGraph};
+pub use store::{FxHasher, MarkingView, StateRef, StateStore};

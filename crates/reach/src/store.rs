@@ -1,0 +1,644 @@
+//! The interned, zero-copy state store behind reachability graphs.
+//!
+//! # Why it exists
+//!
+//! Every analysis in this workspace — CTL checking, steady-state Markov
+//! analysis, coverability — funnels through exhaustive state-space
+//! exploration, so duplicate detection is *the* hot loop: each successor
+//! computation must answer "have I seen this state?" before anything
+//! else can happen. The original construction paid for that three ways:
+//!
+//! 1. every state was stored **twice** (once in `Vec<StateData>`, once
+//!    as the owned key of a `HashMap<StateData, usize>`);
+//! 2. every visit **cloned** the popped state and every successor was
+//!    built from freshly allocated `Vec`s and `BTreeMap`s;
+//! 3. lookups hashed whole states — including the `BTreeMap`-backed
+//!    variable environment — with DoS-resistant SipHash.
+//!
+//! # Layout
+//!
+//! [`StateStore`] keeps each distinct state exactly once, decomposed
+//! into flat arenas:
+//!
+//! ```text
+//! markings:  [ s0 p0..pn | s1 p0..pn | ... ]      width = place count
+//! env_ids:   [ s0 | s1 | ... ]                    u32 into `envs`
+//! inflight:  [ ...(transition, remaining)... ]    CSR via inflight_offsets
+//! envs:      [ distinct environments only ]       interned separately
+//! ```
+//!
+//! Duplicate detection is a hand-rolled open-addressing table of
+//! `(precomputed FxHash, state index)` pairs — the raw-entry pattern:
+//! no owned keys, no re-hashing on probe, equality checked directly
+//! against the arena slices. Because environments are interned first,
+//! state equality degrades to two slice compares plus one `u32` compare;
+//! the expensive `BTreeMap` walk happens at most once per *distinct*
+//! environment, not once per visit.
+//!
+//! # Complexity
+//!
+//! Interning is amortized O(|marking| + |in-flight|) per successor with
+//! no allocation on the hit path (the overwhelmingly common case once
+//! the frontier saturates). Memory is one arena copy per distinct state
+//! plus 12 bytes of table entry — roughly half of what the doubled
+//! owned-key layout used, before counting its per-state heap headers.
+
+use pnut_core::expr::Env;
+use pnut_core::{Marking, PlaceId, TransitionId};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+// ---------------------------------------------------------------------------
+// FxHash
+// ---------------------------------------------------------------------------
+
+/// Multiplier from the Firefox/rustc Fx hash (a Fibonacci-style odd
+/// constant); quality is plenty for interning and it is far cheaper
+/// than SipHash on short keys.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fx_mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// The FxHash algorithm behind a [`std::hash::Hasher`] face, so derived
+/// `Hash` impls (e.g. [`Env`]'s) can feed it.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.hash = fx_mix(
+                self.hash,
+                u64::from_le_bytes(c.try_into().expect("8 bytes")),
+            );
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.hash = fx_mix(self.hash, u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.hash = fx_mix(self.hash, u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.hash = fx_mix(self.hash, u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = fx_mix(self.hash, v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.hash = fx_mix(self.hash, v as u64);
+    }
+}
+
+/// FxHash of anything `Hash` (used for environment interning).
+pub fn fx_hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Raw intern table
+// ---------------------------------------------------------------------------
+
+const EMPTY: u32 = u32::MAX;
+
+/// Open-addressing table of `(hash, index)` pairs with linear probing.
+///
+/// The table owns no keys: callers keep the real data in an arena and
+/// supply an equality predicate at probe time, exactly like hashbrown's
+/// raw-entry API but without the dependency.
+#[derive(Debug, Clone)]
+struct InternTable {
+    /// Power-of-two bucket array; `idx == EMPTY` marks a free slot.
+    entries: Vec<(u64, u32)>,
+    len: usize,
+}
+
+impl InternTable {
+    fn with_capacity(capacity: usize) -> Self {
+        let buckets = (capacity * 8 / 7 + 1).next_power_of_two().max(16);
+        InternTable {
+            entries: vec![(0, EMPTY); buckets],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn start(&self, hash: u64) -> usize {
+        // Fold the high bits in: Fx concentrates entropy there.
+        (hash ^ (hash >> 32)) as usize & (self.entries.len() - 1)
+    }
+
+    /// Find the index previously inserted under `hash` for which `eq`
+    /// holds.
+    #[inline]
+    fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mask = self.entries.len() - 1;
+        let mut i = self.start(hash);
+        loop {
+            let (h, idx) = self.entries[i];
+            if idx == EMPTY {
+                return None;
+            }
+            if h == hash && eq(idx) {
+                return Some(idx);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Insert `idx` under `hash`. The caller guarantees it is absent.
+    fn insert(&mut self, hash: u64, idx: u32) {
+        if (self.len + 1) * 8 > self.entries.len() * 7 {
+            self.grow();
+        }
+        let mask = self.entries.len() - 1;
+        let mut i = self.start(hash);
+        while self.entries[i].1 != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.entries[i] = (hash, idx);
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.entries.len() * 2;
+        let old = std::mem::replace(&mut self.entries, vec![(0, EMPTY); doubled]);
+        let mask = self.entries.len() - 1;
+        for (h, idx) in old {
+            if idx != EMPTY {
+                let mut i = (h ^ (h >> 32)) as usize & mask;
+                while self.entries[i].1 != EMPTY {
+                    i = (i + 1) & mask;
+                }
+                self.entries[i] = (h, idx);
+            }
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------------
+
+/// A borrowed view of one state's marking (token counts in place order).
+///
+/// Mirrors the read API of [`pnut_core::Marking`] without owning the
+/// counts — they live in the store's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkingView<'a>(&'a [u32]);
+
+impl<'a> MarkingView<'a> {
+    /// Wrap a raw slice of token counts.
+    pub fn new(counts: &'a [u32]) -> Self {
+        MarkingView(counts)
+    }
+
+    /// Tokens on `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is out of range.
+    pub fn tokens(&self, place: PlaceId) -> u32 {
+        self.0[place.index()]
+    }
+
+    /// Number of places covered.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the marking covers zero places.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `place` holds at least `tokens` tokens.
+    pub fn covers(&self, place: PlaceId, tokens: u32) -> bool {
+        self.0[place.index()] >= tokens
+    }
+
+    /// Total tokens across all places.
+    pub fn total_tokens(&self) -> u64 {
+        self.0.iter().map(|&t| u64::from(t)).sum()
+    }
+
+    /// Iterate `(place, tokens)` pairs in place order.
+    pub fn iter(&self) -> impl Iterator<Item = (PlaceId, u32)> + 'a {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (PlaceId::new(i), t))
+    }
+
+    /// The raw token counts in place order.
+    pub fn as_slice(&self) -> &'a [u32] {
+        self.0
+    }
+
+    /// Materialize an owned [`Marking`] (allocates; prefer the view).
+    pub fn to_marking(&self) -> Marking {
+        Marking::from_counts(self.0.to_vec())
+    }
+}
+
+impl fmt::Display for MarkingView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A borrowed view of one interned state: marking, environment, and
+/// in-flight firings, all pointing into the store's arenas.
+#[derive(Debug, Clone, Copy)]
+pub struct StateRef<'a> {
+    /// Token counts.
+    pub marking: MarkingView<'a>,
+    /// Variable environment (interned; shared between states).
+    pub env: &'a Env,
+    /// In-flight firings as `(transition, remaining ticks)`, sorted —
+    /// empty for untimed graphs.
+    pub in_flight: &'a [(TransitionId, u64)],
+}
+
+// ---------------------------------------------------------------------------
+// StateStore
+// ---------------------------------------------------------------------------
+
+/// Arena-backed interner for reachability states. See the [module
+/// docs](self) for the layout.
+#[derive(Debug, Clone)]
+pub struct StateStore {
+    places: usize,
+    markings: Vec<u32>,
+    env_ids: Vec<u32>,
+    inflight_offsets: Vec<u32>,
+    inflight: Vec<(TransitionId, u64)>,
+    envs: Vec<Env>,
+    state_table: InternTable,
+    env_table: InternTable,
+}
+
+impl StateStore {
+    /// An empty store for markings over `places` places.
+    pub fn new(places: usize) -> Self {
+        StateStore {
+            places,
+            markings: Vec::new(),
+            env_ids: Vec::new(),
+            inflight_offsets: vec![0],
+            inflight: Vec::new(),
+            envs: Vec::new(),
+            state_table: InternTable::with_capacity(64),
+            env_table: InternTable::with_capacity(4),
+        }
+    }
+
+    /// Number of distinct states interned.
+    pub fn len(&self) -> usize {
+        self.env_ids.len()
+    }
+
+    /// Whether no state has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.env_ids.is_empty()
+    }
+
+    /// Number of distinct variable environments interned.
+    pub fn env_count(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// The marking arena slice of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn marking_slice(&self, i: usize) -> &[u32] {
+        &self.markings[i * self.places..(i + 1) * self.places]
+    }
+
+    /// The in-flight slice of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn in_flight_slice(&self, i: usize) -> &[(TransitionId, u64)] {
+        &self.inflight[self.inflight_offsets[i] as usize..self.inflight_offsets[i + 1] as usize]
+    }
+
+    /// The environment id of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn env_id(&self, i: usize) -> u32 {
+        self.env_ids[i]
+    }
+
+    /// The interned environment `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn env(&self, id: u32) -> &Env {
+        &self.envs[id as usize]
+    }
+
+    /// A full view of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn state(&self, i: usize) -> StateRef<'_> {
+        StateRef {
+            marking: MarkingView(self.marking_slice(i)),
+            env: self.env(self.env_ids[i]),
+            in_flight: self.in_flight_slice(i),
+        }
+    }
+
+    /// Hash contribution of one `(place, count)` marking entry.
+    ///
+    /// The marking part of a state hash is the wrapping **sum** of these
+    /// over all places, so a successor's hash can be maintained
+    /// incrementally: subtract the old entry and add the new one for
+    /// each place a firing touches, instead of rehashing the whole
+    /// marking (see the explorer in [`crate::graph`]). Summing demands
+    /// full avalanche *per element* — a cheap single-multiply mix leaves
+    /// small token counts in the low bits, and sums of such values
+    /// collide catastrophically — so this uses the murmur3 finalizer.
+    #[inline]
+    pub(crate) fn marking_elem_hash(place: usize, count: u32) -> u64 {
+        let mut x = (place as u64) << 32 | u64::from(count);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        x ^= x >> 33;
+        x
+    }
+
+    /// The marking-part hash of a full marking (sum of element hashes).
+    #[inline]
+    pub(crate) fn marking_hash(marking: &[u32]) -> u64 {
+        marking.iter().enumerate().fold(0u64, |h, (i, &c)| {
+            h.wrapping_add(Self::marking_elem_hash(i, c))
+        })
+    }
+
+    #[inline]
+    fn hash_state(marking_hash: u64, env_id: u32, in_flight: &[(TransitionId, u64)]) -> u64 {
+        let mut h = fx_mix(marking_hash, u64::from(env_id));
+        h = fx_mix(h, in_flight.len() as u64);
+        for &(t, r) in in_flight {
+            h = fx_mix(h, t.index() as u64);
+            h = fx_mix(h, r);
+        }
+        h
+    }
+
+    /// Intern a state given by its parts; returns `(index, newly_added)`.
+    ///
+    /// On a hit nothing is copied or allocated; on a miss the parts are
+    /// appended to the arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `marking` does not cover exactly the store's place
+    /// count, or on more than `u32::MAX` states.
+    pub fn intern(
+        &mut self,
+        marking: &[u32],
+        env_id: u32,
+        in_flight: &[(TransitionId, u64)],
+    ) -> (usize, bool) {
+        self.intern_hashed(marking, Self::marking_hash(marking), env_id, in_flight)
+    }
+
+    /// [`Self::intern`] with the marking-part hash already known (the
+    /// explorer maintains it incrementally across successor firings).
+    pub(crate) fn intern_hashed(
+        &mut self,
+        marking: &[u32],
+        marking_hash: u64,
+        env_id: u32,
+        in_flight: &[(TransitionId, u64)],
+    ) -> (usize, bool) {
+        assert_eq!(marking.len(), self.places, "marking width mismatch");
+        debug_assert_eq!(
+            marking_hash,
+            Self::marking_hash(marking),
+            "stale incremental hash"
+        );
+        let hash = Self::hash_state(marking_hash, env_id, in_flight);
+        let found = self.state_table.find(hash, |idx| {
+            let i = idx as usize;
+            self.env_ids[i] == env_id
+                && self.marking_slice(i) == marking
+                && self.in_flight_slice(i) == in_flight
+        });
+        if let Some(idx) = found {
+            return (idx as usize, false);
+        }
+        let idx = u32::try_from(self.env_ids.len()).expect("more than u32::MAX states");
+        self.markings.extend_from_slice(marking);
+        self.env_ids.push(env_id);
+        self.inflight.extend_from_slice(in_flight);
+        self.inflight_offsets
+            .push(u32::try_from(self.inflight.len()).expect("in-flight arena overflow"));
+        self.state_table.insert(hash, idx);
+        (idx as usize, true)
+    }
+
+    /// Intern an environment; clones it only the first time it is seen.
+    pub fn intern_env(&mut self, env: &Env) -> u32 {
+        let hash = fx_hash_of(env);
+        if let Some(id) = self
+            .env_table
+            .find(hash, |idx| &self.envs[idx as usize] == env)
+        {
+            return id;
+        }
+        let id = u32::try_from(self.envs.len()).expect("more than u32::MAX environments");
+        self.envs.push(env.clone());
+        self.env_table.insert(hash, id);
+        id
+    }
+
+    /// Approximate heap footprint of the store in bytes (arenas and
+    /// tables; environments counted structurally).
+    pub fn approx_bytes(&self) -> usize {
+        let env_guess: usize = self
+            .envs
+            .iter()
+            .map(|e| {
+                std::mem::size_of::<Env>()
+                    + e.vars().map(|(n, _)| n.len() + 48).sum::<usize>()
+                    + e.tables()
+                        .map(|(n, t)| n.len() + 8 * t.len() + 48)
+                        .sum::<usize>()
+            })
+            .sum();
+        self.markings.capacity() * 4
+            + self.env_ids.capacity() * 4
+            + self.inflight_offsets.capacity() * 4
+            + self.inflight.capacity() * std::mem::size_of::<(TransitionId, u64)>()
+            + self.state_table.bytes()
+            + self.env_table.bytes()
+            + env_guess
+    }
+}
+
+/// Semantic equality: same states in the same order with the same
+/// environments (table layout is ignored).
+impl PartialEq for StateStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.places == other.places
+            && self.markings == other.markings
+            && self.env_ids == other.env_ids
+            && self.inflight_offsets == other.inflight_offsets
+            && self.inflight == other.inflight
+            && self.envs == other.envs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnut_core::expr::Value;
+
+    #[test]
+    fn intern_is_idempotent_and_zero_copy_on_hit() {
+        let mut s = StateStore::new(3);
+        let e = s.intern_env(&Env::new());
+        let (a, new_a) = s.intern(&[1, 0, 2], e, &[]);
+        let (b, new_b) = s.intern(&[1, 0, 2], e, &[]);
+        let (c, new_c) = s.intern(&[1, 0, 3], e, &[]);
+        assert_eq!((a, new_a), (0, true));
+        assert_eq!((b, new_b), (0, false));
+        assert_eq!((c, new_c), (1, true));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.marking_slice(1), &[1, 0, 3]);
+    }
+
+    #[test]
+    fn in_flight_distinguishes_states() {
+        let mut s = StateStore::new(1);
+        let e = s.intern_env(&Env::new());
+        let t0 = TransitionId::new(0);
+        let (a, _) = s.intern(&[0], e, &[(t0, 3)]);
+        let (b, _) = s.intern(&[0], e, &[(t0, 2)]);
+        let (c, _) = s.intern(&[0], e, &[]);
+        assert_eq!(s.len(), 3);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(s.state(a).in_flight, &[(t0, 3)]);
+        assert!(s.state(c).in_flight.is_empty());
+    }
+
+    #[test]
+    fn environments_are_shared() {
+        let mut s = StateStore::new(1);
+        let mut env = Env::new();
+        env.set_var("x", Value::Int(1));
+        let e1 = s.intern_env(&env);
+        let e2 = s.intern_env(&env.clone());
+        assert_eq!(e1, e2);
+        assert_eq!(s.env_count(), 1);
+        env.set_var("x", Value::Int(2));
+        assert_ne!(s.intern_env(&env), e1);
+        assert_eq!(s.env_count(), 2);
+    }
+
+    #[test]
+    fn table_survives_growth() {
+        let mut s = StateStore::new(2);
+        let e = s.intern_env(&Env::new());
+        for i in 0..10_000u32 {
+            let (idx, new) = s.intern(&[i, i / 3], e, &[]);
+            assert_eq!(idx, i as usize);
+            assert!(new);
+        }
+        // Everything is still findable after many growths.
+        for i in 0..10_000u32 {
+            let (idx, new) = s.intern(&[i, i / 3], e, &[]);
+            assert_eq!(idx, i as usize);
+            assert!(!new, "state {i} was re-interned");
+        }
+        assert_eq!(s.len(), 10_000);
+    }
+
+    #[test]
+    fn views_mirror_marking_api() {
+        let mut s = StateStore::new(3);
+        let e = s.intern_env(&Env::new());
+        s.intern(&[1, 0, 6], e, &[]);
+        let v = s.state(0).marking;
+        assert_eq!(v.tokens(PlaceId::new(2)), 6);
+        assert!(v.covers(PlaceId::new(0), 1));
+        assert!(!v.covers(PlaceId::new(1), 1));
+        assert_eq!(v.total_tokens(), 7);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.to_string(), "[1 0 6]");
+        assert_eq!(v.to_marking(), Marking::from_counts(vec![1, 0, 6]));
+        assert_eq!(
+            v.iter().map(|(p, t)| (p.index(), t)).collect::<Vec<_>>(),
+            vec![(0, 1), (1, 0), (2, 6)]
+        );
+    }
+
+    #[test]
+    fn fx_hasher_differentiates_tails() {
+        // Regression guard for the partial-word path.
+        assert_ne!(fx_hash_of(&[1u8, 2]), fx_hash_of(&[1u8, 2, 0]));
+        assert_ne!(fx_hash_of("ab"), fx_hash_of("ba"));
+        assert_eq!(fx_hash_of(&42u64), fx_hash_of(&42u64));
+    }
+
+    #[test]
+    fn memory_estimate_is_monotonic() {
+        let mut s = StateStore::new(4);
+        let e = s.intern_env(&Env::new());
+        let before = s.approx_bytes();
+        for i in 0..1000u32 {
+            s.intern(&[i, 0, 0, 0], e, &[]);
+        }
+        assert!(s.approx_bytes() > before);
+    }
+}

@@ -183,7 +183,10 @@ impl<'n> Simulator<'n> {
     fn header(&self) -> TraceHeader {
         let mut h = TraceHeader::new(
             self.net.name(),
-            self.net.places().map(|(_, p)| p.name().to_string()).collect(),
+            self.net
+                .places()
+                .map(|(_, p)| p.name().to_string())
+                .collect(),
             self.net
                 .transitions()
                 .map(|(_, t)| t.name().to_string())
@@ -527,7 +530,11 @@ mod tests {
         let mut b = NetBuilder::new("n");
         b.place("q", 2);
         b.place("done", 0);
-        b.transition("serve").input("q").output("done").firing(10).add();
+        b.transition("serve")
+            .input("q")
+            .output("done")
+            .firing(10)
+            .add();
         let net = b.build().unwrap();
         let mut sim = Simulator::new(&net, 0).unwrap();
         let mut rec = Recorder::new();
@@ -568,7 +575,11 @@ mod tests {
         let mut sink = CountingSink::new();
         let s = sim.run(Time::from_ticks(1000), &mut sink).unwrap();
         assert!(s.quiescent);
-        assert_eq!(s.end_time, Time::from_ticks(1000), "horizon, not last event");
+        assert_eq!(
+            s.end_time,
+            Time::from_ticks(1000),
+            "horizon, not last event"
+        );
         assert_eq!(s.events_started, 1);
         assert_eq!(s.events_finished, 1);
     }
@@ -762,17 +773,22 @@ mod tests {
         b.place("blocker", 1);
         b.place("out", 0);
         b.place("sink_p", 0);
-        b.transition("clear").input("blocker").output("sink_p").firing(5).add();
-        b.transition("go").input("a").inhibitor("blocker").output("out").add();
+        b.transition("clear")
+            .input("blocker")
+            .output("sink_p")
+            .firing(5)
+            .add();
+        b.transition("go")
+            .input("a")
+            .inhibitor("blocker")
+            .output("out")
+            .add();
         let net = b.build().unwrap();
         let trace = run_recorded(&net, 0, 20);
         let out = trace.header().place_id("out").unwrap();
         // `go` can only fire once `clear` started (t=0 removes blocker).
         // clear starts at 0 and removes its token then, so go fires at 0.
-        let first_out = trace
-            .states()
-            .find(|s| s.marking.tokens(out) == 1)
-            .unwrap();
+        let first_out = trace.states().find(|s| s.marking.tokens(out) == 1).unwrap();
         assert_eq!(first_out.time, Time::ZERO);
     }
 }

@@ -38,7 +38,10 @@ impl fmt::Display for SimError {
                 write!(f, "predicate of transition `{transition}` uses irand")
             }
             SimError::Eval { transition, source } => {
-                write!(f, "evaluation failed in transition `{transition}`: {source}")
+                write!(
+                    f,
+                    "evaluation failed in transition `{transition}`: {source}"
+                )
             }
             SimError::InstantLivelock { time, cap } => write!(
                 f,

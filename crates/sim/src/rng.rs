@@ -1,8 +1,14 @@
-//! Adapter from the `rand` crate onto [`pnut_core::Randomness`].
+//! Seeded randomness for the simulator, implementing
+//! [`pnut_core::Randomness`].
+//!
+//! Implemented on a self-contained xoshiro256++ generator (public-domain
+//! algorithm by Blackman & Vigna, the same family the `rand` crate's
+//! `SmallRng` uses) so the simulator has no external dependencies and a
+//! `(net, seed, duration)` triple determines the trace bit-for-bit on
+//! every platform, forever — external generators may change streams
+//! between versions.
 
 use pnut_core::Randomness;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A seeded, reproducible randomness source.
 ///
@@ -22,25 +28,64 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeededRandomness {
-    rng: SmallRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand the seed into generator state (the
+/// initialization recommended by the xoshiro authors).
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SeededRandomness {
     /// Create from a seed.
     pub fn new(seed: u64) -> Self {
-        SeededRandomness {
-            rng: SmallRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SeededRandomness { state }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 }
 
 impl Randomness for SeededRandomness {
     fn int_in_range(&mut self, lo: i64, hi: i64) -> i64 {
-        self.rng.gen_range(lo..=hi)
+        debug_assert!(lo <= hi, "int_in_range requires lo <= hi");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        // Rejection sampling for an unbiased draw over `span` values.
+        let zone = u64::MAX - ((u128::from(u64::MAX) + 1) % span) as u64;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return (i128::from(lo) + (u128::from(v) % span) as i128) as i64;
+            }
+        }
     }
 
     fn unit_f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 random mantissa bits → uniform in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
@@ -76,6 +121,28 @@ mod tests {
             assert!((3..=7).contains(&v));
             let f = r.unit_f64();
             assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn extreme_ranges_do_not_overflow() {
+        let mut r = SeededRandomness::new(42);
+        for _ in 0..100 {
+            let v = r.int_in_range(i64::MIN, i64::MAX);
+            let _ = v; // any value is in range; just must not panic
+            assert_eq!(r.int_in_range(5, 5), 5);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = SeededRandomness::new(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[r.int_in_range(0, 3) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {counts:?}");
         }
     }
 }

@@ -13,7 +13,11 @@ fn enabling_clock_survives_run_boundary() {
     let mut b = NetBuilder::new("n");
     b.place("p", 1);
     b.place("q", 0);
-    b.transition("slow").input("p").output("q").enabling(10).add();
+    b.transition("slow")
+        .input("p")
+        .output("q")
+        .enabling(10)
+        .add();
     let net = b.build().unwrap();
 
     let mut sim = Simulator::new(&net, 0).unwrap();
@@ -59,7 +63,12 @@ fn combined_enabling_and_firing_times() {
     let mut b = NetBuilder::new("n");
     b.place("p", 1);
     b.place("q", 0);
-    b.transition("t").input("p").output("q").enabling(3).firing(4).add();
+    b.transition("t")
+        .input("p")
+        .output("q")
+        .enabling(3)
+        .firing(4)
+        .add();
     let net = b.build().unwrap();
     let trace = pnut_sim::simulate(&net, 0, Time::from_ticks(10)).unwrap();
     let start = trace
@@ -84,7 +93,11 @@ fn inhibitor_threshold_above_one() {
     b.place("go", 1);
     b.place("done", 0);
     b.place("drained", 0);
-    b.transition("drain").input("load").output("drained").firing(2).add();
+    b.transition("drain")
+        .input("load")
+        .output("drained")
+        .firing(2)
+        .add();
     b.transition("fire_when_light")
         .input("go")
         .inhibitor_at("load", 3)
@@ -199,8 +212,7 @@ fn zero_time_firing_is_one_atomic_step() {
     b.transition("mv").input("a").output("b").add();
     let net = b.build().unwrap();
     let trace = pnut_sim::simulate(&net, 0, Time::from_ticks(1)).unwrap();
-    let steps: std::collections::BTreeSet<u64> =
-        trace.deltas().iter().map(|d| d.step).collect();
+    let steps: std::collections::BTreeSet<u64> = trace.deltas().iter().map(|d| d.step).collect();
     assert_eq!(steps.len(), 1, "start+finish+both moves share one step");
     // And the intermediate "token nowhere" state is never observable.
     for s in trace.states() {
@@ -231,7 +243,11 @@ fn var_deltas_record_only_scalar_assignments() {
             _ => None,
         })
         .collect();
-    assert_eq!(var_sets, vec!["x"], "table writes are applied but not logged");
+    assert_eq!(
+        var_sets,
+        vec!["x"],
+        "table writes are applied but not logged"
+    );
 }
 
 #[test]

@@ -91,12 +91,7 @@ impl BatchMeans {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self
-            .batches
-            .iter()
-            .map(|b| (b - mean).powi(2))
-            .sum::<f64>()
-            / (n as f64 - 1.0);
+        let var = self.batches.iter().map(|b| (b - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
         1.96 * (var / n as f64).sqrt()
     }
 }
@@ -194,8 +189,7 @@ mod tests {
 
     #[test]
     fn stochastic_batches_bracket_the_global_average() {
-        let net =
-            pnut_pipeline_build_helper();
+        let net = pnut_pipeline_build_helper();
         let mut sim = pnut_sim::Simulator::new(&net, 3).unwrap();
         let mut sinks = pnut_trace::Tee::new(
             BatchMeans::new("Bus_busy", 1_000),
@@ -252,8 +246,7 @@ mod tests {
     #[test]
     fn unknown_place_yields_empty_batches() {
         let mut bm = BatchMeans::new("nope", 10);
-        let header = TraceHeader::new("n", vec!["p".into()], vec![])
-            .with_initial_marking(vec![1]);
+        let header = TraceHeader::new("n", vec!["p".into()], vec![]).with_initial_marking(vec![1]);
         bm.begin(&header);
         bm.end(Time::from_ticks(100));
         assert!(bm.batches().is_empty());
@@ -263,11 +256,14 @@ mod tests {
     #[test]
     fn partial_final_batch_discarded() {
         let mut bm = BatchMeans::new("p", 10);
-        let header = TraceHeader::new("n", vec!["p".into()], vec![])
-            .with_initial_marking(vec![2]);
+        let header = TraceHeader::new("n", vec!["p".into()], vec![]).with_initial_marking(vec![2]);
         bm.begin(&header);
         bm.end(Time::from_ticks(25));
-        assert_eq!(bm.batches(), &[2.0, 2.0], "two full batches, 5 ticks dropped");
+        assert_eq!(
+            bm.batches(),
+            &[2.0, 2.0],
+            "two full batches, 5 ticks dropped"
+        );
     }
 
     #[test]

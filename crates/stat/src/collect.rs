@@ -208,8 +208,7 @@ mod tests {
     use pnut_core::PlaceId;
 
     fn header() -> TraceHeader {
-        TraceHeader::new("n", vec!["p".into()], vec!["t".into()])
-            .with_initial_marking(vec![1])
+        TraceHeader::new("n", vec!["p".into()], vec!["t".into()]).with_initial_marking(vec![1])
     }
 
     #[test]

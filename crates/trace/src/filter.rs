@@ -214,10 +214,7 @@ mod tests {
     fn selects_by_place_and_transition() {
         assert_eq!(run_filter(FilterSpec::new().keep_place("a")), 1);
         assert_eq!(run_filter(FilterSpec::new().keep_transition("t0")), 1);
-        assert_eq!(
-            run_filter(FilterSpec::new().keep_places(["a", "b"])),
-            2
-        );
+        assert_eq!(run_filter(FilterSpec::new().keep_places(["a", "b"])), 2);
         assert_eq!(
             run_filter(
                 FilterSpec::new()

@@ -1,0 +1,715 @@
+//! Self-contained JSON interchange for recorded traces.
+//!
+//! The paper's tools exchange traces as plain text so they can be piped
+//! between processes; this module is the modern JSON equivalent,
+//! implemented directly (writer + recursive-descent reader) so the trace
+//! crate stays free of external dependencies. The schema is flat and
+//! stable:
+//!
+//! ```json
+//! {
+//!   "net_name": "bus",
+//!   "place_names": ["Bus_free"],
+//!   "transition_names": ["seize"],
+//!   "initial_marking": [1],
+//!   "initial_env": {"vars": {"x": 1}, "tables": {"ops": [0, 1]}},
+//!   "start_time": 0,
+//!   "end_time": 100,
+//!   "deltas": [
+//!     {"time": 1, "step": 0, "kind": {"type": "start", "transition": 0, "firing": 0}},
+//!     {"time": 1, "step": 0, "kind": {"type": "place", "place": 0, "delta": -1}},
+//!     {"time": 2, "step": 1, "kind": {"type": "var", "name": "x", "value": true}}
+//!   ]
+//! }
+//! ```
+
+use crate::{Delta, DeltaKind, RecordedTrace, TraceHeader};
+use pnut_core::expr::{Env, Value};
+use pnut_core::{PlaceId, Time, TransitionId};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Why encoding or decoding a trace failed.
+#[derive(Debug)]
+pub enum JsonError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// The input is not well-formed JSON.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the input.
+        offset: usize,
+    },
+    /// The input is valid JSON but not a valid trace.
+    Schema(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Io(e) => write!(f, "i/o: {e}"),
+            JsonError::Parse { message, offset } => {
+                write!(f, "malformed JSON at byte {offset}: {message}")
+            }
+            JsonError::Schema(m) => write!(f, "not a trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JsonError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JsonError {
+    fn from(e: std::io::Error) -> Self {
+        JsonError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+fn write_str(out: &mut impl Write, s: &str) -> Result<(), JsonError> {
+    out.write_all(b"\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_all(b"\\\"")?,
+            '\\' => out.write_all(b"\\\\")?,
+            '\n' => out.write_all(b"\\n")?,
+            '\r' => out.write_all(b"\\r")?,
+            '\t' => out.write_all(b"\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_all(b"\"")?;
+    Ok(())
+}
+
+fn write_str_list(out: &mut impl Write, items: &[String]) -> Result<(), JsonError> {
+    out.write_all(b"[")?;
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write_str(out, s)?;
+    }
+    out.write_all(b"]")?;
+    Ok(())
+}
+
+fn write_value(out: &mut impl Write, v: Value) -> Result<(), JsonError> {
+    match v {
+        Value::Int(i) => write!(out, "{i}")?,
+        Value::Bool(b) => write!(out, "{b}")?,
+    }
+    Ok(())
+}
+
+fn write_env(out: &mut impl Write, env: &Env) -> Result<(), JsonError> {
+    out.write_all(b"{\"vars\":{")?;
+    for (i, (name, v)) in env.vars().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write_str(out, name)?;
+        out.write_all(b":")?;
+        write_value(out, v)?;
+    }
+    out.write_all(b"},\"tables\":{")?;
+    for (i, (name, vals)) in env.tables().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write_str(out, name)?;
+        out.write_all(b":[")?;
+        for (j, v) in vals.iter().enumerate() {
+            if j > 0 {
+                out.write_all(b",")?;
+            }
+            write!(out, "{v}")?;
+        }
+        out.write_all(b"]")?;
+    }
+    out.write_all(b"}}")?;
+    Ok(())
+}
+
+fn write_delta(out: &mut impl Write, d: &Delta) -> Result<(), JsonError> {
+    write!(
+        out,
+        "{{\"time\":{},\"step\":{},\"kind\":",
+        d.time.ticks(),
+        d.step
+    )?;
+    match &d.kind {
+        DeltaKind::Start { transition, firing } => write!(
+            out,
+            "{{\"type\":\"start\",\"transition\":{},\"firing\":{firing}}}",
+            transition.index()
+        )?,
+        DeltaKind::Finish { transition, firing } => write!(
+            out,
+            "{{\"type\":\"finish\",\"transition\":{},\"firing\":{firing}}}",
+            transition.index()
+        )?,
+        DeltaKind::PlaceDelta { place, delta } => write!(
+            out,
+            "{{\"type\":\"place\",\"place\":{},\"delta\":{delta}}}",
+            place.index()
+        )?,
+        DeltaKind::VarSet { name, value } => {
+            out.write_all(b"{\"type\":\"var\",\"name\":")?;
+            write_str(out, name)?;
+            out.write_all(b",\"value\":")?;
+            write_value(out, *value)?;
+            out.write_all(b"}")?;
+        }
+    }
+    out.write_all(b"}")?;
+    Ok(())
+}
+
+pub(crate) fn write_trace(trace: &RecordedTrace, mut out: impl Write) -> Result<(), JsonError> {
+    let h = trace.header();
+    out.write_all(b"{\"net_name\":")?;
+    write_str(&mut out, &h.net_name)?;
+    out.write_all(b",\"place_names\":")?;
+    write_str_list(&mut out, &h.place_names)?;
+    out.write_all(b",\"transition_names\":")?;
+    write_str_list(&mut out, &h.transition_names)?;
+    out.write_all(b",\"initial_marking\":[")?;
+    for (i, t) in h.initial_marking.iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write!(out, "{t}")?;
+    }
+    out.write_all(b"],\"initial_env\":")?;
+    write_env(&mut out, &h.initial_env)?;
+    write!(out, ",\"start_time\":{}", h.start_time.ticks())?;
+    write!(out, ",\"end_time\":{}", trace.end_time().ticks())?;
+    out.write_all(b",\"deltas\":[")?;
+    for (i, d) in trace.deltas().iter().enumerate() {
+        if i > 0 {
+            out.write_all(b",")?;
+        }
+        write_delta(&mut out, d)?;
+    }
+    out.write_all(b"]}")?;
+    out.flush()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `i128` when integral so
+/// `u64` tick counts round-trip exactly.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) | Json::Float(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Nesting ceiling for the recursive-descent parser: traces nest a
+/// handful of levels, so anything deeper is garbage — reject it as a
+/// parse error instead of overflowing the stack.
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError::Parse {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        self.depth += 1;
+        let v = self.value_inner();
+        self.depth -= 1;
+        v
+    }
+
+    fn value_inner(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_lit("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_lit("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_lit("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Traces only emit BMP characters; surrogate
+                            // pairs decode to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if float {
+            text.parse()
+                .map(Json::Float)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse()
+                .map(Json::Int)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+fn parse(bytes: &[u8]) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing input"));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Schema mapping
+// ---------------------------------------------------------------------------
+
+fn schema(msg: impl Into<String>) -> JsonError {
+    JsonError::Schema(msg.into())
+}
+
+fn field<'v>(obj: &'v Json, name: &str) -> Result<&'v Json, JsonError> {
+    match obj {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| schema(format!("missing field `{name}`"))),
+        other => Err(schema(format!(
+            "expected object, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn as_int<T: TryFrom<i128>>(v: &Json, what: &str) -> Result<T, JsonError> {
+    match v {
+        Json::Int(i) => T::try_from(*i).map_err(|_| schema(format!("{what}: {i} out of range"))),
+        other => Err(schema(format!(
+            "{what}: expected integer, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn as_str<'v>(v: &'v Json, what: &str) -> Result<&'v str, JsonError> {
+    match v {
+        Json::Str(s) => Ok(s),
+        other => Err(schema(format!(
+            "{what}: expected string, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn as_arr<'v>(v: &'v Json, what: &str) -> Result<&'v [Json], JsonError> {
+    match v {
+        Json::Arr(items) => Ok(items),
+        other => Err(schema(format!(
+            "{what}: expected array, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn as_value(v: &Json, what: &str) -> Result<Value, JsonError> {
+    match v {
+        Json::Bool(b) => Ok(Value::Bool(*b)),
+        Json::Int(_) => Ok(Value::Int(as_int(v, what)?)),
+        other => Err(schema(format!(
+            "{what}: expected integer or bool, found {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn read_env(v: &Json) -> Result<Env, JsonError> {
+    let mut env = Env::new();
+    if let Json::Obj(vars) = field(v, "vars")? {
+        for (name, val) in vars {
+            env.set_var(name.clone(), as_value(val, "env var")?);
+        }
+    } else {
+        return Err(schema("env `vars` must be an object"));
+    }
+    if let Json::Obj(tables) = field(v, "tables")? {
+        for (name, val) in tables {
+            let items = as_arr(val, "env table")?
+                .iter()
+                .map(|x| as_int(x, "table element"))
+                .collect::<Result<Vec<i64>, _>>()?;
+            env.define_table(name.clone(), items);
+        }
+    } else {
+        return Err(schema("env `tables` must be an object"));
+    }
+    Ok(env)
+}
+
+/// Parse one delta kind, validating place/transition indices against
+/// the header so malformed traces fail here with a schema error instead
+/// of panicking downstream in `StateIter`.
+fn read_kind(v: &Json, places: usize, transitions: usize) -> Result<DeltaKind, JsonError> {
+    let transition_id = |v: &Json| -> Result<TransitionId, JsonError> {
+        let i: usize = as_int(v, "transition")?;
+        if i >= transitions {
+            return Err(schema(format!(
+                "transition index {i} out of range ({transitions} transitions)"
+            )));
+        }
+        Ok(TransitionId::new(i))
+    };
+    match as_str(field(v, "type")?, "delta kind")? {
+        "start" => Ok(DeltaKind::Start {
+            transition: transition_id(field(v, "transition")?)?,
+            firing: as_int(field(v, "firing")?, "firing")?,
+        }),
+        "finish" => Ok(DeltaKind::Finish {
+            transition: transition_id(field(v, "transition")?)?,
+            firing: as_int(field(v, "firing")?, "firing")?,
+        }),
+        "place" => {
+            let place: usize = as_int(field(v, "place")?, "place")?;
+            if place >= places {
+                return Err(schema(format!(
+                    "place index {place} out of range ({places} places)"
+                )));
+            }
+            Ok(DeltaKind::PlaceDelta {
+                place: PlaceId::new(place),
+                delta: as_int(field(v, "delta")?, "delta")?,
+            })
+        }
+        "var" => Ok(DeltaKind::VarSet {
+            name: as_str(field(v, "name")?, "var name")?.to_string(),
+            value: as_value(field(v, "value")?, "var value")?,
+        }),
+        other => Err(schema(format!("unknown delta kind `{other}`"))),
+    }
+}
+
+pub(crate) fn read_trace(mut reader: impl Read) -> Result<RecordedTrace, JsonError> {
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    let root = parse(&bytes)?;
+
+    let place_names = as_arr(field(&root, "place_names")?, "place_names")?
+        .iter()
+        .map(|v| as_str(v, "place name").map(str::to_string))
+        .collect::<Result<Vec<_>, _>>()?;
+    let transition_names = as_arr(field(&root, "transition_names")?, "transition_names")?
+        .iter()
+        .map(|v| as_str(v, "transition name").map(str::to_string))
+        .collect::<Result<Vec<_>, _>>()?;
+    let initial_marking = as_arr(field(&root, "initial_marking")?, "initial_marking")?
+        .iter()
+        .map(|v| as_int(v, "marking entry"))
+        .collect::<Result<Vec<u32>, _>>()?;
+    if initial_marking.len() != place_names.len() {
+        return Err(schema("initial_marking length differs from place_names"));
+    }
+
+    let header = TraceHeader {
+        net_name: as_str(field(&root, "net_name")?, "net_name")?.to_string(),
+        place_names,
+        transition_names,
+        initial_marking,
+        initial_env: read_env(field(&root, "initial_env")?)?,
+        start_time: Time::from_ticks(as_int(field(&root, "start_time")?, "start_time")?),
+    };
+
+    let deltas = as_arr(field(&root, "deltas")?, "deltas")?
+        .iter()
+        .map(|d| {
+            Ok(Delta {
+                time: Time::from_ticks(as_int(field(d, "time")?, "delta time")?),
+                step: as_int(field(d, "step")?, "delta step")?,
+                kind: read_kind(
+                    field(d, "kind")?,
+                    header.place_names.len(),
+                    header.transition_names.len(),
+                )?,
+            })
+        })
+        .collect::<Result<Vec<_>, JsonError>>()?;
+
+    let end_time = Time::from_ticks(as_int(field(&root, "end_time")?, "end_time")?);
+    Ok(RecordedTrace::new(header, deltas, end_time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_handles_scalars_and_nesting() {
+        assert_eq!(parse(b"null").unwrap(), Json::Null);
+        assert_eq!(parse(b" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse(b"-42").unwrap(), Json::Int(-42));
+        assert_eq!(parse(b"1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(parse(br#""a\nbA""#).unwrap(), Json::Str("a\nbA".into()));
+        let v = parse(br#"{"a": [1, {"b": []}], "c": "x"}"#).unwrap();
+        assert_eq!(as_arr(field(&v, "a").unwrap(), "a").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            &b"{"[..],
+            b"[1,",
+            b"\"unterminated",
+            b"12 34",
+            b"{\"a\" 1}",
+            b"nulll",
+        ] {
+            assert!(parse(bad).is_err(), "should fail: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_crash() {
+        let bomb = vec![b'['; 100_000];
+        let e = parse(&bomb).unwrap_err();
+        assert!(e.to_string().contains("nesting"), "{e}");
+    }
+
+    #[test]
+    fn out_of_range_delta_indices_are_schema_errors() {
+        let t = br#"{"net_name":"n","place_names":["p"],"transition_names":["t"],
+            "initial_marking":[0],"initial_env":{"vars":{},"tables":{}},"start_time":0,
+            "deltas":[{"time":0,"step":0,"kind":{"type":"place","place":99,"delta":1}}],
+            "end_time":0}"#;
+        let e = read_trace(&t[..]).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+        let t = br#"{"net_name":"n","place_names":["p"],"transition_names":["t"],
+            "initial_marking":[0],"initial_env":{"vars":{},"tables":{}},"start_time":0,
+            "deltas":[{"time":0,"step":0,"kind":{"type":"start","transition":7,"firing":1}}],
+            "end_time":0}"#;
+        let e = read_trace(&t[..]).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn schema_errors_are_descriptive() {
+        let e = read_trace(&b"{}"[..]).unwrap_err();
+        assert!(e.to_string().contains("missing field"), "{e}");
+        let e = read_trace(&b"[1]"[..]).unwrap_err();
+        assert!(e.to_string().contains("object"), "{e}");
+    }
+
+    #[test]
+    fn huge_tick_counts_round_trip() {
+        let header = TraceHeader::new("t", vec![], vec![]);
+        let trace = RecordedTrace::new(header, vec![], Time::from_ticks(u64::MAX));
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.end_time(), Time::from_ticks(u64::MAX));
+    }
+}

@@ -42,21 +42,22 @@
 //! ```
 
 mod filter;
+mod json;
 mod sink;
 mod state;
 
 pub use filter::{Filter, FilterSpec};
+pub use json::JsonError;
 pub use sink::{CountingSink, NullSink, Recorder, Tee, TraceSink};
 pub use state::{StateIter, TraceState};
 
 use pnut_core::expr::{Env, Value};
 use pnut_core::{PlaceId, Time, TransitionId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{Read, Write};
 
 /// Description of the initial state of the system (paper §4.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceHeader {
     /// Name of the net that produced the trace.
     pub net_name: String,
@@ -147,7 +148,7 @@ impl TraceHeader {
 }
 
 /// One kind of state change.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DeltaKind {
     /// A transition started firing; its input tokens have been removed
     /// (separate [`DeltaKind::PlaceDelta`] entries in the same step record
@@ -189,7 +190,7 @@ pub enum DeltaKind {
 /// must only observe states at step boundaries. This is what makes the
 /// paper's §4.4 invariant `Bus_busy + Bus_free = 1` checkable: the
 /// removal from one place and addition to the other are a single step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Delta {
     /// Simulation time of the change.
     pub time: Time,
@@ -223,7 +224,7 @@ impl fmt::Display for Delta {
 }
 
 /// A fully recorded trace: header, deltas, and end time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecordedTrace {
     header: TraceHeader,
     deltas: Vec<Delta>,
@@ -262,13 +263,13 @@ impl RecordedTrace {
         StateIter::new(self)
     }
 
-    /// Serialize to JSON.
+    /// Serialize to JSON (see [`json`](self::JsonError) for the schema).
     ///
     /// # Errors
     ///
     /// Returns any I/O error from the writer.
-    pub fn write_json<W: Write>(&self, writer: W) -> Result<(), serde_json::Error> {
-        serde_json::to_writer(writer, self)
+    pub fn write_json<W: Write>(&self, writer: W) -> Result<(), JsonError> {
+        json::write_trace(self, writer)
     }
 
     /// Deserialize from JSON (reminder: `&mut reader` also works).
@@ -276,8 +277,8 @@ impl RecordedTrace {
     /// # Errors
     ///
     /// Returns a decode error if the input is not a valid trace.
-    pub fn read_json<R: Read>(reader: R) -> Result<Self, serde_json::Error> {
-        serde_json::from_reader(reader)
+    pub fn read_json<R: Read>(reader: R) -> Result<Self, JsonError> {
+        json::read_trace(reader)
     }
 
     /// Replay this trace into a sink (e.g. to feed a recorded trace to a

@@ -123,12 +123,8 @@ mod tests {
     use pnut_core::PlaceId;
 
     fn trace_with(deltas: Vec<Delta>) -> RecordedTrace {
-        let header = TraceHeader::new(
-            "n",
-            vec!["a".into(), "b".into()],
-            vec!["t".into()],
-        )
-        .with_initial_marking(vec![2, 0]);
+        let header = TraceHeader::new("n", vec!["a".into(), "b".into()], vec!["t".into()])
+            .with_initial_marking(vec![2, 0]);
         RecordedTrace::new(header, deltas, Time::from_ticks(100))
     }
 

@@ -106,7 +106,9 @@ pub fn place_pulses(trace: &RecordedTrace, place: &str) -> Option<PulseStats> {
     if let Some(s) = high_since {
         pulses.push(Pulse { start: s, end });
     }
-    let window = end.ticks().saturating_sub(trace.header().start_time.ticks());
+    let window = end
+        .ticks()
+        .saturating_sub(trace.header().start_time.ticks());
     let high: u64 = pulses.iter().map(Pulse::width).sum();
     Some(PulseStats {
         pulses,
@@ -256,7 +258,11 @@ mod tests {
         let mut b = NetBuilder::new("once");
         b.place("idle", 1);
         b.place("busy", 0);
-        b.transition("go").input("idle").output("busy").enabling(3).add();
+        b.transition("go")
+            .input("idle")
+            .output("busy")
+            .enabling(3)
+            .add();
         let net = b.build().unwrap();
         let t = pnut_sim::simulate(&net, 0, Time::from_ticks(10)).unwrap();
         let stats = place_pulses(&t, "busy").unwrap();
@@ -269,7 +275,10 @@ mod tests {
         let t = bus_trace();
         let intervals = inter_start_intervals(&t, "seize").unwrap();
         assert!(!intervals.is_empty());
-        assert!(intervals.iter().all(|&i| i == 5), "period 3+2: {intervals:?}");
+        assert!(
+            intervals.iter().all(|&i| i == 5),
+            "period 3+2: {intervals:?}"
+        );
         assert!(inter_start_intervals(&t, "ghost").is_none());
     }
 

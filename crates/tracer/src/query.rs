@@ -229,7 +229,11 @@ impl Ctx<'_> {
         Err(QueryError::UnknownName(name.to_string()))
     }
 
-    fn eval_term(&self, term: &Term, bindings: &BTreeMap<String, usize>) -> Result<i64, QueryError> {
+    fn eval_term(
+        &self,
+        term: &Term,
+        bindings: &BTreeMap<String, usize>,
+    ) -> Result<i64, QueryError> {
         match term {
             Term::Int(v) => Ok(*v),
             Term::Count { name, state_var } => {
@@ -271,7 +275,11 @@ impl Ctx<'_> {
                 Ok(self.eval_formula(a, bindings)? || self.eval_formula(b, bindings)?)
             }
             Formula::Not(a) => Ok(!self.eval_formula(a, bindings)?),
-            Formula::Inev { from, target, guard } => {
+            Formula::Inev {
+                from,
+                target,
+                guard,
+            } => {
                 let start = *bindings
                     .get(from)
                     .ok_or_else(|| QueryError::UnboundStateVariable(from.clone()))?;
@@ -384,7 +392,11 @@ impl Parser {
                 }
                 '=' => {
                     // Paper writes single `=`; accept `==` too.
-                    i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                    i += if bytes.get(i + 1) == Some(&b'=') {
+                        2
+                    } else {
+                        1
+                    };
                     toks.push((Tok::Eq, pos));
                 }
                 '!' => {
@@ -820,7 +832,10 @@ mod tests {
         let t = sample_trace();
         // From the initial (free) state, "busy is inevitable while the
         // bus stays busy" is false: the guard fails immediately.
-        let o = check("forall s in {s' in S | Bus_free(s')} [ inev(s, false, Bus_busy(C)) ]", &t);
+        let o = check(
+            "forall s in {s' in S | Bus_free(s')} [ inev(s, false, Bus_busy(C)) ]",
+            &t,
+        );
         assert!(!o.holds);
     }
 
@@ -849,7 +864,10 @@ mod tests {
     #[test]
     fn comprehension_filters() {
         let t = sample_trace();
-        let o = check("forall s in {s' in S | Bus_busy(s')} [ Bus_free(s) = 0 ]", &t);
+        let o = check(
+            "forall s in {s' in S | Bus_busy(s')} [ Bus_free(s) = 0 ]",
+            &t,
+        );
         assert!(o.holds);
     }
 
@@ -868,10 +886,7 @@ mod tests {
     #[test]
     fn boolean_connectives() {
         let t = sample_trace();
-        let o = check(
-            "forall s in S [ Bus_busy(s) = 1 or Bus_free(s) = 1 ]",
-            &t,
-        );
+        let o = check("forall s in S [ Bus_busy(s) = 1 or Bus_free(s) = 1 ]", &t);
         assert!(o.holds);
         let o = check(
             "forall s in S [ not (Bus_busy(s) = 1 and Bus_free(s) = 1) ]",

@@ -132,7 +132,9 @@ impl Timeline {
         // Walk states and ticks in lockstep; for each tick take the value
         // from the last state entered at or before that tick.
         let mut states = trace.states().peekable();
-        let mut current = states.next().expect("states always yields the initial state");
+        let mut current = states
+            .next()
+            .expect("states always yields the initial state");
         let mut env_cache = bind_env(&current, header);
         for tick in from.ticks()..to.ticks() {
             while let Some(next) = states.peek() {
@@ -220,10 +222,7 @@ fn bind_env(state: &pnut_trace::TraceState, header: &pnut_trace::TraceHeader) ->
         );
     }
     for (i, name) in header.transition_names.iter().enumerate() {
-        env.set_var(
-            name.clone(),
-            Value::Int(i64::from(state.firing_counts[i])),
-        );
+        env.set_var(name.clone(), Value::Int(i64::from(state.firing_counts[i])));
     }
     env
 }
@@ -352,7 +351,11 @@ mod tests {
         let mut b = NetBuilder::new("n");
         b.place("q", 2);
         b.place("done", 0);
-        b.transition("serve").input("q").output("done").firing(5).add();
+        b.transition("serve")
+            .input("q")
+            .output("done")
+            .firing(5)
+            .add();
         let net = b.build().unwrap();
         let trace = pnut_sim::simulate(&net, 0, Time::from_ticks(10)).unwrap();
         let tl = Timeline::sample(

@@ -58,8 +58,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ideal = ideal_pipeline()?;
     let analysis = pnut::analytic::analyze(&ideal)?;
     println!("IDEAL PIPELINE (timed marked graph)");
-    println!("  cycle time        {} cycles/instruction", analysis.cycle_time);
-    println!("  throughput        {:.4} instructions/cycle", analysis.throughput());
+    println!(
+        "  cycle time        {} cycles/instruction",
+        analysis.cycle_time
+    );
+    println!(
+        "  throughput        {:.4} instructions/cycle",
+        analysis.throughput()
+    );
     let names: Vec<&str> = analysis
         .critical_cycle
         .iter()
@@ -104,7 +110,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(lat) = measure::latencies(&full_trace, "Decode", "Issue") {
         let mean = lat.iter().sum::<u64>() as f64 / lat.len().max(1) as f64;
-        println!("Decode -> Issue mean latency: {mean:.2} cycles over {} pairs", lat.len());
+        println!(
+            "Decode -> Issue mean latency: {mean:.2} cycles over {} pairs",
+            lat.len()
+        );
     }
     Ok(())
 }

@@ -26,21 +26,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         InstructionType::simple(1, 2, 2),
         InstructionType::simple(1, 3, 2),
         // stores
-        InstructionType { operands: 0, length_words: 2, exec_cycles: 1, stores_result: true, is_branch: false },
-        InstructionType { operands: 1, length_words: 2, exec_cycles: 2, stores_result: true, is_branch: false },
+        InstructionType {
+            operands: 0,
+            length_words: 2,
+            exec_cycles: 1,
+            stores_result: true,
+            is_branch: false,
+        },
+        InstructionType {
+            operands: 1,
+            length_words: 2,
+            exec_cycles: 2,
+            stores_result: true,
+            is_branch: false,
+        },
         // memory-to-memory move
-        InstructionType { operands: 2, length_words: 3, exec_cycles: 3, stores_result: true, is_branch: false },
+        InstructionType {
+            operands: 2,
+            length_words: 3,
+            exec_cycles: 3,
+            stores_result: true,
+            is_branch: false,
+        },
         // a taken branch: flushes the prefetch buffer on issue
-        InstructionType { operands: 0, length_words: 2, exec_cycles: 2, stores_result: false, is_branch: true },
+        InstructionType {
+            operands: 0,
+            length_words: 2,
+            exec_cycles: 2,
+            stores_result: false,
+            is_branch: true,
+        },
         // multiply
         InstructionType::simple(1, 2, 12),
     ];
     let config = InterpretedConfig {
         instruction_types: isa,
-        ibuf_words: 6,
-        words_per_prefetch: 2,
-        decode_cycles: 1,
-        mem_access_cycles: 5,
+        ..InterpretedConfig::default()
     };
     let net = build(&config)?;
 

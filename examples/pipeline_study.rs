@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Memory-speed sweep (intro motivation) ---------------------------
     println!("MEMORY-SPEED SWEEP (pipelined vs sequential, 20k cycles, seed 7)");
-    println!("{:>10} {:>12} {:>12} {:>9}", "mem cycles", "pipe IPC", "seq IPC", "speedup");
+    println!(
+        "{:>10} {:>12} {:>12} {:>9}",
+        "mem cycles", "pipe IPC", "seq IPC", "speedup"
+    );
     for mem in [1u64, 2, 3, 5, 8, 12] {
         let mut c = config.clone();
         c.mem_access_cycles = mem;
@@ -35,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let seq_net = sequential::build(&c)?;
         let seq_trace = pnut::sim::simulate(&seq_net, 7, Time::from_ticks(20_000))?;
         let seq_report = pnut::stat::analyze(&seq_trace);
-        let seq_ipc =
-            sequential::instructions_per_cycle(&seq_report).expect("baseline has retire");
+        let seq_ipc = sequential::instructions_per_cycle(&seq_report).expect("baseline has retire");
 
         println!(
             "{:>10} {:>12.4} {:>12.4} {:>8.2}x",
@@ -49,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Cache extension (§3) ---------------------------------------------
     println!("\nCACHE HIT-RATIO SWEEP (pipelined, mem=5, hit=1 cycle)");
-    println!("{:>10} {:>12} {:>14}", "hit ratio", "IPC", "bus utilization");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "hit ratio", "IPC", "bus utilization"
+    );
     for hit in [0.0, 0.5, 0.8, 0.95] {
         let mut c = config.clone();
         c.cache = Some(pnut::pipeline::CacheConfig {

@@ -119,7 +119,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .place("retransmit_count")
         .expect("counter exists")
         .max_tokens;
-    let lost = report.place("lost_count").expect("counter exists").max_tokens;
+    let lost = report
+        .place("lost_count")
+        .expect("counter exists")
+        .max_tokens;
 
     println!("STOP-AND-WAIT OVER A LOSSY CHANNEL (20 000 ticks, loss 20%)");
     println!("  frames sent (incl. retransmissions) {sends}");
@@ -153,8 +156,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "waiting always ends (ack or timeout)",
             "forall s in {s' in S | awaiting_ack(s')} [ inev(s, ready_to_send(C), true) ]",
         ),
-        ("progress was made", "exists s in S [ delivered_count(s) > 10 ]"),
-        ("timeouts actually occurred", "exists s in S [ retransmit_count(s) > 0 ]"),
+        (
+            "progress was made",
+            "exists s in S [ delivered_count(s) > 10 ]",
+        ),
+        (
+            "timeouts actually occurred",
+            "exists s in S [ retransmit_count(s) > 0 ]",
+        ),
     ] {
         let outcome = Query::parse(text)?.check(&trace)?;
         println!("  [{}] {note}", if outcome.holds { "PASS" } else { "FAIL" });

@@ -75,10 +75,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bus = report.place("Bus_busy").expect("model has a bus");
     println!("bus utilization: {:.1}%", bus.avg_tokens * 100.0);
     let decode = report.transition("Decode").expect("model decodes");
-    println!("decode throughput: {:.4} instructions/cycle", decode.throughput);
+    println!(
+        "decode throughput: {:.4} instructions/cycle",
+        decode.throughput
+    );
 
     // 5. And the recorded trace supports deeper tools — count states.
     let trace = recorder.into_trace().expect("run completed");
-    println!("trace: {} deltas, {} states", trace.deltas().len(), trace.states().count());
+    println!(
+        "trace: {} deltas, {} states",
+        trace.deltas().len(),
+        trace.states().count()
+    );
     Ok(())
 }

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- The paper's §4.4 queries -----------------------------------------
     let queries = [
-        ("bus invariant", "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]"),
+        (
+            "bus invariant",
+            "forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]",
+        ),
         (
             "buffer ever fully empty again after the start?",
             "exists s in (S - {#0}) [ Empty_I_buffers(s) = 6 ]",
@@ -69,9 +72,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?,
         Signal::place("Empty_I_buffers"),
     ];
-    let mut tl = Timeline::sample(&trace, &signals, Time::from_ticks(100), Time::from_ticks(200))?;
-    tl.add_marker(Marker { time: Time::from_ticks(110), tag: 'O' });
-    tl.add_marker(Marker { time: Time::from_ticks(158), tag: 'X' });
+    let mut tl = Timeline::sample(
+        &trace,
+        &signals,
+        Time::from_ticks(100),
+        Time::from_ticks(200),
+    )?;
+    tl.add_marker(Marker {
+        time: Time::from_ticks(110),
+        tag: 'O',
+    });
+    tl.add_marker(Marker {
+        time: Time::from_ticks(158),
+        tag: 'X',
+    });
     println!("\nTIMING ANALYSIS (cycles 100..200)");
     print!("{tl}");
     if let Some(d) = tl.interval('O', 'X') {
@@ -102,7 +116,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nINJECTED BUG (firing time on a bus transition)");
     println!(
         "  invariant check: {} (counterexample: state #{})",
-        if outcome.holds { "PASS — unexpected!" } else { "FAIL — bug caught" },
+        if outcome.holds {
+            "PASS — unexpected!"
+        } else {
+            "FAIL — bug caught"
+        },
         outcome.witness.unwrap_or(0),
     );
     // The structural analyzer flags it before any simulation, too.

@@ -5,7 +5,9 @@
 use std::path::Path;
 
 fn read_model(name: &str) -> String {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("models").join(name);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("models")
+        .join(name);
     std::fs::read_to_string(path).expect("model file exists")
 }
 
@@ -36,8 +38,8 @@ fn sequential_model_file_matches_builder() {
 fn model_files_parse_and_simulate() {
     for name in ["three_stage.pn", "interpreted.pn", "sequential.pn"] {
         let net = pnut::lang::parse(&read_model(name)).expect("parses");
-        let trace = pnut::sim::simulate(&net, 1, pnut::core::Time::from_ticks(500))
-            .expect("simulates");
+        let trace =
+            pnut::sim::simulate(&net, 1, pnut::core::Time::from_ticks(500)).expect("simulates");
         assert!(!trace.deltas().is_empty(), "{name} produced no events");
     }
 }

@@ -62,9 +62,21 @@ fn buffer_and_stage_occupancy_shape() {
     // (0.0014 idle); execution unit idle 0.2739.
     let o = fig5();
     let m = &o.metrics;
-    assert!(m.avg_full_ibuf > 3.5, "buffer mostly full: {}", m.avg_full_ibuf);
-    assert!(m.avg_empty_ibuf < 1.5, "few empty slots: {}", m.avg_empty_ibuf);
-    assert!(m.decoder_idle < 0.05, "decoder nearly saturated: {}", m.decoder_idle);
+    assert!(
+        m.avg_full_ibuf > 3.5,
+        "buffer mostly full: {}",
+        m.avg_full_ibuf
+    );
+    assert!(
+        m.avg_empty_ibuf < 1.5,
+        "few empty slots: {}",
+        m.avg_empty_ibuf
+    );
+    assert!(
+        m.decoder_idle < 0.05,
+        "decoder nearly saturated: {}",
+        m.decoder_idle
+    );
     assert!(
         (0.1..=0.5).contains(&m.exec_unit_idle),
         "execution unit partially idle: {}",
@@ -100,16 +112,16 @@ fn paper_queries_hold_on_the_real_trace() {
     let net = three_stage::build(&ThreeStageConfig::default()).expect("model builds");
     let trace = pnut::sim::simulate(&net, 1, Time::from_ticks(10_000)).expect("runs");
 
-    let invariant = Query::parse("forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]")
-        .expect("parses");
+    let invariant =
+        Query::parse("forall s in S [ Bus_busy(s) + Bus_free(s) = 1 ]").expect("parses");
     assert!(invariant.check(&trace).expect("evaluates").holds);
 
     // The paper asks whether the buffer ever refills completely after
     // the initial state; in the steady state it rarely does, but with a
     // full buffer at t=0 being *drained*, the complement query must
     // hold: it is sometimes not full.
-    let sometimes_drained = Query::parse("exists s in S [ Empty_I_buffers(s) > 0 ]")
-        .expect("parses");
+    let sometimes_drained =
+        Query::parse("exists s in S [ Empty_I_buffers(s) > 0 ]").expect("parses");
     assert!(sometimes_drained.check(&trace).expect("evaluates").holds);
 
     let type5 = Query::parse("exists s in S [ exec_type_5(s) > 0 ]").expect("parses");
@@ -170,7 +182,10 @@ fn ibuf_size_sweep_saturates() {
     let small = ipc_at(2);
     let medium = ipc_at(6);
     let large = ipc_at(12);
-    assert!(medium >= small * 0.98, "6 words >= 2 words: {medium} vs {small}");
+    assert!(
+        medium >= small * 0.98,
+        "6 words >= 2 words: {medium} vs {small}"
+    );
     assert!(
         (large - medium).abs() / medium < 0.2,
         "returns diminish past the paper's 6 words: {large} vs {medium}"

@@ -41,14 +41,12 @@ fn arb_net() -> impl Strategy<Value = RandomNet> {
                     frequency,
                 },
             );
-        (
-            place_tokens,
-            proptest::collection::vec(transition, 1..5),
-        )
-            .prop_map(|(places, transitions)| RandomNet {
+        (place_tokens, proptest::collection::vec(transition, 1..5)).prop_map(
+            |(places, transitions)| RandomNet {
                 places,
                 transitions,
-            })
+            },
+        )
     })
 }
 
@@ -87,15 +85,10 @@ fn build(spec: &RandomNet) -> pnut::core::Net {
     b.build().expect("generated nets are well-formed")
 }
 
-
 /// Simulate, treating an instant-livelock rejection (a Zeno model the
 /// generator can produce: zero-delay token-gaining loops) as a skip —
 /// the engine is *specified* to reject those models.
-fn sim_or_skip(
-    net: &pnut::core::Net,
-    seed: u64,
-    ticks: u64,
-) -> Option<pnut::trace::RecordedTrace> {
+fn sim_or_skip(net: &pnut::core::Net, seed: u64, ticks: u64) -> Option<pnut::trace::RecordedTrace> {
     match pnut::sim::simulate(net, seed, Time::from_ticks(ticks)) {
         Ok(t) => Some(t),
         Err(pnut::sim::SimError::InstantLivelock { .. }) => None,
@@ -258,10 +251,9 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Box::new(a),
                 Box::new(b)
             )),
-            inner.clone().prop_map(|a| Expr::Unary(
-                pnut::core::expr::UnaryOp::Neg,
-                Box::new(a)
-            )),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(pnut::core::expr::UnaryOp::Neg, Box::new(a))),
             (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::If(
                 Box::new(c),
                 Box::new(a),

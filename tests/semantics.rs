@@ -15,8 +15,16 @@ fn firing_time_simulated_by_enabling_time() {
     let mut a = NetBuilder::new("firing");
     a.place("src", 1);
     a.place("dst", 0);
-    a.transition("work").input("src").output("dst").firing(4).add();
-    a.transition("back").input("dst").output("src").firing(1).add();
+    a.transition("work")
+        .input("src")
+        .output("dst")
+        .firing(4)
+        .add();
+    a.transition("back")
+        .input("dst")
+        .output("src")
+        .firing(1)
+        .add();
     let net_a = a.build().expect("builds");
 
     // Version B: explicit holding place + enabling time 4 + atomic end.
@@ -30,7 +38,11 @@ fn firing_time_simulated_by_enabling_time() {
         .output("dst")
         .enabling(4)
         .add();
-    b.transition("back").input("dst").output("src").firing(1).add();
+    b.transition("back")
+        .input("dst")
+        .output("src")
+        .firing(1)
+        .add();
     let net_b = b.build().expect("builds");
 
     let horizon = Time::from_ticks(1000);

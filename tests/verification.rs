@@ -105,9 +105,9 @@ fn timed_reachability_of_a_pipeline_fragment() {
     );
     // Some state has Decode in flight.
     let decode = net.transition_id("Decode").expect("exists");
-    assert!((0..g.state_count()).any(|i| {
-        g.state(i).in_flight.iter().any(|&(t, _)| t == decode)
-    }));
+    assert!(
+        (0..g.state_count()).any(|i| { g.state(i).in_flight.iter().any(|&(t, _)| t == decode) })
+    );
     // Terminal state: both instructions done.
     let done = net.place_id("Done").expect("exists");
     let deadlocks = g.deadlocks();
@@ -157,7 +157,10 @@ fn invariant_basis_contains_the_bus_conservation_law() {
     let invariants = pnut::core::invariant::p_invariants(&net);
     assert!(!invariants.is_empty(), "the pipeline has conservation laws");
     for inv in &invariants {
-        assert!(pnut::core::invariant::verify_p_invariant(&net, &inv.weights));
+        assert!(pnut::core::invariant::verify_p_invariant(
+            &net,
+            &inv.weights
+        ));
     }
     // The §4.4 bus law is itself a P-invariant (every transition moves
     // the bus token between exactly these two places), provable
