@@ -90,6 +90,10 @@ pub struct MarkovOptions {
     pub max_iterations: usize,
     /// L1 convergence tolerance on the running average.
     pub tolerance: f64,
+    /// Worker threads for the underlying timed reachability build (see
+    /// [`pnut_reach::ReachOptions::jobs`]); the chain extraction itself
+    /// is dense linear algebra and stays single-threaded.
+    pub jobs: usize,
 }
 
 impl Default for MarkovOptions {
@@ -98,6 +102,7 @@ impl Default for MarkovOptions {
             max_states: 20_000,
             max_iterations: 200_000,
             tolerance: 1e-12,
+            jobs: 1,
         }
     }
 }
@@ -171,6 +176,7 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
         net,
         &ReachOptions {
             max_states: options.max_states,
+            jobs: options.jobs,
         },
     )?;
     let n = graph.state_count();

@@ -16,6 +16,7 @@ use std::time::Instant;
 
 const OPTIONS: ReachOptions = ReachOptions {
     max_states: 100_000,
+    jobs: 1,
 };
 
 fn untimed_workloads() -> Vec<(&'static str, Net)> {
@@ -50,7 +51,43 @@ fn bench_timed(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(reach, bench_untimed, bench_timed);
+/// Worker counts measured by the parallel series: sequential, the
+/// fixed jobs = 4 point, and every available core (deduplicated, so on
+/// a 4-core runner this is `[1, 4]`).
+fn job_series() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut series = vec![1, 4, max];
+    series.sort_unstable();
+    series.dedup();
+    series
+}
+
+/// Parallel frontier exploration at each job count, on the paper's
+/// interpreted pipeline (narrow frontiers ≤ 64 states: measures the
+/// level-machinery overhead) and on the wide toggle lattice (frontiers
+/// thousands of states wide: measures actual scaling).
+fn bench_parallel(c: &mut Criterion) {
+    for (name, net) in [
+        ("interpreted", workloads::interpreted_net()),
+        ("wide_toggle", workloads::wide_toggle(15)),
+    ] {
+        let mut g = c.benchmark_group(format!("reach/parallel/{name}"));
+        for jobs in job_series() {
+            let options = ReachOptions {
+                max_states: 100_000,
+                jobs,
+            };
+            g.bench_function(format!("j{jobs}"), |b| {
+                b.iter(|| build_untimed(&net, &options).expect("bounded"))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(reach, bench_untimed, bench_timed, bench_parallel);
 
 fn export(name: &str, key: &str, value: f64) {
     let Ok(path) = std::env::var("PNUT_BENCH_JSON") else {
@@ -123,6 +160,28 @@ fn summary() {
         &|| build_timed(&net, &OPTIONS).expect("bounded"),
         &|| legacy_reach::build_timed(&net, &OPTIONS).expect("bounded"),
     );
+
+    println!("\n-- parallel frontier vs. sequential (min of 5 builds) --");
+    for (name, net) in [
+        ("interpreted", workloads::interpreted_net()),
+        ("wide_toggle", workloads::wide_toggle(15)),
+    ] {
+        let seq = min_ns(5, || build_untimed(&net, &OPTIONS).expect("bounded"));
+        for jobs in job_series().into_iter().filter(|&j| j > 1) {
+            let options = ReachOptions {
+                max_states: 100_000,
+                jobs,
+            };
+            let par = min_ns(5, || build_untimed(&net, &options).expect("bounded"));
+            let speedup = seq / par;
+            println!("{name:<24} jobs {jobs:>2}  speedup {speedup:>5.2}x vs sequential");
+            export(
+                &format!("reach/speedup/parallel/{name}/j{jobs}"),
+                "ratio",
+                speedup,
+            );
+        }
+    }
 }
 
 fn main() {

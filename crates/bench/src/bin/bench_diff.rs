@@ -1,0 +1,129 @@
+//! Bench trend gate: diff the speedup ratios of a fresh
+//! `BENCH_reach.json` against the committed baseline and fail on
+//! regression (the ROADMAP "bench trend tracking" item).
+//!
+//! ```text
+//! bench_diff <baseline.json> <candidate.json> [--min-frac F]
+//! ```
+//!
+//! Both files are the JSON-lines format the reach bench appends (see
+//! `benches/reach.rs`). Only `"ratio"` entries are compared — raw
+//! timings shift with the runner's hardware, but *ratios* between two
+//! builders measured back-to-back on the same machine are comparable
+//! across runners. A candidate ratio below `baseline × min-frac`
+//! (default 0.7, loose enough to absorb CI noise) exits 1.
+//!
+//! Absolute-speedup floors are intentionally not enforced: the
+//! parallel ratios in the committed baseline come from whatever machine
+//! produced it (possibly single-core, where parallel ≈ 1×), and a
+//! many-core runner must not fail for being *faster* in a different
+//! proportion. Regression means "worse than the committed trend".
+
+use std::process::ExitCode;
+
+/// Extract `(name, ratio)` from one JSON line, ignoring non-ratio lines.
+/// The format is machine-written (`{"name":"...","ratio":N}`), so a
+/// tolerant hand parser beats dragging in a JSON dependency.
+fn parse_ratio_line(line: &str) -> Option<(String, f64)> {
+    let name_start = line.find("\"name\":\"")? + 8;
+    let name_end = name_start + line[name_start..].find('"')?;
+    let key_start = line.find("\"ratio\":")? + 8;
+    let rest = &line[key_start..];
+    let num: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e' || *c == '+')
+        .collect();
+    Some((line[name_start..name_end].to_string(), num.parse().ok()?))
+}
+
+fn load_ratios(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(text.lines().filter_map(parse_ratio_line).collect())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_frac = 0.7f64;
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--min-frac" {
+            match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                Some(f) => min_frac = f,
+                None => {
+                    eprintln!("bench_diff: --min-frac needs a number");
+                    return ExitCode::FAILURE;
+                }
+            }
+            i += 2;
+        } else {
+            files.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let [baseline_path, candidate_path] = files.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--min-frac F]");
+        return ExitCode::FAILURE;
+    };
+
+    let (baseline, candidate) = match (load_ratios(baseline_path), load_ratios(candidate_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.is_empty() {
+        eprintln!("bench_diff: no ratio entries in `{baseline_path}`");
+        return ExitCode::FAILURE;
+    }
+
+    let lookup = |name: &str| candidate.iter().find(|(n, _)| n == name).map(|&(_, r)| r);
+    let mut regressions = 0;
+    println!(
+        "{:<44} {:>9} {:>9} {:>7}",
+        "ratio", "baseline", "current", ""
+    );
+    for (name, base) in &baseline {
+        match lookup(name) {
+            None => {
+                println!("{name:<44} {base:>9.2} {:>9} MISSING", "-");
+                regressions += 1;
+            }
+            Some(cur) => {
+                let ok = cur >= base * min_frac;
+                println!(
+                    "{name:<44} {base:>9.2} {cur:>9.2} {}",
+                    if ok { "ok" } else { "REGRESSED" }
+                );
+                if !ok {
+                    regressions += 1;
+                }
+            }
+        }
+    }
+    if regressions > 0 {
+        eprintln!("bench_diff: {regressions} ratio(s) regressed below {min_frac}× of the baseline");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_diff: all {} ratio(s) within trend", baseline.len());
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_ratio_line;
+
+    #[test]
+    fn parses_ratio_lines_and_skips_timings() {
+        assert_eq!(
+            parse_ratio_line(r#"{"name":"reach/speedup/interpreted","ratio":7.3}"#),
+            Some(("reach/speedup/interpreted".to_string(), 7.3))
+        );
+        assert_eq!(
+            parse_ratio_line(r#"{"name":"reach/untimed/x/interned","median_ns":268906.4}"#),
+            None
+        );
+        assert_eq!(parse_ratio_line("not json"), None);
+    }
+}

@@ -58,3 +58,26 @@ pub fn timed_fragment(tokens: u32) -> Net {
         .add();
     b.build().expect("fragment builds")
 }
+
+/// `cells` independent one-shot toggles: cell `i` moves its single token
+/// from `u<i>` to `d<i>` once. The untimed state space is the Boolean
+/// lattice `2^cells` and BFS level `L` holds `C(cells, L)` states, so —
+/// unlike the paper's pipelines, whose frontiers never exceed a few
+/// dozen states — the middle levels are thousands of states wide. This
+/// is the workload that actually exercises (and can show speedup from)
+/// the parallel frontier exploration; the pipelines measure its
+/// overhead on narrow frontiers instead.
+pub fn wide_toggle(cells: u32) -> Net {
+    let mut b = NetBuilder::new("wide_toggle");
+    for i in 0..cells {
+        b.place(format!("u{i}"), 1);
+        b.place(format!("d{i}"), 0);
+    }
+    for i in 0..cells {
+        b.transition(format!("flip{i}"))
+            .input(format!("u{i}"))
+            .output(format!("d{i}"))
+            .add();
+    }
+    b.build().expect("toggle builds")
+}

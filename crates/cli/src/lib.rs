@@ -117,6 +117,54 @@ impl<'a> Args<'a> {
     }
 }
 
+/// Parse an optional `--name N` integer-like option, with a proper
+/// usage error (instead of a panic or silent default) on garbage.
+fn parse_opt<T: std::str::FromStr>(
+    args: &mut Args<'_>,
+    name: &str,
+    cmd: &str,
+) -> Result<Option<T>, CliError> {
+    args.value(name)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| err(format!("{cmd}: {name} must be a non-negative integer")))
+        })
+        .transpose()
+}
+
+/// Parse and validate the shared `--max-states N` / `--jobs N`
+/// exploration options, returning `(max_states, jobs)` where present.
+/// `--max-states` must be positive; `--jobs 0` means "use all available
+/// cores".
+fn parse_limit_flags(
+    args: &mut Args<'_>,
+    cmd: &str,
+) -> Result<(Option<usize>, Option<usize>), CliError> {
+    let max = parse_opt::<usize>(args, "--max-states", cmd)?;
+    if max == Some(0) {
+        return Err(err(format!("{cmd}: --max-states must be positive")));
+    }
+    let jobs = parse_opt::<usize>(args, "--jobs", cmd)?;
+    Ok((max, jobs))
+}
+
+/// [`parse_limit_flags`] applied to [`pnut_reach::ReachOptions`].
+fn parse_reach_options(
+    args: &mut Args<'_>,
+    cmd: &str,
+    defaults: pnut_reach::ReachOptions,
+) -> Result<pnut_reach::ReachOptions, CliError> {
+    let (max, jobs) = parse_limit_flags(args, cmd)?;
+    let mut options = defaults;
+    if let Some(max) = max {
+        options.max_states = max;
+    }
+    if let Some(jobs) = jobs {
+        options.jobs = jobs;
+    }
+    Ok(options)
+}
+
 fn load_net(path: &str) -> Result<Net, CliError> {
     let text = fs::read_to_string(path).map_err(|e| err(format!("cannot read `{path}`: {e}")))?;
     pnut_lang::parse(&text).map_err(|e| err(format!("{path}: {e}")))
@@ -200,12 +248,18 @@ usage: pnut <command> [args]
   query <trace.json> <query>           forall/exists/inev over trace states
   timeline <trace.json> [--from A] [--to B] [--probe NAME]... [--fn L=EXPR]...
   anim <trace.json> [--max-frames N]
-  reach <model.pn> [--timed] [--ctl FORMULA]
-  cover <model.pn>                     Karp–Miller boundedness
+  reach <model.pn> [--timed] [--ctl FORMULA] [--max-states N] [--jobs N]
+  cover <model.pn> [--max-states N] [--jobs N]   Karp–Miller boundedness
   cycle <model.pn>                     analytic cycle time (marked graphs)
-  markov <model.pn>                    analytic steady state (timed nets with choice)
+  markov <model.pn> [--max-states N] [--jobs N]  analytic steady state
   heatmap <trace.json>                 activity heatmap (bottleneck feedback)
   measure <trace.json> [--pulses PLACE] [--intervals TRANS] [--latency FROM,TO]
+
+--max-states raises/lowers the state-space cap (default 100000; 20000
+for markov). --jobs N explores the frontier with N worker threads
+(0 = all cores, default 1); results are identical at any job count.
+cover accepts --jobs for symmetry but currently ignores it: the
+Karp–Miller tree build is sequential.
 
 exit codes: 0 ok · 1 error · 2 checked property is false
 ";
@@ -389,10 +443,11 @@ fn cmd_filter(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let trace = load_trace(&path)?;
     let mut filter = pnut_trace::Filter::new(spec, pnut_trace::Recorder::new());
     trace.replay(&mut filter);
-    let filtered = filter
-        .into_inner()
-        .into_trace()
-        .expect("replay is complete");
+    let filtered = filter.into_inner().into_trace().ok_or_else(|| {
+        err(format!(
+            "filter: `{path}` replayed incompletely (truncated trace file?)"
+        ))
+    })?;
     save_trace(&filtered, output.as_deref(), out)?;
     Ok(0)
 }
@@ -519,10 +574,10 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         .ok_or_else(|| err("reach: need a model file"))?;
     let timed = args.flag("--timed");
     let ctl = args.value("--ctl");
+    let options = parse_reach_options(&mut args, "reach", pnut_reach::ReachOptions::default())?;
     args.finish()?;
 
     let net = load_net(&path)?;
-    let options = pnut_reach::ReachOptions::default();
     let graph = if timed {
         pnut_reach::graph::build_timed(&net, &options)
     } else {
@@ -574,13 +629,18 @@ fn cmd_cover(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let path = args
         .positional()
         .ok_or_else(|| err("cover: need a model file"))?;
+    let mut options = pnut_reach::coverability::CoverOptions::default();
+    let (max, jobs) = parse_limit_flags(&mut args, "cover")?;
+    if let Some(max) = max {
+        options.max_nodes = max;
+    }
+    if let Some(jobs) = jobs {
+        options.jobs = jobs;
+    }
     args.finish()?;
     let net = load_net(&path)?;
-    let tree = pnut_reach::coverability::coverability_tree(
-        &net,
-        &pnut_reach::coverability::CoverOptions::default(),
-    )
-    .map_err(|e| err(format!("cover: {e}")))?;
+    let tree = pnut_reach::coverability::coverability_tree(&net, &options)
+        .map_err(|e| err(format!("cover: {e}")))?;
     let _ = writeln!(
         out,
         "coverability tree: {} nodes; net is {}",
@@ -707,11 +767,18 @@ fn cmd_markov(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let path = args
         .positional()
         .ok_or_else(|| err("markov: need a model file"))?;
+    let mut options = pnut_analytic::markov::MarkovOptions::default();
+    let (max, jobs) = parse_limit_flags(&mut args, "markov")?;
+    if let Some(max) = max {
+        options.max_states = max;
+    }
+    if let Some(jobs) = jobs {
+        options.jobs = jobs;
+    }
     args.finish()?;
     let net = load_net(&path)?;
-    let ss =
-        pnut_analytic::markov::steady_state(&net, &pnut_analytic::markov::MarkovOptions::default())
-            .map_err(|e| err(format!("markov: {e}")))?;
+    let ss = pnut_analytic::markov::steady_state(&net, &options)
+        .map_err(|e| err(format!("markov: {e}")))?;
     let _ = writeln!(out, "ANALYTIC STEADY STATE (semi-Markov, exact semantics)");
     let _ = writeln!(out, "mean sojourn per jump: {:.4} ticks", ss.mean_sojourn);
     let _ = writeln!(out, "place average tokens:");
@@ -949,6 +1016,115 @@ mod tests {
         assert_eq!(code, 0);
         let reparsed = pnut_lang::parse(&printed).unwrap();
         assert_eq!(reparsed.name(), "bus");
+    }
+
+    #[test]
+    fn reach_honors_max_states_and_jobs() {
+        let dir = tmpdir("limits");
+        let model = write_model(&dir);
+
+        // The bus model has 2 states; capping below that must surface
+        // the reach error (previously impossible: the cap was hard-coded).
+        let mut out = String::new();
+        let e = run(
+            &["reach", &model, "--max-states", "1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("exceeds 1 state"), "{e}");
+
+        // A parallel build returns the same report as the default.
+        let (code, seq_out) = run_args(&["reach", &model]);
+        assert_eq!(code, 0);
+        let (code, par_out) = run_args(&["reach", &model, "--jobs", "4"]);
+        assert_eq!(code, 0);
+        assert_eq!(seq_out, par_out, "jobs must not change any output");
+
+        // Raising the cap explicitly also works.
+        let (code, out) = run_args(&["reach", &model, "--max-states", "500000"]);
+        assert_eq!(code, 0);
+        assert!(out.contains("2 states"));
+    }
+
+    #[test]
+    fn cover_and_markov_honor_max_states_and_jobs() {
+        let dir = tmpdir("limits2");
+        let model = write_model(&dir);
+        let (code, out) = run_args(&["cover", &model, "--max-states", "10", "--jobs", "2"]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("bounded"));
+
+        let ring = dir.join("ring.pn");
+        fs::write(
+            &ring,
+            "net ring\nplace a = 1\nplace b = 0\n\
+             trans t0\n  in a\n  out b\n  firing 3\nend\n\
+             trans t1\n  in b\n  out a\n  firing 1\nend\n",
+        )
+        .unwrap();
+        let ring = ring.to_string_lossy().into_owned();
+        let (code, seq_out) = run_args(&["markov", &ring]);
+        let (code2, par_out) = run_args(&["markov", &ring, "--jobs", "4", "--max-states", "100"]);
+        assert_eq!((code, code2), (0, 0));
+        assert_eq!(seq_out, par_out);
+
+        let mut s = String::new();
+        let e = run(
+            &[
+                "markov".to_string(),
+                ring,
+                "--max-states".to_string(),
+                "1".to_string(),
+            ],
+            &mut s,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("exceeds 1 state"), "{e}");
+    }
+
+    #[test]
+    fn bad_limit_flags_are_usage_errors_not_panics() {
+        let dir = tmpdir("badflags");
+        let model = write_model(&dir);
+        for argv in [
+            vec!["reach", &model, "--max-states", "abc"],
+            vec!["reach", &model, "--jobs", "-3"],
+            vec!["reach", &model, "--max-states", "0"],
+            vec!["cover", &model, "--max-states", "many"],
+            vec!["markov", &model, "--jobs", "2.5"],
+        ] {
+            let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            let mut out = String::new();
+            let e = run(&argv, &mut out).unwrap_err();
+            assert!(
+                e.to_string().contains("--max-states") || e.to_string().contains("--jobs"),
+                "unhelpful error: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_reports_truncated_traces_instead_of_panicking() {
+        let dir = tmpdir("trunc");
+        let model = write_model(&dir);
+        let trace_path = dir.join("t.json").to_string_lossy().into_owned();
+        run_args(&["sim", &model, "--until", "50", "-o", &trace_path]);
+        // Chop the file mid-JSON: the load fails with a diagnostic (and
+        // the replay-completeness path behind it is a CliError now, not
+        // an expect).
+        let full = fs::read_to_string(&trace_path).unwrap();
+        let cut = dir.join("cut.json");
+        fs::write(&cut, &full[..full.len() / 2]).unwrap();
+        let mut out = String::new();
+        let e = run(
+            &["filter".to_string(), cut.to_string_lossy().into_owned()],
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(!e.to_string().is_empty());
     }
 
     #[test]

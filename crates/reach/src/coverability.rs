@@ -206,11 +206,21 @@ pub struct CoverOptions {
     /// Abort beyond this many tree nodes (the tree is finite in theory,
     /// but can be enormous).
     pub max_nodes: usize,
+    /// Accepted for interface symmetry with
+    /// [`crate::graph::ReachOptions::jobs`] and currently unused: the
+    /// Karp–Miller construction accelerates against each node's
+    /// *ancestor chain*, a sequential dependency the level-barrier
+    /// scheme of [`crate::store`] does not cover. Reserved for a
+    /// parallel tree construction.
+    pub jobs: usize,
 }
 
 impl Default for CoverOptions {
     fn default() -> Self {
-        CoverOptions { max_nodes: 100_000 }
+        CoverOptions {
+            max_nodes: 100_000,
+            jobs: 1,
+        }
     }
 }
 

@@ -9,22 +9,44 @@
 //! without a compaction pass, and two builds of the same net produce
 //! bit-identical graphs.
 
-use crate::store::{StateRef, StateStore};
+use crate::store::{self, EnvRef, PendingShard, StateRef, StateStore};
 use pnut_core::expr::Env;
 use pnut_core::{Net, Time, Transition, TransitionId};
 use std::fmt;
+use std::sync::Mutex;
 
 /// Limits for graph construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReachOptions {
     /// Stop with [`ReachError::StateLimit`] beyond this many states.
     pub max_states: usize,
+    /// Worker threads for frontier exploration: `1` builds sequentially,
+    /// `0` uses [`std::thread::available_parallelism`], anything else is
+    /// an explicit thread count. Every job count produces a bit-identical
+    /// graph (see [`crate::store`] for how the level barrier guarantees
+    /// it), so this is purely a throughput knob.
+    pub jobs: usize,
+}
+
+impl ReachOptions {
+    /// The actual worker count: resolves `jobs == 0` to the machine's
+    /// available parallelism (falling back to 1 when unknown).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
 }
 
 impl Default for ReachOptions {
     fn default() -> Self {
         ReachOptions {
             max_states: 100_000,
+            jobs: 1,
         }
     }
 }
@@ -78,6 +100,15 @@ pub enum ReachError {
         /// What exactly went wrong.
         detail: &'static str,
     },
+    /// A store arena or index space overflowed its representation (more
+    /// than `u32::MAX` states, environments, edges, or in-flight
+    /// entries). The seed construction `expect`-panicked here; it is a
+    /// hard error so release builds fail cleanly on astronomically large
+    /// state spaces instead of aborting.
+    CapacityExceeded {
+        /// Which arena or index space overflowed.
+        resource: &'static str,
+    },
 }
 
 impl fmt::Display for ReachError {
@@ -106,6 +137,9 @@ impl fmt::Display for ReachError {
                 f,
                 "firing `{transition}` corrupted the marking: {detail}"
             ),
+            ReachError::CapacityExceeded { resource } => {
+                write!(f, "reachability store capacity exceeded: {resource}")
+            }
         }
     }
 }
@@ -316,17 +350,12 @@ fn apply_delta(
     Ok(())
 }
 
-/// Shared exploration machinery for the timed and untimed builds: the
-/// store, the CSR accumulators, the compiled transitions, and reusable
-/// scratch buffers that make successor generation allocation-free on
-/// the steady state.
-struct Explorer {
-    max_states: usize,
-    compiled: Vec<Compiled>,
-    store: StateStore,
-    offsets: Vec<u32>,
-    edges: Vec<Edge>,
-    /// Copy of the current state's marking (stable while `store` grows).
+/// Reusable per-worker scratch buffers: one copy of the state under
+/// expansion and one successor under construction, so successor
+/// generation is allocation-free on the steady state. The sequential
+/// explorer owns one; the parallel builder gives each worker its own.
+struct Scratch {
+    /// Copy of the current state's marking (stable while the store grows).
     cur_marking: Vec<u32>,
     /// Marking-part hash of `cur_marking`.
     cur_hash: u64,
@@ -340,19 +369,9 @@ struct Explorer {
     next_inflight: Vec<(TransitionId, u64)>,
 }
 
-impl Explorer {
-    fn new(net: &Net, options: &ReachOptions) -> Self {
-        let places = net.place_count();
-        let mut store = StateStore::new(places);
-        let initial_env = store.intern_env(net.initial_env());
-        let initial = net.initial_marking();
-        store.intern(initial.as_slice(), initial_env, &[]);
-        Explorer {
-            max_states: options.max_states,
-            compiled: compile(net),
-            store,
-            offsets: Vec::new(),
-            edges: Vec::new(),
+impl Scratch {
+    fn new(places: usize) -> Self {
+        Scratch {
             cur_marking: vec![0; places],
             cur_hash: 0,
             cur_inflight: Vec::new(),
@@ -362,24 +381,20 @@ impl Explorer {
         }
     }
 
-    /// Load state `cur` into the scratch copies.
-    fn load(&mut self, cur: usize) -> u32 {
-        self.cur_marking
-            .copy_from_slice(self.store.marking_slice(cur));
+    /// Load state `cur` into the scratch copies; returns its env id.
+    fn load(&mut self, store: &StateStore, cur: usize) -> u32 {
+        self.cur_marking.copy_from_slice(store.marking_slice(cur));
         self.cur_hash = StateStore::marking_hash(&self.cur_marking);
         self.cur_inflight.clear();
         self.cur_inflight
-            .extend_from_slice(self.store.in_flight_slice(cur));
-        self.offsets
-            .push(u32::try_from(self.edges.len()).expect("more than u32::MAX edges"));
-        self.store.env_id(cur)
+            .extend_from_slice(store.in_flight_slice(cur));
+        store.env_id(cur)
     }
 
-    /// Whether compiled transition `ti` is marking-enabled in the
+    /// Whether compiled transition `ct` is marking-enabled in the
     /// current state.
     #[inline]
-    fn enabled(&self, ti: usize) -> bool {
-        let ct = &self.compiled[ti];
+    fn enabled(&self, ct: &Compiled) -> bool {
         ct.needs
             .iter()
             .all(|&(p, w)| self.cur_marking[p as usize] >= w)
@@ -396,13 +411,12 @@ impl Explorer {
         self.next_hash = self.cur_hash;
     }
 
-    /// Build the successor marking for firing `ti`: the full movement
+    /// Build the successor marking for firing `ct`: the full movement
     /// when `atomic`, inputs only otherwise (timed nets deliver outputs
     /// at end-of-firing).
-    fn fire(&mut self, net: &Net, ti: usize, atomic: bool) -> Result<(), ReachError> {
+    fn fire(&mut self, net: &Net, ct: &Compiled, atomic: bool) -> Result<(), ReachError> {
         self.next_marking.copy_from_slice(&self.cur_marking);
         self.next_hash = self.cur_hash;
-        let ct = &self.compiled[ti];
         let delta = if atomic {
             &ct.fire_delta
         } else {
@@ -435,17 +449,65 @@ impl Explorer {
         }
         Ok(())
     }
+}
 
-    /// Run `ti`'s predicate against `env` (true when absent).
-    fn predicate_holds(&self, net: &Net, ti: usize, env_id: u32) -> Result<bool, ReachError> {
-        let t = net.transition(self.compiled[ti].id);
-        match t.predicate() {
-            None => Ok(true),
-            Some(p) => p
-                .eval_pure(self.store.env(env_id))
-                .and_then(|v| v.as_bool())
-                .map_err(|e| eval_err(t, e)),
-        }
+/// Run `ct`'s predicate against the interned environment `env_id`
+/// (true when absent).
+fn predicate_holds(
+    net: &Net,
+    store: &StateStore,
+    ct: &Compiled,
+    env_id: u32,
+) -> Result<bool, ReachError> {
+    let t = net.transition(ct.id);
+    match t.predicate() {
+        None => Ok(true),
+        Some(p) => p
+            .eval_pure(store.env(env_id))
+            .and_then(|v| v.as_bool())
+            .map_err(|e| eval_err(t, e)),
+    }
+}
+
+fn edge_capacity(edges: usize) -> Result<u32, ReachError> {
+    u32::try_from(edges).map_err(|_| ReachError::CapacityExceeded {
+        resource: "edge index (more than u32::MAX edges)",
+    })
+}
+
+/// Shared exploration machinery for the sequential timed and untimed
+/// builds: the store, the CSR accumulators, the compiled transitions,
+/// and the scratch buffers.
+struct Explorer {
+    max_states: usize,
+    compiled: Vec<Compiled>,
+    store: StateStore,
+    offsets: Vec<u32>,
+    edges: Vec<Edge>,
+    scratch: Scratch,
+}
+
+impl Explorer {
+    fn new(net: &Net, options: &ReachOptions) -> Result<Self, ReachError> {
+        let places = net.place_count();
+        let mut store = StateStore::new(places);
+        let initial_env = store.intern_env(net.initial_env())?;
+        let initial = net.initial_marking();
+        store.intern(initial.as_slice(), initial_env, &[])?;
+        Ok(Explorer {
+            max_states: options.max_states,
+            compiled: compile(net),
+            store,
+            offsets: Vec::new(),
+            edges: Vec::new(),
+            scratch: Scratch::new(places),
+        })
+    }
+
+    /// Load state `cur` into the scratch copies and open its CSR row.
+    fn load(&mut self, cur: usize) -> Result<u32, ReachError> {
+        self.offsets.push(edge_capacity(self.edges.len())?);
+        Ok(self.scratch.load(&self.store, cur))
     }
 
     /// Environment after `ti`'s action (the common actionless path
@@ -458,35 +520,347 @@ impl Explorer {
         let a = t.action().expect("has_action");
         let mut env: Env = self.store.env(env_id).clone();
         a.apply_pure(&mut env).map_err(|e| eval_err(t, e))?;
-        Ok(self.store.intern_env(&env))
+        self.store.intern_env(&env)
     }
 
-    /// Intern the scratch successor and record an edge to it.
+    /// Intern the scratch successor and record an edge to it. The state
+    /// cap is enforced *before* interning, so a [`ReachError::StateLimit`]
+    /// leaves the store with exactly `max_states` states.
     fn link(&mut self, label: EdgeLabel, env_id: u32) -> Result<(), ReachError> {
-        let (target, new) = self.store.intern_hashed(
-            &self.next_marking,
-            self.next_hash,
+        let (target, _) = self.store.intern_bounded(
+            &self.scratch.next_marking,
+            self.scratch.next_hash,
             env_id,
-            &self.next_inflight,
-        );
-        if new && target >= self.max_states {
-            return Err(ReachError::StateLimit {
-                limit: self.max_states,
-            });
-        }
+            &self.scratch.next_inflight,
+            self.max_states,
+        )?;
         self.edges.push((label, target as u32));
         Ok(())
     }
 
-    fn finish(mut self) -> ReachabilityGraph {
-        self.offsets
-            .push(u32::try_from(self.edges.len()).expect("more than u32::MAX edges"));
-        ReachabilityGraph {
+    fn finish(mut self) -> Result<ReachabilityGraph, ReachError> {
+        self.offsets.push(edge_capacity(self.edges.len())?);
+        Ok(ReachabilityGraph {
             store: self.store,
             offsets: self.offsets,
             edges: self.edges,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel level-synchronous exploration
+// ---------------------------------------------------------------------------
+
+/// An edge target as seen during a parallel level: either a state the
+/// committed store already holds, or a packed pending id into the
+/// level's shards (rewritten to a dense index at the barrier).
+#[derive(Debug, Clone, Copy)]
+enum RawTarget {
+    Committed(u32),
+    Pending(u32),
+}
+
+/// Per-source edge rows produced by one worker chunk, in source order.
+type Rows = Vec<Vec<(EdgeLabel, RawTarget)>>;
+
+/// Everything a worker needs, shared read-only across the pool (the
+/// pending shards carry their own lock stripes).
+struct WorkerCtx<'a> {
+    net: &'a Net,
+    compiled: &'a [Compiled],
+    store: &'a StateStore,
+    shards: &'a [Mutex<PendingShard>],
+    /// `Some` for timed builds: constant firing delay per transition.
+    firing_ticks: Option<&'a [u64]>,
+}
+
+/// The discovery key of the `seq`-th edge out of state `src`: the
+/// position of that edge in the sequential build's traversal order.
+/// Pending states and environments are committed in ascending key order
+/// at the level barrier, which is what makes the parallel build
+/// bit-identical to the sequential one.
+fn discovery_key(src: usize, seq: usize) -> u64 {
+    ((src as u64) << 32) | seq as u64
+}
+
+/// Resolve the environment of the successor under construction: reuse
+/// the source's committed id on the (common) actionless path, otherwise
+/// apply the action and intern the result — into the committed table if
+/// the content is already known, into a pending shard otherwise.
+fn next_env_ref(
+    ctx: &WorkerCtx<'_>,
+    ct: &Compiled,
+    env_id: u32,
+    key: u64,
+) -> Result<EnvRef, ReachError> {
+    if !ct.has_action {
+        return Ok(EnvRef::Committed(env_id));
+    }
+    let t = ctx.net.transition(ct.id);
+    let a = t.action().expect("has_action");
+    let mut env: Env = ctx.store.env(env_id).clone();
+    a.apply_pure(&mut env).map_err(|e| eval_err(t, e))?;
+    let hash = store::fx_hash_of(&env);
+    if let Some(id) = ctx.store.find_env_hashed(&env, hash) {
+        return Ok(EnvRef::Committed(id));
+    }
+    let shard = store::shard_index(hash, ctx.shards.len());
+    let mut sh = ctx.shards[shard].lock().expect("env shard lock");
+    sh.intern_env(&env, hash, key).map(EnvRef::Pending)
+}
+
+/// Intern the scratch successor: a committed-table hit resolves to its
+/// dense index immediately; a miss lands in the pending shard selected
+/// by the top bits of its hash.
+fn intern_target(
+    ctx: &WorkerCtx<'_>,
+    sc: &Scratch,
+    env_ref: EnvRef,
+    key: u64,
+) -> Result<RawTarget, ReachError> {
+    if let EnvRef::Committed(e) = env_ref {
+        if let Some(i) =
+            ctx.store
+                .find_state_hashed(&sc.next_marking, sc.next_hash, e, &sc.next_inflight)
+        {
+            return Ok(RawTarget::Committed(i));
         }
     }
+    let hash = store::pending_state_hash(sc.next_hash, env_ref, &sc.next_inflight);
+    let shard = store::shard_index(hash, ctx.shards.len());
+    let mut sh = ctx.shards[shard].lock().expect("state shard lock");
+    sh.intern_state(
+        &sc.next_marking,
+        sc.next_hash,
+        hash,
+        env_ref,
+        &sc.next_inflight,
+        key,
+    )
+    .map(RawTarget::Pending)
+}
+
+/// Expand one contiguous chunk of the frontier, producing the edge rows
+/// of every source in order. Mirrors the sequential loops of
+/// [`build_untimed`]/[`build_timed`] exactly — same transition order,
+/// same cap/predicate gating, same advance-edge placement — so the edge
+/// lists concatenate to the sequential CSR. Errors carry the discovery
+/// key of the edge that raised them so the barrier can report the one
+/// the sequential build would have hit first.
+fn explore_chunk(
+    ctx: &WorkerCtx<'_>,
+    chunk: std::ops::Range<usize>,
+) -> Result<Rows, (u64, ReachError)> {
+    let mut sc = Scratch::new(ctx.store.marking_slice(0).len());
+    let mut rows = Vec::with_capacity(chunk.len());
+    for src in chunk {
+        let env_id = sc.load(ctx.store, src);
+        let mut row: Vec<(EdgeLabel, RawTarget)> = Vec::new();
+        let mut can_start = false;
+        for ct in ctx.compiled {
+            if !sc.enabled(ct) {
+                continue;
+            }
+            let key = discovery_key(src, row.len());
+            if ctx.firing_ticks.is_some() {
+                if let Some(cap) = ct.cap {
+                    let inflight =
+                        sc.cur_inflight.iter().filter(|&&(x, _)| x == ct.id).count() as u32;
+                    if inflight >= cap {
+                        continue;
+                    }
+                }
+            }
+            if ct.has_predicate
+                && !predicate_holds(ctx.net, ctx.store, ct, env_id).map_err(|e| (key, e))?
+            {
+                continue;
+            }
+            can_start = true;
+            match ctx.firing_ticks {
+                None => {
+                    sc.fire(ctx.net, ct, true).map_err(|e| (key, e))?;
+                    sc.next_inflight.clear();
+                }
+                Some(ticks) => {
+                    let t = ticks[ct.id.index()];
+                    sc.fire(ctx.net, ct, t == 0).map_err(|e| (key, e))?;
+                    sc.next_inflight.clear();
+                    let (next, cur) = (&mut sc.next_inflight, &sc.cur_inflight);
+                    next.extend_from_slice(cur);
+                    if t != 0 {
+                        sc.next_inflight.push((ct.id, t));
+                        sc.next_inflight.sort_unstable();
+                    }
+                }
+            }
+            let env_ref = next_env_ref(ctx, ct, env_id, key).map_err(|e| (key, e))?;
+            let target = intern_target(ctx, &sc, env_ref, key).map_err(|e| (key, e))?;
+            row.push((EdgeLabel::Fire(ct.id), target));
+        }
+
+        // Maximal-progress time advance: only when nothing can start.
+        if ctx.firing_ticks.is_some() && !can_start && !sc.cur_inflight.is_empty() {
+            let key = discovery_key(src, row.len());
+            let dt = sc
+                .cur_inflight
+                .iter()
+                .map(|&(_, r)| r)
+                .min()
+                .expect("non-empty");
+            sc.begin_next();
+            sc.next_inflight.clear();
+            for i in 0..sc.cur_inflight.len() {
+                let (tid, r) = sc.cur_inflight[i];
+                if r == dt {
+                    sc.deliver_outputs(ctx.net.transition(tid))
+                        .map_err(|e| (key, e))?;
+                } else {
+                    sc.next_inflight.push((tid, r - dt));
+                }
+            }
+            sc.next_inflight.sort_unstable();
+            let target =
+                intern_target(ctx, &sc, EnvRef::Committed(env_id), key).map_err(|e| (key, e))?;
+            row.push((EdgeLabel::Advance(dt), target));
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Split `level` into at most `jobs` contiguous chunks of near-equal
+/// size, in frontier order.
+fn split_chunks(level: std::ops::Range<usize>, jobs: usize) -> Vec<std::ops::Range<usize>> {
+    let n = level.len();
+    let per = n.div_ceil(jobs);
+    (0..jobs)
+        .map(|w| {
+            let start = level.start + (w * per).min(n);
+            let end = level.start + ((w + 1) * per).min(n);
+            start..end
+        })
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Don't spawn threads for frontiers too small to amortize the spawn
+/// cost; the level is explored inline instead (same code path, one
+/// chunk), which keeps shallow prefixes and tails cheap.
+const SPAWN_THRESHOLD_PER_JOB: usize = 48;
+
+/// Level-synchronous parallel construction (untimed when `firing_ticks`
+/// is `None`, timed otherwise). See [`crate::store`] for the sharding
+/// and barrier design; the result is bit-identical to the sequential
+/// build for every job count.
+fn build_parallel(
+    net: &Net,
+    options: &ReachOptions,
+    firing_ticks: Option<Vec<u64>>,
+) -> Result<ReachabilityGraph, ReachError> {
+    let jobs = options.effective_jobs();
+    let places = net.place_count();
+    let mut store = StateStore::new(places);
+    let initial_env = store.intern_env(net.initial_env())?;
+    store.intern(net.initial_marking().as_slice(), initial_env, &[])?;
+    let compiled = compile(net);
+    let shard_count = (jobs * 4).next_power_of_two().min(64);
+    let mut shards: Vec<Mutex<PendingShard>> = (0..shard_count)
+        .map(|s| Mutex::new(PendingShard::new(s, places)))
+        .collect();
+    let mut offsets: Vec<u32> = Vec::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut level = 0..1;
+
+    while !level.is_empty() {
+        let ctx = WorkerCtx {
+            net,
+            compiled: &compiled,
+            store: &store,
+            shards: &shards,
+            firing_ticks: firing_ticks.as_deref(),
+        };
+        let results: Vec<Result<Rows, (u64, ReachError)>> =
+            if level.len() < jobs.max(2) * SPAWN_THRESHOLD_PER_JOB {
+                vec![explore_chunk(&ctx, level.clone())]
+            } else {
+                let chunks = split_chunks(level.clone(), jobs);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            let ctx = &ctx;
+                            scope.spawn(move || explore_chunk(ctx, chunk))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("worker thread panicked"))
+                        .collect()
+                })
+            };
+
+        // Barrier. Everything below is single-threaded and ordered by
+        // discovery key, so it is deterministic regardless of how the
+        // workers interleaved.
+        let min_err: Option<&(u64, ReachError)> = results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .min_by_key(|(k, _)| *k);
+        let mut shard_refs: Vec<&mut PendingShard> = shards
+            .iter_mut()
+            .map(|m| m.get_mut().expect("shard lock"))
+            .collect();
+        let novel = store::collect_novel_states(&shard_refs);
+        let base = store.len();
+        if !novel.is_empty() && base + novel.len() > options.max_states {
+            // The sequential build errors at the first novel state that
+            // does not fit — and never errors without an intern attempt,
+            // hence the emptiness guard (a deadlocked initial state
+            // builds fine even with `max_states` 0, matching sequential).
+            // Report StateLimit only if that key precedes the earliest
+            // worker error. (`saturating_sub` covers the degenerate
+            // `max_states < base` case — only reachable with a cap below
+            // the always-admitted initial state — where the first novel
+            // state is already over the cap.)
+            let limit_key = novel[options.max_states.saturating_sub(base)].0;
+            if min_err.is_none_or(|&(k, _)| limit_key < k) {
+                return Err(ReachError::StateLimit {
+                    limit: options.max_states,
+                });
+            }
+        }
+        if let Some((_, e)) = min_err {
+            return Err(e.clone());
+        }
+        let state_map = store.splice_level(&mut shard_refs, &novel)?;
+
+        // Append this level's CSR rows in source order (worker chunks
+        // are contiguous and ordered), rewriting pending targets to
+        // their dense indices.
+        for rows in results {
+            for row in rows.expect("worker errors handled above") {
+                offsets.push(edge_capacity(edges.len())?);
+                for (label, target) in row {
+                    let target = match target {
+                        RawTarget::Committed(i) => i,
+                        RawTarget::Pending(p) => {
+                            state_map[store::pending_shard(p)][store::pending_local(p)]
+                        }
+                    };
+                    edges.push((label, target));
+                }
+            }
+        }
+        level = base..store.len();
+    }
+    offsets.push(edge_capacity(edges.len())?);
+    Ok(ReachabilityGraph {
+        store,
+        offsets,
+        edges,
+    })
 }
 
 /// Build the untimed (classical occurrence semantics) reachability
@@ -498,28 +872,33 @@ impl Explorer {
 /// unbounded nets.
 pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGraph, ReachError> {
     check_deterministic(net)?;
-    let mut ex = Explorer::new(net, options);
+    if options.effective_jobs() > 1 {
+        return build_parallel(net, options, None);
+    }
+    let mut ex = Explorer::new(net, options)?;
     let mut cur = 0;
     // States are discovered in BFS order and numbered densely, so the
     // frontier is simply "indices not yet scanned" — no queue needed.
     while cur < ex.store.len() {
-        let env_id = ex.load(cur);
+        let env_id = ex.load(cur)?;
         for ti in 0..ex.compiled.len() {
-            if !ex.enabled(ti) {
+            if !ex.scratch.enabled(&ex.compiled[ti]) {
                 continue;
             }
-            if ex.compiled[ti].has_predicate && !ex.predicate_holds(net, ti, env_id)? {
+            if ex.compiled[ti].has_predicate
+                && !predicate_holds(net, &ex.store, &ex.compiled[ti], env_id)?
+            {
                 continue;
             }
-            ex.fire(net, ti, true)?;
-            ex.next_inflight.clear();
+            ex.scratch.fire(net, &ex.compiled[ti], true)?;
+            ex.scratch.next_inflight.clear();
             let next_env = ex.next_env(net, ti, env_id)?;
             let label = EdgeLabel::Fire(ex.compiled[ti].id);
             ex.link(label, next_env)?;
         }
         cur += 1;
     }
-    Ok(ex.finish())
+    ex.finish()
 }
 
 /// Build the timed reachability graph per `[RP84]`: states carry in-flight
@@ -552,66 +931,78 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
         }
     }
 
-    let mut ex = Explorer::new(net, options);
+    if options.effective_jobs() > 1 {
+        return build_parallel(net, options, Some(firing_ticks));
+    }
+    let mut ex = Explorer::new(net, options)?;
     let mut cur = 0;
     while cur < ex.store.len() {
-        let env_id = ex.load(cur);
+        let env_id = ex.load(cur)?;
         let mut can_start = false;
         #[allow(clippy::needless_range_loop)] // `ti` indexes `ex.compiled` too
         for ti in 0..ex.compiled.len() {
-            if !ex.enabled(ti) {
+            if !ex.scratch.enabled(&ex.compiled[ti]) {
                 continue;
             }
             let tid = ex.compiled[ti].id;
             if let Some(cap) = ex.compiled[ti].cap {
-                let inflight = ex.cur_inflight.iter().filter(|&&(x, _)| x == tid).count() as u32;
+                let inflight = ex
+                    .scratch
+                    .cur_inflight
+                    .iter()
+                    .filter(|&&(x, _)| x == tid)
+                    .count() as u32;
                 if inflight >= cap {
                     continue;
                 }
             }
-            if ex.compiled[ti].has_predicate && !ex.predicate_holds(net, ti, env_id)? {
+            if ex.compiled[ti].has_predicate
+                && !predicate_holds(net, &ex.store, &ex.compiled[ti], env_id)?
+            {
                 continue;
             }
             can_start = true;
             let ticks = firing_ticks[ti];
             // Zero-delay firings are atomic: outputs appear immediately
             // and the in-flight multiset is unchanged.
-            ex.fire(net, ti, ticks == 0)?;
-            ex.next_inflight.clear();
-            ex.next_inflight.extend_from_slice(&ex.cur_inflight);
+            ex.scratch.fire(net, &ex.compiled[ti], ticks == 0)?;
+            ex.scratch.next_inflight.clear();
+            let (next, cur) = (&mut ex.scratch.next_inflight, &ex.scratch.cur_inflight);
+            next.extend_from_slice(cur);
             if ticks != 0 {
-                ex.next_inflight.push((tid, ticks));
-                ex.next_inflight.sort_unstable();
+                ex.scratch.next_inflight.push((tid, ticks));
+                ex.scratch.next_inflight.sort_unstable();
             }
             let next_env = ex.next_env(net, ti, env_id)?;
             ex.link(EdgeLabel::Fire(tid), next_env)?;
         }
 
         // Maximal-progress time advance: only when nothing can start.
-        if !can_start && !ex.cur_inflight.is_empty() {
+        if !can_start && !ex.scratch.cur_inflight.is_empty() {
             let dt = ex
+                .scratch
                 .cur_inflight
                 .iter()
                 .map(|&(_, r)| r)
                 .min()
                 .expect("non-empty");
-            ex.begin_next();
-            ex.next_inflight.clear();
-            for i in 0..ex.cur_inflight.len() {
-                let (tid, r) = ex.cur_inflight[i];
+            ex.scratch.begin_next();
+            ex.scratch.next_inflight.clear();
+            for i in 0..ex.scratch.cur_inflight.len() {
+                let (tid, r) = ex.scratch.cur_inflight[i];
                 if r == dt {
-                    ex.deliver_outputs(net.transition(tid))?;
+                    ex.scratch.deliver_outputs(net.transition(tid))?;
                 } else {
-                    ex.next_inflight.push((tid, r - dt));
+                    ex.scratch.next_inflight.push((tid, r - dt));
                 }
             }
-            ex.next_inflight.sort_unstable();
+            ex.scratch.next_inflight.sort_unstable();
             ex.link(EdgeLabel::Advance(dt), env_id)?;
         }
         cur += 1;
     }
     let _ = Time::ZERO; // Time is part of the public vocabulary via labels.
-    Ok(ex.finish())
+    ex.finish()
 }
 
 #[cfg(test)]
@@ -667,8 +1058,42 @@ mod tests {
         b.place("p", 0);
         b.transition("gen").output("p").add();
         let net = b.build().unwrap();
-        let e = build_untimed(&net, &ReachOptions { max_states: 50 }).unwrap_err();
+        let opts = ReachOptions {
+            max_states: 50,
+            ..ReachOptions::default()
+        };
+        let e = build_untimed(&net, &opts).unwrap_err();
         assert_eq!(e, ReachError::StateLimit { limit: 50 });
+        // The parallel builder reports the same deterministic limit.
+        let par = ReachOptions { jobs: 4, ..opts };
+        assert_eq!(build_untimed(&net, &par).unwrap_err(), e);
+        // Degenerate caps (at or below the always-admitted initial
+        // state) error identically in both builders instead of
+        // panicking.
+        for max_states in [0, 1] {
+            let tight = ReachOptions {
+                max_states,
+                ..ReachOptions::default()
+            };
+            let seq = build_untimed(&net, &tight).unwrap_err();
+            assert_eq!(seq, ReachError::StateLimit { limit: max_states });
+            let par = ReachOptions { jobs: 4, ..tight };
+            assert_eq!(build_untimed(&net, &par).unwrap_err(), seq);
+        }
+        // A deadlocked initial state never attempts an intern, so even
+        // `max_states: 0` succeeds — in both builders.
+        let mut b = NetBuilder::new("stuck");
+        b.place("p", 0);
+        b.transition("t").input("p").add();
+        let stuck = b.build().unwrap();
+        for jobs in [1, 4] {
+            let opts = ReachOptions {
+                max_states: 0,
+                jobs,
+            };
+            let g = build_untimed(&stuck, &opts).unwrap();
+            assert_eq!(g.state_count(), 1, "jobs = {jobs}");
+        }
     }
 
     #[test]
@@ -857,5 +1282,107 @@ mod tests {
         let a = build_untimed(&net, &ReachOptions::default()).unwrap();
         let b = build_untimed(&net, &ReachOptions::default()).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// A net whose levels are wide in *environments*: two independent
+    /// bounded counters, so level `L` holds every `(a, b)` with
+    /// `a + b = L` and each level mints several environments at once —
+    /// exactly the case the pending-env min-key ordering must get right.
+    fn env_grid() -> Net {
+        let mut b = NetBuilder::new("grid");
+        b.place("p", 1);
+        b.var("a", 0);
+        b.var("b", 0);
+        b.transition("ia")
+            .input("p")
+            .output("p")
+            .predicate_str("a < 4")
+            .unwrap()
+            .action_str("a = a + 1;")
+            .unwrap()
+            .add();
+        b.transition("ib")
+            .input("p")
+            .output("p")
+            .predicate_str("b < 4")
+            .unwrap()
+            .action_str("b = b + 1;")
+            .unwrap()
+            .add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_untimed_is_bit_identical_to_sequential() {
+        for net in [ring(3), env_grid()] {
+            let seq = build_untimed(&net, &ReachOptions::default()).unwrap();
+            for jobs in [2, 4, 8] {
+                let opts = ReachOptions {
+                    jobs,
+                    ..ReachOptions::default()
+                };
+                let par = build_untimed(&net, &opts).unwrap();
+                assert_eq!(par, seq, "jobs = {jobs} diverged on `{}`", net.name());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_timed_is_bit_identical_to_sequential() {
+        let mut b = NetBuilder::new("cap");
+        b.place("q", 3);
+        b.place("done", 0);
+        b.transition("serve")
+            .input("q")
+            .output("done")
+            .firing(2)
+            .max_concurrent(2)
+            .add();
+        b.transition("recycle")
+            .input("done")
+            .output("q")
+            .firing(3)
+            .add();
+        let net = b.build().unwrap();
+        let seq = build_timed(&net, &ReachOptions::default()).unwrap();
+        for jobs in [2, 4, 8] {
+            let opts = ReachOptions {
+                jobs,
+                ..ReachOptions::default()
+            };
+            assert_eq!(build_timed(&net, &opts).unwrap(), seq, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_env_interning_matches_sequential_ids() {
+        // Environment *ids* (not just contents) must line up, since the
+        // store compares `env_ids` arenas for equality.
+        let net = env_grid();
+        let seq = build_untimed(&net, &ReachOptions::default()).unwrap();
+        let par = build_untimed(
+            &net,
+            &ReachOptions {
+                jobs: 8,
+                ..ReachOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.store().env_count(), 25, "5×5 counter grid");
+        for i in 0..seq.state_count() {
+            assert_eq!(seq.store().env_id(i), par.store().env_id(i), "state {i}");
+        }
+    }
+
+    #[test]
+    fn jobs_zero_resolves_to_available_parallelism() {
+        let opts = ReachOptions {
+            jobs: 0,
+            ..ReachOptions::default()
+        };
+        assert!(opts.effective_jobs() >= 1);
+        let net = ring(2);
+        let auto = build_untimed(&net, &opts).unwrap();
+        assert_eq!(auto, build_untimed(&net, &ReachOptions::default()).unwrap());
     }
 }

@@ -38,10 +38,18 @@
 //!   contiguous array instead of chasing one heap `Vec` per state.
 //! * **Views, not copies.** [`ReachabilityGraph::state`] returns a
 //!   borrowed [`StateRef`] into the arenas; nothing is materialized.
+//! * **Parallel frontiers.** With [`ReachOptions::jobs`] > 1 (or 0 for
+//!   all cores), each BFS level is split across a scoped worker pool:
+//!   the committed store is probed lock-free, new states land in
+//!   lock-striped pending shards keyed by the top bits of their hash,
+//!   and a level barrier splices them into dense discovery order (see
+//!   [`store`] for the design). Wide frontiers scale across cores;
+//!   narrow ones are explored inline without spawning.
 //!
 //! Construction is O(edges × marking width) time with exactly one arena
 //! copy per distinct state; two builds of the same net yield
-//! bit-identical graphs (exploration order is deterministic).
+//! bit-identical graphs (exploration order is deterministic), **at any
+//! worker count** — `jobs` is purely a throughput knob.
 //!
 //! # Example
 //!

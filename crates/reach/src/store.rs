@@ -42,7 +42,33 @@
 //! the frontier saturates). Memory is one arena copy per distinct state
 //! plus 12 bytes of table entry — roughly half of what the doubled
 //! owned-key layout used, before counting its per-state heap headers.
+//!
+//! # Parallel levels: sharding and the barrier splice
+//!
+//! The parallel builder in [`crate::graph`] explores breadth-first one
+//! *level* at a time: the committed store above is frozen (shared
+//! read-only — probes are plain `&self` loads, no atomics) while a
+//! scoped worker pool scans disjoint chunks of the frontier. Successors
+//! that miss the committed table land in a ring of [`PendingShard`]s —
+//! the same open-addressing scheme, lock-striped, with a shard picked by
+//! the **top bits** of the precomputed FxHash (the low bits index
+//! buckets *within* a table, so top-bit sharding keeps both selections
+//! independent). Each shard owns its own marking/in-flight/environment
+//! segment; the inserting worker copies the state in under the shard
+//! lock so other workers can probe it for duplicates immediately.
+//!
+//! Wall-clock insertion order under contention is racy, so dense state
+//! numbering is deferred to the **level barrier**: every reference to a
+//! pending state carries the discovery key `(source index, edge seq)`
+//! of the edge that produced it, shards min-reduce that key per entry,
+//! and [`StateStore::splice_level`] commits the level's novel states in
+//! ascending key order — exactly the order the sequential build first
+//! interns them. Environments created by transition actions get the
+//! identical treatment (pending env sub-tables, min-key, committed at
+//! the barrier before the states that reference them). The result is a
+//! graph **bit-identical** to the sequential build at any worker count.
 
+use crate::graph::ReachError;
 use pnut_core::expr::Env;
 use pnut_core::{Marking, PlaceId, TransitionId};
 use std::fmt;
@@ -438,28 +464,46 @@ impl StateStore {
     /// On a hit nothing is copied or allocated; on a miss the parts are
     /// appended to the arenas.
     ///
+    /// # Errors
+    ///
+    /// [`ReachError::CapacityExceeded`] when a state index or the
+    /// in-flight arena would overflow `u32` (the seed construction
+    /// aborted here).
+    ///
     /// # Panics
     ///
     /// Panics if `marking` does not cover exactly the store's place
-    /// count, or on more than `u32::MAX` states.
+    /// count.
     pub fn intern(
         &mut self,
         marking: &[u32],
         env_id: u32,
         in_flight: &[(TransitionId, u64)],
-    ) -> (usize, bool) {
-        self.intern_hashed(marking, Self::marking_hash(marking), env_id, in_flight)
+    ) -> Result<(usize, bool), ReachError> {
+        self.intern_bounded(
+            marking,
+            Self::marking_hash(marking),
+            env_id,
+            in_flight,
+            usize::MAX,
+        )
     }
 
     /// [`Self::intern`] with the marking-part hash already known (the
-    /// explorer maintains it incrementally across successor firings).
-    pub(crate) fn intern_hashed(
+    /// explorer maintains it incrementally across successor firings) and
+    /// a state-count cap: a **new** state is only admitted while the
+    /// store holds fewer than `max_states` states, and the limit check
+    /// happens *before* anything is appended, so the error path leaves
+    /// the store exactly as it was (the seed construction interned
+    /// first and checked after, leaving `max_states + 1` states behind).
+    pub(crate) fn intern_bounded(
         &mut self,
         marking: &[u32],
         marking_hash: u64,
         env_id: u32,
         in_flight: &[(TransitionId, u64)],
-    ) -> (usize, bool) {
+        max_states: usize,
+    ) -> Result<(usize, bool), ReachError> {
         assert_eq!(marking.len(), self.places, "marking width mismatch");
         debug_assert_eq!(
             marking_hash,
@@ -474,31 +518,74 @@ impl StateStore {
                 && self.in_flight_slice(i) == in_flight
         });
         if let Some(idx) = found {
-            return (idx as usize, false);
+            return Ok((idx as usize, false));
         }
-        let idx = u32::try_from(self.env_ids.len()).expect("more than u32::MAX states");
+        if self.env_ids.len() >= max_states {
+            return Err(ReachError::StateLimit { limit: max_states });
+        }
+        let idx = u32::try_from(self.env_ids.len()).map_err(|_| ReachError::CapacityExceeded {
+            resource: "state index (more than u32::MAX states)",
+        })?;
+        let end = u32::try_from(self.inflight.len() + in_flight.len()).map_err(|_| {
+            ReachError::CapacityExceeded {
+                resource: "in-flight arena (u32 offsets)",
+            }
+        })?;
         self.markings.extend_from_slice(marking);
         self.env_ids.push(env_id);
         self.inflight.extend_from_slice(in_flight);
-        self.inflight_offsets
-            .push(u32::try_from(self.inflight.len()).expect("in-flight arena overflow"));
+        self.inflight_offsets.push(end);
         self.state_table.insert(hash, idx);
-        (idx as usize, true)
+        Ok((idx as usize, true))
+    }
+
+    /// Look up an interned state without interning it (read-only; safe
+    /// to call concurrently from the parallel builder's workers while
+    /// the store is frozen between level barriers).
+    pub(crate) fn find_state_hashed(
+        &self,
+        marking: &[u32],
+        marking_hash: u64,
+        env_id: u32,
+        in_flight: &[(TransitionId, u64)],
+    ) -> Option<u32> {
+        let hash = Self::hash_state(marking_hash, env_id, in_flight);
+        self.state_table.find(hash, |idx| {
+            let i = idx as usize;
+            self.env_ids[i] == env_id
+                && self.marking_slice(i) == marking
+                && self.in_flight_slice(i) == in_flight
+        })
     }
 
     /// Intern an environment; clones it only the first time it is seen.
-    pub fn intern_env(&mut self, env: &Env) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::CapacityExceeded`] on more than `u32::MAX` distinct
+    /// environments.
+    pub fn intern_env(&mut self, env: &Env) -> Result<u32, ReachError> {
         let hash = fx_hash_of(env);
         if let Some(id) = self
             .env_table
             .find(hash, |idx| &self.envs[idx as usize] == env)
         {
-            return id;
+            return Ok(id);
         }
-        let id = u32::try_from(self.envs.len()).expect("more than u32::MAX environments");
+        let id = u32::try_from(self.envs.len()).map_err(|_| ReachError::CapacityExceeded {
+            resource: "environment index (more than u32::MAX environments)",
+        })?;
         self.envs.push(env.clone());
         self.env_table.insert(hash, id);
-        id
+        Ok(id)
+    }
+
+    /// Look up an interned environment by content without interning it
+    /// (read-only companion of [`Self::intern_env`], with the content
+    /// hash precomputed).
+    pub(crate) fn find_env_hashed(&self, env: &Env, hash: u64) -> Option<u32> {
+        self.env_table
+            .find(hash, |idx| &self.envs[idx as usize] == env)
     }
 
     /// Approximate heap footprint of the store in bytes (arenas and
@@ -525,6 +612,286 @@ impl StateStore {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parallel level shards
+// ---------------------------------------------------------------------------
+
+/// How a successor refers to its environment during a parallel level:
+/// either an id in the committed store, or a packed pending id in one of
+/// the level's shards (actions can mint environments the committed store
+/// has never seen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EnvRef {
+    /// An environment already interned in the committed store.
+    Committed(u32),
+    /// A packed `(shard, local)` id into the level's pending shards.
+    Pending(u32),
+}
+
+/// Bits of a packed pending id reserved for the shard-local index; the
+/// remaining high bits carry the shard number.
+const PENDING_LOCAL_BITS: u32 = 26;
+const PENDING_LOCAL_MASK: u32 = (1 << PENDING_LOCAL_BITS) - 1;
+
+/// Pack a `(shard, local)` pending id; errors if the shard segment is
+/// (absurdly) full.
+fn pack_pending(shard: u32, local: usize) -> Result<u32, ReachError> {
+    if local >= (1usize << PENDING_LOCAL_BITS) {
+        return Err(ReachError::CapacityExceeded {
+            resource: "level shard segment (2^26 entries per shard)",
+        });
+    }
+    Ok((shard << PENDING_LOCAL_BITS) | local as u32)
+}
+
+/// The shard half of a packed pending id.
+pub(crate) fn pending_shard(id: u32) -> usize {
+    (id >> PENDING_LOCAL_BITS) as usize
+}
+
+/// The local-index half of a packed pending id.
+pub(crate) fn pending_local(id: u32) -> usize {
+    (id & PENDING_LOCAL_MASK) as usize
+}
+
+/// Which of `shards` (a power of two) a hash belongs to. Uses the
+/// **top** bits: bucket probing inside a table uses the folded low half,
+/// so shard selection stays independent of probe position.
+pub(crate) fn shard_index(hash: u64, shards: usize) -> usize {
+    debug_assert!(shards.is_power_of_two());
+    let bits = shards.trailing_zeros();
+    if bits == 0 {
+        0
+    } else {
+        (hash >> (64 - bits)) as usize
+    }
+}
+
+/// The pending-table hash of a state whose environment may itself be
+/// pending: the committed-table hash keys on the final env id, which a
+/// pending env does not have yet, so this variant mixes the env
+/// *reference* (tagged) instead. Only ever compared within one level's
+/// pending tables; the committed hash is recomputed at the barrier.
+pub(crate) fn pending_state_hash(
+    marking_hash: u64,
+    env_ref: EnvRef,
+    in_flight: &[(TransitionId, u64)],
+) -> u64 {
+    let (tag, id) = match env_ref {
+        EnvRef::Committed(e) => (0u64, e),
+        EnvRef::Pending(p) => (1u64, p),
+    };
+    let mut h = fx_mix(marking_hash, tag);
+    h = fx_mix(h, u64::from(id));
+    h = fx_mix(h, in_flight.len() as u64);
+    for &(t, r) in in_flight {
+        h = fx_mix(h, t.index() as u64);
+        h = fx_mix(h, r);
+    }
+    h
+}
+
+/// One lock stripe of the level-pending intern table: states (and
+/// environments) discovered during the current parallel level that are
+/// not in the committed store yet. Owns its own arena segments so any
+/// worker can probe entries other workers inserted; spliced into the
+/// committed store, in deterministic discovery-key order, at the level
+/// barrier (see the module docs).
+#[derive(Debug)]
+pub(crate) struct PendingShard {
+    shard: u32,
+    places: usize,
+    state_table: InternTable,
+    /// Min discovery key `(source << 32) | edge_seq` per pending state.
+    state_keys: Vec<u64>,
+    markings: Vec<u32>,
+    marking_hashes: Vec<u64>,
+    env_refs: Vec<EnvRef>,
+    inflight_offsets: Vec<u32>,
+    inflight: Vec<(TransitionId, u64)>,
+    env_table: InternTable,
+    /// Min discovery key per pending environment.
+    env_keys: Vec<u64>,
+    envs: Vec<Env>,
+}
+
+impl PendingShard {
+    /// An empty shard numbered `shard` for markings over `places`.
+    pub(crate) fn new(shard: usize, places: usize) -> Self {
+        PendingShard {
+            shard: shard as u32,
+            places,
+            state_table: InternTable::with_capacity(16),
+            state_keys: Vec::new(),
+            markings: Vec::new(),
+            marking_hashes: Vec::new(),
+            env_refs: Vec::new(),
+            inflight_offsets: vec![0],
+            inflight: Vec::new(),
+            env_table: InternTable::with_capacity(4),
+            env_keys: Vec::new(),
+            envs: Vec::new(),
+        }
+    }
+
+    fn state_count(&self) -> usize {
+        self.env_refs.len()
+    }
+
+    fn marking_slice(&self, i: usize) -> &[u32] {
+        &self.markings[i * self.places..(i + 1) * self.places]
+    }
+
+    fn inflight_slice(&self, i: usize) -> &[(TransitionId, u64)] {
+        &self.inflight[self.inflight_offsets[i] as usize..self.inflight_offsets[i + 1] as usize]
+    }
+
+    /// Reset for the next level, keeping arena capacity.
+    fn clear(&mut self) {
+        self.state_table = InternTable::with_capacity(self.state_keys.len().max(16));
+        self.state_keys.clear();
+        self.markings.clear();
+        self.marking_hashes.clear();
+        self.env_refs.clear();
+        self.inflight_offsets.clear();
+        self.inflight_offsets.push(0);
+        self.inflight.clear();
+        self.env_table = InternTable::with_capacity(self.env_keys.len().max(4));
+        self.env_keys.clear();
+        self.envs.clear();
+    }
+
+    /// Intern a pending environment under its content hash, min-reducing
+    /// the discovery key on a hit. Returns the packed pending id.
+    pub(crate) fn intern_env(&mut self, env: &Env, hash: u64, key: u64) -> Result<u32, ReachError> {
+        if let Some(local) = self.env_table.find(hash, |i| &self.envs[i as usize] == env) {
+            let k = &mut self.env_keys[local as usize];
+            *k = (*k).min(key);
+            return pack_pending(self.shard, local as usize);
+        }
+        let local = self.envs.len();
+        let id = pack_pending(self.shard, local)?;
+        self.envs.push(env.clone());
+        self.env_keys.push(key);
+        self.env_table.insert(hash, local as u32);
+        Ok(id)
+    }
+
+    /// Intern a pending state under its [`pending_state_hash`],
+    /// min-reducing the discovery key on a hit. The inserting caller
+    /// copies the state into this shard's segments (under the shard
+    /// lock), so concurrent probes from other workers see it.
+    pub(crate) fn intern_state(
+        &mut self,
+        marking: &[u32],
+        marking_hash: u64,
+        hash: u64,
+        env_ref: EnvRef,
+        in_flight: &[(TransitionId, u64)],
+        key: u64,
+    ) -> Result<u32, ReachError> {
+        debug_assert_eq!(marking.len(), self.places, "marking width mismatch");
+        let found = self.state_table.find(hash, |i| {
+            let i = i as usize;
+            self.env_refs[i] == env_ref
+                && self.marking_slice(i) == marking
+                && self.inflight_slice(i) == in_flight
+        });
+        if let Some(local) = found {
+            let k = &mut self.state_keys[local as usize];
+            *k = (*k).min(key);
+            return pack_pending(self.shard, local as usize);
+        }
+        let local = self.state_count();
+        let id = pack_pending(self.shard, local)?;
+        let end = u32::try_from(self.inflight.len() + in_flight.len()).map_err(|_| {
+            ReachError::CapacityExceeded {
+                resource: "level in-flight segment (u32 offsets)",
+            }
+        })?;
+        self.markings.extend_from_slice(marking);
+        self.marking_hashes.push(marking_hash);
+        self.env_refs.push(env_ref);
+        self.inflight.extend_from_slice(in_flight);
+        self.inflight_offsets.push(end);
+        self.state_keys.push(key);
+        self.state_table.insert(hash, local as u32);
+        Ok(id)
+    }
+}
+
+/// All novel states of a level as sorted `(discovery key, packed id)`
+/// pairs — ascending key order **is** the order the sequential build
+/// would first intern them.
+pub(crate) fn collect_novel_states(shards: &[&mut PendingShard]) -> Vec<(u64, u32)> {
+    let mut novel: Vec<(u64, u32)> = shards
+        .iter()
+        .flat_map(|sh| {
+            sh.state_keys
+                .iter()
+                .enumerate()
+                .map(|(local, &key)| (key, (sh.shard << PENDING_LOCAL_BITS) | local as u32))
+        })
+        .collect();
+    novel.sort_unstable();
+    novel
+}
+
+impl StateStore {
+    /// Commit one parallel level: intern the pending environments, then
+    /// the pending states (`novel`, already sorted by discovery key —
+    /// see [`collect_novel_states`]), into the committed arenas in
+    /// sequential-build order, and reset the shards for the next level.
+    ///
+    /// Returns the per-shard map from local pending index to final dense
+    /// state index, for edge-target rewriting.
+    pub(crate) fn splice_level(
+        &mut self,
+        shards: &mut [&mut PendingShard],
+        novel: &[(u64, u32)],
+    ) -> Result<Vec<Vec<u32>>, ReachError> {
+        let mut env_order: Vec<(u64, u32)> = shards
+            .iter()
+            .flat_map(|sh| {
+                sh.env_keys
+                    .iter()
+                    .enumerate()
+                    .map(|(local, &key)| (key, (sh.shard << PENDING_LOCAL_BITS) | local as u32))
+            })
+            .collect();
+        env_order.sort_unstable();
+        let mut env_map: Vec<Vec<u32>> = shards.iter().map(|sh| vec![0; sh.envs.len()]).collect();
+        for &(_, packed) in &env_order {
+            let (s, l) = (pending_shard(packed), pending_local(packed));
+            let env = std::mem::take(&mut shards[s].envs[l]);
+            env_map[s][l] = self.intern_env(&env)?;
+        }
+        let mut state_map: Vec<Vec<u32>> =
+            shards.iter().map(|sh| vec![0; sh.state_count()]).collect();
+        for &(_, packed) in novel {
+            let (s, l) = (pending_shard(packed), pending_local(packed));
+            let sh = &*shards[s];
+            let env_id = match sh.env_refs[l] {
+                EnvRef::Committed(e) => e,
+                EnvRef::Pending(p) => env_map[pending_shard(p)][pending_local(p)],
+            };
+            let (idx, new) = self.intern_bounded(
+                sh.marking_slice(l),
+                sh.marking_hashes[l],
+                env_id,
+                sh.inflight_slice(l),
+                usize::MAX,
+            )?;
+            debug_assert!(new, "pending state was already committed");
+            state_map[s][l] = idx as u32;
+        }
+        for sh in shards {
+            sh.clear();
+        }
+        Ok(state_map)
+    }
+}
+
 /// Semantic equality: same states in the same order with the same
 /// environments (table layout is ignored).
 impl PartialEq for StateStore {
@@ -546,10 +913,10 @@ mod tests {
     #[test]
     fn intern_is_idempotent_and_zero_copy_on_hit() {
         let mut s = StateStore::new(3);
-        let e = s.intern_env(&Env::new());
-        let (a, new_a) = s.intern(&[1, 0, 2], e, &[]);
-        let (b, new_b) = s.intern(&[1, 0, 2], e, &[]);
-        let (c, new_c) = s.intern(&[1, 0, 3], e, &[]);
+        let e = s.intern_env(&Env::new()).unwrap();
+        let (a, new_a) = s.intern(&[1, 0, 2], e, &[]).unwrap();
+        let (b, new_b) = s.intern(&[1, 0, 2], e, &[]).unwrap();
+        let (c, new_c) = s.intern(&[1, 0, 3], e, &[]).unwrap();
         assert_eq!((a, new_a), (0, true));
         assert_eq!((b, new_b), (0, false));
         assert_eq!((c, new_c), (1, true));
@@ -560,11 +927,11 @@ mod tests {
     #[test]
     fn in_flight_distinguishes_states() {
         let mut s = StateStore::new(1);
-        let e = s.intern_env(&Env::new());
+        let e = s.intern_env(&Env::new()).unwrap();
         let t0 = TransitionId::new(0);
-        let (a, _) = s.intern(&[0], e, &[(t0, 3)]);
-        let (b, _) = s.intern(&[0], e, &[(t0, 2)]);
-        let (c, _) = s.intern(&[0], e, &[]);
+        let (a, _) = s.intern(&[0], e, &[(t0, 3)]).unwrap();
+        let (b, _) = s.intern(&[0], e, &[(t0, 2)]).unwrap();
+        let (c, _) = s.intern(&[0], e, &[]).unwrap();
         assert_eq!(s.len(), 3);
         assert_ne!(a, b);
         assert_ne!(b, c);
@@ -577,27 +944,27 @@ mod tests {
         let mut s = StateStore::new(1);
         let mut env = Env::new();
         env.set_var("x", Value::Int(1));
-        let e1 = s.intern_env(&env);
-        let e2 = s.intern_env(&env.clone());
+        let e1 = s.intern_env(&env).unwrap();
+        let e2 = s.intern_env(&env.clone()).unwrap();
         assert_eq!(e1, e2);
         assert_eq!(s.env_count(), 1);
         env.set_var("x", Value::Int(2));
-        assert_ne!(s.intern_env(&env), e1);
+        assert_ne!(s.intern_env(&env).unwrap(), e1);
         assert_eq!(s.env_count(), 2);
     }
 
     #[test]
     fn table_survives_growth() {
         let mut s = StateStore::new(2);
-        let e = s.intern_env(&Env::new());
+        let e = s.intern_env(&Env::new()).unwrap();
         for i in 0..10_000u32 {
-            let (idx, new) = s.intern(&[i, i / 3], e, &[]);
+            let (idx, new) = s.intern(&[i, i / 3], e, &[]).unwrap();
             assert_eq!(idx, i as usize);
             assert!(new);
         }
         // Everything is still findable after many growths.
         for i in 0..10_000u32 {
-            let (idx, new) = s.intern(&[i, i / 3], e, &[]);
+            let (idx, new) = s.intern(&[i, i / 3], e, &[]).unwrap();
             assert_eq!(idx, i as usize);
             assert!(!new, "state {i} was re-interned");
         }
@@ -607,8 +974,8 @@ mod tests {
     #[test]
     fn views_mirror_marking_api() {
         let mut s = StateStore::new(3);
-        let e = s.intern_env(&Env::new());
-        s.intern(&[1, 0, 6], e, &[]);
+        let e = s.intern_env(&Env::new()).unwrap();
+        s.intern(&[1, 0, 6], e, &[]).unwrap();
         let v = s.state(0).marking;
         assert_eq!(v.tokens(PlaceId::new(2)), 6);
         assert!(v.covers(PlaceId::new(0), 1));
@@ -634,11 +1001,120 @@ mod tests {
     #[test]
     fn memory_estimate_is_monotonic() {
         let mut s = StateStore::new(4);
-        let e = s.intern_env(&Env::new());
+        let e = s.intern_env(&Env::new()).unwrap();
         let before = s.approx_bytes();
         for i in 0..1000u32 {
-            s.intern(&[i, 0, 0, 0], e, &[]);
+            s.intern(&[i, 0, 0, 0], e, &[]).unwrap();
         }
         assert!(s.approx_bytes() > before);
+    }
+
+    #[test]
+    fn bounded_intern_checks_before_appending() {
+        // Regression guard for the limit/overflow satellite: hitting the
+        // state cap must leave the store untouched (the seed interned
+        // first and checked after, leaving max + 1 states behind).
+        let mut s = StateStore::new(1);
+        let e = s.intern_env(&Env::new()).unwrap();
+        let (a, _) = s
+            .intern_bounded(&[0], StateStore::marking_hash(&[0]), e, &[], 1)
+            .unwrap();
+        assert_eq!(a, 0);
+        // A duplicate is still a hit at the cap.
+        let (b, new) = s
+            .intern_bounded(&[0], StateStore::marking_hash(&[0]), e, &[], 1)
+            .unwrap();
+        assert_eq!((b, new), (0, false));
+        let err = s
+            .intern_bounded(&[7], StateStore::marking_hash(&[7]), e, &[], 1)
+            .unwrap_err();
+        assert_eq!(err, ReachError::StateLimit { limit: 1 });
+        assert_eq!(s.len(), 1, "failed intern must not grow the store");
+        assert!(s
+            .find_state_hashed(&[7], StateStore::marking_hash(&[7]), e, &[])
+            .is_none());
+    }
+
+    #[test]
+    fn shard_index_uses_top_bits() {
+        assert_eq!(shard_index(u64::MAX, 1), 0);
+        assert_eq!(shard_index(0, 16), 0);
+        assert_eq!(shard_index(u64::MAX, 16), 15);
+        assert_eq!(shard_index(1u64 << 63, 2), 1);
+    }
+
+    #[test]
+    fn splice_orders_novel_states_by_discovery_key() {
+        // Two shards, states inserted in "wrong" wall-clock order with
+        // min-reduced keys; the splice must commit them in key order and
+        // resolve pending environments first.
+        let mut store = StateStore::new(1);
+        let e0 = store.intern_env(&Env::new()).unwrap();
+        store.intern(&[0], e0, &[]).unwrap(); // committed state 0
+        let mut sh0 = PendingShard::new(0, 1);
+        let mut sh1 = PendingShard::new(1, 1);
+
+        let mut env = Env::new();
+        env.set_var("x", Value::Int(9));
+        let eh = fx_hash_of(&env);
+        let pe = sh1.intern_env(&env, eh, 7).unwrap();
+        // The same env re-discovered earlier in sequential order.
+        let pe2 = sh1.intern_env(&env, eh, 3).unwrap();
+        assert_eq!(pe, pe2);
+
+        let mh = |m: &[u32]| StateStore::marking_hash(m);
+        // Discovered at key 5 in shard 0 with the pending env.
+        let er = EnvRef::Pending(pe);
+        let p_late = sh0
+            .intern_state(
+                &[2],
+                mh(&[2]),
+                pending_state_hash(mh(&[2]), er, &[]),
+                er,
+                &[],
+                5,
+            )
+            .unwrap();
+        // Discovered at key 2 in shard 1 with the committed env.
+        let er0 = EnvRef::Committed(e0);
+        let p_early = sh1
+            .intern_state(
+                &[1],
+                mh(&[1]),
+                pending_state_hash(mh(&[1]), er0, &[]),
+                er0,
+                &[],
+                2,
+            )
+            .unwrap();
+        // A duplicate reference with a *smaller* key min-reduces.
+        let p_again = sh0
+            .intern_state(
+                &[2],
+                mh(&[2]),
+                pending_state_hash(mh(&[2]), er, &[]),
+                er,
+                &[],
+                4,
+            )
+            .unwrap();
+        assert_eq!(p_late, p_again);
+
+        let mut shards = [&mut sh0, &mut sh1];
+        let novel = collect_novel_states(&shards);
+        assert_eq!(novel.len(), 2);
+        assert!(novel[0].0 < novel[1].0, "sorted by discovery key");
+        let map = store.splice_level(&mut shards, &novel).unwrap();
+        // Key 2 (marking [1]) commits before key 4 (marking [2]).
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.marking_slice(1), &[1]);
+        assert_eq!(store.marking_slice(2), &[2]);
+        assert_eq!(map[pending_shard(p_early)][pending_local(p_early)], 1);
+        assert_eq!(map[pending_shard(p_late)][pending_local(p_late)], 2);
+        // The pending env was committed and the state references it.
+        assert_eq!(store.env_count(), 2);
+        assert_eq!(store.state(2).env.var("x"), Some(Value::Int(9)));
+        // Shards are reset for the next level.
+        assert!(collect_novel_states(&shards).is_empty());
     }
 }

@@ -10,9 +10,16 @@
 
 use pnut::reach::graph::{build_timed, build_untimed, EdgeLabel, ReachOptions, ReachabilityGraph};
 use pnut_bench::legacy_reach::{self, LegacyGraph};
-use pnut_bench::workloads::timed_fragment;
+use pnut_bench::workloads::{timed_fragment, wide_toggle};
 use pnut_core::Net;
 use pnut_pipeline::{interpreted, sequential, three_stage, ThreeStageConfig};
+
+fn with_jobs(jobs: usize) -> ReachOptions {
+    ReachOptions {
+        jobs,
+        ..ReachOptions::default()
+    }
+}
 
 fn assert_equivalent(g: &ReachabilityGraph, l: &LegacyGraph) {
     assert_eq!(g.state_count(), l.state_count(), "state counts differ");
@@ -94,6 +101,76 @@ fn timed_fragment_matches_seed_construction() {
         g.state_count(),
         g.edge_count()
     );
+}
+
+#[test]
+fn parallel_untimed_builds_are_bit_identical_on_the_golden_models() {
+    let nets = [
+        three_stage::build(&ThreeStageConfig::default()).expect("builds"),
+        sequential::build(&ThreeStageConfig::default()).expect("builds"),
+        interpreted::build(&interpreted::InterpretedConfig {
+            for_analysis: true,
+            ..interpreted::InterpretedConfig::default()
+        })
+        .expect("builds"),
+    ];
+    for net in &nets {
+        let seq = build_untimed(net, &ReachOptions::default()).expect("sequential build");
+        for jobs in [2, 4, 8] {
+            let par = build_untimed(net, &with_jobs(jobs)).expect("parallel build");
+            assert_eq!(
+                par,
+                seq,
+                "parallel build (jobs = {jobs}) diverged on `{}`",
+                net.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_timed_build_is_bit_identical_on_the_fragment() {
+    let net = timed_fragment(3);
+    let seq = build_timed(&net, &ReachOptions::default()).expect("sequential build");
+    for jobs in [2, 4, 8] {
+        let par = build_timed(&net, &with_jobs(jobs)).expect("parallel build");
+        assert_eq!(par, seq, "timed parallel build (jobs = {jobs}) diverged");
+    }
+}
+
+#[test]
+fn parallel_build_is_bit_identical_on_wide_frontiers() {
+    // The paper pipelines never grow a frontier past a few dozen states,
+    // so their parallel builds run the level machinery without spawning.
+    // The toggle lattice has levels thousands of states wide, forcing
+    // real cross-thread interning through the sharded pending tables.
+    let net = wide_toggle(13); // 8192 states, max level width C(13,6) = 1716
+    let seq = build_untimed(&net, &ReachOptions::default()).expect("sequential build");
+    assert_eq!(seq.state_count(), 1 << 13);
+    for jobs in [2, 4, 8] {
+        let par = build_untimed(&net, &with_jobs(jobs)).expect("parallel build");
+        assert_eq!(par, seq, "wide parallel build (jobs = {jobs}) diverged");
+    }
+}
+
+#[test]
+fn parallel_interpreted_stress_is_stable_across_repeats() {
+    // Run the 3383-state interpreted build repeatedly at several worker
+    // counts to shake out interleaving bugs in the shard/splice path:
+    // any racy key reduction or splice ordering would show up as a
+    // store/edge mismatch in some repetition.
+    let net = interpreted::build(&interpreted::InterpretedConfig {
+        for_analysis: true,
+        ..interpreted::InterpretedConfig::default()
+    })
+    .expect("builds");
+    let seq = build_untimed(&net, &ReachOptions::default()).expect("sequential build");
+    for round in 0..6 {
+        for jobs in [2, 4, 8] {
+            let par = build_untimed(&net, &with_jobs(jobs)).expect("parallel build");
+            assert_eq!(par, seq, "round {round}, jobs = {jobs} diverged");
+        }
+    }
 }
 
 #[test]
