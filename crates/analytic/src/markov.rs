@@ -82,7 +82,7 @@ impl From<pnut_reach::ReachError> for MarkovError {
 }
 
 /// Limits for the analysis.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MarkovOptions {
     /// Maximum states for the dense chain.
     pub max_states: usize,
@@ -94,6 +94,13 @@ pub struct MarkovOptions {
     /// [`pnut_reach::ReachOptions::jobs`]); the chain extraction itself
     /// is dense linear algebra and stays single-threaded.
     pub jobs: usize,
+    /// Resident byte budget for the reachability build's state arenas
+    /// (see [`pnut_reach::ReachOptions::mem_budget`]); the dense chain
+    /// vectors themselves stay in memory.
+    pub mem_budget: usize,
+    /// Spill directory for the reachability build (see
+    /// [`pnut_reach::ReachOptions::spill_dir`]).
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for MarkovOptions {
@@ -103,6 +110,8 @@ impl Default for MarkovOptions {
             max_iterations: 200_000,
             tolerance: 1e-12,
             jobs: 1,
+            mem_budget: usize::MAX,
+            spill_dir: None,
         }
     }
 }
@@ -177,6 +186,8 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
         &ReachOptions {
             max_states: options.max_states,
             jobs: options.jobs,
+            mem_budget: options.mem_budget,
+            spill_dir: options.spill_dir.clone(),
         },
     )?;
     let n = graph.state_count();

@@ -17,7 +17,18 @@ use std::time::Instant;
 const OPTIONS: ReachOptions = ReachOptions {
     max_states: 100_000,
     jobs: 1,
+    mem_budget: usize::MAX,
+    spill_dir: None,
 };
+
+/// [`OPTIONS`] with a resident-arena byte budget (cold level segments
+/// spill to a temp file past it — see `pnut_reach::pager`).
+fn with_budget(mem_budget: usize) -> ReachOptions {
+    ReachOptions {
+        mem_budget,
+        ..OPTIONS
+    }
+}
 
 fn untimed_workloads() -> Vec<(&'static str, Net)> {
     vec![
@@ -75,10 +86,7 @@ fn bench_parallel(c: &mut Criterion) {
     ] {
         let mut g = c.benchmark_group(format!("reach/parallel/{name}"));
         for jobs in job_series() {
-            let options = ReachOptions {
-                max_states: 100_000,
-                jobs,
-            };
+            let options = ReachOptions { jobs, ..OPTIONS };
             g.bench_function(format!("j{jobs}"), |b| {
                 b.iter(|| build_untimed(&net, &options).expect("bounded"))
             });
@@ -87,7 +95,39 @@ fn bench_parallel(c: &mut Criterion) {
     }
 }
 
-criterion_group!(reach, bench_untimed, bench_timed, bench_parallel);
+/// Budgets for the spill series on the 8192-state toggle lattice:
+/// `resident` (unlimited — the pager in place but never evicting) and
+/// two budgets that force progressively harder eviction churn.
+fn spill_series() -> Vec<(&'static str, usize)> {
+    vec![
+        ("resident", usize::MAX),
+        ("b1m", 1 << 20),
+        ("b64k", 64 << 10),
+    ]
+}
+
+/// Paged construction under shrinking memory budgets: `resident`
+/// measures the pager's bookkeeping overhead alone; the byte-budget
+/// points add segment eviction, spill-file writes, and reload faults.
+fn bench_spill(c: &mut Criterion) {
+    let net = workloads::wide_toggle(13);
+    let mut g = c.benchmark_group("reach/spill/wide_toggle");
+    for (tag, budget) in spill_series() {
+        let options = with_budget(budget);
+        g.bench_function(tag, |b| {
+            b.iter(|| build_untimed(&net, &options).expect("bounded"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    reach,
+    bench_untimed,
+    bench_timed,
+    bench_parallel,
+    bench_spill
+);
 
 fn export(name: &str, key: &str, value: f64) {
     let Ok(path) = std::env::var("PNUT_BENCH_JSON") else {
@@ -168,10 +208,7 @@ fn summary() {
     ] {
         let seq = min_ns(5, || build_untimed(&net, &OPTIONS).expect("bounded"));
         for jobs in job_series().into_iter().filter(|&j| j > 1) {
-            let options = ReachOptions {
-                max_states: 100_000,
-                jobs,
-            };
+            let options = ReachOptions { jobs, ..OPTIONS };
             let par = min_ns(5, || build_untimed(&net, &options).expect("bounded"));
             let speedup = seq / par;
             println!("{name:<24} jobs {jobs:>2}  speedup {speedup:>5.2}x vs sequential");
@@ -181,6 +218,36 @@ fn summary() {
                 speedup,
             );
         }
+    }
+
+    // Spill-budget series (gates the pager): `resident` is the paged
+    // engine at unlimited budget vs the frozen unpaged seed — this is
+    // the ratio that must not sag (CI holds it to ≥ 0.9× of the
+    // committed trend; the pager's bookkeeping is the only thing that
+    // can move it). The budgeted points are measured against the
+    // resident run and price eviction + reload churn itself.
+    println!("\n-- paged store: spill-budget series on wide_toggle(13) (min of 5 builds) --");
+    let net = workloads::wide_toggle(13);
+    let legacy = min_ns(5, || {
+        legacy_reach::build_untimed(&net, &OPTIONS).expect("bounded")
+    });
+    let resident = min_ns(5, || {
+        build_untimed(&net, &with_budget(usize::MAX)).expect("bounded")
+    });
+    let ratio = legacy / resident;
+    println!("wide_toggle resident     speedup {ratio:>5.2}x vs unpaged seed");
+    export("reach/speedup/spill/wide_toggle/resident", "ratio", ratio);
+    for (tag, budget) in spill_series().into_iter().filter(|&(_, b)| b != usize::MAX) {
+        let t = min_ns(5, || {
+            build_untimed(&net, &with_budget(budget)).expect("bounded")
+        });
+        let ratio = resident / t;
+        println!("wide_toggle {tag:<12} {ratio:>5.2}x of the resident-budget build");
+        export(
+            &format!("reach/speedup/spill/wide_toggle/{tag}"),
+            "ratio",
+            ratio,
+        );
     }
 }
 

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! bench_diff <baseline.json> <candidate.json> [--min-frac F]
+//!            [--min-frac-for NAME=F]...
 //! ```
 //!
 //! Both files are the JSON-lines format the reach bench appends (see
@@ -12,6 +13,9 @@
 //! builders measured back-to-back on the same machine are comparable
 //! across runners. A candidate ratio below `baseline × min-frac`
 //! (default 0.7, loose enough to absorb CI noise) exits 1.
+//! `--min-frac-for` pins a tighter fraction to one specific ratio —
+//! used to hold the pager's resident-budget overhead to ≥ 0.9× of the
+//! committed trend while the noisier parallel ratios keep the default.
 //!
 //! Absolute-speedup floors are intentionally not enforced: the
 //! parallel ratios in the committed baseline come from whatever machine
@@ -41,9 +45,19 @@ fn load_ratios(path: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(text.lines().filter_map(parse_ratio_line).collect())
 }
 
+/// Parse one `--min-frac-for NAME=F` operand.
+fn parse_min_frac_for(spec: &str) -> Option<(String, f64)> {
+    let (name, frac) = spec.rsplit_once('=')?;
+    if name.is_empty() {
+        return None;
+    }
+    Some((name.to_string(), frac.parse().ok()?))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut min_frac = 0.7f64;
+    let mut per_name: Vec<(String, f64)> = Vec::new();
     let mut files = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -52,6 +66,15 @@ fn main() -> ExitCode {
                 Some(f) => min_frac = f,
                 None => {
                     eprintln!("bench_diff: --min-frac needs a number");
+                    return ExitCode::FAILURE;
+                }
+            }
+            i += 2;
+        } else if args[i] == "--min-frac-for" {
+            match args.get(i + 1).and_then(|v| parse_min_frac_for(v)) {
+                Some(entry) => per_name.push(entry),
+                None => {
+                    eprintln!("bench_diff: --min-frac-for needs NAME=FRACTION");
                     return ExitCode::FAILURE;
                 }
             }
@@ -78,6 +101,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // An override naming no baseline entry is a typo or a renamed bench
+    // series — either way the tightened gate would silently fall back
+    // to the default fraction, so fail loudly instead.
+    for (name, _) in &per_name {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            eprintln!("bench_diff: --min-frac-for `{name}` matches no baseline ratio");
+            return ExitCode::FAILURE;
+        }
+    }
+
     let lookup = |name: &str| candidate.iter().find(|(n, _)| n == name).map(|&(_, r)| r);
     let mut regressions = 0;
     println!(
@@ -85,13 +118,17 @@ fn main() -> ExitCode {
         "ratio", "baseline", "current", ""
     );
     for (name, base) in &baseline {
+        let frac = per_name
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(min_frac, |&(_, f)| f);
         match lookup(name) {
             None => {
                 println!("{name:<44} {base:>9.2} {:>9} MISSING", "-");
                 regressions += 1;
             }
             Some(cur) => {
-                let ok = cur >= base * min_frac;
+                let ok = cur >= base * frac;
                 println!(
                     "{name:<44} {base:>9.2} {cur:>9.2} {}",
                     if ok { "ok" } else { "REGRESSED" }
@@ -103,7 +140,7 @@ fn main() -> ExitCode {
         }
     }
     if regressions > 0 {
-        eprintln!("bench_diff: {regressions} ratio(s) regressed below {min_frac}× of the baseline");
+        eprintln!("bench_diff: {regressions} ratio(s) regressed below their trend fraction");
         return ExitCode::FAILURE;
     }
     println!("bench_diff: all {} ratio(s) within trend", baseline.len());
@@ -112,7 +149,18 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_ratio_line;
+    use super::{parse_min_frac_for, parse_ratio_line};
+
+    #[test]
+    fn parses_per_name_fraction_overrides() {
+        assert_eq!(
+            parse_min_frac_for("reach/speedup/spill/wide_toggle/resident=0.9"),
+            Some(("reach/speedup/spill/wide_toggle/resident".to_string(), 0.9))
+        );
+        assert_eq!(parse_min_frac_for("no-fraction"), None);
+        assert_eq!(parse_min_frac_for("=0.9"), None);
+        assert_eq!(parse_min_frac_for("name=notanumber"), None);
+    }
 
     #[test]
     fn parses_ratio_lines_and_skips_timings() {

@@ -148,19 +148,97 @@ fn parse_limit_flags(
     Ok((max, jobs))
 }
 
-/// [`parse_limit_flags`] applied to [`pnut_reach::ReachOptions`].
+/// Parse a byte-size value like `65536`, `64KiB`, `512MB`, or `2GiB`
+/// (binary multipliers throughout; `unlimited` disables the budget).
+fn parse_byte_size(value: &str) -> Option<usize> {
+    let v = value.trim().to_ascii_lowercase();
+    if v == "unlimited" {
+        return Some(usize::MAX);
+    }
+    let (digits, mult) = if let Some(d) = v
+        .strip_suffix("kib")
+        .or_else(|| v.strip_suffix("kb"))
+        .or_else(|| v.strip_suffix('k'))
+    {
+        (d, 1usize << 10)
+    } else if let Some(d) = v
+        .strip_suffix("mib")
+        .or_else(|| v.strip_suffix("mb"))
+        .or_else(|| v.strip_suffix('m'))
+    {
+        (d, 1usize << 20)
+    } else if let Some(d) = v
+        .strip_suffix("gib")
+        .or_else(|| v.strip_suffix("gb"))
+        .or_else(|| v.strip_suffix('g'))
+    {
+        (d, 1usize << 30)
+    } else if let Some(d) = v.strip_suffix('b') {
+        (d, 1)
+    } else {
+        (v.as_str(), 1)
+    };
+    let n: usize = digits.trim().parse().ok()?;
+    n.checked_mul(mult)
+}
+
+/// Parse the shared paging options `--mem-budget BYTES` /
+/// `--spill-dir DIR`, returning `(mem_budget, spill_dir)` where
+/// present. The budget must be positive (use `unlimited`, or omit the
+/// flag, to disable paging).
+fn parse_pager_flags(
+    args: &mut Args<'_>,
+    cmd: &str,
+) -> Result<(Option<usize>, Option<std::path::PathBuf>), CliError> {
+    let budget = args
+        .value("--mem-budget")
+        .map(|v| {
+            parse_byte_size(&v).filter(|&b| b > 0).ok_or_else(|| {
+                err(format!(
+                    "{cmd}: --mem-budget must be a positive byte size (e.g. 64KiB, 512MB, unlimited)"
+                ))
+            })
+        })
+        .transpose()?;
+    let dir = args.value("--spill-dir").map(std::path::PathBuf::from);
+    Ok((budget, dir))
+}
+
+/// Warn when `--spill-dir` is set but the budget stays unlimited —
+/// nothing would ever spill, which is almost certainly not what the
+/// user meant. (Not folded into [`parse_pager_flags`]: `cover` emits
+/// its own, more accurate "ignored entirely" warning.)
+fn warn_inert_spill_dir(cmd: &str, budget: Option<usize>, dir: &Option<std::path::PathBuf>) {
+    if dir.is_some() && budget.is_none_or(|b| b == usize::MAX) {
+        eprintln!(
+            "{cmd}: warning: --spill-dir has no effect without a finite --mem-budget \
+             (the default budget is unlimited, so nothing ever spills)"
+        );
+    }
+}
+
+/// [`parse_limit_flags`] + [`parse_pager_flags`] applied to
+/// [`pnut_reach::ReachOptions`].
 fn parse_reach_options(
     args: &mut Args<'_>,
     cmd: &str,
     defaults: pnut_reach::ReachOptions,
 ) -> Result<pnut_reach::ReachOptions, CliError> {
     let (max, jobs) = parse_limit_flags(args, cmd)?;
+    let (budget, spill_dir) = parse_pager_flags(args, cmd)?;
+    warn_inert_spill_dir(cmd, budget, &spill_dir);
     let mut options = defaults;
     if let Some(max) = max {
         options.max_states = max;
     }
     if let Some(jobs) = jobs {
         options.jobs = jobs;
+    }
+    if let Some(budget) = budget {
+        options.mem_budget = budget;
+    }
+    if spill_dir.is_some() {
+        options.spill_dir = spill_dir;
     }
     Ok(options)
 }
@@ -249,17 +327,25 @@ usage: pnut <command> [args]
   timeline <trace.json> [--from A] [--to B] [--probe NAME]... [--fn L=EXPR]...
   anim <trace.json> [--max-frames N]
   reach <model.pn> [--timed] [--ctl FORMULA] [--max-states N] [--jobs N]
+                   [--mem-budget BYTES] [--spill-dir DIR]
   cover <model.pn> [--max-states N] [--jobs N]   Karp–Miller boundedness
   cycle <model.pn>                     analytic cycle time (marked graphs)
   markov <model.pn> [--max-states N] [--jobs N]  analytic steady state
+                    [--mem-budget BYTES] [--spill-dir DIR]
   heatmap <trace.json>                 activity heatmap (bottleneck feedback)
   measure <trace.json> [--pulses PLACE] [--intervals TRANS] [--latency FROM,TO]
 
 --max-states raises/lowers the state-space cap (default 100000; 20000
 for markov). --jobs N explores the frontier with N worker threads
 (0 = all cores, default 1); results are identical at any job count.
-cover accepts --jobs for symmetry but currently ignores it: the
-Karp–Miller tree build is sequential.
+--mem-budget caps the resident state arenas (e.g. 64KiB, 512MB;
+default unlimited): cold level segments spill to a temp file in
+--spill-dir (default: system temp) and reload on demand, so state
+spaces can exceed RAM; results are identical at any budget.
+cover ignores --jobs (with a warning): the Karp–Miller tree
+accelerates against ancestor chains, which is inherently sequential.
+cover likewise ignores --mem-budget/--spill-dir: the tree stays
+memory-resident.
 
 exit codes: 0 ok · 1 error · 2 checked property is false
 ";
@@ -598,6 +684,15 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         graph.store().env_count(),
         graph.approx_bytes() / 1024,
     );
+    if graph.store().spilled_bytes() > 0 {
+        let _ = writeln!(
+            out,
+            "paged store: ~{} KiB resident (peak ~{} KiB), ~{} KiB spilled to disk",
+            graph.store().resident_arena_bytes() / 1024,
+            graph.store().peak_resident_arena_bytes() / 1024,
+            graph.store().spilled_bytes() / 1024,
+        );
+    }
     let bounds = graph.place_bounds();
     for (pid, p) in net.places() {
         let _ = writeln!(out, "  bound({}) = {}", p.name(), bounds[pid.index()]);
@@ -631,11 +726,24 @@ fn cmd_cover(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         .ok_or_else(|| err("cover: need a model file"))?;
     let mut options = pnut_reach::coverability::CoverOptions::default();
     let (max, jobs) = parse_limit_flags(&mut args, "cover")?;
+    let (budget, spill_dir) = parse_pager_flags(&mut args, "cover")?;
     if let Some(max) = max {
         options.max_nodes = max;
     }
     if let Some(jobs) = jobs {
         options.jobs = jobs;
+        if jobs != 1 {
+            eprintln!(
+                "cover: warning: --jobs is ignored — the Karp–Miller tree accelerates \
+                 against ancestor chains (sequential); building single-threaded"
+            );
+        }
+    }
+    if budget.is_some() || spill_dir.is_some() {
+        eprintln!(
+            "cover: warning: --mem-budget/--spill-dir are ignored — the Karp–Miller \
+             tree is memory-resident (only reach/markov page their state arenas)"
+        );
     }
     args.finish()?;
     let net = load_net(&path)?;
@@ -769,11 +877,19 @@ fn cmd_markov(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         .ok_or_else(|| err("markov: need a model file"))?;
     let mut options = pnut_analytic::markov::MarkovOptions::default();
     let (max, jobs) = parse_limit_flags(&mut args, "markov")?;
+    let (budget, spill_dir) = parse_pager_flags(&mut args, "markov")?;
+    warn_inert_spill_dir("markov", budget, &spill_dir);
     if let Some(max) = max {
         options.max_states = max;
     }
     if let Some(jobs) = jobs {
         options.jobs = jobs;
+    }
+    if let Some(budget) = budget {
+        options.mem_budget = budget;
+    }
+    if spill_dir.is_some() {
+        options.spill_dir = spill_dir;
     }
     args.finish()?;
     let net = load_net(&path)?;
@@ -1083,6 +1199,85 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.to_string().contains("exceeds 1 state"), "{e}");
+    }
+
+    #[test]
+    fn byte_sizes_parse_with_binary_suffixes() {
+        assert_eq!(parse_byte_size("65536"), Some(65536));
+        assert_eq!(parse_byte_size("64KiB"), Some(64 * 1024));
+        assert_eq!(parse_byte_size("64kb"), Some(64 * 1024));
+        assert_eq!(parse_byte_size("2M"), Some(2 << 20));
+        assert_eq!(parse_byte_size("1GiB"), Some(1 << 30));
+        assert_eq!(parse_byte_size("512B"), Some(512));
+        assert_eq!(parse_byte_size("unlimited"), Some(usize::MAX));
+        assert_eq!(parse_byte_size("64 KiB"), Some(64 * 1024));
+        assert_eq!(parse_byte_size("lots"), None);
+        assert_eq!(parse_byte_size("1.5M"), None);
+        assert_eq!(parse_byte_size(""), None);
+    }
+
+    #[test]
+    fn reach_mem_budget_pages_without_changing_output() {
+        let dir = tmpdir("budget");
+        let model = write_model(&dir);
+        // The bus model fits any budget; the flag must parse and the
+        // report must match the unpaged run exactly (the paging line
+        // only appears when something actually spilled).
+        let (code, default_out) = run_args(&["reach", &model]);
+        assert_eq!(code, 0);
+        let spill = dir.join("spill").to_string_lossy().into_owned();
+        fs::create_dir_all(dir.join("spill")).unwrap();
+        let (code, paged_out) = run_args(&[
+            "reach",
+            &model,
+            "--mem-budget",
+            "64KiB",
+            "--spill-dir",
+            &spill,
+        ]);
+        assert_eq!(code, 0);
+        assert_eq!(paged_out, default_out, "budget must not change results");
+
+        // Garbage budgets are usage errors.
+        let mut s = String::new();
+        let e = run(
+            &["reach", &model, "--mem-budget", "lots"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>(),
+            &mut s,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("--mem-budget"), "{e}");
+
+        // markov accepts the same flags.
+        let ring = dir.join("ring.pn");
+        fs::write(
+            &ring,
+            "net ring\nplace a = 1\nplace b = 0\n\
+             trans t0\n  in a\n  out b\n  firing 3\nend\n\
+             trans t1\n  in b\n  out a\n  firing 1\nend\n",
+        )
+        .unwrap();
+        let ring = ring.to_string_lossy().into_owned();
+        let (code, plain) = run_args(&["markov", &ring]);
+        let (code2, paged) = run_args(&["markov", &ring, "--mem-budget", "1MiB"]);
+        assert_eq!((code, code2), (0, 0));
+        assert_eq!(plain, paged);
+    }
+
+    #[test]
+    fn cover_warns_about_ignored_flags_but_still_runs() {
+        // The warnings go to stderr; the report itself must be
+        // unaffected by the ignored flags.
+        let dir = tmpdir("coverwarn");
+        let model = write_model(&dir);
+        let (code, plain) = run_args(&["cover", &model]);
+        assert_eq!(code, 0);
+        let (code, with_flags) =
+            run_args(&["cover", &model, "--jobs", "4", "--mem-budget", "64KiB"]);
+        assert_eq!(code, 0);
+        assert_eq!(plain, with_flags);
     }
 
     #[test]

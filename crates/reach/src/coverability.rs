@@ -211,7 +211,10 @@ pub struct CoverOptions {
     /// Karp–Miller construction accelerates against each node's
     /// *ancestor chain*, a sequential dependency the level-barrier
     /// scheme of [`crate::store`] does not cover. Reserved for a
-    /// parallel tree construction.
+    /// parallel tree construction; the CLI warns when it is set to
+    /// anything but 1 rather than pretending to parallelize. (The tree
+    /// is likewise not paged to disk — only the reachability stores
+    /// honor a memory budget, see [`crate::pager`].)
     pub jobs: usize,
 }
 

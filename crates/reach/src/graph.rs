@@ -9,6 +9,7 @@
 //! without a compaction pass, and two builds of the same net produce
 //! bit-identical graphs.
 
+use crate::pager::{PagerConfig, SpillError};
 use crate::store::{self, EnvRef, PendingShard, StateRef, StateStore};
 use pnut_core::expr::Env;
 use pnut_core::{Net, Time, Transition, TransitionId};
@@ -16,7 +17,7 @@ use std::fmt;
 use std::sync::Mutex;
 
 /// Limits for graph construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReachOptions {
     /// Stop with [`ReachError::StateLimit`] beyond this many states.
     pub max_states: usize,
@@ -26,6 +27,14 @@ pub struct ReachOptions {
     /// graph (see [`crate::store`] for how the level barrier guarantees
     /// it), so this is purely a throughput knob.
     pub jobs: usize,
+    /// Resident byte budget for the state arenas; cold level segments
+    /// beyond it spill to a temp file and are reloaded on demand (see
+    /// [`crate::pager`]). `usize::MAX` (the default) keeps everything
+    /// in memory. Like `jobs`, this never changes the result — the
+    /// graph is bit-identical at any budget.
+    pub mem_budget: usize,
+    /// Directory for the spill file; `None` uses the system temp dir.
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl ReachOptions {
@@ -40,6 +49,14 @@ impl ReachOptions {
             self.jobs
         }
     }
+
+    /// The pager half of the options.
+    fn pager_config(&self) -> PagerConfig {
+        PagerConfig {
+            mem_budget: self.mem_budget,
+            spill_dir: self.spill_dir.clone(),
+        }
+    }
 }
 
 impl Default for ReachOptions {
@@ -47,6 +64,8 @@ impl Default for ReachOptions {
         ReachOptions {
             max_states: 100_000,
             jobs: 1,
+            mem_budget: usize::MAX,
+            spill_dir: None,
         }
     }
 }
@@ -109,6 +128,10 @@ pub enum ReachError {
         /// Which arena or index space overflowed.
         resource: &'static str,
     },
+    /// Spill-file I/O failed while paging a cold level segment out or
+    /// back in (see [`crate::pager`]): disk full, an unwritable
+    /// `spill_dir`, or the temp file disappearing mid-build.
+    Spill(SpillError),
 }
 
 impl fmt::Display for ReachError {
@@ -140,6 +163,7 @@ impl fmt::Display for ReachError {
             ReachError::CapacityExceeded { resource } => {
                 write!(f, "reachability store capacity exceeded: {resource}")
             }
+            ReachError::Spill(e) => write!(f, "state-store paging failed: {e}"),
         }
     }
 }
@@ -161,7 +185,7 @@ pub type Edge = (EdgeLabel, u32);
 
 /// A reachability graph: interned states, CSR-packed labeled edges, and
 /// the initial state (index 0).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct ReachabilityGraph {
     store: StateStore,
     /// CSR row boundaries; `len == state_count() + 1`.
@@ -215,11 +239,7 @@ impl ReachabilityGraph {
     /// The bound of each place: the maximum token count over all
     /// reachable states (a net is k-bounded iff every entry ≤ k).
     pub fn place_bounds(&self) -> Vec<u32> {
-        let places = if self.store.is_empty() {
-            0
-        } else {
-            self.store.marking_slice(0).len()
-        };
+        let places = self.store.places();
         let mut bounds = vec![0u32; places];
         for i in 0..self.store.len() {
             for (b, &t) in bounds.iter_mut().zip(self.store.marking_slice(i)) {
@@ -381,14 +401,16 @@ impl Scratch {
         }
     }
 
-    /// Load state `cur` into the scratch copies; returns its env id.
-    fn load(&mut self, store: &StateStore, cur: usize) -> u32 {
-        self.cur_marking.copy_from_slice(store.marking_slice(cur));
+    /// Load state `cur` into the scratch copies (faulting its segment
+    /// in if evicted); returns its env id.
+    fn load(&mut self, store: &StateStore, cur: usize) -> Result<u32, ReachError> {
+        self.cur_marking
+            .copy_from_slice(store.try_marking_slice(cur)?);
         self.cur_hash = StateStore::marking_hash(&self.cur_marking);
         self.cur_inflight.clear();
         self.cur_inflight
-            .extend_from_slice(store.in_flight_slice(cur));
-        store.env_id(cur)
+            .extend_from_slice(store.try_in_flight_slice(cur)?);
+        store.try_env_id(cur)
     }
 
     /// Whether compiled transition `ct` is marking-enabled in the
@@ -490,7 +512,7 @@ struct Explorer {
 impl Explorer {
     fn new(net: &Net, options: &ReachOptions) -> Result<Self, ReachError> {
         let places = net.place_count();
-        let mut store = StateStore::new(places);
+        let mut store = StateStore::with_config(places, &options.pager_config());
         let initial_env = store.intern_env(net.initial_env())?;
         let initial = net.initial_marking();
         store.intern(initial.as_slice(), initial_env, &[])?;
@@ -505,9 +527,14 @@ impl Explorer {
     }
 
     /// Load state `cur` into the scratch copies and open its CSR row.
+    /// Loading may fault `cur`'s segment back in; the follow-up
+    /// `maintain` evicts back under budget so the resident envelope
+    /// stays at most one segment above it between interns.
     fn load(&mut self, cur: usize) -> Result<u32, ReachError> {
         self.offsets.push(edge_capacity(self.edges.len())?);
-        Ok(self.scratch.load(&self.store, cur))
+        let env = self.scratch.load(&self.store, cur)?;
+        self.store.maintain()?;
+        Ok(env)
     }
 
     /// Environment after `ti`'s action (the common actionless path
@@ -622,7 +649,7 @@ fn intern_target(
     if let EnvRef::Committed(e) = env_ref {
         if let Some(i) =
             ctx.store
-                .find_state_hashed(&sc.next_marking, sc.next_hash, e, &sc.next_inflight)
+                .find_state_hashed(&sc.next_marking, sc.next_hash, e, &sc.next_inflight)?
         {
             return Ok(RawTarget::Committed(i));
         }
@@ -652,10 +679,12 @@ fn explore_chunk(
     ctx: &WorkerCtx<'_>,
     chunk: std::ops::Range<usize>,
 ) -> Result<Rows, (u64, ReachError)> {
-    let mut sc = Scratch::new(ctx.store.marking_slice(0).len());
+    let mut sc = Scratch::new(ctx.store.places());
     let mut rows = Vec::with_capacity(chunk.len());
     for src in chunk {
-        let env_id = sc.load(ctx.store, src);
+        let env_id = sc
+            .load(ctx.store, src)
+            .map_err(|e| (discovery_key(src, 0), e))?;
         let mut row: Vec<(EdgeLabel, RawTarget)> = Vec::new();
         let mut can_start = false;
         for ct in ctx.compiled {
@@ -761,7 +790,7 @@ fn build_parallel(
 ) -> Result<ReachabilityGraph, ReachError> {
     let jobs = options.effective_jobs();
     let places = net.place_count();
-    let mut store = StateStore::new(places);
+    let mut store = StateStore::with_config(places, &options.pager_config());
     let initial_env = store.intern_env(net.initial_env())?;
     store.intern(net.initial_marking().as_slice(), initial_env, &[])?;
     let compiled = compile(net);
@@ -835,6 +864,10 @@ fn build_parallel(
             return Err(e.clone());
         }
         let state_map = store.splice_level(&mut shard_refs, &novel)?;
+        // Level barrier: workers may have faulted cold segments in
+        // (read-only loads cannot evict); squeeze back under budget
+        // before the next level.
+        store.maintain()?;
 
         // Append this level's CSR rows in source order (worker chunks
         // are contiguous and ordered), rewriting pending targets to
@@ -1090,6 +1123,7 @@ mod tests {
             let opts = ReachOptions {
                 max_states: 0,
                 jobs,
+                ..ReachOptions::default()
             };
             let g = build_untimed(&stuck, &opts).unwrap();
             assert_eq!(g.state_count(), 1, "jobs = {jobs}");

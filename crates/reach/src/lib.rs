@@ -45,6 +45,11 @@
 //!   and a level barrier splices them into dense discovery order (see
 //!   [`store`] for the design). Wide frontiers scale across cores;
 //!   narrow ones are explored inline without spawning.
+//! * **Disk-backed paging.** With [`ReachOptions::mem_budget`] set,
+//!   cold level segments of the arenas spill to a temp file behind an
+//!   LRU cache and fault back in on demand (see [`pager`]), so the
+//!   state-count ceiling is disk, not RAM — the hot frontier stays
+//!   resident and the graph is still bit-identical at any budget.
 //!
 //! Construction is O(edges × marking width) time with exactly one arena
 //! copy per distinct state; two builds of the same net yield
@@ -78,9 +83,11 @@
 pub mod coverability;
 pub mod ctl;
 pub mod graph;
+pub mod pager;
 pub mod store;
 
 pub use coverability::{CoverOptions, CoverabilityTree};
 pub use ctl::{CheckOutcome, CtlError, Formula};
 pub use graph::{Edge, EdgeLabel, ReachError, ReachOptions, ReachabilityGraph};
+pub use pager::{PagerConfig, SpillError};
 pub use store::{FxHasher, MarkingView, StateRef, StateStore};

@@ -1,0 +1,922 @@
+//! Disk-backed paging for the state-store arenas.
+//!
+//! # Why it exists
+//!
+//! BFS-complete model checking needs the whole state space *somewhere*,
+//! and an in-memory [`crate::store::StateStore`] caps the reachable
+//! state count at RAM. The observation that lifts the ceiling: once the
+//! frontier has moved past a BFS level, the states of that level are
+//! *cold* — the explorer only touches them again on the rare true hash
+//! hit (a duplicate successor that closes a long cycle back into an old
+//! level). Cold data can live on disk.
+//!
+//! # The three layers
+//!
+//! ```text
+//! intern table   (hash, state index)   always resident, probes first
+//!      │ true hash hit → content compare needs the arena row
+//!      ▼
+//! level segments [seg 0 | seg 1 | … | tail]   fixed state count each
+//!      │ resident  → slice straight out of the segment
+//!      │ spilled   → fault: read back from the spill file
+//!      ▼
+//! spill file     write-once images of sealed segments (temp file)
+//! ```
+//!
+//! * **Intern table** — stays in memory. It stores only the 64-bit
+//!   hash and the state index, so a committed-state probe touches disk
+//!   only when the full hash matches and the owning segment has been
+//!   evicted.
+//! * **Segments** — the arenas (`markings`, `env_ids`, the in-flight
+//!   CSR) are partitioned into segments of a fixed number of states
+//!   ([`PagedStates::seg_states`], sized from the byte budget). The
+//!   *tail* segment receives appends and is always resident; a full
+//!   segment is **sealed** and becomes immutable — exactly the unit
+//!   [`crate::store::StateStore::splice_level`] commits level by level.
+//! * **Spill file** — a sealed segment evicted for the first time is
+//!   serialized to an anonymous temp file ([`SpillFile`]); because
+//!   sealed segments never change, the image is written once and later
+//!   evictions just drop the memory. Variable environments are *not*
+//!   paged: they are deduplicated and tiny relative to the state count.
+//!
+//! # Segment states and when they move
+//!
+//! ```text
+//!            append fills tail                     maintain(): over budget,
+//!   tail ────────────────────────▶ resident ─────────────────────────────▶ spilled
+//!  (dirty,                        (sealed,    first eviction writes the   (on disk,
+//!   never                          clean       image; later ones free      slot holds
+//!   evicted)                       after 1st    memory only                 its file span)
+//!                                  spill)          ▲                          │
+//!                                                  └──────── fault ──────────┘
+//!                                                     segment() reloads on a
+//!                                                     read of an evicted row
+//! ```
+//!
+//! # Concurrency and why faulting under `&self` is sound
+//!
+//! The parallel builder freezes the committed store during a level and
+//! probes it from many workers through `&self`. A probe that lands in a
+//! spilled segment must *fault it back in* without `&mut`:
+//!
+//! * each segment slot holds an [`AtomicPtr`] to its heap data; a fault
+//!   takes the pager's fault lock, re-checks, reads the image, and
+//!   installs the pointer with `Release` (readers load with `Acquire`);
+//! * faults only ever **install** — memory is *freed* exclusively by
+//!   eviction, which requires `&mut self`, so no `&`-borrowed slice can
+//!   be dangling while any shared borrow is alive. That is the entire
+//!   safety argument for the `unsafe` derefs below.
+//!
+//! The cost of that bargain: the resident set can only shrink at `&mut`
+//! points ([`PagedStates::maintain`] — called after every append and at
+//! every level barrier), so within one parallel level the resident set
+//! may transiently exceed the budget by the segments the level faults
+//! in. Sequentially the envelope is tight: at most one faulted segment
+//! above budget at any instant (asserted by the golden tests).
+//!
+//! All spill-file I/O reports [`ReachError::Spill`]; the only panicking
+//! paths are the infallible *view* accessors of [`crate::store`], which
+//! analyses use after a successful build (documented there).
+
+use crate::graph::ReachError;
+use pnut_core::TransitionId;
+use std::fmt;
+use std::fs::File;
+#[cfg(not(unix))]
+use std::io::Read as _;
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A spill-file I/O failure: which operation failed and the underlying
+/// [`io::Error`]. Wrapped in [`ReachError::Spill`]; the `Arc` keeps
+/// `ReachError` cheaply clonable (the parallel barrier clones the
+/// earliest worker error).
+#[derive(Debug, Clone)]
+pub struct SpillError {
+    /// The file operation that failed (`"create"`, `"write"`, `"read"`).
+    pub op: &'static str,
+    /// The underlying I/O error.
+    pub source: Arc<io::Error>,
+}
+
+/// Wrap an [`io::Error`] from spill operation `op` as a [`ReachError`].
+fn spill_err(op: &'static str, source: io::Error) -> ReachError {
+    ReachError::Spill(SpillError {
+        op,
+        source: Arc::new(source),
+    })
+}
+
+/// Same failed operation and error kind (messages can carry addresses
+/// and differ between equivalent failures).
+impl PartialEq for SpillError {
+    fn eq(&self, other: &Self) -> bool {
+        self.op == other.op && self.source.kind() == other.source.kind()
+    }
+}
+
+impl fmt::Display for SpillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spill file {} failed: {}", self.op, self.source)
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.source.as_ref())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// How much of the state arenas may stay resident, and where evicted
+/// segments go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagerConfig {
+    /// Resident-arena byte budget; `usize::MAX` (the default) keeps
+    /// everything in memory and never creates a spill file. The intern
+    /// table and the deduplicated environments are *not* counted — they
+    /// stay resident regardless.
+    pub mem_budget: usize,
+    /// Directory for the spill file; `None` uses [`std::env::temp_dir`].
+    /// The file is created lazily on the first eviction and unlinked
+    /// immediately (the handle keeps it alive), so nothing survives the
+    /// process even on a crash.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for PagerConfig {
+    fn default() -> Self {
+        PagerConfig {
+            mem_budget: usize::MAX,
+            spill_dir: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpillFile
+// ---------------------------------------------------------------------------
+
+/// A segment's image in the spill file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DiskSpan {
+    offset: u64,
+    len: u64,
+}
+
+/// An anonymous append-only temp file holding evicted segment images.
+///
+/// Writes happen only under `&mut` (eviction); reads happen under
+/// `&self` (faults, possibly from several workers at once) and use
+/// positioned reads so they never disturb the append cursor.
+#[derive(Debug)]
+pub(crate) struct SpillFile {
+    file: File,
+    /// Append cursor == bytes spilled so far.
+    len: u64,
+    /// Serializes the seek+read fallback on platforms without `pread`.
+    #[cfg_attr(unix, allow(dead_code))]
+    read_lock: Mutex<()>,
+}
+
+impl SpillFile {
+    /// Create the spill file in `dir` and immediately unlink it, so the
+    /// open handle is its only tether.
+    fn create(dir: Option<&Path>) -> io::Result<SpillFile> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = dir
+            .map(Path::to_path_buf)
+            .unwrap_or_else(std::env::temp_dir);
+        let name = format!(
+            "pnut-spill-{}-{}.bin",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = dir.join(name);
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        // Unlink eagerly: the fd keeps the data reachable, and nothing
+        // is left behind if the process dies mid-build. If the
+        // filesystem refuses (non-POSIX semantics), the file simply
+        // lingers until process exit.
+        let _ = std::fs::remove_file(&path);
+        Ok(SpillFile {
+            file,
+            len: 0,
+            read_lock: Mutex::new(()),
+        })
+    }
+
+    /// Append one serialized segment image, returning where it landed.
+    fn append(&mut self, image: &[u8]) -> io::Result<DiskSpan> {
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(image)?;
+        let span = DiskSpan {
+            offset: self.len,
+            len: image.len() as u64,
+        };
+        self.len += span.len;
+        Ok(span)
+    }
+
+    /// Read one segment image back (positioned; safe under `&self`).
+    fn read(&self, span: DiskSpan) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; span.len as usize];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, span.offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            let _guard = self.read_lock.lock().expect("spill read lock");
+            (&self.file).seek(SeekFrom::Start(span.offset))?;
+            (&self.file).read_exact(&mut buf)?;
+        }
+        Ok(buf)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment data
+// ---------------------------------------------------------------------------
+
+/// One segment's slice of every paged arena: `seg_states` consecutive
+/// states (fewer in the tail).
+#[derive(Debug, Default, PartialEq)]
+pub(crate) struct SegmentData {
+    /// Dense marking matrix, `count × places`.
+    markings: Vec<u32>,
+    /// Environment id per state.
+    env_ids: Vec<u32>,
+    /// Segment-local CSR offsets into `inflight`; `len == count + 1`.
+    inflight_offsets: Vec<u32>,
+    /// In-flight firings of all states in the segment.
+    inflight: Vec<(TransitionId, u64)>,
+}
+
+impl SegmentData {
+    fn empty() -> Self {
+        SegmentData {
+            inflight_offsets: vec![0],
+            ..SegmentData::default()
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.env_ids.len()
+    }
+
+    /// Arena bytes of the segment (by content, not capacity).
+    fn bytes(&self) -> usize {
+        self.markings.len() * 4
+            + self.env_ids.len() * 4
+            + self.inflight_offsets.len() * 4
+            + self.inflight.len() * std::mem::size_of::<(TransitionId, u64)>()
+    }
+
+    fn marking(&self, local: usize, places: usize) -> &[u32] {
+        &self.markings[local * places..(local + 1) * places]
+    }
+
+    fn in_flight(&self, local: usize) -> &[(TransitionId, u64)] {
+        &self.inflight
+            [self.inflight_offsets[local] as usize..self.inflight_offsets[local + 1] as usize]
+    }
+
+    /// Serialize to the spill image format (all little-endian):
+    /// `count:u32, inflight_len:u32, markings, env_ids,
+    /// inflight_offsets, inflight as (id:u64, remaining:u64)*`.
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.bytes());
+        out.extend_from_slice(&(self.count() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.inflight.len() as u32).to_le_bytes());
+        for &w in &self.markings {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for &e in &self.env_ids {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        for &o in &self.inflight_offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        for &(t, r) in &self.inflight {
+            out.extend_from_slice(&(t.index() as u64).to_le_bytes());
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out
+    }
+
+    fn deserialize(image: &[u8], places: usize) -> io::Result<SegmentData> {
+        let corrupt = || io::Error::new(io::ErrorKind::InvalidData, "corrupt spill image");
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> io::Result<&[u8]> {
+            let end = pos.checked_add(n).ok_or_else(corrupt)?;
+            let s = image.get(pos..end).ok_or_else(corrupt)?;
+            pos = end;
+            Ok(s)
+        };
+        let read_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4-byte chunk"));
+        let read_u64 = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
+        let count = read_u32(take(4)?) as usize;
+        let inflight_len = read_u32(take(4)?) as usize;
+        // Validate the header against the image length *before* any
+        // allocation: a bit-flipped count must surface as the designed
+        // InvalidData error, not abort on a gigantic Vec::with_capacity.
+        let implied = 8u64
+            + count as u64 * places as u64 * 4
+            + count as u64 * 4
+            + (count as u64 + 1) * 4
+            + inflight_len as u64 * 16;
+        if implied != image.len() as u64 {
+            return Err(corrupt());
+        }
+        let mut data = SegmentData {
+            markings: Vec::with_capacity(count * places),
+            env_ids: Vec::with_capacity(count),
+            inflight_offsets: Vec::with_capacity(count + 1),
+            inflight: Vec::with_capacity(inflight_len),
+        };
+        for _ in 0..count * places {
+            data.markings.push(read_u32(take(4)?));
+        }
+        for _ in 0..count {
+            data.env_ids.push(read_u32(take(4)?));
+        }
+        for _ in 0..=count {
+            data.inflight_offsets.push(read_u32(take(4)?));
+        }
+        for _ in 0..inflight_len {
+            let t = read_u64(take(8)?) as usize;
+            let r = read_u64(take(8)?);
+            data.inflight.push((TransitionId::new(t), r));
+        }
+        if pos != image.len() || data.inflight_offsets.last() != Some(&(inflight_len as u32)) {
+            return Err(corrupt());
+        }
+        Ok(data)
+    }
+}
+
+/// One segment slot: the (possibly absent) resident data plus the
+/// bookkeeping that survives eviction.
+#[derive(Debug)]
+struct Segment {
+    /// Resident data, or null when spilled. Faults install with
+    /// `Release`; readers load with `Acquire`; only `&mut` eviction
+    /// ever frees the pointee (see the module docs for the safety
+    /// argument).
+    data: AtomicPtr<SegmentData>,
+    /// Arena bytes (final once sealed; grows while this is the tail).
+    bytes: usize,
+    /// Where the sealed image lives on disk (written once, on the
+    /// first eviction).
+    disk: Option<DiskSpan>,
+    /// Pager clock value of the most recent access, for LRU eviction.
+    last_touch: AtomicU64,
+}
+
+impl Segment {
+    fn new_resident() -> Self {
+        Segment {
+            data: AtomicPtr::new(Box::into_raw(Box::new(SegmentData::empty()))),
+            bytes: SegmentData::empty().bytes(),
+            disk: None,
+            last_touch: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        let p = *self.data.get_mut();
+        if !p.is_null() {
+            // Safety: we hold `&mut`, so no borrow of the data exists.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PagedStates
+// ---------------------------------------------------------------------------
+
+/// Hard ceilings on the states-per-segment choice. The upper bound
+/// keeps a faulted segment's transfer small; the lower bound keeps the
+/// slot bookkeeping negligible next to the data.
+const MAX_SEG_STATES: usize = 4096;
+const MIN_SEG_STATES: usize = 64;
+
+/// States per segment for `places`-wide markings under `budget` bytes:
+/// the largest power of two that fits roughly a quarter of the budget,
+/// clamped to `[64, 4096]`. (Power of two ⇒ index → segment is a
+/// shift, and the choice never affects results — only paging grain.)
+fn seg_states_for(places: usize, budget: usize) -> usize {
+    if budget == usize::MAX {
+        return MAX_SEG_STATES;
+    }
+    let per_state = places * 4 + 8; // marking row + env id + offset entry
+    let target = (budget / 4) / per_state.max(1);
+    let rounded = match target.checked_next_power_of_two() {
+        Some(p) if p == target => p,
+        Some(p) => p / 2,
+        None => MAX_SEG_STATES,
+    };
+    rounded.clamp(MIN_SEG_STATES, MAX_SEG_STATES)
+}
+
+/// The paged state arenas: a growing sequence of fixed-state-count
+/// segments, the last of which (the *tail*) receives appends, behind a
+/// byte budget enforced by LRU eviction to a [`SpillFile`].
+///
+/// See the [module docs](self) for the architecture. Used exclusively
+/// by [`crate::store::StateStore`], which layers the intern tables and
+/// the environment arena on top.
+#[derive(Debug)]
+pub(crate) struct PagedStates {
+    places: usize,
+    seg_states: usize,
+    seg_shift: u32,
+    len: usize,
+    segments: Vec<Segment>,
+    budget: usize,
+    spill_dir: Option<PathBuf>,
+    spill: Option<SpillFile>,
+    /// Serializes concurrent `&self` faults (double-checked inside).
+    fault_lock: Mutex<()>,
+    /// LRU clock; advanced by [`Self::maintain`].
+    clock: AtomicU64,
+    /// Resident arena bytes (tail included).
+    resident: AtomicUsize,
+    /// High-water mark of `resident`.
+    peak: AtomicUsize,
+    /// Largest sealed segment seen, for budget-envelope assertions.
+    max_seg_bytes: usize,
+}
+
+impl PagedStates {
+    pub(crate) fn new(places: usize, config: &PagerConfig) -> Self {
+        let seg_states = seg_states_for(places, config.mem_budget);
+        let tail = Segment::new_resident();
+        let resident = tail.bytes;
+        PagedStates {
+            places,
+            seg_states,
+            seg_shift: seg_states.trailing_zeros(),
+            len: 0,
+            segments: vec![tail],
+            budget: config.mem_budget,
+            spill_dir: config.spill_dir.clone(),
+            spill: None,
+            fault_lock: Mutex::new(()),
+            clock: AtomicU64::new(1),
+            resident: AtomicUsize::new(resident),
+            peak: AtomicUsize::new(resident),
+            max_seg_bytes: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn places(&self) -> usize {
+        self.places
+    }
+
+    /// States per segment (the paging grain).
+    #[cfg(test)]
+    pub(crate) fn seg_states(&self) -> usize {
+        self.seg_states
+    }
+
+    /// Resident arena bytes right now.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of resident arena bytes over the store's life.
+    pub(crate) fn peak_resident_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written to the spill file so far (0 until first eviction).
+    pub(crate) fn spilled_bytes(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.len as usize)
+    }
+
+    /// The largest sealed segment's arena bytes (0 before any seal) —
+    /// the "+ one segment" term of the documented budget envelope.
+    pub(crate) fn max_segment_bytes(&self) -> usize {
+        self.max_seg_bytes
+    }
+
+    #[inline]
+    fn seg_of(&self, i: usize) -> (usize, usize) {
+        (i >> self.seg_shift, i & (self.seg_states - 1))
+    }
+
+    /// The resident data of segment `seg`, faulting it in from the
+    /// spill file if needed. Loads never evict (that needs `&mut`, see
+    /// the module docs), so the returned borrow stays valid for the
+    /// whole `&self` borrow of the store.
+    fn segment(&self, seg: usize) -> Result<&SegmentData, ReachError> {
+        let slot = &self.segments[seg];
+        slot.last_touch
+            .store(self.clock.load(Ordering::Relaxed), Ordering::Relaxed);
+        let p = slot.data.load(Ordering::Acquire);
+        if !p.is_null() {
+            // Safety: non-null data is freed only under `&mut self`.
+            return Ok(unsafe { &*p });
+        }
+        self.fault(seg)
+    }
+
+    /// Slow path of [`Self::segment`]: reload an evicted segment.
+    #[cold]
+    fn fault(&self, seg: usize) -> Result<&SegmentData, ReachError> {
+        let _guard = self.fault_lock.lock().expect("pager fault lock");
+        let slot = &self.segments[seg];
+        let p = slot.data.load(Ordering::Acquire);
+        if !p.is_null() {
+            // Another worker faulted it in while we waited.
+            return Ok(unsafe { &*p });
+        }
+        let span = slot.disk.expect("spilled segment has a disk image");
+        let spill = self.spill.as_ref().expect("spilled segment has a file");
+        let image = spill.read(span).map_err(|e| spill_err("read", e))?;
+        let data =
+            SegmentData::deserialize(&image, self.places).map_err(|e| spill_err("read", e))?;
+        let raw = Box::into_raw(Box::new(data));
+        slot.data.store(raw, Ordering::Release);
+        let now = self.resident.fetch_add(slot.bytes, Ordering::Relaxed) + slot.bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        // Safety: installed under the fault lock; freed only under `&mut`.
+        Ok(unsafe { &*raw })
+    }
+
+    /// The marking row of state `i`.
+    pub(crate) fn marking(&self, i: usize) -> Result<&[u32], ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok(self.segment(seg)?.marking(local, self.places))
+    }
+
+    /// The environment id of state `i`.
+    pub(crate) fn env_id(&self, i: usize) -> Result<u32, ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok(self.segment(seg)?.env_ids[local])
+    }
+
+    /// The in-flight multiset of state `i`.
+    pub(crate) fn in_flight(&self, i: usize) -> Result<&[(TransitionId, u64)], ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok(self.segment(seg)?.in_flight(local))
+    }
+
+    /// Exclusive access to the tail segment's data (always resident).
+    fn tail_mut(&mut self) -> &mut SegmentData {
+        let slot = self.segments.last_mut().expect("tail segment exists");
+        let p = *slot.data.get_mut();
+        debug_assert!(!p.is_null(), "tail segment is always resident");
+        // Safety: `&mut self` — no shared borrow of any segment exists.
+        unsafe { &mut *p }
+    }
+
+    /// Append one state to the tail, sealing it first if full, then
+    /// evict back under budget. The append itself cannot fail — only
+    /// eviction I/O can — and by then the state is fully recorded, so
+    /// an error leaves the store consistent (just over budget).
+    pub(crate) fn append(
+        &mut self,
+        marking: &[u32],
+        env_id: u32,
+        in_flight: &[(TransitionId, u64)],
+    ) -> Result<(), ReachError> {
+        debug_assert_eq!(marking.len(), self.places, "marking width mismatch");
+        if self.tail_mut().count() == self.seg_states {
+            self.seal_tail();
+        }
+        let tail = self.tail_mut();
+        tail.markings.extend_from_slice(marking);
+        tail.env_ids.push(env_id);
+        tail.inflight.extend_from_slice(in_flight);
+        let end = tail.inflight.len() as u32;
+        tail.inflight_offsets.push(end);
+        let added = marking.len() * 4 + 8 + std::mem::size_of_val(in_flight);
+        self.segments.last_mut().expect("tail").bytes += added;
+        self.len += 1;
+        let now = self.resident.get_mut();
+        *now += added;
+        let peak = self.peak.get_mut();
+        *peak = (*peak).max(*now);
+        self.maintain()
+    }
+
+    /// Seal the full tail and open a fresh one.
+    fn seal_tail(&mut self) {
+        let sealed_bytes = self.segments.last().expect("tail").bytes;
+        self.max_seg_bytes = self.max_seg_bytes.max(sealed_bytes);
+        self.segments.push(Segment::new_resident());
+        let added = self.segments.last().expect("tail").bytes;
+        let now = self.resident.get_mut();
+        *now += added;
+        let peak = self.peak.get_mut();
+        *peak = (*peak).max(*now);
+    }
+
+    /// Advance the LRU clock and evict least-recently-touched sealed
+    /// segments until the resident arenas fit the budget (the tail is
+    /// never evicted). Call sites are the `&mut` points of the build:
+    /// after each append and at each parallel level barrier.
+    pub(crate) fn maintain(&mut self) -> Result<(), ReachError> {
+        *self.clock.get_mut() += 1;
+        while *self.resident.get_mut() > self.budget {
+            let Some(victim) = self.coldest_resident_sealed() else {
+                break; // nothing evictable (tail alone can exceed tiny budgets)
+            };
+            self.evict(victim)?;
+        }
+        Ok(())
+    }
+
+    /// The sealed resident segment with the oldest touch, if any.
+    fn coldest_resident_sealed(&mut self) -> Option<usize> {
+        let tail = self.segments.len() - 1;
+        self.segments[..tail]
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                if s.data.get_mut().is_null() {
+                    None
+                } else {
+                    Some((i, *s.last_touch.get_mut()))
+                }
+            })
+            .min_by_key(|&(_, touch)| touch)
+            .map(|(i, _)| i)
+    }
+
+    /// Evict one sealed segment: write its image on first eviction
+    /// (sealed data is immutable, so one write suffices forever), then
+    /// free the memory.
+    fn evict(&mut self, seg: usize) -> Result<(), ReachError> {
+        debug_assert!(seg + 1 < self.segments.len(), "tail is never evicted");
+        let p = *self.segments[seg].data.get_mut();
+        debug_assert!(!p.is_null(), "evicting a spilled segment");
+        if self.segments[seg].disk.is_none() {
+            if self.spill.is_none() {
+                self.spill = Some(
+                    SpillFile::create(self.spill_dir.as_deref())
+                        .map_err(|e| spill_err("create", e))?,
+                );
+            }
+            // Safety: `&mut self`; the borrow ends before the data is freed.
+            let image = unsafe { &*p }.serialize();
+            let span = self
+                .spill
+                .as_mut()
+                .expect("just created")
+                .append(&image)
+                .map_err(|e| spill_err("write", e))?;
+            self.segments[seg].disk = Some(span);
+        }
+        let slot = &mut self.segments[seg];
+        *slot.data.get_mut() = std::ptr::null_mut();
+        *self.resident.get_mut() -= slot.bytes;
+        // Safety: pointer detached above; `&mut self` excludes borrows.
+        drop(unsafe { Box::from_raw(p) });
+        Ok(())
+    }
+
+    /// Whether segment `seg` is currently resident (test/diagnostic).
+    #[cfg(test)]
+    fn is_resident(&self, seg: usize) -> bool {
+        !self.segments[seg].data.load(Ordering::Acquire).is_null()
+    }
+
+    /// Number of segments (including the tail).
+    #[cfg(test)]
+    fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+/// Semantic equality over the logical state sequence, independent of
+/// paging state (faults segments back in as needed; panics only if the
+/// spill file itself fails mid-compare, which the test-only usage
+/// accepts).
+impl PartialEq for PagedStates {
+    fn eq(&self, other: &Self) -> bool {
+        if self.places != other.places || self.len != other.len {
+            return false;
+        }
+        (0..self.len).all(|i| {
+            let row = |s: &Self| -> Result<_, ReachError> {
+                Ok((
+                    s.marking(i)?.to_vec(),
+                    s.env_id(i)?,
+                    s.in_flight(i)?.to_vec(),
+                ))
+            };
+            match (row(self), row(other)) {
+                (Ok(a), Ok(b)) => a == b,
+                _ => panic!("spill reload failed while comparing stores"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(budget: usize) -> PagerConfig {
+        PagerConfig {
+            mem_budget: budget,
+            spill_dir: None,
+        }
+    }
+
+    /// Append `n` synthetic states over `places` places with
+    /// deterministic contents (marking row = i, i+1, …; env = i % 7;
+    /// one in-flight entry for every third state).
+    fn fill(ps: &mut PagedStates, n: usize) {
+        let places = ps.places();
+        for i in 0..n {
+            let marking: Vec<u32> = (0..places).map(|p| (i + p) as u32).collect();
+            let inflight = if i.is_multiple_of(3) {
+                vec![(TransitionId::new(i % 5), (i as u64) + 1)]
+            } else {
+                Vec::new()
+            };
+            ps.append(&marking, (i % 7) as u32, &inflight).unwrap();
+        }
+    }
+
+    fn expect_row(ps: &PagedStates, i: usize) {
+        let places = ps.places();
+        let marking: Vec<u32> = (0..places).map(|p| (i + p) as u32).collect();
+        assert_eq!(ps.marking(i).unwrap(), &marking[..], "marking of state {i}");
+        assert_eq!(ps.env_id(i).unwrap(), (i % 7) as u32, "env of state {i}");
+        let inflight = if i.is_multiple_of(3) {
+            vec![(TransitionId::new(i % 5), (i as u64) + 1)]
+        } else {
+            Vec::new()
+        };
+        assert_eq!(
+            ps.in_flight(i).unwrap(),
+            &inflight[..],
+            "in-flight of state {i}"
+        );
+    }
+
+    #[test]
+    fn segment_image_roundtrips_byte_for_byte() {
+        let mut data = SegmentData::empty();
+        for i in 0..5u32 {
+            data.markings.extend_from_slice(&[i, i * 2, i * 3]);
+            data.env_ids.push(i % 2);
+            if i % 2 == 0 {
+                data.inflight
+                    .push((TransitionId::new(i as usize), 40 + u64::from(i)));
+            }
+            data.inflight_offsets.push(data.inflight.len() as u32);
+        }
+        let image = data.serialize();
+        let back = SegmentData::deserialize(&image, 3).unwrap();
+        assert_eq!(back, data);
+        // Truncated or padded images are rejected, not misread.
+        assert!(SegmentData::deserialize(&image[..image.len() - 1], 3).is_err());
+        let mut padded = image.clone();
+        padded.push(0);
+        assert!(SegmentData::deserialize(&padded, 3).is_err());
+        // A bit-flipped count field must fail fast on the header check,
+        // not attempt a multi-gigabyte allocation.
+        let mut huge = image.clone();
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(SegmentData::deserialize(&huge, 3).is_err());
+    }
+
+    #[test]
+    fn eviction_spills_and_faults_reload_verbatim() {
+        // A budget far below the data forces eviction; every row must
+        // read back exactly as written, repeatedly.
+        let mut ps = PagedStates::new(4, &tiny_config(8 * 1024));
+        let n = 20 * ps.seg_states(); // several budgets' worth of sealed segments
+        fill(&mut ps, n);
+        assert!(ps.spilled_bytes() > 0, "budget must have forced spilling");
+        assert!(
+            !ps.is_resident(0),
+            "oldest segment should be evicted under LRU"
+        );
+        // Faults reload evicted rows; a second pass re-reads rows that
+        // the first pass faulted in (and some still-spilled ones).
+        for _ in 0..2 {
+            for i in 0..n {
+                expect_row(&ps, i);
+            }
+        }
+        // Spilled → resident transitions really happened.
+        assert!(ps.is_resident(0), "reads fault segments back in");
+    }
+
+    #[test]
+    fn sealed_images_are_written_once() {
+        let mut ps = PagedStates::new(2, &tiny_config(4 * 1024));
+        let n = 6 * ps.seg_states();
+        fill(&mut ps, n);
+        let spilled_after_build = ps.spilled_bytes();
+        assert!(spilled_after_build > 0);
+        // Fault everything back in, then squeeze again: re-evictions
+        // must reuse the existing images instead of appending new ones.
+        for i in 0..ps.len() {
+            expect_row(&ps, i);
+        }
+        ps.maintain().unwrap();
+        assert_eq!(
+            ps.spilled_bytes(),
+            spilled_after_build,
+            "sealed segments are write-once"
+        );
+    }
+
+    #[test]
+    fn resident_bytes_respect_the_budget_envelope() {
+        let budget = 8 * 1024;
+        let mut ps = PagedStates::new(8, &tiny_config(budget));
+        let n = 5 * ps.seg_states();
+        fill(&mut ps, n);
+        assert!(
+            ps.resident_bytes() <= budget,
+            "maintain() leaves the store under budget"
+        );
+        // Reads under `&self` may exceed the budget (no eviction without
+        // `&mut`), but a maintain() brings it back down.
+        for i in 0..ps.len() {
+            expect_row(&ps, i);
+        }
+        ps.maintain().unwrap();
+        assert!(ps.resident_bytes() <= budget);
+        assert!(ps.peak_resident_bytes() >= ps.resident_bytes());
+    }
+
+    #[test]
+    fn unlimited_budget_never_touches_disk() {
+        let mut ps = PagedStates::new(3, &PagerConfig::default());
+        fill(&mut ps, 10_000);
+        assert_eq!(ps.spilled_bytes(), 0);
+        assert!((0..ps.segment_count()).all(|s| ps.is_resident(s)));
+        for i in [0, 4095, 4096, 9999] {
+            expect_row(&ps, i);
+        }
+    }
+
+    #[test]
+    fn spill_dir_errors_surface_as_reach_error() {
+        let mut missing = std::env::temp_dir();
+        missing.push(format!("pnut-no-such-dir-{}", std::process::id()));
+        missing.push("nested");
+        let config = PagerConfig {
+            mem_budget: 2 * 1024,
+            spill_dir: Some(missing),
+        };
+        let mut ps = PagedStates::new(16, &config);
+        let mut failed = None;
+        for i in 0..50_000 {
+            let marking: Vec<u32> = (0..16).map(|p| (i + p) as u32).collect();
+            if let Err(e) = ps.append(&marking, 0, &[]) {
+                failed = Some(e);
+                break;
+            }
+        }
+        match failed {
+            Some(ReachError::Spill(e)) => assert_eq!(e.op, "create"),
+            other => panic!("expected a spill create error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seg_states_scales_with_budget_and_width() {
+        assert_eq!(seg_states_for(10, usize::MAX), MAX_SEG_STATES);
+        // 64 KiB budget, 26 places: a quarter-budget segment of 128.
+        assert_eq!(seg_states_for(26, 64 * 1024), 128);
+        // Degenerate budgets clamp to the minimum grain.
+        assert_eq!(seg_states_for(1000, 1), MIN_SEG_STATES);
+        assert!(seg_states_for(0, 1024).is_power_of_two());
+    }
+}

@@ -67,8 +67,38 @@
 //! identical treatment (pending env sub-tables, min-key, committed at
 //! the barrier before the states that reference them). The result is a
 //! graph **bit-identical** to the sequential build at any worker count.
+//!
+//! # Paging: how the arenas scale past RAM
+//!
+//! The arenas above are not one flat allocation anymore: they are
+//! partitioned into fixed-state-count **level segments** managed by
+//! [`crate::pager`], each either resident in memory or spilled to a
+//! temp file under a configurable byte budget
+//! ([`crate::graph::ReachOptions::mem_budget`]). Three layers cooperate:
+//!
+//! 1. **intern table** — resident; holds only `(64-bit hash, index)`,
+//!    so probes touch a segment (and possibly disk) only on a *true*
+//!    hash hit;
+//! 2. **segments** — the marking/env-id/in-flight rows of
+//!    `seg_states` consecutive states; the tail receives appends, full
+//!    segments seal immutable and become evictable;
+//! 3. **spill file** — write-once images of sealed segments.
+//!
+//! Read accessors fault evicted segments back in transparently — even
+//! under `&self`, which is what keeps the frozen-store parallel probes
+//! of the level builder working (see [`crate::pager`] for the
+//! load-only-under-`&self` safety argument). Eviction happens at `&mut`
+//! points (every append and every level barrier), so the resident set
+//! tracks the budget with at most one faulted segment of slack in the
+//! sequential build. Environments are deduplicated and stay resident.
+//!
+//! The paged store is **bit-identical** to the unbounded in-memory
+//! build at any budget: paging changes where rows live, never what they
+//! contain or how states are numbered (asserted by the golden tests at
+//! budgets small enough to force eviction).
 
 use crate::graph::ReachError;
+use crate::pager::{PagedStates, PagerConfig};
 use pnut_core::expr::Env;
 use pnut_core::{Marking, PlaceId, TransitionId};
 use std::fmt;
@@ -327,28 +357,28 @@ pub struct StateRef<'a> {
 // ---------------------------------------------------------------------------
 
 /// Arena-backed interner for reachability states. See the [module
-/// docs](self) for the layout.
-#[derive(Debug, Clone)]
+/// docs](self) for the layout and [`crate::pager`] for how the arenas
+/// page to disk under a byte budget.
+#[derive(Debug)]
 pub struct StateStore {
-    places: usize,
-    markings: Vec<u32>,
-    env_ids: Vec<u32>,
-    inflight_offsets: Vec<u32>,
-    inflight: Vec<(TransitionId, u64)>,
+    /// The paged marking/env-id/in-flight arenas.
+    states: PagedStates,
     envs: Vec<Env>,
     state_table: InternTable,
     env_table: InternTable,
 }
 
 impl StateStore {
-    /// An empty store for markings over `places` places.
+    /// An empty store for markings over `places` places, fully
+    /// memory-resident (unlimited budget).
     pub fn new(places: usize) -> Self {
+        Self::with_config(places, &PagerConfig::default())
+    }
+
+    /// An empty store whose arenas page to disk per `config`.
+    pub fn with_config(places: usize, config: &PagerConfig) -> Self {
         StateStore {
-            places,
-            markings: Vec::new(),
-            env_ids: Vec::new(),
-            inflight_offsets: vec![0],
-            inflight: Vec::new(),
+            states: PagedStates::new(places, config),
             envs: Vec::new(),
             state_table: InternTable::with_capacity(64),
             env_table: InternTable::with_capacity(4),
@@ -357,12 +387,17 @@ impl StateStore {
 
     /// Number of distinct states interned.
     pub fn len(&self) -> usize {
-        self.env_ids.len()
+        self.states.len()
     }
 
     /// Whether no state has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.env_ids.is_empty()
+        self.states.len() == 0
+    }
+
+    /// Number of places each marking covers.
+    pub fn places(&self) -> usize {
+        self.states.places()
     }
 
     /// Number of distinct variable environments interned.
@@ -370,31 +405,86 @@ impl StateStore {
         self.envs.len()
     }
 
-    /// The marking arena slice of state `i`.
+    /// The marking arena row of state `i`, faulting its segment in
+    /// from the spill file if evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the reload fails.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
+    pub fn try_marking_slice(&self, i: usize) -> Result<&[u32], ReachError> {
+        self.states.marking(i)
+    }
+
+    /// The in-flight slice of state `i` (faulting like
+    /// [`Self::try_marking_slice`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the reload fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn try_in_flight_slice(&self, i: usize) -> Result<&[(TransitionId, u64)], ReachError> {
+        self.states.in_flight(i)
+    }
+
+    /// The environment id of state `i` (faulting like
+    /// [`Self::try_marking_slice`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the reload fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn try_env_id(&self, i: usize) -> Result<u32, ReachError> {
+        self.states.env_id(i)
+    }
+
+    /// Unwrap a paged read for the infallible view accessors: analyses
+    /// read through these after a successful build, where a reload
+    /// failure means the spill file vanished underneath the process.
+    #[track_caller]
+    fn paged<T>(r: Result<T, ReachError>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("paged state store: segment reload failed: {e}"),
+        }
+    }
+
+    /// The marking arena slice of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range, or if reloading an evicted
+    /// segment fails (see [`Self::try_marking_slice`] for the fallible
+    /// form).
     pub fn marking_slice(&self, i: usize) -> &[u32] {
-        &self.markings[i * self.places..(i + 1) * self.places]
+        Self::paged(self.states.marking(i))
     }
 
     /// The in-flight slice of state `i`.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// As [`Self::marking_slice`].
     pub fn in_flight_slice(&self, i: usize) -> &[(TransitionId, u64)] {
-        &self.inflight[self.inflight_offsets[i] as usize..self.inflight_offsets[i + 1] as usize]
+        Self::paged(self.states.in_flight(i))
     }
 
     /// The environment id of state `i`.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// As [`Self::marking_slice`].
     pub fn env_id(&self, i: usize) -> u32 {
-        self.env_ids[i]
+        Self::paged(self.states.env_id(i))
     }
 
     /// The interned environment `id`.
@@ -410,13 +500,48 @@ impl StateStore {
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// As [`Self::marking_slice`].
     pub fn state(&self, i: usize) -> StateRef<'_> {
         StateRef {
             marking: MarkingView(self.marking_slice(i)),
-            env: self.env(self.env_ids[i]),
+            env: self.env(self.env_id(i)),
             in_flight: self.in_flight_slice(i),
         }
+    }
+
+    /// Evict cold segments until the resident arenas fit the budget
+    /// again (a no-op while under budget). The build calls this at
+    /// every `&mut` point; long read-only scans (which fault segments
+    /// in without being able to evict) can call it between passes.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if writing an evicted segment fails.
+    pub fn maintain(&mut self) -> Result<(), ReachError> {
+        self.states.maintain()
+    }
+
+    /// Resident arena bytes right now (markings, env ids, in-flight;
+    /// excludes the always-resident intern tables and environments).
+    pub fn resident_arena_bytes(&self) -> usize {
+        self.states.resident_bytes()
+    }
+
+    /// High-water mark of [`Self::resident_arena_bytes`].
+    pub fn peak_resident_arena_bytes(&self) -> usize {
+        self.states.peak_resident_bytes()
+    }
+
+    /// Bytes spilled to disk so far (0 while everything fits).
+    pub fn spilled_bytes(&self) -> usize {
+        self.states.spilled_bytes()
+    }
+
+    /// Arena bytes of the largest sealed segment — the granularity of
+    /// the budget envelope (`resident ≤ budget + one segment` at the
+    /// sequential build's `&mut` points).
+    pub fn max_segment_bytes(&self) -> usize {
+        self.states.max_segment_bytes()
     }
 
     /// Hash contribution of one `(place, count)` marking entry.
@@ -496,6 +621,8 @@ impl StateStore {
     /// happens *before* anything is appended, so the error path leaves
     /// the store exactly as it was (the seed construction interned
     /// first and checked after, leaving `max_states + 1` states behind).
+    /// The same holds under paging: the only fallible step after the
+    /// append is budget eviction, which never loses appended data.
     pub(crate) fn intern_bounded(
         &mut self,
         marking: &[u32],
@@ -504,58 +631,78 @@ impl StateStore {
         in_flight: &[(TransitionId, u64)],
         max_states: usize,
     ) -> Result<(usize, bool), ReachError> {
-        assert_eq!(marking.len(), self.places, "marking width mismatch");
+        assert_eq!(marking.len(), self.places(), "marking width mismatch");
         debug_assert_eq!(
             marking_hash,
             Self::marking_hash(marking),
             "stale incremental hash"
         );
         let hash = Self::hash_state(marking_hash, env_id, in_flight);
-        let found = self.state_table.find(hash, |idx| {
-            let i = idx as usize;
-            self.env_ids[i] == env_id
-                && self.marking_slice(i) == marking
-                && self.in_flight_slice(i) == in_flight
-        });
-        if let Some(idx) = found {
+        if let Some(idx) = self.probe_state(hash, marking, env_id, in_flight)? {
+            // The probe may have faulted an old segment in; this is a
+            // `&mut` point, so evict back under budget right away.
+            self.states.maintain()?;
             return Ok((idx as usize, false));
         }
-        if self.env_ids.len() >= max_states {
+        if self.states.len() >= max_states {
             return Err(ReachError::StateLimit { limit: max_states });
         }
-        let idx = u32::try_from(self.env_ids.len()).map_err(|_| ReachError::CapacityExceeded {
+        let idx = u32::try_from(self.states.len()).map_err(|_| ReachError::CapacityExceeded {
             resource: "state index (more than u32::MAX states)",
         })?;
-        let end = u32::try_from(self.inflight.len() + in_flight.len()).map_err(|_| {
-            ReachError::CapacityExceeded {
-                resource: "in-flight arena (u32 offsets)",
-            }
-        })?;
-        self.markings.extend_from_slice(marking);
-        self.env_ids.push(env_id);
-        self.inflight.extend_from_slice(in_flight);
-        self.inflight_offsets.push(end);
+        self.states.append(marking, env_id, in_flight)?;
         self.state_table.insert(hash, idx);
         Ok((idx as usize, true))
     }
 
+    /// Walk the probe chain for `hash`, comparing content against the
+    /// paged arenas on true hash hits only. Hand-rolled (rather than
+    /// [`InternTable::find`] with a closure) because the compare may
+    /// fault a segment in, which is fallible.
+    fn probe_state(
+        &self,
+        hash: u64,
+        marking: &[u32],
+        env_id: u32,
+        in_flight: &[(TransitionId, u64)],
+    ) -> Result<Option<u32>, ReachError> {
+        let mask = self.state_table.entries.len() - 1;
+        let mut i = self.state_table.start(hash);
+        loop {
+            let (h, idx) = self.state_table.entries[i];
+            if idx == EMPTY {
+                return Ok(None);
+            }
+            if h == hash {
+                let s = idx as usize;
+                if self.states.env_id(s)? == env_id
+                    && self.states.marking(s)? == marking
+                    && self.states.in_flight(s)? == in_flight
+                {
+                    return Ok(Some(idx));
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
     /// Look up an interned state without interning it (read-only; safe
     /// to call concurrently from the parallel builder's workers while
-    /// the store is frozen between level barriers).
+    /// the store is frozen between level barriers — including the
+    /// segment faults a probe may trigger, see [`crate::pager`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if a probed segment fails to reload.
     pub(crate) fn find_state_hashed(
         &self,
         marking: &[u32],
         marking_hash: u64,
         env_id: u32,
         in_flight: &[(TransitionId, u64)],
-    ) -> Option<u32> {
+    ) -> Result<Option<u32>, ReachError> {
         let hash = Self::hash_state(marking_hash, env_id, in_flight);
-        self.state_table.find(hash, |idx| {
-            let i = idx as usize;
-            self.env_ids[i] == env_id
-                && self.marking_slice(i) == marking
-                && self.in_flight_slice(i) == in_flight
-        })
+        self.probe_state(hash, marking, env_id, in_flight)
     }
 
     /// Intern an environment; clones it only the first time it is seen.
@@ -588,8 +735,9 @@ impl StateStore {
             .find(hash, |idx| &self.envs[idx as usize] == env)
     }
 
-    /// Approximate heap footprint of the store in bytes (arenas and
-    /// tables; environments counted structurally).
+    /// Approximate heap footprint of the store in bytes (resident
+    /// arenas and tables; environments counted structurally; spilled
+    /// segments excluded — see [`Self::spilled_bytes`]).
     pub fn approx_bytes(&self) -> usize {
         let env_guess: usize = self
             .envs
@@ -602,13 +750,7 @@ impl StateStore {
                         .sum::<usize>()
             })
             .sum();
-        self.markings.capacity() * 4
-            + self.env_ids.capacity() * 4
-            + self.inflight_offsets.capacity() * 4
-            + self.inflight.capacity() * std::mem::size_of::<(TransitionId, u64)>()
-            + self.state_table.bytes()
-            + self.env_table.bytes()
-            + env_guess
+        self.states.resident_bytes() + self.state_table.bytes() + self.env_table.bytes() + env_guess
     }
 }
 
@@ -893,15 +1035,11 @@ impl StateStore {
 }
 
 /// Semantic equality: same states in the same order with the same
-/// environments (table layout is ignored).
+/// environments (table layout, paging grain, and residency are all
+/// ignored — a spilled store equals its resident twin).
 impl PartialEq for StateStore {
     fn eq(&self, other: &Self) -> bool {
-        self.places == other.places
-            && self.markings == other.markings
-            && self.env_ids == other.env_ids
-            && self.inflight_offsets == other.inflight_offsets
-            && self.inflight == other.inflight
-            && self.envs == other.envs
+        self.envs == other.envs && self.states == other.states
     }
 }
 
@@ -1032,7 +1170,90 @@ mod tests {
         assert_eq!(s.len(), 1, "failed intern must not grow the store");
         assert!(s
             .find_state_hashed(&[7], StateStore::marking_hash(&[7]), e, &[])
+            .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn paged_store_evicts_reloads_and_reinterns_identically() {
+        // Store-level pager round-trip: a budget far below the data
+        // forces sealed segments to spill; every row must read back
+        // byte-for-byte, probes against evicted segments must still
+        // hit, and a re-intern of an evicted state must be a hit (not a
+        // duplicate append).
+        use pnut_core::expr::Value;
+        let config = PagerConfig {
+            mem_budget: 8 * 1024,
+            spill_dir: None,
+        };
+        let mut s = StateStore::with_config(4, &config);
+        let mut envs = Vec::new();
+        for v in 0..4 {
+            let mut env = Env::new();
+            env.set_var("x", Value::Int(v));
+            envs.push(s.intern_env(&env).unwrap());
+        }
+        let t0 = TransitionId::new(0);
+        let n = 3000u32;
+        for i in 0..n {
+            let inflight: &[(TransitionId, u64)] = if i % 2 == 0 {
+                &[(t0, u64::from(i) + 1)]
+            } else {
+                &[]
+            };
+            let (idx, new) = s
+                .intern(&[i, i / 2, 7, i % 3], envs[(i % 4) as usize], inflight)
+                .unwrap();
+            assert_eq!((idx, new), (i as usize, true));
+        }
+        assert!(s.spilled_bytes() > 0, "budget must have forced spilling");
+        assert!(s.resident_arena_bytes() <= 8 * 1024 + s.max_segment_bytes());
+        // Re-verify every state byte-for-byte (faulting segments back
+        // in), then re-intern: all hits, nothing appended.
+        for i in 0..n {
+            assert_eq!(
+                s.try_marking_slice(i as usize).unwrap(),
+                &[i, i / 2, 7, i % 3]
+            );
+            assert_eq!(s.try_env_id(i as usize).unwrap(), envs[(i % 4) as usize]);
+            let inflight: &[(TransitionId, u64)] = if i % 2 == 0 {
+                &[(t0, u64::from(i) + 1)]
+            } else {
+                &[]
+            };
+            assert_eq!(s.try_in_flight_slice(i as usize).unwrap(), inflight);
+        }
+        s.maintain().unwrap();
+        for i in 0..n {
+            let inflight: &[(TransitionId, u64)] = if i % 2 == 0 {
+                &[(t0, u64::from(i) + 1)]
+            } else {
+                &[]
+            };
+            let (idx, new) = s
+                .intern(&[i, i / 2, 7, i % 3], envs[(i % 4) as usize], inflight)
+                .unwrap();
+            assert_eq!((idx, new), (i as usize, false), "state {i} re-interned");
+        }
+        assert_eq!(s.len(), n as usize);
+        // A paged store equals a fully resident build of the same data.
+        let mut resident = StateStore::new(4);
+        for v in 0..4 {
+            let mut env = Env::new();
+            env.set_var("x", Value::Int(v));
+            resident.intern_env(&env).unwrap();
+        }
+        for i in 0..n {
+            let inflight: &[(TransitionId, u64)] = if i % 2 == 0 {
+                &[(t0, u64::from(i) + 1)]
+            } else {
+                &[]
+            };
+            resident
+                .intern(&[i, i / 2, 7, i % 3], envs[(i % 4) as usize], inflight)
+                .unwrap();
+        }
+        assert_eq!(s, resident);
     }
 
     #[test]

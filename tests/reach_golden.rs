@@ -21,6 +21,19 @@ fn with_jobs(jobs: usize) -> ReachOptions {
     }
 }
 
+/// A 64 KiB resident-arena budget: far below the golden models' state
+/// arenas, so the pager must seal, evict, and refault segments
+/// throughout the build.
+const TINY_BUDGET: usize = 64 * 1024;
+
+fn with_budget(jobs: usize, mem_budget: usize) -> ReachOptions {
+    ReachOptions {
+        jobs,
+        mem_budget,
+        ..ReachOptions::default()
+    }
+}
+
 fn assert_equivalent(g: &ReachabilityGraph, l: &LegacyGraph) {
     assert_eq!(g.state_count(), l.state_count(), "state counts differ");
     assert_eq!(g.edge_count(), l.edge_count(), "edge counts differ");
@@ -171,6 +184,135 @@ fn parallel_interpreted_stress_is_stable_across_repeats() {
             assert_eq!(par, seq, "round {round}, jobs = {jobs} diverged");
         }
     }
+}
+
+#[test]
+fn paged_builds_are_bit_identical_at_any_budget_and_job_count() {
+    // The disk-backed pager must never change results: (jobs ∈ {1, 4})
+    // × (budget ∈ {unlimited, 64 KiB}) on the golden models and the
+    // wide-toggle lattice, all equal to the plain in-memory build.
+    let nets = [
+        three_stage::build(&ThreeStageConfig::default()).expect("builds"),
+        interpreted::build(&interpreted::InterpretedConfig {
+            for_analysis: true,
+            ..interpreted::InterpretedConfig::default()
+        })
+        .expect("builds"),
+        wide_toggle(13),
+    ];
+    for net in &nets {
+        let reference = build_untimed(net, &ReachOptions::default()).expect("reference build");
+        for jobs in [1, 4] {
+            for budget in [usize::MAX, TINY_BUDGET] {
+                let g = build_untimed(net, &with_budget(jobs, budget)).expect("paged build");
+                assert_eq!(
+                    g,
+                    reference,
+                    "jobs = {jobs}, budget = {budget:#x} diverged on `{}`",
+                    net.name()
+                );
+                if budget == TINY_BUDGET && net.name() == "wide_toggle" {
+                    assert!(
+                        g.store().spilled_bytes() > 0,
+                        "64 KiB must actually force eviction on the lattice (jobs = {jobs})"
+                    );
+                }
+            }
+        }
+    }
+    // Timed graphs page their in-flight arenas through the same path.
+    let net = timed_fragment(3);
+    let reference = build_timed(&net, &ReachOptions::default()).expect("reference build");
+    for jobs in [1, 4] {
+        let g = build_timed(&net, &with_budget(jobs, TINY_BUDGET)).expect("paged timed build");
+        assert_eq!(g, reference, "timed paged build (jobs = {jobs}) diverged");
+    }
+}
+
+#[test]
+fn paged_build_stays_inside_the_budget_envelope() {
+    // A workload whose arenas far exceed the budget must complete with
+    // peak resident arena bytes ≤ budget + one segment (the documented
+    // envelope of the sequential build: reads fault at most one
+    // segment in before the next `&mut` point evicts back down).
+    let net = wide_toggle(13); // 8192 states × 26 places ≫ 64 KiB
+    let g = build_untimed(&net, &with_budget(1, TINY_BUDGET)).expect("paged build");
+    let store = g.store();
+    assert!(store.spilled_bytes() > 0, "the budget must force spilling");
+    assert!(
+        store.resident_arena_bytes() <= TINY_BUDGET + store.max_segment_bytes(),
+        "resident {} exceeds budget {} + segment {}",
+        store.resident_arena_bytes(),
+        TINY_BUDGET,
+        store.max_segment_bytes()
+    );
+    assert!(
+        store.peak_resident_arena_bytes() <= TINY_BUDGET + store.max_segment_bytes(),
+        "peak {} exceeds budget {} + segment {}",
+        store.peak_resident_arena_bytes(),
+        TINY_BUDGET,
+        store.max_segment_bytes()
+    );
+}
+
+#[test]
+fn state_limit_is_deterministic_and_consistent_on_a_paged_store() {
+    // The cap must surface the same deterministic error whether or not
+    // the store is paging (and regardless of worker count), and the
+    // build must fail cleanly rather than leave a half-spilled store.
+    use pnut_core::NetBuilder;
+    let mut b = NetBuilder::new("unbounded");
+    b.place("p", 0);
+    b.transition("gen").output("p").add();
+    let net = b.build().expect("builds");
+    let reference = build_untimed(&net, &with_jobs(1)).expect_err("unbounded");
+    for jobs in [1, 4] {
+        let e = build_untimed(&net, &with_budget(jobs, 4 * 1024)).expect_err("unbounded");
+        assert_eq!(e, reference, "jobs = {jobs} reported a different limit");
+    }
+    // A capped build that *fits* must agree with the uncapped one even
+    // when the cap bites exactly at a segment boundary's worth of
+    // states under a tiny budget.
+    let lattice = wide_toggle(13);
+    let full = build_untimed(&lattice, &ReachOptions::default()).expect("reference");
+    for jobs in [1, 4] {
+        let opts = ReachOptions {
+            max_states: full.state_count(),
+            ..with_budget(jobs, TINY_BUDGET)
+        };
+        let g = build_untimed(&lattice, &opts).expect("exactly at the cap");
+        assert_eq!(g, full, "jobs = {jobs} diverged at the exact cap");
+        let opts = ReachOptions {
+            max_states: full.state_count() - 1,
+            ..with_budget(jobs, TINY_BUDGET)
+        };
+        let e = build_untimed(&lattice, &opts).expect_err("one below the cap");
+        assert_eq!(
+            e,
+            pnut::reach::graph::ReachError::StateLimit {
+                limit: full.state_count() - 1
+            },
+            "jobs = {jobs}"
+        );
+    }
+}
+
+#[test]
+fn spill_io_failures_are_reported_not_panicked() {
+    // An unusable spill directory must surface as ReachError::Spill
+    // from the first forced eviction — no expect/panic on file ops.
+    let mut missing = std::env::temp_dir();
+    missing.push(format!("pnut-golden-no-such-dir-{}", std::process::id()));
+    missing.push("nested");
+    let options = ReachOptions {
+        spill_dir: Some(missing),
+        ..with_budget(1, TINY_BUDGET)
+    };
+    let err = build_untimed(&wide_toggle(13), &options).expect_err("spill dir is unusable");
+    assert!(
+        matches!(err, pnut::reach::graph::ReachError::Spill(_)),
+        "expected a spill error, got {err:?}"
+    );
 }
 
 #[test]
