@@ -27,9 +27,17 @@ use std::fmt;
 /// Why steady-state analysis failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MarkovError {
-    /// The timed reachability graph could not be built (enabling times,
-    /// expression delays, randomness, or state explosion).
+    /// The timed reachability graph could not be built (randomness,
+    /// state explosion, evaluation failures, ...).
     Reach(pnut_reach::ReachError),
+    /// A transition's enabling time is an expression, which the timed
+    /// state's enabling clocks cannot carry (they arm with a
+    /// pre-resolved countdown). Constant enabling delays — and constant
+    /// or deterministic-expression firing delays — are fully supported.
+    ExpressionEnablingTime {
+        /// The offending transition.
+        transition: String,
+    },
     /// The graph has deadlock states: the long-run behaviour is
     /// absorption, not a steady state.
     Deadlock {
@@ -54,6 +62,13 @@ impl fmt::Display for MarkovError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MarkovError::Reach(e) => write!(f, "timed reachability failed: {e}"),
+            MarkovError::ExpressionEnablingTime { transition } => write!(
+                f,
+                "transition `{transition}` has an expression-valued enabling time, which \
+                 steady-state analysis cannot handle; replace it with a constant tick \
+                 count (e.g. `.enabling(5)` / `enabling 5`) — constant enabling delays \
+                 and table-driven firing delays are fully supported"
+            ),
             MarkovError::Deadlock { state } => {
                 write!(f, "state {state} deadlocks; no steady state exists")
             }
@@ -77,7 +92,15 @@ impl std::error::Error for MarkovError {
 
 impl From<pnut_reach::ReachError> for MarkovError {
     fn from(e: pnut_reach::ReachError) -> Self {
-        MarkovError::Reach(e)
+        match e {
+            // The only delay class the timed build still rejects; name
+            // the transition and the workaround instead of surfacing the
+            // bare graph error.
+            pnut_reach::ReachError::EnablingTimesUnsupported { transition } => {
+                MarkovError::ExpressionEnablingTime { transition }
+            }
+            e => MarkovError::Reach(e),
+        }
     }
 }
 
@@ -152,8 +175,10 @@ impl SteadyState {
     }
 }
 
-/// Compute the steady state of `net` (constant firing times, no enabling
-/// times, no randomness — the timed-reachability class).
+/// Compute the steady state of `net` (no randomness; constant or
+/// deterministic table-driven firing times; constant enabling times —
+/// the timed-reachability class, which covers the paper's §2/§3
+/// pipeline models including the cache-enabled configurations).
 ///
 /// # Errors
 ///
@@ -558,16 +583,57 @@ mod tests {
     }
 
     #[test]
-    fn class_restrictions_propagate() {
+    fn enabling_time_nets_are_analyzed_exactly() {
+        // An enabling-3 hand-off ring: one completion of each
+        // transition every 3 ticks, with the token resting on `p`
+        // throughout the wait (enabling does not remove tokens).
         let mut b = NetBuilder::new("en");
         b.place("p", 1);
         b.place("q", 0);
         b.transition("t").input("p").output("q").enabling(3).add();
         b.transition("r").input("q").output("p").add();
         let net = b.build().unwrap();
-        assert!(matches!(
-            steady_state(&net, &MarkovOptions::default()),
-            Err(MarkovError::Reach(_))
-        ));
+        let ss = steady_state(&net, &MarkovOptions::default()).unwrap();
+        let t = net.transition_id("t").unwrap();
+        assert!(
+            (ss.throughput(t) - 1.0 / 3.0).abs() < 1e-9,
+            "one firing per 3-tick enabling period, got {}",
+            ss.throughput(t)
+        );
+        let p = net.place_id("p").unwrap();
+        assert!(
+            (ss.avg_tokens(p) - 1.0).abs() < 1e-9,
+            "the token rests on `p` for the whole wait (atomic hand-offs \
+             happen at measure-zero instants), got {}",
+            ss.avg_tokens(p)
+        );
+    }
+
+    #[test]
+    fn expression_enabling_times_get_a_named_rejection() {
+        let mut b = NetBuilder::new("en");
+        b.place("p", 1);
+        b.place("q", 0);
+        b.var("d", 3);
+        b.transition("t")
+            .input("p")
+            .output("q")
+            .enabling_expr(pnut_core::Expr::parse("d").unwrap())
+            .add();
+        b.transition("r").input("q").output("p").add();
+        let net = b.build().unwrap();
+        let e = steady_state(&net, &MarkovOptions::default()).unwrap_err();
+        assert_eq!(
+            e,
+            MarkovError::ExpressionEnablingTime {
+                transition: "t".into()
+            }
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("`t`"), "message names the transition: {msg}");
+        assert!(
+            msg.contains("constant"),
+            "message suggests the constant-delay workaround: {msg}"
+        );
     }
 }

@@ -60,6 +60,17 @@ fn bench_timed(c: &mut Criterion) {
         b.iter(|| legacy_reach::build_timed(&net, &OPTIONS).expect("bounded"))
     });
     g.finish();
+    // The full paper pipelines became timed-checkable with the
+    // enabling-clock state extension. The frozen seed rejects them
+    // (no `baseline` series); their trend is gated through the
+    // timed-vs-untimed ratios exported by `summary()`.
+    for (name, net) in untimed_workloads() {
+        let mut g = c.benchmark_group(format!("reach/timed/{name}"));
+        g.bench_function("interned", |b| {
+            b.iter(|| build_timed(&net, &OPTIONS).expect("bounded"))
+        });
+        g.finish();
+    }
 }
 
 /// Worker counts measured by the parallel series: sequential, the
@@ -200,6 +211,29 @@ fn summary() {
         &|| build_timed(&net, &OPTIONS).expect("bounded"),
         &|| legacy_reach::build_timed(&net, &OPTIONS).expect("bounded"),
     );
+
+    // Timed pipeline series (enabling clocks; the frozen seed rejects
+    // these nets, so there is no legacy baseline). The gated trend
+    // number is the per-state cost of the timed build relative to the
+    // untimed build of the same net, normalized by their state counts —
+    // a regression in the enabling-clock successor path drags the ratio
+    // down while staying immune to absolute machine speed.
+    println!("\n-- timed pipelines (enabling clocks; min of 10 builds) --");
+    for (name, net) in untimed_workloads() {
+        let untimed_ns = min_ns(10, || build_untimed(&net, &OPTIONS).expect("bounded"));
+        let timed_ns = min_ns(10, || build_timed(&net, &OPTIONS).expect("bounded"));
+        let untimed_g = build_untimed(&net, &OPTIONS).expect("bounded");
+        let timed_g = build_timed(&net, &OPTIONS).expect("bounded");
+        let per_state_untimed = untimed_ns / untimed_g.state_count() as f64;
+        let per_state_timed = timed_ns / timed_g.state_count() as f64;
+        let ratio = per_state_untimed / per_state_timed;
+        println!(
+            "timed/{name:<17} {:>7} states  {per_state_timed:>7.0} ns/state \
+             ({ratio:.2}x of untimed per-state cost)",
+            timed_g.state_count(),
+        );
+        export(&format!("reach/speedup/timed/{name}"), "ratio", ratio);
+    }
 
     println!("\n-- parallel frontier vs. sequential (min of 5 builds) --");
     for (name, net) in [

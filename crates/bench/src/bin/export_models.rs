@@ -13,8 +13,25 @@ fn main() {
     )
     .expect("default config is valid");
     std::fs::write("models/interpreted.pn", pnut_lang::print(&interp)).expect("writable");
+    // The analysis variant (round-robin dispatch, no irand) is the one
+    // `reach`/`markov` accept — keep it checked in too so the timed
+    // pipeline is reachable straight from the CLI.
+    let analysis =
+        pnut_pipeline::interpreted::build(&pnut_pipeline::interpreted::InterpretedConfig {
+            for_analysis: true,
+            ..pnut_pipeline::interpreted::InterpretedConfig::default()
+        })
+        .expect("analysis config is valid");
+    std::fs::write(
+        "models/interpreted_analysis.pn",
+        pnut_lang::print(&analysis),
+    )
+    .expect("writable");
     let seq = pnut_pipeline::sequential::build(&pnut_pipeline::ThreeStageConfig::default())
         .expect("default config is valid");
     std::fs::write("models/sequential.pn", pnut_lang::print(&seq)).expect("writable");
-    println!("wrote models/three_stage.pn, models/interpreted.pn, models/sequential.pn");
+    println!(
+        "wrote models/three_stage.pn, models/interpreted.pn, \
+         models/interpreted_analysis.pn, models/sequential.pn"
+    );
 }

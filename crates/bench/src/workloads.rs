@@ -23,10 +23,12 @@ pub fn interpreted_net() -> Net {
 
 /// A timed fragment of the §2 pipeline: decode feeding a shared
 /// execution unit with fixed firing delays and a concurrency-capped
-/// memory stage. The full pipeline models use enabling times, which the
-/// `[RP84]` timed state construction rejects, so timed workloads run on
-/// this fragment; `tokens` scales the instruction stream and with it
-/// the interleaving depth.
+/// memory stage. Historically the timed workload — the full pipeline
+/// models use enabling times, which the timed construction rejected
+/// before the enabling-clock state extension; kept as the small,
+/// fast-to-build timed benchmark (the full pipelines are covered by the
+/// `reach/timed/{three_stage,interpreted}` series). `tokens` scales the
+/// instruction stream and with it the interleaving depth.
 pub fn timed_fragment(tokens: u32) -> Net {
     let mut b = NetBuilder::new("timed_fragment");
     b.place("ibuf", tokens);

@@ -335,6 +335,11 @@ usage: pnut <command> [args]
   heatmap <trace.json>                 activity heatmap (bottleneck feedback)
   measure <trace.json> [--pulses PLACE] [--intervals TRANS] [--latency FROM,TO]
 
+--timed builds the timed reachability graph: states carry in-flight
+firings and enabling clocks, so constant enabling delays (the paper's
+memory-access idiom) and deterministic table-driven firing delays are
+fully supported; only expression-valued enabling times are rejected.
+markov analyzes the same timed class.
 --max-states raises/lowers the state-space cap (default 100000; 20000
 for markov). --jobs N explores the frontier with N worker threads
 (0 = all cores, default 1); results are identical at any job count.
@@ -1199,6 +1204,47 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.to_string().contains("exceeds 1 state"), "{e}");
+    }
+
+    #[test]
+    fn timed_reach_and_markov_cover_enabling_time_models() {
+        // The checked-in bus model uses enabling times on both
+        // transitions — the flagship `reach --timed` path used to
+        // reject it outright (`EnablingTimesUnsupported`).
+        let dir = tmpdir("timed");
+        let model = write_model(&dir);
+        let (code, out) = run_args(&[
+            "reach",
+            &model,
+            "--timed",
+            "--ctl",
+            "AG (Bus_free + Bus_busy = 1)",
+        ]);
+        assert_eq!(code, 0, "{out}");
+        // (free, seize armed 1) -A-> (seize expired) -Fire-> (busy,
+        // release armed 2) -A-> (release expired) -Fire-> start.
+        assert!(out.contains("4 states"), "{out}");
+        assert!(out.contains("HOLDS"), "{out}");
+        // Timed builds stay bit-identical across jobs and budgets.
+        let (c1, seq) = run_args(&["reach", &model, "--timed"]);
+        let (c2, par) = run_args(&[
+            "reach",
+            &model,
+            "--timed",
+            "--jobs",
+            "4",
+            "--mem-budget",
+            "64KiB",
+        ]);
+        assert_eq!((c1, c2), (0, 0));
+        assert_eq!(seq, par, "jobs/budget must not change the timed report");
+        // markov analyzes the same class: one seize per 3-tick cycle.
+        let (code, out) = run_args(&["markov", &model]);
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.contains("0.333333"),
+            "seize fires once per 3 ticks: {out}"
+        );
     }
 
     #[test]

@@ -88,13 +88,19 @@ pub enum ReachError {
         /// The underlying failure.
         source: pnut_core::EvalError,
     },
-    /// Timed construction requested for a net with enabling times
-    /// (unsupported: enabling clocks are not part of the `[RP84]` state).
+    /// Timed construction requires constant (non-expression) enabling
+    /// times: the enabling clocks in the timed state hold pre-resolved
+    /// tick counts, and an expression delay could change per state.
+    /// Constant enabling delays are fully supported.
     EnablingTimesUnsupported {
-        /// The transition with a non-zero enabling time.
+        /// The transition with an expression-valued enabling time.
         transition: String,
     },
     /// Timed construction requires constant (non-expression) delays.
+    /// Only the frozen seed construction (`pnut_bench::legacy_reach`)
+    /// raises this today: [`build_timed`] resolves deterministic
+    /// expression firing times per state and rejects only expression
+    /// *enabling* times ([`ReachError::EnablingTimesUnsupported`]).
     NonConstantDelay {
         /// The transition with an expression-valued delay.
         transition: String,
@@ -146,7 +152,8 @@ impl fmt::Display for ReachError {
             }
             ReachError::EnablingTimesUnsupported { transition } => write!(
                 f,
-                "timed reachability does not support enabling times (`{transition}`)"
+                "timed reachability requires constant enabling times (`{transition}` \
+                 uses an expression)"
             ),
             ReachError::NonConstantDelay { transition } => write!(
                 f,
@@ -370,6 +377,46 @@ fn apply_delta(
     Ok(())
 }
 
+/// Per-transition delays of a timed build.
+struct TimedTicks {
+    /// Firing time per transition (ticks between start and completion):
+    /// `Some` for a pre-resolved constant, `None` for a deterministic
+    /// expression resolved per state against the successor environment —
+    /// after the action, the simulator's order, so the paper's
+    /// table-driven delays (§3) see their own updates.
+    firing: Vec<Option<u64>>,
+    /// Enabling time per transition (ticks of continuous readiness
+    /// before the start-firing event becomes eligible). Constants only;
+    /// expression enabling times are rejected up front.
+    enabling: Vec<u64>,
+}
+
+/// The firing delay of compiled transition `ti`/`id` for the successor
+/// under construction: the pre-resolved constant, or the expression
+/// evaluated against `env` (the environment *after* the action — "the
+/// action runs before the delay is resolved so table-driven models can
+/// compute their own firing times", paper §3).
+fn firing_delay(
+    net: &Net,
+    ticks: &TimedTicks,
+    ti: usize,
+    id: TransitionId,
+    env: &Env,
+) -> Result<u64, ReachError> {
+    if let Some(t) = ticks.firing[ti] {
+        return Ok(t);
+    }
+    let t = net.transition(id);
+    let pnut_core::Delay::Expr(e) = t.firing_time() else {
+        unreachable!("non-constant slot holds an expression delay");
+    };
+    let v = e
+        .eval_pure(env)
+        .and_then(|v| v.as_int())
+        .map_err(|e| eval_err(t, e))?;
+    u64::try_from(v).map_err(|_| eval_err(t, pnut_core::EvalError::Overflow))
+}
+
 /// Reusable per-worker scratch buffers: one copy of the state under
 /// expansion and one successor under construction, so successor
 /// generation is allocation-free on the steady state. The sequential
@@ -381,12 +428,16 @@ struct Scratch {
     cur_hash: u64,
     /// Copy of the current state's in-flight multiset.
     cur_inflight: Vec<(TransitionId, u64)>,
+    /// Copy of the current state's enabling-clock multiset.
+    cur_enabling: Vec<(TransitionId, u64)>,
     /// Successor marking under construction.
     next_marking: Vec<u32>,
     /// Marking-part hash of `next_marking`, maintained incrementally.
     next_hash: u64,
     /// Successor in-flight multiset under construction.
     next_inflight: Vec<(TransitionId, u64)>,
+    /// Successor enabling-clock multiset under construction.
+    next_enabling: Vec<(TransitionId, u64)>,
 }
 
 impl Scratch {
@@ -395,9 +446,11 @@ impl Scratch {
             cur_marking: vec![0; places],
             cur_hash: 0,
             cur_inflight: Vec::new(),
+            cur_enabling: Vec::new(),
             next_marking: vec![0; places],
             next_hash: 0,
             next_inflight: Vec::new(),
+            next_enabling: Vec::new(),
         }
     }
 
@@ -410,6 +463,9 @@ impl Scratch {
         self.cur_inflight.clear();
         self.cur_inflight
             .extend_from_slice(store.try_in_flight_slice(cur)?);
+        self.cur_enabling.clear();
+        self.cur_enabling
+            .extend_from_slice(store.try_enabling_slice(cur)?);
         store.try_env_id(cur)
     }
 
@@ -450,6 +506,82 @@ impl Scratch {
                 detail,
             }
         })
+    }
+
+    /// Recompute the enabling-clock multiset of the successor under
+    /// construction (`next_marking` + `next_inflight` + `env`) into
+    /// `next_enabling`, mirroring the simulator's `refresh_enabling`:
+    ///
+    /// * a transition with a non-zero enabling delay gets an entry iff
+    ///   it is *ready* in the successor (marking-enabled, inhibitors
+    ///   clear, concurrency cap not reached, predicate true);
+    /// * a ready transition that was already counting down in the
+    ///   current state keeps its clock, minus `elapsed` ticks for an
+    ///   `Advance` edge (readiness cannot change mid-interval — the
+    ///   marking only moves at the endpoints);
+    /// * the transition that just `fired` (if any) re-arms from the full
+    ///   delay — a firing always ends its own enabling interval;
+    /// * a newly ready transition starts a fresh clock.
+    ///
+    /// Entries come out sorted by transition id because `compiled` is
+    /// iterated in id order.
+    fn compute_next_enabling(
+        &mut self,
+        net: &Net,
+        compiled: &[Compiled],
+        enabling_ticks: &[u64],
+        env: &Env,
+        fired: Option<TransitionId>,
+        elapsed: u64,
+    ) -> Result<(), ReachError> {
+        self.next_enabling.clear();
+        for (ti, ct) in compiled.iter().enumerate() {
+            let full = enabling_ticks[ti];
+            if full == 0 {
+                continue;
+            }
+            let ready = ct
+                .needs
+                .iter()
+                .all(|&(p, w)| self.next_marking[p as usize] >= w)
+                && ct
+                    .inhib
+                    .iter()
+                    .all(|&(p, th)| self.next_marking[p as usize] < th)
+                && ct.cap.is_none_or(|cap| {
+                    (self
+                        .next_inflight
+                        .iter()
+                        .filter(|&&(x, _)| x == ct.id)
+                        .count() as u32)
+                        < cap
+                });
+            if !ready {
+                continue;
+            }
+            if ct.has_predicate {
+                let t = net.transition(ct.id);
+                let holds = t
+                    .predicate()
+                    .expect("has_predicate")
+                    .eval_pure(env)
+                    .and_then(|v| v.as_bool())
+                    .map_err(|e| eval_err(t, e))?;
+                if !holds {
+                    continue;
+                }
+            }
+            let countdown = if fired == Some(ct.id) {
+                full
+            } else {
+                match self.cur_enabling.iter().find(|&&(x, _)| x == ct.id) {
+                    Some(&(_, k)) => k - elapsed,
+                    None => full,
+                }
+            };
+            self.next_enabling.push((ct.id, countdown));
+        }
+        Ok(())
     }
 
     /// Add `t`'s output tokens to the scratch successor.
@@ -497,6 +629,35 @@ fn edge_capacity(edges: usize) -> Result<u32, ReachError> {
     })
 }
 
+/// A fresh [`Scratch`] whose `next_enabling` holds the initial state's
+/// armed enabling clocks (empty for untimed builds): the simulator
+/// refreshes its clocks before the first step, so every initially ready
+/// transition starts with a full countdown. Shared by the sequential
+/// and parallel builders so their initial states can never diverge.
+fn arm_initial(
+    net: &Net,
+    compiled: &[Compiled],
+    ticks: Option<&TimedTicks>,
+    store: &StateStore,
+    initial_env: u32,
+) -> Result<Scratch, ReachError> {
+    let mut scratch = Scratch::new(net.place_count());
+    if let Some(ticks) = ticks {
+        scratch
+            .next_marking
+            .copy_from_slice(net.initial_marking().as_slice());
+        scratch.compute_next_enabling(
+            net,
+            compiled,
+            &ticks.enabling,
+            store.env(initial_env),
+            None,
+            0,
+        )?;
+    }
+    Ok(scratch)
+}
+
 /// Shared exploration machinery for the sequential timed and untimed
 /// builds: the store, the CSR accumulators, the compiled transitions,
 /// and the scratch buffers.
@@ -510,19 +671,25 @@ struct Explorer {
 }
 
 impl Explorer {
-    fn new(net: &Net, options: &ReachOptions) -> Result<Self, ReachError> {
+    fn new(
+        net: &Net,
+        options: &ReachOptions,
+        ticks: Option<&TimedTicks>,
+    ) -> Result<Self, ReachError> {
         let places = net.place_count();
         let mut store = StateStore::with_config(places, &options.pager_config());
         let initial_env = store.intern_env(net.initial_env())?;
         let initial = net.initial_marking();
-        store.intern(initial.as_slice(), initial_env, &[])?;
+        let compiled = compile(net);
+        let scratch = arm_initial(net, &compiled, ticks, &store, initial_env)?;
+        store.intern(initial.as_slice(), initial_env, &[], &scratch.next_enabling)?;
         Ok(Explorer {
             max_states: options.max_states,
-            compiled: compile(net),
+            compiled,
             store,
             offsets: Vec::new(),
             edges: Vec::new(),
-            scratch: Scratch::new(places),
+            scratch,
         })
     }
 
@@ -559,6 +726,7 @@ impl Explorer {
             self.scratch.next_hash,
             env_id,
             &self.scratch.next_inflight,
+            &self.scratch.next_enabling,
             self.max_states,
         )?;
         self.edges.push((label, target as u32));
@@ -598,8 +766,9 @@ struct WorkerCtx<'a> {
     compiled: &'a [Compiled],
     store: &'a StateStore,
     shards: &'a [Mutex<PendingShard>],
-    /// `Some` for timed builds: constant firing delay per transition.
-    firing_ticks: Option<&'a [u64]>,
+    /// `Some` for timed builds: constant firing and enabling delays per
+    /// transition.
+    ticks: Option<&'a TimedTicks>,
 }
 
 /// The discovery key of the `seq`-th edge out of state `src`: the
@@ -614,15 +783,18 @@ fn discovery_key(src: usize, seq: usize) -> u64 {
 /// Resolve the environment of the successor under construction: reuse
 /// the source's committed id on the (common) actionless path, otherwise
 /// apply the action and intern the result — into the committed table if
-/// the content is already known, into a pending shard otherwise.
+/// the content is already known, into a pending shard otherwise. The
+/// owned successor environment rides along (`None` on the actionless
+/// path) so the timed builder can evaluate predicates against it even
+/// when the environment is still pending.
 fn next_env_ref(
     ctx: &WorkerCtx<'_>,
     ct: &Compiled,
     env_id: u32,
     key: u64,
-) -> Result<EnvRef, ReachError> {
+) -> Result<(EnvRef, Option<Env>), ReachError> {
     if !ct.has_action {
-        return Ok(EnvRef::Committed(env_id));
+        return Ok((EnvRef::Committed(env_id), None));
     }
     let t = ctx.net.transition(ct.id);
     let a = t.action().expect("has_action");
@@ -630,11 +802,13 @@ fn next_env_ref(
     a.apply_pure(&mut env).map_err(|e| eval_err(t, e))?;
     let hash = store::fx_hash_of(&env);
     if let Some(id) = ctx.store.find_env_hashed(&env, hash) {
-        return Ok(EnvRef::Committed(id));
+        return Ok((EnvRef::Committed(id), Some(env)));
     }
     let shard = store::shard_index(hash, ctx.shards.len());
     let mut sh = ctx.shards[shard].lock().expect("env shard lock");
-    sh.intern_env(&env, hash, key).map(EnvRef::Pending)
+    let id = sh.intern_env(&env, hash, key)?;
+    drop(sh);
+    Ok((EnvRef::Pending(id), Some(env)))
 }
 
 /// Intern the scratch successor: a committed-table hit resolves to its
@@ -647,14 +821,18 @@ fn intern_target(
     key: u64,
 ) -> Result<RawTarget, ReachError> {
     if let EnvRef::Committed(e) = env_ref {
-        if let Some(i) =
-            ctx.store
-                .find_state_hashed(&sc.next_marking, sc.next_hash, e, &sc.next_inflight)?
-        {
+        if let Some(i) = ctx.store.find_state_hashed(
+            &sc.next_marking,
+            sc.next_hash,
+            e,
+            &sc.next_inflight,
+            &sc.next_enabling,
+        )? {
             return Ok(RawTarget::Committed(i));
         }
     }
-    let hash = store::pending_state_hash(sc.next_hash, env_ref, &sc.next_inflight);
+    let hash =
+        store::pending_state_hash(sc.next_hash, env_ref, &sc.next_inflight, &sc.next_enabling);
     let shard = store::shard_index(hash, ctx.shards.len());
     let mut sh = ctx.shards[shard].lock().expect("state shard lock");
     sh.intern_state(
@@ -663,6 +841,7 @@ fn intern_target(
         hash,
         env_ref,
         &sc.next_inflight,
+        &sc.next_enabling,
         key,
     )
     .map(RawTarget::Pending)
@@ -687,18 +866,25 @@ fn explore_chunk(
             .map_err(|e| (discovery_key(src, 0), e))?;
         let mut row: Vec<(EdgeLabel, RawTarget)> = Vec::new();
         let mut can_start = false;
-        for ct in ctx.compiled {
+        for (ti, ct) in ctx.compiled.iter().enumerate() {
             if !sc.enabled(ct) {
                 continue;
             }
             let key = discovery_key(src, row.len());
-            if ctx.firing_ticks.is_some() {
+            if let Some(ticks) = ctx.ticks {
                 if let Some(cap) = ct.cap {
                     let inflight =
                         sc.cur_inflight.iter().filter(|&&(x, _)| x == ct.id).count() as u32;
                     if inflight >= cap {
                         continue;
                     }
+                }
+                // Enabling gate: a transition with a non-zero enabling
+                // delay starts only once its clock has run down to 0.
+                if ticks.enabling[ti] != 0
+                    && !sc.cur_enabling.iter().any(|&(x, k)| x == ct.id && k == 0)
+                {
+                    continue;
                 }
             }
             if ct.has_predicate
@@ -707,52 +893,82 @@ fn explore_chunk(
                 continue;
             }
             can_start = true;
-            match ctx.firing_ticks {
+            // The successor environment is resolved first (the action
+            // runs before the firing delay, as in the simulator and the
+            // sequential explorer above).
+            let (env_ref, env_val) = next_env_ref(ctx, ct, env_id, key).map_err(|e| (key, e))?;
+            match ctx.ticks {
                 None => {
                     sc.fire(ctx.net, ct, true).map_err(|e| (key, e))?;
                     sc.next_inflight.clear();
+                    sc.next_enabling.clear();
                 }
                 Some(ticks) => {
-                    let t = ticks[ct.id.index()];
-                    sc.fire(ctx.net, ct, t == 0).map_err(|e| (key, e))?;
+                    let env = env_val.as_ref().unwrap_or_else(|| match env_ref {
+                        EnvRef::Committed(e) => ctx.store.env(e),
+                        EnvRef::Pending(_) => unreachable!("pending env carries its value"),
+                    });
+                    let ft = firing_delay(ctx.net, ticks, ti, ct.id, env).map_err(|e| (key, e))?;
+                    sc.fire(ctx.net, ct, ft == 0).map_err(|e| (key, e))?;
                     sc.next_inflight.clear();
                     let (next, cur) = (&mut sc.next_inflight, &sc.cur_inflight);
                     next.extend_from_slice(cur);
-                    if t != 0 {
-                        sc.next_inflight.push((ct.id, t));
+                    if ft != 0 {
+                        sc.next_inflight.push((ct.id, ft));
                         sc.next_inflight.sort_unstable();
                     }
+                    sc.compute_next_enabling(
+                        ctx.net,
+                        ctx.compiled,
+                        &ticks.enabling,
+                        env,
+                        Some(ct.id),
+                        0,
+                    )
+                    .map_err(|e| (key, e))?;
                 }
             }
-            let env_ref = next_env_ref(ctx, ct, env_id, key).map_err(|e| (key, e))?;
             let target = intern_target(ctx, &sc, env_ref, key).map_err(|e| (key, e))?;
             row.push((EdgeLabel::Fire(ct.id), target));
         }
 
-        // Maximal-progress time advance: only when nothing can start.
-        if ctx.firing_ticks.is_some() && !can_start && !sc.cur_inflight.is_empty() {
-            let key = discovery_key(src, row.len());
-            let dt = sc
-                .cur_inflight
-                .iter()
-                .map(|&(_, r)| r)
-                .min()
-                .expect("non-empty");
-            sc.begin_next();
-            sc.next_inflight.clear();
-            for i in 0..sc.cur_inflight.len() {
-                let (tid, r) = sc.cur_inflight[i];
-                if r == dt {
-                    sc.deliver_outputs(ctx.net.transition(tid))
-                        .map_err(|e| (key, e))?;
-                } else {
-                    sc.next_inflight.push((tid, r - dt));
+        // Maximal-progress time advance: only when nothing can start and
+        // something is pending (a completion or an enabling deadline).
+        if let Some(ticks) = ctx.ticks {
+            if !(can_start || (sc.cur_inflight.is_empty() && sc.cur_enabling.is_empty())) {
+                let key = discovery_key(src, row.len());
+                let dt = sc
+                    .cur_inflight
+                    .iter()
+                    .chain(sc.cur_enabling.iter())
+                    .map(|&(_, r)| r)
+                    .min()
+                    .expect("non-empty");
+                sc.begin_next();
+                sc.next_inflight.clear();
+                for i in 0..sc.cur_inflight.len() {
+                    let (tid, r) = sc.cur_inflight[i];
+                    if r == dt {
+                        sc.deliver_outputs(ctx.net.transition(tid))
+                            .map_err(|e| (key, e))?;
+                    } else {
+                        sc.next_inflight.push((tid, r - dt));
+                    }
                 }
+                sc.next_inflight.sort_unstable();
+                sc.compute_next_enabling(
+                    ctx.net,
+                    ctx.compiled,
+                    &ticks.enabling,
+                    ctx.store.env(env_id),
+                    None,
+                    dt,
+                )
+                .map_err(|e| (key, e))?;
+                let target = intern_target(ctx, &sc, EnvRef::Committed(env_id), key)
+                    .map_err(|e| (key, e))?;
+                row.push((EdgeLabel::Advance(dt), target));
             }
-            sc.next_inflight.sort_unstable();
-            let target =
-                intern_target(ctx, &sc, EnvRef::Committed(env_id), key).map_err(|e| (key, e))?;
-            row.push((EdgeLabel::Advance(dt), target));
         }
         rows.push(row);
     }
@@ -779,21 +995,27 @@ fn split_chunks(level: std::ops::Range<usize>, jobs: usize) -> Vec<std::ops::Ran
 /// chunk), which keeps shallow prefixes and tails cheap.
 const SPAWN_THRESHOLD_PER_JOB: usize = 48;
 
-/// Level-synchronous parallel construction (untimed when `firing_ticks`
-/// is `None`, timed otherwise). See [`crate::store`] for the sharding
+/// Level-synchronous parallel construction (untimed when `ticks` is
+/// `None`, timed otherwise). See [`crate::store`] for the sharding
 /// and barrier design; the result is bit-identical to the sequential
 /// build for every job count.
 fn build_parallel(
     net: &Net,
     options: &ReachOptions,
-    firing_ticks: Option<Vec<u64>>,
+    ticks: Option<TimedTicks>,
 ) -> Result<ReachabilityGraph, ReachError> {
     let jobs = options.effective_jobs();
     let places = net.place_count();
     let mut store = StateStore::with_config(places, &options.pager_config());
     let initial_env = store.intern_env(net.initial_env())?;
-    store.intern(net.initial_marking().as_slice(), initial_env, &[])?;
     let compiled = compile(net);
+    let init = arm_initial(net, &compiled, ticks.as_ref(), &store, initial_env)?;
+    store.intern(
+        net.initial_marking().as_slice(),
+        initial_env,
+        &[],
+        &init.next_enabling,
+    )?;
     let shard_count = (jobs * 4).next_power_of_two().min(64);
     let mut shards: Vec<Mutex<PendingShard>> = (0..shard_count)
         .map(|s| Mutex::new(PendingShard::new(s, places)))
@@ -808,7 +1030,7 @@ fn build_parallel(
             compiled: &compiled,
             store: &store,
             shards: &shards,
-            firing_ticks: firing_ticks.as_deref(),
+            ticks: ticks.as_ref(),
         };
         let results: Vec<Result<Rows, (u64, ReachError)>> =
             if level.len() < jobs.max(2) * SPAWN_THRESHOLD_PER_JOB {
@@ -908,7 +1130,7 @@ pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGr
     if options.effective_jobs() > 1 {
         return build_parallel(net, options, None);
     }
-    let mut ex = Explorer::new(net, options)?;
+    let mut ex = Explorer::new(net, options, None)?;
     let mut cur = 0;
     // States are discovered in BFS order and numbered densely, so the
     // frontier is simply "indices not yet scanned" — no queue needed.
@@ -925,6 +1147,7 @@ pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGr
             }
             ex.scratch.fire(net, &ex.compiled[ti], true)?;
             ex.scratch.next_inflight.clear();
+            ex.scratch.next_enabling.clear();
             let next_env = ex.next_env(net, ti, env_id)?;
             let label = EdgeLabel::Fire(ex.compiled[ti].id);
             ex.link(label, next_env)?;
@@ -934,40 +1157,51 @@ pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGr
     ex.finish()
 }
 
-/// Build the timed reachability graph per `[RP84]`: states carry in-flight
-/// firings with remaining times; from each state either an enabled
-/// transition starts firing (consuming its inputs) or — when no
-/// transition can start — time advances to the earliest completion.
+/// Build the timed reachability graph: states extend the `[RP84]` pair
+/// (marking, in-flight firings with remaining times) with **enabling
+/// clocks** — one countdown per ready transition with a non-zero
+/// enabling delay, mirroring the simulator's continuous-enabling rule
+/// (the clock arms when the transition becomes ready, resets when
+/// readiness is lost or the transition itself fires). From each state
+/// either an eligible transition starts firing (marking-enabled, under
+/// its concurrency cap, predicate true, enabling clock expired), or —
+/// when nothing can start — time advances to the earliest pending
+/// event, a firing completion or an enabling deadline.
 ///
-/// Restrictions: constant delays, no enabling times (see
-/// [`ReachError::EnablingTimesUnsupported`]).
+/// Restrictions: firing times may be constants or deterministic
+/// expressions (resolved per state against the post-action environment,
+/// the paper's §3 table-driven idiom — `irand` is already rejected by
+/// the determinism check); enabling times must be constants, since the
+/// clock arms with a pre-resolved countdown — expression-valued
+/// enabling times raise [`ReachError::EnablingTimesUnsupported`].
 ///
 /// # Errors
 ///
 /// See [`ReachError`].
 pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGraph, ReachError> {
     check_deterministic(net)?;
-    let mut firing_ticks = Vec::with_capacity(net.transition_count());
+    let mut firing = Vec::with_capacity(net.transition_count());
+    let mut enabling = Vec::with_capacity(net.transition_count());
     for (_, t) in net.transitions() {
-        if !t.enabling_time().is_zero_constant() {
-            return Err(ReachError::EnablingTimesUnsupported {
-                transition: t.name().to_string(),
-            });
-        }
-        match t.firing_time() {
-            pnut_core::Delay::Fixed(ticks) => firing_ticks.push(*ticks),
+        match t.enabling_time() {
+            pnut_core::Delay::Fixed(ticks) => enabling.push(*ticks),
             pnut_core::Delay::Expr(_) => {
-                return Err(ReachError::NonConstantDelay {
+                return Err(ReachError::EnablingTimesUnsupported {
                     transition: t.name().to_string(),
                 });
             }
         }
+        match t.firing_time() {
+            pnut_core::Delay::Fixed(ticks) => firing.push(Some(*ticks)),
+            pnut_core::Delay::Expr(_) => firing.push(None),
+        }
     }
+    let ticks = TimedTicks { firing, enabling };
 
     if options.effective_jobs() > 1 {
-        return build_parallel(net, options, Some(firing_ticks));
+        return build_parallel(net, options, Some(ticks));
     }
-    let mut ex = Explorer::new(net, options)?;
+    let mut ex = Explorer::new(net, options, Some(&ticks))?;
     let mut cur = 0;
     while cur < ex.store.len() {
         let env_id = ex.load(cur)?;
@@ -989,36 +1223,67 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
                     continue;
                 }
             }
+            // Enabling gate: a transition with a non-zero enabling delay
+            // starts only once its clock has run down to 0. (Ready
+            // transitions always carry a clock entry — the successor
+            // construction maintains that invariant.)
+            if ticks.enabling[ti] != 0
+                && !ex
+                    .scratch
+                    .cur_enabling
+                    .iter()
+                    .any(|&(x, k)| x == tid && k == 0)
+            {
+                continue;
+            }
             if ex.compiled[ti].has_predicate
                 && !predicate_holds(net, &ex.store, &ex.compiled[ti], env_id)?
             {
                 continue;
             }
             can_start = true;
-            let ticks = firing_ticks[ti];
+            // The environment (and with it any table-driven firing
+            // delay) is resolved before the token movement: the action
+            // runs first, exactly as in the simulator.
+            let next_env = ex.next_env(net, ti, env_id)?;
+            let ft = firing_delay(net, &ticks, ti, tid, ex.store.env(next_env))?;
             // Zero-delay firings are atomic: outputs appear immediately
             // and the in-flight multiset is unchanged.
-            ex.scratch.fire(net, &ex.compiled[ti], ticks == 0)?;
+            ex.scratch.fire(net, &ex.compiled[ti], ft == 0)?;
             ex.scratch.next_inflight.clear();
             let (next, cur) = (&mut ex.scratch.next_inflight, &ex.scratch.cur_inflight);
             next.extend_from_slice(cur);
-            if ticks != 0 {
-                ex.scratch.next_inflight.push((tid, ticks));
+            if ft != 0 {
+                ex.scratch.next_inflight.push((tid, ft));
                 ex.scratch.next_inflight.sort_unstable();
             }
-            let next_env = ex.next_env(net, ti, env_id)?;
+            ex.scratch.compute_next_enabling(
+                net,
+                &ex.compiled,
+                &ticks.enabling,
+                ex.store.env(next_env),
+                Some(tid),
+                0,
+            )?;
             ex.link(EdgeLabel::Fire(tid), next_env)?;
         }
 
-        // Maximal-progress time advance: only when nothing can start.
-        if !can_start && !ex.scratch.cur_inflight.is_empty() {
+        // Maximal-progress time advance: only when nothing can start and
+        // something is pending — an in-flight completion or an enabling
+        // deadline (when nothing can start, every enabling countdown is
+        // positive, so `dt` is always > 0).
+        if !(can_start
+            || (ex.scratch.cur_inflight.is_empty() && ex.scratch.cur_enabling.is_empty()))
+        {
             let dt = ex
                 .scratch
                 .cur_inflight
                 .iter()
+                .chain(ex.scratch.cur_enabling.iter())
                 .map(|&(_, r)| r)
                 .min()
                 .expect("non-empty");
+            debug_assert!(dt > 0, "zero advance would loop forever");
             ex.scratch.begin_next();
             ex.scratch.next_inflight.clear();
             for i in 0..ex.scratch.cur_inflight.len() {
@@ -1030,6 +1295,14 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
                 }
             }
             ex.scratch.next_inflight.sort_unstable();
+            ex.scratch.compute_next_enabling(
+                net,
+                &ex.compiled,
+                &ticks.enabling,
+                ex.store.env(env_id),
+                None,
+                dt,
+            )?;
             ex.link(EdgeLabel::Advance(dt), env_id)?;
         }
         cur += 1;
@@ -1249,28 +1522,191 @@ mod tests {
     }
 
     #[test]
-    fn timed_rejects_enabling_and_expression_delays() {
+    fn timed_enabling_delays_start_without_removing_tokens() {
+        // The graph counterpart of the simulator's
+        // `enabling_time_delays_start_without_removing_tokens`: the
+        // token stays on `a` while the clock runs; the move is atomic
+        // once the deadline passes.
         let mut b = NetBuilder::new("e");
         b.place("a", 1);
-        b.transition("t").input("a").enabling(2).add();
+        b.place("b", 0);
+        b.transition("t").input("a").output("b").enabling(4).add();
+        let net = b.build().unwrap();
+        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        // (a=1, clock 4) --Advance(4)--> (a=1, clock 0) --Fire--> (b=1).
+        assert_eq!(g.state_count(), 3);
+        assert_eq!(g.state(0).enabling, &[(net.transition_id("t").unwrap(), 4)]);
+        assert_eq!(g.state(0).marking.as_slice(), &[1, 0]);
+        assert!(g
+            .successors(0)
+            .iter()
+            .any(|&(l, _)| l == EdgeLabel::Advance(4)));
+        assert_eq!(g.state(1).enabling, &[(net.transition_id("t").unwrap(), 0)]);
+        assert_eq!(
+            g.state(1).marking.as_slice(),
+            &[1, 0],
+            "token not yet moved"
+        );
+        assert_eq!(g.state(2).marking.as_slice(), &[0, 1]);
+        assert!(g.state(2).enabling.is_empty());
+        assert_eq!(g.deadlocks(), vec![2]);
+    }
+
+    #[test]
+    fn timed_enabling_clock_resets_when_disabled() {
+        // The graph counterpart of the simulator's
+        // `enabling_clock_resets_when_disabled`: `thief` (enabling 2,
+        // firing 2) keeps stealing the shared token before `slow`
+        // (enabling 3) ever expires, and slow's clock restarts from 3
+        // each round — so `slow` never fires anywhere in the graph.
+        let mut b = NetBuilder::new("steal");
+        b.place("shared", 1);
+        b.place("out_slow", 0);
+        b.transition("thief")
+            .input("shared")
+            .output("shared")
+            .enabling(2)
+            .firing(2)
+            .add();
+        b.transition("slow")
+            .input("shared")
+            .output("out_slow")
+            .enabling(3)
+            .add();
+        let net = b.build().unwrap();
+        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        let thief = net.transition_id("thief").unwrap();
+        let slow = net.transition_id("slow").unwrap();
+        // Cycle: (clocks 2/3) --A(2)--> (clocks 0/1) --Fire(thief)-->
+        // (token in flight, no clocks) --A(2)--> back to the start.
+        assert_eq!(g.state_count(), 3);
+        assert_eq!(g.state(0).enabling, &[(thief, 2), (slow, 3)]);
+        assert_eq!(g.state(1).enabling, &[(thief, 0), (slow, 1)]);
+        assert!(g.state(2).enabling.is_empty(), "token stolen: no clocks");
+        assert!(g.ever_fires(thief));
+        assert!(!g.ever_fires(slow), "slow's clock must reset each round");
+    }
+
+    #[test]
+    fn timed_enabling_advances_without_in_flight_firings() {
+        // A pure enabling wait (no in-flight firing anywhere): the
+        // advance rule must jump on enabling deadlines alone, and the
+        // firing itself re-arms the clock for the next round.
+        let mut b = NetBuilder::new("pulse");
+        b.place("p", 1);
+        b.transition("tick")
+            .input("p")
+            .output("p")
+            .enabling(5)
+            .add();
+        let net = b.build().unwrap();
+        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        // (clock 5) --A(5)--> (clock 0) --Fire--> (clock 5, re-armed).
+        assert_eq!(g.state_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g
+            .successors(0)
+            .iter()
+            .any(|&(l, _)| l == EdgeLabel::Advance(5)));
+        assert_eq!(
+            g.successors(1),
+            &[(EdgeLabel::Fire(net.transition_id("tick").unwrap()), 0)],
+            "firing re-arms the clock back to the initial state"
+        );
+    }
+
+    #[test]
+    fn parallel_timed_enabling_is_bit_identical_to_sequential() {
+        let mut b = NetBuilder::new("mix");
+        b.place("q", 3);
+        b.place("done", 0);
+        b.transition("serve")
+            .input("q")
+            .output("done")
+            .enabling(2)
+            .firing(3)
+            .max_concurrent(2)
+            .add();
+        b.transition("recycle")
+            .input("done")
+            .output("q")
+            .enabling(1)
+            .firing(2)
+            .add();
+        let net = b.build().unwrap();
+        let seq = build_timed(&net, &ReachOptions::default()).unwrap();
+        assert!(
+            (0..seq.state_count()).any(|i| !seq.state(i).enabling.is_empty()),
+            "the model must actually exercise enabling clocks"
+        );
+        for jobs in [2, 4, 8] {
+            let opts = ReachOptions {
+                jobs,
+                ..ReachOptions::default()
+            };
+            assert_eq!(build_timed(&net, &opts).unwrap(), seq, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn timed_rejects_expression_enabling_times_only() {
+        let mut b = NetBuilder::new("e");
+        b.place("a", 1);
+        b.var("d", 1);
+        b.transition("t")
+            .input("a")
+            .enabling_expr(pnut_core::Expr::parse("d").unwrap())
+            .add();
         let net = b.build().unwrap();
         assert!(matches!(
             build_timed(&net, &ReachOptions::default()),
             Err(ReachError::EnablingTimesUnsupported { .. })
         ));
+    }
 
-        let mut b = NetBuilder::new("e2");
-        b.place("a", 1);
-        b.var("d", 1);
-        b.transition("t")
-            .input("a")
-            .firing_expr(pnut_core::Expr::parse("d").unwrap())
+    #[test]
+    fn timed_resolves_expression_firing_times_per_state() {
+        // The paper's §3 idiom: the action picks a type, the firing time
+        // reads a table — the resolved delay must follow the state.
+        let mut b = NetBuilder::new("table");
+        b.place("go", 2);
+        b.place("done", 0);
+        b.var("ty", 0);
+        b.table("delays", vec![3, 7]);
+        b.transition("work")
+            .input("go")
+            .output("done")
+            .predicate_str("ty < 2")
+            .unwrap()
+            .action_str("ty = ty + 1;")
+            .unwrap()
+            .firing_expr(pnut_core::Expr::parse("delays[ty - 1]").unwrap())
             .add();
         let net = b.build().unwrap();
-        assert!(matches!(
-            build_timed(&net, &ReachOptions::default()),
-            Err(ReachError::NonConstantDelay { .. })
-        ));
+        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        let work = net.transition_id("work").unwrap();
+        // Both resolved delays appear as in-flight remaining times.
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..g.state_count() {
+            for &(t, r) in g.state(i).in_flight {
+                assert_eq!(t, work);
+                seen.insert(r);
+            }
+        }
+        assert!(
+            seen.contains(&3) && seen.contains(&7),
+            "delays seen: {seen:?}"
+        );
+        // And the parallel build agrees bit-for-bit.
+        let par = build_timed(
+            &net,
+            &ReachOptions {
+                jobs: 4,
+                ..ReachOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(par, g);
     }
 
     #[test]

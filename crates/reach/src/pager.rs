@@ -28,7 +28,8 @@
 //!   only when the full hash matches and the owning segment has been
 //!   evicted.
 //! * **Segments** — the arenas (`markings`, `env_ids`, the in-flight
-//!   CSR) are partitioned into segments of a fixed number of states
+//!   CSR, and the enabling-clock CSR of timed states) are partitioned
+//!   into segments of a fixed number of states
 //!   ([`PagedStates::seg_states`], sized from the byte budget). The
 //!   *tail* segment receives appends and is always resident; a full
 //!   segment is **sealed** and becomes immutable — exactly the unit
@@ -253,6 +254,12 @@ impl SpillFile {
 // Segment data
 // ---------------------------------------------------------------------------
 
+/// Spill-image format version. Bumped whenever the serialized segment
+/// layout changes; a reload checks it first so an image written by a
+/// different layout is rejected as corrupt instead of misread.
+/// Version 2 added the enabling-clock arena (offsets + entries).
+const IMAGE_VERSION: u32 = 2;
+
 /// One segment's slice of every paged arena: `seg_states` consecutive
 /// states (fewer in the tail).
 #[derive(Debug, Default, PartialEq)]
@@ -265,54 +272,109 @@ pub(crate) struct SegmentData {
     inflight_offsets: Vec<u32>,
     /// In-flight firings of all states in the segment.
     inflight: Vec<(TransitionId, u64)>,
+    /// Segment-local CSR offsets into `enabling`, **lazily
+    /// materialized**: while every state in the segment has an empty
+    /// enabling multiset (always true for untimed graphs, and for timed
+    /// graphs of nets without enabling times) this stays `[0]` and the
+    /// segment pays zero bytes for the arena; the first non-empty
+    /// multiset backfills zero offsets for the earlier states and the
+    /// array is `len == count + 1` from then on.
+    enabling_offsets: Vec<u32>,
+    /// Enabling clocks of all states in the segment: `(transition,
+    /// remaining ticks until the start-firing event may happen)`.
+    enabling: Vec<(TransitionId, u64)>,
 }
 
 impl SegmentData {
     fn empty() -> Self {
         SegmentData {
             inflight_offsets: vec![0],
+            enabling_offsets: vec![0],
             ..SegmentData::default()
         }
+    }
+
+    /// Whether the enabling arena is still in its lazy all-empty form.
+    fn enabling_is_lazy(&self) -> bool {
+        self.enabling_offsets.len() == 1
+    }
+
+    /// Record one state's enabling multiset; `count_before` is the
+    /// number of states already in the segment, for the zero backfill
+    /// on first materialization.
+    fn push_enabling(&mut self, count_before: usize, enabling: &[(TransitionId, u64)]) {
+        if enabling.is_empty() && self.enabling_is_lazy() {
+            return; // still all-empty: stay lazy, pay nothing
+        }
+        if self.enabling_is_lazy() {
+            self.enabling_offsets.resize(count_before + 1, 0);
+        }
+        self.enabling.extend_from_slice(enabling);
+        self.enabling_offsets.push(self.enabling.len() as u32);
     }
 
     fn count(&self) -> usize {
         self.env_ids.len()
     }
 
-    /// Arena bytes of the segment (by content, not capacity).
+    /// Arena bytes of the segment (by content, not capacity). A lazy
+    /// enabling arena counts its single sentinel offset only, so
+    /// untimed segments cost exactly what they did before the arena
+    /// existed.
     fn bytes(&self) -> usize {
         self.markings.len() * 4
             + self.env_ids.len() * 4
             + self.inflight_offsets.len() * 4
-            + self.inflight.len() * std::mem::size_of::<(TransitionId, u64)>()
+            + self.enabling_offsets.len() * 4
+            + (self.inflight.len() + self.enabling.len())
+                * std::mem::size_of::<(TransitionId, u64)>()
     }
 
-    fn marking(&self, local: usize, places: usize) -> &[u32] {
+    pub(crate) fn marking(&self, local: usize, places: usize) -> &[u32] {
         &self.markings[local * places..(local + 1) * places]
     }
 
-    fn in_flight(&self, local: usize) -> &[(TransitionId, u64)] {
+    pub(crate) fn env_id(&self, local: usize) -> u32 {
+        self.env_ids[local]
+    }
+
+    pub(crate) fn in_flight(&self, local: usize) -> &[(TransitionId, u64)] {
         &self.inflight
             [self.inflight_offsets[local] as usize..self.inflight_offsets[local + 1] as usize]
     }
 
+    pub(crate) fn enabling(&self, local: usize) -> &[(TransitionId, u64)] {
+        if self.enabling_is_lazy() {
+            return &[];
+        }
+        &self.enabling
+            [self.enabling_offsets[local] as usize..self.enabling_offsets[local + 1] as usize]
+    }
+
     /// Serialize to the spill image format (all little-endian):
-    /// `count:u32, inflight_len:u32, markings, env_ids,
-    /// inflight_offsets, inflight as (id:u64, remaining:u64)*`.
+    /// `version:u32, count:u32, inflight_len:u32, enabling_len:u32,
+    /// enabling_offsets_len:u32, markings, env_ids, inflight_offsets,
+    /// enabling_offsets, inflight as (id:u64, remaining:u64)*, enabling
+    /// likewise`. The enabling offsets keep their lazy form on disk
+    /// (`len == 1` for an all-empty segment), so untimed images cost
+    /// the same bytes they did before the arena existed.
     fn serialize(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + self.bytes());
+        let mut out = Vec::with_capacity(20 + self.bytes());
+        out.extend_from_slice(&IMAGE_VERSION.to_le_bytes());
         out.extend_from_slice(&(self.count() as u32).to_le_bytes());
         out.extend_from_slice(&(self.inflight.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.enabling.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.enabling_offsets.len() as u32).to_le_bytes());
         for &w in &self.markings {
             out.extend_from_slice(&w.to_le_bytes());
         }
         for &e in &self.env_ids {
             out.extend_from_slice(&e.to_le_bytes());
         }
-        for &o in &self.inflight_offsets {
+        for &o in self.inflight_offsets.iter().chain(&self.enabling_offsets) {
             out.extend_from_slice(&o.to_le_bytes());
         }
-        for &(t, r) in &self.inflight {
+        for &(t, r) in self.inflight.iter().chain(&self.enabling) {
             out.extend_from_slice(&(t.index() as u64).to_le_bytes());
             out.extend_from_slice(&r.to_le_bytes());
         }
@@ -330,40 +392,76 @@ impl SegmentData {
         };
         let read_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4-byte chunk"));
         let read_u64 = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
+        let version = read_u32(take(4)?);
+        if version != IMAGE_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("spill image version {version} (expected {IMAGE_VERSION})"),
+            ));
+        }
         let count = read_u32(take(4)?) as usize;
         let inflight_len = read_u32(take(4)?) as usize;
+        let enabling_len = read_u32(take(4)?) as usize;
+        let eoff_len = read_u32(take(4)?) as usize;
         // Validate the header against the image length *before* any
         // allocation: a bit-flipped count must surface as the designed
         // InvalidData error, not abort on a gigantic Vec::with_capacity.
-        let implied = 8u64
+        // The enabling offsets are either the lazy sentinel or fully
+        // materialized; anything else is corrupt.
+        if eoff_len != 1 && eoff_len != count + 1 {
+            return Err(corrupt());
+        }
+        if eoff_len == 1 && enabling_len != 0 {
+            return Err(corrupt());
+        }
+        let implied = 20u64
             + count as u64 * places as u64 * 4
             + count as u64 * 4
             + (count as u64 + 1) * 4
-            + inflight_len as u64 * 16;
+            + eoff_len as u64 * 4
+            + (inflight_len as u64 + enabling_len as u64) * 16;
         if implied != image.len() as u64 {
             return Err(corrupt());
         }
+        // Bulk-parse each array from one validated slice (the header
+        // check above guarantees the lengths): chunked iteration keeps
+        // the fault path — reloads happen once per refault, not once
+        // per build — at memcpy-like speed instead of a bounds-checked
+        // closure call per element.
         let mut data = SegmentData {
             markings: Vec::with_capacity(count * places),
             env_ids: Vec::with_capacity(count),
             inflight_offsets: Vec::with_capacity(count + 1),
             inflight: Vec::with_capacity(inflight_len),
+            enabling_offsets: Vec::with_capacity(eoff_len),
+            enabling: Vec::with_capacity(enabling_len),
         };
-        for _ in 0..count * places {
-            data.markings.push(read_u32(take(4)?));
-        }
-        for _ in 0..count {
-            data.env_ids.push(read_u32(take(4)?));
-        }
-        for _ in 0..=count {
-            data.inflight_offsets.push(read_u32(take(4)?));
-        }
-        for _ in 0..inflight_len {
-            let t = read_u64(take(8)?) as usize;
-            let r = read_u64(take(8)?);
-            data.inflight.push((TransitionId::new(t), r));
-        }
-        if pos != image.len() || data.inflight_offsets.last() != Some(&(inflight_len as u32)) {
+        data.markings
+            .extend(take(count * places * 4)?.chunks_exact(4).map(read_u32));
+        data.env_ids
+            .extend(take(count * 4)?.chunks_exact(4).map(read_u32));
+        data.inflight_offsets
+            .extend(take((count + 1) * 4)?.chunks_exact(4).map(read_u32));
+        data.enabling_offsets
+            .extend(take(eoff_len * 4)?.chunks_exact(4).map(read_u32));
+        data.inflight
+            .extend(take(inflight_len * 16)?.chunks_exact(16).map(|c| {
+                (
+                    TransitionId::new(read_u64(&c[..8]) as usize),
+                    read_u64(&c[8..]),
+                )
+            }));
+        data.enabling
+            .extend(take(enabling_len * 16)?.chunks_exact(16).map(|c| {
+                (
+                    TransitionId::new(read_u64(&c[..8]) as usize),
+                    read_u64(&c[8..]),
+                )
+            }));
+        if pos != image.len()
+            || data.inflight_offsets.last() != Some(&(inflight_len as u32))
+            || data.enabling_offsets.last() != Some(&(enabling_len as u32))
+        {
             return Err(corrupt());
         }
         Ok(data)
@@ -427,7 +525,11 @@ fn seg_states_for(places: usize, budget: usize) -> usize {
     if budget == usize::MAX {
         return MAX_SEG_STATES;
     }
-    let per_state = places * 4 + 8; // marking row + env id + offset entry
+    // Marking row + env id + in-flight offset entry. The enabling
+    // arena is excluded: its offsets are lazy (zero bytes for nets
+    // without enabling times) and its entry count is model-dependent —
+    // the budget envelope tolerates the approximation either way.
+    let per_state = places * 4 + 8;
     let target = (budget / 4) / per_state.max(1);
     let rounded = match target.checked_next_power_of_two() {
         Some(p) if p == target => p,
@@ -588,6 +690,22 @@ impl PagedStates {
         Ok(self.segment(seg)?.in_flight(local))
     }
 
+    /// The enabling-clock multiset of state `i`.
+    pub(crate) fn enabling(&self, i: usize) -> Result<&[(TransitionId, u64)], ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok(self.segment(seg)?.enabling(local))
+    }
+
+    /// The owning segment of state `i` plus its local index — one
+    /// fault/LRU touch for a whole-row compare instead of one per
+    /// field (the intern probe's hot path).
+    pub(crate) fn row(&self, i: usize) -> Result<(&SegmentData, usize), ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok((self.segment(seg)?, local))
+    }
+
     /// Exclusive access to the tail segment's data (always resident).
     fn tail_mut(&mut self) -> &mut SegmentData {
         let slot = self.segments.last_mut().expect("tail segment exists");
@@ -606,18 +724,25 @@ impl PagedStates {
         marking: &[u32],
         env_id: u32,
         in_flight: &[(TransitionId, u64)],
+        enabling: &[(TransitionId, u64)],
     ) -> Result<(), ReachError> {
         debug_assert_eq!(marking.len(), self.places, "marking width mismatch");
         if self.tail_mut().count() == self.seg_states {
             self.seal_tail();
         }
         let tail = self.tail_mut();
+        let before = tail.bytes();
         tail.markings.extend_from_slice(marking);
         tail.env_ids.push(env_id);
         tail.inflight.extend_from_slice(in_flight);
         let end = tail.inflight.len() as u32;
         tail.inflight_offsets.push(end);
-        let added = marking.len() * 4 + 8 + std::mem::size_of_val(in_flight);
+        let count_before = tail.env_ids.len() - 1;
+        tail.push_enabling(count_before, enabling);
+        // Delta accounting (rather than an arithmetic formula): a lazy →
+        // materialized transition of the enabling offsets backfills the
+        // whole segment's offsets in one append.
+        let added = tail.bytes() - before;
         self.segments.last_mut().expect("tail").bytes += added;
         self.len += 1;
         let now = self.resident.get_mut();
@@ -731,6 +856,7 @@ impl PartialEq for PagedStates {
                     s.marking(i)?.to_vec(),
                     s.env_id(i)?,
                     s.in_flight(i)?.to_vec(),
+                    s.enabling(i)?.to_vec(),
                 ))
             };
             match (row(self), row(other)) {
@@ -754,7 +880,9 @@ mod tests {
 
     /// Append `n` synthetic states over `places` places with
     /// deterministic contents (marking row = i, i+1, …; env = i % 7;
-    /// one in-flight entry for every third state).
+    /// one in-flight entry for every third state, one enabling-clock
+    /// entry for every fourth — so segments exercise both the lazy and
+    /// the materialized enabling-offset forms).
     fn fill(ps: &mut PagedStates, n: usize) {
         let places = ps.places();
         for i in 0..n {
@@ -764,7 +892,13 @@ mod tests {
             } else {
                 Vec::new()
             };
-            ps.append(&marking, (i % 7) as u32, &inflight).unwrap();
+            let enabling = if i.is_multiple_of(4) {
+                vec![(TransitionId::new(i % 3), (i as u64) % 9)]
+            } else {
+                Vec::new()
+            };
+            ps.append(&marking, (i % 7) as u32, &inflight, &enabling)
+                .unwrap();
         }
     }
 
@@ -783,6 +917,16 @@ mod tests {
             &inflight[..],
             "in-flight of state {i}"
         );
+        let enabling = if i.is_multiple_of(4) {
+            vec![(TransitionId::new(i % 3), (i as u64) % 9)]
+        } else {
+            Vec::new()
+        };
+        assert_eq!(
+            ps.enabling(i).unwrap(),
+            &enabling[..],
+            "enabling clocks of state {i}"
+        );
     }
 
     #[test]
@@ -796,7 +940,14 @@ mod tests {
                     .push((TransitionId::new(i as usize), 40 + u64::from(i)));
             }
             data.inflight_offsets.push(data.inflight.len() as u32);
+            let enabling: &[(TransitionId, u64)] = if i % 3 == 0 {
+                &[(TransitionId::new(i as usize + 1), u64::from(i))]
+            } else {
+                &[]
+            };
+            data.push_enabling(i as usize, enabling);
         }
+        assert!(!data.enabling_is_lazy(), "test data materializes the arena");
         let image = data.serialize();
         let back = SegmentData::deserialize(&image, 3).unwrap();
         assert_eq!(back, data);
@@ -808,8 +959,63 @@ mod tests {
         // A bit-flipped count field must fail fast on the header check,
         // not attempt a multi-gigabyte allocation.
         let mut huge = image.clone();
-        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(SegmentData::deserialize(&huge, 3).is_err());
+    }
+
+    #[test]
+    fn lazy_enabling_segments_cost_and_spill_nothing_extra() {
+        // An all-empty enabling arena (every untimed graph) keeps its
+        // lazy form through a serialize/deserialize round trip and
+        // contributes only the 4-byte sentinel to the segment size.
+        let mut data = SegmentData::empty();
+        for i in 0..4u32 {
+            data.markings.extend_from_slice(&[i, i + 1]);
+            data.env_ids.push(0);
+            data.inflight_offsets.push(0);
+            data.push_enabling(i as usize, &[]);
+        }
+        assert!(data.enabling_is_lazy());
+        assert_eq!(data.enabling_offsets, vec![0]);
+        for i in 0..4 {
+            assert!(data.enabling(i).is_empty());
+        }
+        let image = data.serialize();
+        let back = SegmentData::deserialize(&image, 2).unwrap();
+        assert!(back.enabling_is_lazy());
+        assert_eq!(back, data);
+        // Mid-segment materialization backfills earlier states.
+        data.markings.extend_from_slice(&[9, 9]);
+        data.env_ids.push(0);
+        data.inflight_offsets.push(0);
+        data.push_enabling(4, &[(TransitionId::new(7), 3)]);
+        assert_eq!(data.enabling_offsets.len(), 6, "backfilled to count + 1");
+        for i in 0..4 {
+            assert!(data.enabling(i).is_empty(), "backfilled state {i}");
+        }
+        assert_eq!(data.enabling(4), &[(TransitionId::new(7), 3)]);
+        let back = SegmentData::deserialize(&data.serialize(), 2).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn wrong_image_version_is_rejected() {
+        // An image stamped with a different layout version (e.g. one
+        // written before the enabling-clock arena existed) must be
+        // rejected on the header check, not misinterpreted.
+        let mut data = SegmentData::empty();
+        data.markings.extend_from_slice(&[1, 2]);
+        data.env_ids.push(0);
+        data.inflight_offsets.push(0);
+        let mut image = data.serialize();
+        assert_eq!(SegmentData::deserialize(&image, 2).unwrap(), data);
+        image[..4].copy_from_slice(&(IMAGE_VERSION - 1).to_le_bytes());
+        let e = SegmentData::deserialize(&image, 2).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            e.to_string().contains("version"),
+            "error should name the version mismatch: {e}"
+        );
     }
 
     #[test]
@@ -899,7 +1105,7 @@ mod tests {
         let mut failed = None;
         for i in 0..50_000 {
             let marking: Vec<u32> = (0..16).map(|p| (i + p) as u32).collect();
-            if let Err(e) = ps.append(&marking, 0, &[]) {
+            if let Err(e) = ps.append(&marking, 0, &[], &[]) {
                 failed = Some(e);
                 break;
             }

@@ -24,8 +24,16 @@
 //! markings:  [ s0 p0..pn | s1 p0..pn | ... ]      width = place count
 //! env_ids:   [ s0 | s1 | ... ]                    u32 into `envs`
 //! inflight:  [ ...(transition, remaining)... ]    CSR via inflight_offsets
+//! enabling:  [ ...(transition, countdown)... ]    CSR via enabling_offsets
 //! envs:      [ distinct environments only ]       interned separately
 //! ```
+//!
+//! The `enabling` arena carries the timed state's enabling clocks: for
+//! each transition that is ready (marking-enabled, predicate true,
+//! concurrency cap not reached) and has a non-zero constant enabling
+//! delay, the remaining ticks before its start-firing event becomes
+//! eligible. Untimed graphs — and timed graphs of nets without enabling
+//! times — leave it empty, so they pay nothing for it.
 //!
 //! Duplicate detection is a hand-rolled open-addressing table of
 //! `(precomputed FxHash, state index)` pairs — the raw-entry pattern:
@@ -350,6 +358,11 @@ pub struct StateRef<'a> {
     /// In-flight firings as `(transition, remaining ticks)`, sorted —
     /// empty for untimed graphs.
     pub in_flight: &'a [(TransitionId, u64)],
+    /// Enabling clocks as `(transition, remaining ticks until the
+    /// start-firing event may happen)`, sorted by transition id — one
+    /// entry per ready transition with a non-zero enabling delay, empty
+    /// for untimed graphs and for nets without enabling times.
+    pub enabling: &'a [(TransitionId, u64)],
 }
 
 // ---------------------------------------------------------------------------
@@ -433,6 +446,20 @@ impl StateStore {
         self.states.in_flight(i)
     }
 
+    /// The enabling-clock slice of state `i` (faulting like
+    /// [`Self::try_marking_slice`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the reload fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn try_enabling_slice(&self, i: usize) -> Result<&[(TransitionId, u64)], ReachError> {
+        self.states.enabling(i)
+    }
+
     /// The environment id of state `i` (faulting like
     /// [`Self::try_marking_slice`]).
     ///
@@ -478,6 +505,15 @@ impl StateStore {
         Self::paged(self.states.in_flight(i))
     }
 
+    /// The enabling-clock slice of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::marking_slice`].
+    pub fn enabling_slice(&self, i: usize) -> &[(TransitionId, u64)] {
+        Self::paged(self.states.enabling(i))
+    }
+
     /// The environment id of state `i`.
     ///
     /// # Panics
@@ -506,6 +542,7 @@ impl StateStore {
             marking: MarkingView(self.marking_slice(i)),
             env: self.env(self.env_id(i)),
             in_flight: self.in_flight_slice(i),
+            enabling: self.enabling_slice(i),
         }
     }
 
@@ -574,10 +611,20 @@ impl StateStore {
     }
 
     #[inline]
-    fn hash_state(marking_hash: u64, env_id: u32, in_flight: &[(TransitionId, u64)]) -> u64 {
+    fn hash_state(
+        marking_hash: u64,
+        env_id: u32,
+        in_flight: &[(TransitionId, u64)],
+        enabling: &[(TransitionId, u64)],
+    ) -> u64 {
         let mut h = fx_mix(marking_hash, u64::from(env_id));
         h = fx_mix(h, in_flight.len() as u64);
         for &(t, r) in in_flight {
+            h = fx_mix(h, t.index() as u64);
+            h = fx_mix(h, r);
+        }
+        h = fx_mix(h, enabling.len() as u64);
+        for &(t, r) in enabling {
             h = fx_mix(h, t.index() as u64);
             h = fx_mix(h, r);
         }
@@ -604,12 +651,14 @@ impl StateStore {
         marking: &[u32],
         env_id: u32,
         in_flight: &[(TransitionId, u64)],
+        enabling: &[(TransitionId, u64)],
     ) -> Result<(usize, bool), ReachError> {
         self.intern_bounded(
             marking,
             Self::marking_hash(marking),
             env_id,
             in_flight,
+            enabling,
             usize::MAX,
         )
     }
@@ -629,6 +678,7 @@ impl StateStore {
         marking_hash: u64,
         env_id: u32,
         in_flight: &[(TransitionId, u64)],
+        enabling: &[(TransitionId, u64)],
         max_states: usize,
     ) -> Result<(usize, bool), ReachError> {
         assert_eq!(marking.len(), self.places(), "marking width mismatch");
@@ -637,8 +687,8 @@ impl StateStore {
             Self::marking_hash(marking),
             "stale incremental hash"
         );
-        let hash = Self::hash_state(marking_hash, env_id, in_flight);
-        if let Some(idx) = self.probe_state(hash, marking, env_id, in_flight)? {
+        let hash = Self::hash_state(marking_hash, env_id, in_flight, enabling);
+        if let Some(idx) = self.probe_state(hash, marking, env_id, in_flight, enabling)? {
             // The probe may have faulted an old segment in; this is a
             // `&mut` point, so evict back under budget right away.
             self.states.maintain()?;
@@ -650,7 +700,7 @@ impl StateStore {
         let idx = u32::try_from(self.states.len()).map_err(|_| ReachError::CapacityExceeded {
             resource: "state index (more than u32::MAX states)",
         })?;
-        self.states.append(marking, env_id, in_flight)?;
+        self.states.append(marking, env_id, in_flight, enabling)?;
         self.state_table.insert(hash, idx);
         Ok((idx as usize, true))
     }
@@ -665,6 +715,7 @@ impl StateStore {
         marking: &[u32],
         env_id: u32,
         in_flight: &[(TransitionId, u64)],
+        enabling: &[(TransitionId, u64)],
     ) -> Result<Option<u32>, ReachError> {
         let mask = self.state_table.entries.len() - 1;
         let mut i = self.state_table.start(hash);
@@ -674,10 +725,13 @@ impl StateStore {
                 return Ok(None);
             }
             if h == hash {
-                let s = idx as usize;
-                if self.states.env_id(s)? == env_id
-                    && self.states.marking(s)? == marking
-                    && self.states.in_flight(s)? == in_flight
+                // One segment fetch (and at most one fault) covers the
+                // whole content compare.
+                let (seg, local) = self.states.row(idx as usize)?;
+                if seg.env_id(local) == env_id
+                    && seg.marking(local, self.places()) == marking
+                    && seg.in_flight(local) == in_flight
+                    && seg.enabling(local) == enabling
                 {
                     return Ok(Some(idx));
                 }
@@ -700,9 +754,10 @@ impl StateStore {
         marking_hash: u64,
         env_id: u32,
         in_flight: &[(TransitionId, u64)],
+        enabling: &[(TransitionId, u64)],
     ) -> Result<Option<u32>, ReachError> {
-        let hash = Self::hash_state(marking_hash, env_id, in_flight);
-        self.probe_state(hash, marking, env_id, in_flight)
+        let hash = Self::hash_state(marking_hash, env_id, in_flight, enabling);
+        self.probe_state(hash, marking, env_id, in_flight, enabling)
     }
 
     /// Intern an environment; clones it only the first time it is seen.
@@ -818,6 +873,7 @@ pub(crate) fn pending_state_hash(
     marking_hash: u64,
     env_ref: EnvRef,
     in_flight: &[(TransitionId, u64)],
+    enabling: &[(TransitionId, u64)],
 ) -> u64 {
     let (tag, id) = match env_ref {
         EnvRef::Committed(e) => (0u64, e),
@@ -827,6 +883,11 @@ pub(crate) fn pending_state_hash(
     h = fx_mix(h, u64::from(id));
     h = fx_mix(h, in_flight.len() as u64);
     for &(t, r) in in_flight {
+        h = fx_mix(h, t.index() as u64);
+        h = fx_mix(h, r);
+    }
+    h = fx_mix(h, enabling.len() as u64);
+    for &(t, r) in enabling {
         h = fx_mix(h, t.index() as u64);
         h = fx_mix(h, r);
     }
@@ -851,6 +912,8 @@ pub(crate) struct PendingShard {
     env_refs: Vec<EnvRef>,
     inflight_offsets: Vec<u32>,
     inflight: Vec<(TransitionId, u64)>,
+    enabling_offsets: Vec<u32>,
+    enabling: Vec<(TransitionId, u64)>,
     env_table: InternTable,
     /// Min discovery key per pending environment.
     env_keys: Vec<u64>,
@@ -870,6 +933,8 @@ impl PendingShard {
             env_refs: Vec::new(),
             inflight_offsets: vec![0],
             inflight: Vec::new(),
+            enabling_offsets: vec![0],
+            enabling: Vec::new(),
             env_table: InternTable::with_capacity(4),
             env_keys: Vec::new(),
             envs: Vec::new(),
@@ -888,6 +953,10 @@ impl PendingShard {
         &self.inflight[self.inflight_offsets[i] as usize..self.inflight_offsets[i + 1] as usize]
     }
 
+    fn enabling_slice(&self, i: usize) -> &[(TransitionId, u64)] {
+        &self.enabling[self.enabling_offsets[i] as usize..self.enabling_offsets[i + 1] as usize]
+    }
+
     /// Reset for the next level, keeping arena capacity.
     fn clear(&mut self) {
         self.state_table = InternTable::with_capacity(self.state_keys.len().max(16));
@@ -898,6 +967,9 @@ impl PendingShard {
         self.inflight_offsets.clear();
         self.inflight_offsets.push(0);
         self.inflight.clear();
+        self.enabling_offsets.clear();
+        self.enabling_offsets.push(0);
+        self.enabling.clear();
         self.env_table = InternTable::with_capacity(self.env_keys.len().max(4));
         self.env_keys.clear();
         self.envs.clear();
@@ -923,6 +995,7 @@ impl PendingShard {
     /// min-reducing the discovery key on a hit. The inserting caller
     /// copies the state into this shard's segments (under the shard
     /// lock), so concurrent probes from other workers see it.
+    #[allow(clippy::too_many_arguments)] // mirrors the committed intern signature
     pub(crate) fn intern_state(
         &mut self,
         marking: &[u32],
@@ -930,6 +1003,7 @@ impl PendingShard {
         hash: u64,
         env_ref: EnvRef,
         in_flight: &[(TransitionId, u64)],
+        enabling: &[(TransitionId, u64)],
         key: u64,
     ) -> Result<u32, ReachError> {
         debug_assert_eq!(marking.len(), self.places, "marking width mismatch");
@@ -938,6 +1012,7 @@ impl PendingShard {
             self.env_refs[i] == env_ref
                 && self.marking_slice(i) == marking
                 && self.inflight_slice(i) == in_flight
+                && self.enabling_slice(i) == enabling
         });
         if let Some(local) = found {
             let k = &mut self.state_keys[local as usize];
@@ -951,11 +1026,18 @@ impl PendingShard {
                 resource: "level in-flight segment (u32 offsets)",
             }
         })?;
+        let enabling_end = u32::try_from(self.enabling.len() + enabling.len()).map_err(|_| {
+            ReachError::CapacityExceeded {
+                resource: "level enabling segment (u32 offsets)",
+            }
+        })?;
         self.markings.extend_from_slice(marking);
         self.marking_hashes.push(marking_hash);
         self.env_refs.push(env_ref);
         self.inflight.extend_from_slice(in_flight);
         self.inflight_offsets.push(end);
+        self.enabling.extend_from_slice(enabling);
+        self.enabling_offsets.push(enabling_end);
         self.state_keys.push(key);
         self.state_table.insert(hash, local as u32);
         Ok(id)
@@ -1022,6 +1104,7 @@ impl StateStore {
                 sh.marking_hashes[l],
                 env_id,
                 sh.inflight_slice(l),
+                sh.enabling_slice(l),
                 usize::MAX,
             )?;
             debug_assert!(new, "pending state was already committed");
@@ -1052,9 +1135,9 @@ mod tests {
     fn intern_is_idempotent_and_zero_copy_on_hit() {
         let mut s = StateStore::new(3);
         let e = s.intern_env(&Env::new()).unwrap();
-        let (a, new_a) = s.intern(&[1, 0, 2], e, &[]).unwrap();
-        let (b, new_b) = s.intern(&[1, 0, 2], e, &[]).unwrap();
-        let (c, new_c) = s.intern(&[1, 0, 3], e, &[]).unwrap();
+        let (a, new_a) = s.intern(&[1, 0, 2], e, &[], &[]).unwrap();
+        let (b, new_b) = s.intern(&[1, 0, 2], e, &[], &[]).unwrap();
+        let (c, new_c) = s.intern(&[1, 0, 3], e, &[], &[]).unwrap();
         assert_eq!((a, new_a), (0, true));
         assert_eq!((b, new_b), (0, false));
         assert_eq!((c, new_c), (1, true));
@@ -1067,9 +1150,9 @@ mod tests {
         let mut s = StateStore::new(1);
         let e = s.intern_env(&Env::new()).unwrap();
         let t0 = TransitionId::new(0);
-        let (a, _) = s.intern(&[0], e, &[(t0, 3)]).unwrap();
-        let (b, _) = s.intern(&[0], e, &[(t0, 2)]).unwrap();
-        let (c, _) = s.intern(&[0], e, &[]).unwrap();
+        let (a, _) = s.intern(&[0], e, &[(t0, 3)], &[]).unwrap();
+        let (b, _) = s.intern(&[0], e, &[(t0, 2)], &[]).unwrap();
+        let (c, _) = s.intern(&[0], e, &[], &[]).unwrap();
         assert_eq!(s.len(), 3);
         assert_ne!(a, b);
         assert_ne!(b, c);
@@ -1096,13 +1179,13 @@ mod tests {
         let mut s = StateStore::new(2);
         let e = s.intern_env(&Env::new()).unwrap();
         for i in 0..10_000u32 {
-            let (idx, new) = s.intern(&[i, i / 3], e, &[]).unwrap();
+            let (idx, new) = s.intern(&[i, i / 3], e, &[], &[]).unwrap();
             assert_eq!(idx, i as usize);
             assert!(new);
         }
         // Everything is still findable after many growths.
         for i in 0..10_000u32 {
-            let (idx, new) = s.intern(&[i, i / 3], e, &[]).unwrap();
+            let (idx, new) = s.intern(&[i, i / 3], e, &[], &[]).unwrap();
             assert_eq!(idx, i as usize);
             assert!(!new, "state {i} was re-interned");
         }
@@ -1113,7 +1196,7 @@ mod tests {
     fn views_mirror_marking_api() {
         let mut s = StateStore::new(3);
         let e = s.intern_env(&Env::new()).unwrap();
-        s.intern(&[1, 0, 6], e, &[]).unwrap();
+        s.intern(&[1, 0, 6], e, &[], &[]).unwrap();
         let v = s.state(0).marking;
         assert_eq!(v.tokens(PlaceId::new(2)), 6);
         assert!(v.covers(PlaceId::new(0), 1));
@@ -1142,7 +1225,7 @@ mod tests {
         let e = s.intern_env(&Env::new()).unwrap();
         let before = s.approx_bytes();
         for i in 0..1000u32 {
-            s.intern(&[i, 0, 0, 0], e, &[]).unwrap();
+            s.intern(&[i, 0, 0, 0], e, &[], &[]).unwrap();
         }
         assert!(s.approx_bytes() > before);
     }
@@ -1155,21 +1238,21 @@ mod tests {
         let mut s = StateStore::new(1);
         let e = s.intern_env(&Env::new()).unwrap();
         let (a, _) = s
-            .intern_bounded(&[0], StateStore::marking_hash(&[0]), e, &[], 1)
+            .intern_bounded(&[0], StateStore::marking_hash(&[0]), e, &[], &[], 1)
             .unwrap();
         assert_eq!(a, 0);
         // A duplicate is still a hit at the cap.
         let (b, new) = s
-            .intern_bounded(&[0], StateStore::marking_hash(&[0]), e, &[], 1)
+            .intern_bounded(&[0], StateStore::marking_hash(&[0]), e, &[], &[], 1)
             .unwrap();
         assert_eq!((b, new), (0, false));
         let err = s
-            .intern_bounded(&[7], StateStore::marking_hash(&[7]), e, &[], 1)
+            .intern_bounded(&[7], StateStore::marking_hash(&[7]), e, &[], &[], 1)
             .unwrap_err();
         assert_eq!(err, ReachError::StateLimit { limit: 1 });
         assert_eq!(s.len(), 1, "failed intern must not grow the store");
         assert!(s
-            .find_state_hashed(&[7], StateStore::marking_hash(&[7]), e, &[])
+            .find_state_hashed(&[7], StateStore::marking_hash(&[7]), e, &[], &[])
             .unwrap()
             .is_none());
     }
@@ -1201,8 +1284,18 @@ mod tests {
             } else {
                 &[]
             };
+            let enabling: &[(TransitionId, u64)] = if i % 3 == 0 {
+                &[(t0, u64::from(i) % 11)]
+            } else {
+                &[]
+            };
             let (idx, new) = s
-                .intern(&[i, i / 2, 7, i % 3], envs[(i % 4) as usize], inflight)
+                .intern(
+                    &[i, i / 2, 7, i % 3],
+                    envs[(i % 4) as usize],
+                    inflight,
+                    enabling,
+                )
                 .unwrap();
             assert_eq!((idx, new), (i as usize, true));
         }
@@ -1221,7 +1314,13 @@ mod tests {
             } else {
                 &[]
             };
+            let enabling: &[(TransitionId, u64)] = if i % 3 == 0 {
+                &[(t0, u64::from(i) % 11)]
+            } else {
+                &[]
+            };
             assert_eq!(s.try_in_flight_slice(i as usize).unwrap(), inflight);
+            assert_eq!(s.try_enabling_slice(i as usize).unwrap(), enabling);
         }
         s.maintain().unwrap();
         for i in 0..n {
@@ -1230,8 +1329,18 @@ mod tests {
             } else {
                 &[]
             };
+            let enabling: &[(TransitionId, u64)] = if i % 3 == 0 {
+                &[(t0, u64::from(i) % 11)]
+            } else {
+                &[]
+            };
             let (idx, new) = s
-                .intern(&[i, i / 2, 7, i % 3], envs[(i % 4) as usize], inflight)
+                .intern(
+                    &[i, i / 2, 7, i % 3],
+                    envs[(i % 4) as usize],
+                    inflight,
+                    enabling,
+                )
                 .unwrap();
             assert_eq!((idx, new), (i as usize, false), "state {i} re-interned");
         }
@@ -1249,8 +1358,18 @@ mod tests {
             } else {
                 &[]
             };
+            let enabling: &[(TransitionId, u64)] = if i % 3 == 0 {
+                &[(t0, u64::from(i) % 11)]
+            } else {
+                &[]
+            };
             resident
-                .intern(&[i, i / 2, 7, i % 3], envs[(i % 4) as usize], inflight)
+                .intern(
+                    &[i, i / 2, 7, i % 3],
+                    envs[(i % 4) as usize],
+                    inflight,
+                    enabling,
+                )
                 .unwrap();
         }
         assert_eq!(s, resident);
@@ -1271,7 +1390,7 @@ mod tests {
         // resolve pending environments first.
         let mut store = StateStore::new(1);
         let e0 = store.intern_env(&Env::new()).unwrap();
-        store.intern(&[0], e0, &[]).unwrap(); // committed state 0
+        store.intern(&[0], e0, &[], &[]).unwrap(); // committed state 0
         let mut sh0 = PendingShard::new(0, 1);
         let mut sh1 = PendingShard::new(1, 1);
 
@@ -1290,8 +1409,9 @@ mod tests {
             .intern_state(
                 &[2],
                 mh(&[2]),
-                pending_state_hash(mh(&[2]), er, &[]),
+                pending_state_hash(mh(&[2]), er, &[], &[]),
                 er,
+                &[],
                 &[],
                 5,
             )
@@ -1302,8 +1422,9 @@ mod tests {
             .intern_state(
                 &[1],
                 mh(&[1]),
-                pending_state_hash(mh(&[1]), er0, &[]),
+                pending_state_hash(mh(&[1]), er0, &[], &[]),
                 er0,
+                &[],
                 &[],
                 2,
             )
@@ -1313,8 +1434,9 @@ mod tests {
             .intern_state(
                 &[2],
                 mh(&[2]),
-                pending_state_hash(mh(&[2]), er, &[]),
+                pending_state_hash(mh(&[2]), er, &[], &[]),
                 er,
+                &[],
                 &[],
                 4,
             )

@@ -28,6 +28,20 @@ fn interpreted_model_file_matches_builder() {
 }
 
 #[test]
+fn interpreted_analysis_model_file_matches_builder() {
+    // The irand-free variant `reach --timed`/`markov` accept.
+    let net = pnut::pipeline::interpreted::build(&pnut::pipeline::interpreted::InterpretedConfig {
+        for_analysis: true,
+        ..pnut::pipeline::interpreted::InterpretedConfig::default()
+    })
+    .expect("builds");
+    assert_eq!(
+        read_model("interpreted_analysis.pn"),
+        pnut::lang::print(&net)
+    );
+}
+
+#[test]
 fn sequential_model_file_matches_builder() {
     let net = pnut::pipeline::sequential::build(&pnut::pipeline::ThreeStageConfig::default())
         .expect("builds");
@@ -36,7 +50,12 @@ fn sequential_model_file_matches_builder() {
 
 #[test]
 fn model_files_parse_and_simulate() {
-    for name in ["three_stage.pn", "interpreted.pn", "sequential.pn"] {
+    for name in [
+        "three_stage.pn",
+        "interpreted.pn",
+        "interpreted_analysis.pn",
+        "sequential.pn",
+    ] {
         let net = pnut::lang::parse(&read_model(name)).expect("parses");
         let trace =
             pnut::sim::simulate(&net, 1, pnut::core::Time::from_ticks(500)).expect("simulates");

@@ -132,6 +132,64 @@ fn paper_queries_hold_on_the_real_trace() {
 }
 
 #[test]
+fn analytic_steady_state_matches_simulation_on_the_paper_model() {
+    // The enabling-clock timed state makes the §2 model analyzable
+    // *exactly* — no sampling. The analytic Issue throughput must agree
+    // with the simulated instruction rate up to the simulation's own
+    // noise (the paper's Figure 5 reports 0.1238 instructions/cycle).
+    use pnut::analytic::markov::{steady_state, MarkovOptions};
+    let net = three_stage::build(&ThreeStageConfig::default()).expect("model builds");
+    let ss = steady_state(&net, &MarkovOptions::default())
+        .expect("enabling delays are part of the timed class now");
+    let issue = ss.throughput(net.transition_id("Issue").expect("exists"));
+    assert!(
+        (0.08..=0.16).contains(&issue),
+        "analytic IPC near the paper's 0.124, got {issue}"
+    );
+    let o = run_experiment(&ThreeStageConfig::default(), 1, 50_000).expect("runs");
+    let sim = o.metrics.instructions_per_cycle;
+    assert!(
+        (issue - sim).abs() / sim < 0.05,
+        "analytic {issue} vs simulated {sim} instructions/cycle"
+    );
+    // The bus utilization numbers must line up too.
+    let busy = ss.avg_tokens(net.place_id("Bus_busy").expect("exists"));
+    assert!(
+        (busy - o.metrics.bus_utilization).abs() < 0.05,
+        "analytic bus {busy} vs simulated {}",
+        o.metrics.bus_utilization
+    );
+}
+
+#[test]
+fn cache_models_are_analyzable_end_to_end() {
+    // §3: adding a cache with a 90% hit ratio shortens the effective
+    // memory latency; the steady state of the cache-enabled model must
+    // build (it leans on both enabling clocks and frequency-routed
+    // hit/miss choice) and show a strictly faster pipeline.
+    use pnut::analytic::markov::{steady_state, MarkovOptions};
+    use pnut::pipeline::CacheConfig;
+    let base = three_stage::build(&ThreeStageConfig::default()).expect("builds");
+    let base_ss = steady_state(&base, &MarkovOptions::default()).expect("base analyzable");
+    let mut c = ThreeStageConfig::default();
+    c.cache = Some(CacheConfig {
+        hit_ratio: 0.9,
+        hit_cycles: 1,
+    });
+    let cached = three_stage::build(&c).expect("builds");
+    let cached_ss = steady_state(&cached, &MarkovOptions::default()).expect("cache analyzable");
+    let ipc = |net: &pnut::core::Net, ss: &pnut::analytic::markov::SteadyState| {
+        ss.throughput(net.transition_id("Issue").expect("exists"))
+    };
+    assert!(
+        ipc(&cached, &cached_ss) > ipc(&base, &base_ss) * 1.2,
+        "a 90% cache must speed the pipeline up: {} vs {}",
+        ipc(&cached, &cached_ss),
+        ipc(&base, &base_ss)
+    );
+}
+
+#[test]
 fn different_seeds_are_statistically_consistent() {
     // Five seeds: IPC spread should be modest (the model is ergodic).
     let ipcs: Vec<f64> = (0..5)

@@ -102,6 +102,68 @@ fn interpreted_untimed_matches_seed_construction() {
     assert_eq!(g.store().env_count(), 20);
 }
 
+/// Golden timed state/edge counts for the full paper pipelines — the
+/// graphs the enabling-clock state extension unlocked (the seed
+/// construction rejects every one of these nets because their
+/// memory-completion transitions use enabling delays). Each build is
+/// also asserted bit-identical across `jobs ∈ {1, 4}` ×
+/// `mem_budget ∈ {unlimited, 64 KiB}`.
+#[test]
+fn timed_pipelines_have_golden_counts_and_deterministic_builds() {
+    let cases: [(Net, (usize, usize)); 3] = [
+        (
+            three_stage::build(&ThreeStageConfig::default()).expect("builds"),
+            (3391, 4876),
+        ),
+        (
+            interpreted::build(&interpreted::InterpretedConfig {
+                for_analysis: true,
+                ..interpreted::InterpretedConfig::default()
+            })
+            .expect("builds"),
+            (638, 984),
+        ),
+        (
+            sequential::build(&ThreeStageConfig::default()).expect("builds"),
+            (32, 39),
+        ),
+    ];
+    for (net, (states, edges)) in &cases {
+        let reference = build_timed(net, &ReachOptions::default()).expect("timed build");
+        assert_eq!(
+            (reference.state_count(), reference.edge_count()),
+            (*states, *edges),
+            "timed golden counts of `{}`",
+            net.name()
+        );
+        // The whole point of the extension: enabling clocks really are
+        // part of the reachable state space of these models.
+        assert!(
+            (0..reference.state_count()).any(|i| !reference.state(i).enabling.is_empty()),
+            "`{}` should carry enabling clocks",
+            net.name()
+        );
+        // The frozen seed construction still rejects these nets — the
+        // golden counts above cannot be cross-checked against it.
+        assert!(
+            legacy_reach::build_timed(net, &ReachOptions::default()).is_err(),
+            "seed construction unexpectedly accepts `{}`",
+            net.name()
+        );
+        for jobs in [1, 4] {
+            for budget in [usize::MAX, TINY_BUDGET] {
+                let g = build_timed(net, &with_budget(jobs, budget)).expect("timed build");
+                assert_eq!(
+                    g,
+                    reference,
+                    "timed build of `{}` diverged at jobs = {jobs}, budget = {budget:#x}",
+                    net.name()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn timed_fragment_matches_seed_construction() {
     let net = timed_fragment(3);

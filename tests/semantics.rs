@@ -60,6 +60,137 @@ fn firing_time_simulated_by_enabling_time() {
     );
 }
 
+/// The §1 equivalence again, but cross-validated on the *timed
+/// reachability graphs* rather than on simulation statistics: a
+/// firing-time transition and its hand-desugared hold-place +
+/// enabling-time + atomic-move encoding must produce isomorphic timed
+/// graphs once the desugared atomic move is contracted (the one extra
+/// instantaneous internal step the encoding introduces). This pins the
+/// enabling-clock semantics of `build_timed` against the independent
+/// firing-time semantics it has always had.
+#[test]
+fn enabling_clock_graph_matches_hold_place_desugaring() {
+    use pnut::reach::graph::{build_timed, EdgeLabel, ReachOptions};
+    use std::collections::BTreeMap;
+
+    // Version A: firing time 4 on `work`, delayed return via `back`.
+    let mut a = NetBuilder::new("firing");
+    a.place("src", 1);
+    a.place("dst", 0);
+    a.transition("work")
+        .input("src")
+        .output("dst")
+        .firing(4)
+        .add();
+    a.transition("back")
+        .input("dst")
+        .output("src")
+        .firing(1)
+        .add();
+    let net_a = a.build().expect("builds");
+
+    // Version B: the desugaring — an instantaneous start moves the
+    // token to a hold place; an enabling-4 atomic move completes.
+    let mut b = NetBuilder::new("enabling");
+    b.place("src", 1);
+    b.place("hold", 0);
+    b.place("dst", 0);
+    b.transition("work_start").input("src").output("hold").add();
+    b.transition("work_end")
+        .input("hold")
+        .output("dst")
+        .enabling(4)
+        .add();
+    b.transition("back")
+        .input("dst")
+        .output("src")
+        .firing(1)
+        .add();
+    let net_b = b.build().expect("builds");
+
+    let options = ReachOptions::default();
+    let ga = build_timed(&net_a, &options).expect("A builds");
+    let gb = build_timed(&net_b, &options).expect("B builds via enabling clocks");
+    // B spends one extra state per round inside the hold hand-off.
+    assert_eq!(ga.state_count(), 4);
+    assert_eq!(gb.state_count(), 5);
+
+    // Contract B's `work_end` edges (the internal atomic move) with a
+    // union-find, then compare the quotient to A edge-by-edge.
+    let we = net_b.transition_id("work_end").expect("exists");
+    let mut rep: Vec<usize> = (0..gb.state_count()).collect();
+    fn find(rep: &mut [usize], mut i: usize) -> usize {
+        while rep[i] != i {
+            rep[i] = rep[rep[i]];
+            i = rep[i];
+        }
+        i
+    }
+    for s in 0..gb.state_count() {
+        for &(l, t) in gb.successors(s) {
+            if l == EdgeLabel::Fire(we) {
+                let (rs, rt) = (find(&mut rep, s), find(&mut rep, t as usize));
+                rep[rs] = rt;
+            }
+        }
+    }
+    let label = |name: &str, l: EdgeLabel, net: &pnut::core::Net| -> String {
+        match l {
+            EdgeLabel::Fire(t) => {
+                let n = net.transition(t).name();
+                (if n == name { "work" } else { n }).to_string()
+            }
+            EdgeLabel::Advance(d) => format!("+{d}"),
+        }
+    };
+    let mut quotient: BTreeMap<usize, BTreeMap<String, usize>> = BTreeMap::new();
+    for s in 0..gb.state_count() {
+        for &(l, t) in gb.successors(s) {
+            if l == EdgeLabel::Fire(we) {
+                continue;
+            }
+            let (qs, qt) = (find(&mut rep, s), find(&mut rep, t as usize));
+            let prev = quotient
+                .entry(qs)
+                .or_default()
+                .insert(label("work_start", l, &net_b), qt);
+            assert!(prev.is_none_or(|p| p == qt), "nondeterministic quotient");
+        }
+    }
+
+    // Lock-step walk: the quotient must be isomorphic to A under the
+    // work_start ↦ work renaming, advance labels included.
+    let initial_b = find(&mut rep, 0);
+    let mut matched: BTreeMap<usize, usize> = BTreeMap::new(); // A state -> quotient rep
+    let mut queue = vec![(0usize, initial_b)];
+    while let Some((sa, qb)) = queue.pop() {
+        match matched.get(&sa) {
+            Some(&seen) => {
+                assert_eq!(seen, qb, "A state {sa} maps to two quotient states");
+                continue;
+            }
+            None => {
+                matched.insert(sa, qb);
+            }
+        }
+        let edges_a: BTreeMap<String, usize> = ga
+            .successors(sa)
+            .iter()
+            .map(|&(l, t)| (label("work", l, &net_a), t as usize))
+            .collect();
+        let edges_b = quotient.get(&qb).cloned().unwrap_or_default();
+        assert_eq!(
+            edges_a.keys().collect::<Vec<_>>(),
+            edges_b.keys().collect::<Vec<_>>(),
+            "edge labels differ at A state {sa} / quotient state {qb}"
+        );
+        for (l, ta) in edges_a {
+            queue.push((ta, edges_b[&l]));
+        }
+    }
+    assert_eq!(matched.len(), ga.state_count(), "walk covered all of A");
+}
+
 /// The converse direction is impossible (§1): an enabling time reacts to
 /// *disabling* by resetting, which a firing time cannot, because firing
 /// removes the tokens. Demonstrate the observable difference.
