@@ -28,16 +28,10 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum MarkovError {
     /// The timed reachability graph could not be built (randomness,
-    /// state explosion, evaluation failures, ...).
+    /// state explosion, evaluation failures, ...), or a spilled
+    /// segment failed to reload during the segment-ordered chain
+    /// extraction.
     Reach(pnut_reach::ReachError),
-    /// A transition's enabling time is an expression, which the timed
-    /// state's enabling clocks cannot carry (they arm with a
-    /// pre-resolved countdown). Constant enabling delays — and constant
-    /// or deterministic-expression firing delays — are fully supported.
-    ExpressionEnablingTime {
-        /// The offending transition.
-        transition: String,
-    },
     /// The graph has deadlock states: the long-run behaviour is
     /// absorption, not a steady state.
     Deadlock {
@@ -62,13 +56,6 @@ impl fmt::Display for MarkovError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MarkovError::Reach(e) => write!(f, "timed reachability failed: {e}"),
-            MarkovError::ExpressionEnablingTime { transition } => write!(
-                f,
-                "transition `{transition}` has an expression-valued enabling time, which \
-                 steady-state analysis cannot handle; replace it with a constant tick \
-                 count (e.g. `.enabling(5)` / `enabling 5`) — constant enabling delays \
-                 and table-driven firing delays are fully supported"
-            ),
             MarkovError::Deadlock { state } => {
                 write!(f, "state {state} deadlocks; no steady state exists")
             }
@@ -92,15 +79,7 @@ impl std::error::Error for MarkovError {
 
 impl From<pnut_reach::ReachError> for MarkovError {
     fn from(e: pnut_reach::ReachError) -> Self {
-        match e {
-            // The only delay class the timed build still rejects; name
-            // the transition and the workaround instead of surfacing the
-            // bare graph error.
-            pnut_reach::ReachError::EnablingTimesUnsupported { transition } => {
-                MarkovError::ExpressionEnablingTime { transition }
-            }
-            e => MarkovError::Reach(e),
-        }
+        MarkovError::Reach(e)
     }
 }
 
@@ -117,9 +96,16 @@ pub struct MarkovOptions {
     /// [`pnut_reach::ReachOptions::jobs`]); the chain extraction itself
     /// is dense linear algebra and stays single-threaded.
     pub jobs: usize,
-    /// Resident byte budget for the reachability build's state arenas
-    /// (see [`pnut_reach::ReachOptions::mem_budget`]); the dense chain
-    /// vectors themselves stay in memory.
+    /// Resident byte budget for the reachability build's state and
+    /// edge arenas (see [`pnut_reach::ReachOptions::mem_budget`]). The
+    /// chain extraction and the place-average pass honor it by
+    /// scanning the *graph* segment-at-a-time instead of faulting it
+    /// resident — but the budget governs the graph arenas only: the
+    /// extracted jump chain itself (one `(target, probability, label)`
+    /// entry per edge, plus the `O(states)` iteration vectors) is dense
+    /// and stays unconditionally in memory, outside the pager ledger.
+    /// The dense-chain cap is [`Self::max_states`]; paging the chain is
+    /// not attempted.
     pub mem_budget: usize,
     /// Spill directory for the reachability build (see
     /// [`pnut_reach::ReachOptions::spill_dir`]).
@@ -206,7 +192,7 @@ impl SteadyState {
 /// ```
 #[allow(clippy::needless_range_loop)] // matrix/state indexing reads clearest with indices
 pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, MarkovError> {
-    let graph = build_timed(
+    let mut graph = build_timed(
         net,
         &ReachOptions {
             max_states: options.max_states,
@@ -222,48 +208,65 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
             cap: options.max_states,
         });
     }
-    if let Some(&d) = graph.deadlocks().first() {
-        return Err(MarkovError::Deadlock { state: d });
-    }
+    // Phase-scope the resident high-water mark: from here on the peak
+    // measures the *analysis* sweeps, which promise to stay inside the
+    // byte budget (verified below in debug builds).
+    graph.reset_peak_resident_bytes();
 
     // Embedded jump chain: per state, (successor, probability, label).
+    // Extracted segment-at-a-time — pin one segment's edge rows, scan
+    // them, evict back under the byte budget — so the extraction phase
+    // stays inside `mem_budget` instead of faulting the whole graph
+    // resident. Deadlocks surface here too (segment order is state
+    // order, so the first one found is the lowest-numbered, matching
+    // the pre-paging behaviour of `deadlocks().first()`).
     let mut jumps: Vec<Vec<(usize, f64, EdgeLabel)>> = Vec::with_capacity(n);
     let mut sojourn = vec![0.0f64; n];
-    for s in 0..n {
-        let edges = graph.successors(s);
-        let fires: Vec<_> = edges
-            .iter()
-            .filter(|(l, _)| matches!(l, EdgeLabel::Fire(_)))
-            .collect();
-        if !fires.is_empty() {
-            let total: f64 = fires
-                .iter()
-                .map(|&&(l, _)| match l {
-                    EdgeLabel::Fire(t) => net.transition(t).frequency(),
-                    EdgeLabel::Advance(_) => 0.0,
-                })
-                .sum();
-            jumps.push(
-                fires
+    for seg in 0..graph.segment_count() {
+        {
+            let guard = graph.pin_segment(seg);
+            for s in guard.range() {
+                let edges = guard.successors(s);
+                if edges.is_empty() {
+                    return Err(MarkovError::Deadlock { state: s });
+                }
+                let fires: Vec<_> = edges
                     .iter()
-                    .map(|&&(l, to)| {
-                        let f = match l {
+                    .filter(|(l, _)| matches!(l, EdgeLabel::Fire(_)))
+                    .collect();
+                if !fires.is_empty() {
+                    let total: f64 = fires
+                        .iter()
+                        .map(|&&(l, _)| match l {
                             EdgeLabel::Fire(t) => net.transition(t).frequency(),
                             EdgeLabel::Advance(_) => 0.0,
-                        };
-                        (to as usize, f / total, l)
-                    })
-                    .collect(),
-            );
-        } else {
-            // Exactly one Advance edge (maximal-progress construction).
-            let &(label, to) = edges.first().expect("non-deadlock state has an edge");
-            let EdgeLabel::Advance(dt) = label else {
-                unreachable!("non-fire edge is an advance");
-            };
-            sojourn[s] = dt as f64;
-            jumps.push(vec![(to as usize, 1.0, label)]);
+                        })
+                        .sum();
+                    jumps.push(
+                        fires
+                            .iter()
+                            .map(|&&(l, to)| {
+                                let f = match l {
+                                    EdgeLabel::Fire(t) => net.transition(t).frequency(),
+                                    EdgeLabel::Advance(_) => 0.0,
+                                };
+                                (to as usize, f / total, l)
+                            })
+                            .collect(),
+                    );
+                } else {
+                    // Exactly one Advance edge (maximal-progress
+                    // construction).
+                    let &(label, to) = edges.first().expect("non-deadlock state has an edge");
+                    let EdgeLabel::Advance(dt) = label else {
+                        unreachable!("non-fire edge is an advance");
+                    };
+                    sojourn[s] = dt as f64;
+                    jumps.push(vec![(to as usize, 1.0, label)]);
+                }
+            }
         }
+        graph.maintain()?;
     }
     if sojourn.iter().all(|&t| t == 0.0) {
         return Err(MarkovError::Zeno);
@@ -321,17 +324,46 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
         .map(|(&p, &t)| p * t / mean_sojourn)
         .collect();
 
-    // Place averages: Σ fraction(s) · tokens_s(p).
+    // Place averages: Σ fraction(s) · tokens_s(p) — a second
+    // segment-ordered sweep, this time over the marking rows.
     let places = net.place_count();
     let mut place_average_tokens = vec![0.0f64; places];
-    for (s, &frac) in state_fraction.iter().enumerate() {
-        if frac == 0.0 {
-            continue;
+    for seg in 0..graph.segment_count() {
+        {
+            let guard = graph.pin_segment(seg);
+            for s in guard.range() {
+                let frac = state_fraction[s];
+                if frac == 0.0 {
+                    continue;
+                }
+                for (p, &tokens) in guard.marking(s).iter().enumerate() {
+                    place_average_tokens[p] += frac * f64::from(tokens);
+                }
+            }
         }
-        let m = &graph.state(s).marking;
-        for p in 0..places {
-            place_average_tokens[p] += frac * f64::from(m.tokens(PlaceId::new(p)));
-        }
+        graph.maintain()?;
+    }
+
+    // The segment-ordered sweeps above promise the analysis-phase
+    // resident envelope: budget + one pinned guard (state + edge
+    // segment) + one segment of slack. Verify the promise whenever a
+    // finite budget is set (debug builds only; the paged-analysis test
+    // harness exercises this at a 64 KiB budget).
+    #[cfg(debug_assertions)]
+    if options.mem_budget != usize::MAX {
+        let guard = graph.max_state_segment_bytes() + graph.max_edge_segment_bytes();
+        let slack = guard
+            + graph
+                .max_state_segment_bytes()
+                .max(graph.max_edge_segment_bytes());
+        debug_assert!(
+            graph.peak_resident_bytes() <= options.mem_budget + slack,
+            "markov analysis phase peaked at {} resident bytes \
+             (budget {} + guard/segment slack {})",
+            graph.peak_resident_bytes(),
+            options.mem_budget,
+            slack
+        );
     }
 
     // Throughput of t: expected Fire(t) jumps per tick
@@ -610,30 +642,41 @@ mod tests {
     }
 
     #[test]
-    fn expression_enabling_times_get_a_named_rejection() {
-        let mut b = NetBuilder::new("en");
-        b.place("p", 1);
-        b.place("q", 0);
-        b.var("d", 3);
-        b.transition("t")
-            .input("p")
-            .output("q")
-            .enabling_expr(pnut_core::Expr::parse("d").unwrap())
-            .add();
-        b.transition("r").input("q").output("p").add();
-        let net = b.build().unwrap();
-        let e = steady_state(&net, &MarkovOptions::default()).unwrap_err();
-        assert_eq!(
-            e,
-            MarkovError::ExpressionEnablingTime {
-                transition: "t".into()
+    fn expression_enabling_times_are_analyzed_exactly() {
+        // The same hand-off ring as above, but with the enabling delay
+        // written as a variable expression: the timed build resolves it
+        // at arm time (retiring the old ExpressionEnablingTime
+        // rejection), so the steady state matches the constant-delay
+        // encoding exactly.
+        let build = |expr: bool| {
+            let mut b = NetBuilder::new("en");
+            b.place("p", 1);
+            b.place("q", 0);
+            let t = b.transition("t").input("p").output("q");
+            if expr {
+                t.enabling_expr(pnut_core::Expr::parse("d").unwrap()).add();
+            } else {
+                t.enabling(3).add();
             }
-        );
-        let msg = e.to_string();
-        assert!(msg.contains("`t`"), "message names the transition: {msg}");
+            if expr {
+                b.var("d", 3);
+            }
+            b.transition("r").input("q").output("p").add();
+            b.build().unwrap()
+        };
+        let net = build(true);
+        let ss = steady_state(&net, &MarkovOptions::default()).unwrap();
+        let constant = steady_state(&build(false), &MarkovOptions::default()).unwrap();
+        let t = net.transition_id("t").unwrap();
         assert!(
-            msg.contains("constant"),
-            "message suggests the constant-delay workaround: {msg}"
+            (ss.throughput(t) - 1.0 / 3.0).abs() < 1e-9,
+            "one firing per 3-tick enabling period, got {}",
+            ss.throughput(t)
         );
+        assert_eq!(
+            ss.transition_throughput, constant.transition_throughput,
+            "expression and constant encodings agree bit-for-bit"
+        );
+        assert_eq!(ss.state_fraction, constant.state_fraction);
     }
 }

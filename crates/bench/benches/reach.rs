@@ -10,6 +10,7 @@
 use criterion::{criterion_group, Criterion};
 use pnut_bench::{legacy_reach, workloads};
 use pnut_core::Net;
+use pnut_reach::ctl;
 use pnut_reach::graph::{build_timed, build_untimed, ReachOptions, ReachabilityGraph};
 use std::io::Write as _;
 use std::time::Instant;
@@ -132,12 +133,38 @@ fn bench_spill(c: &mut Criterion) {
     g.finish();
 }
 
+/// Segment-ordered analysis sweeps under a byte budget: a CTL `AG`
+/// invariant check (whose `EU` fixpoint re-sweeps the whole graph
+/// until stable) on the 8192-state toggle lattice, at `resident`
+/// (pager in place, nothing evicted) and at a 64 KiB budget (every
+/// sweep streams all state *and* edge segments through the window).
+/// The gated number is the ratio between the two: if the analyses
+/// regress to random-access fault storms, the budgeted sweep collapses
+/// and the ratio with it.
+fn bench_paged_analysis(c: &mut Criterion) {
+    let net = workloads::wide_toggle(13);
+    let formula = ctl::Formula::parse("AG (u0 + d0 = 1)").expect("parses");
+    let mut g = c.benchmark_group("reach/paged_analysis/wide_toggle");
+    for (tag, budget) in [("resident", usize::MAX), ("b64k", 64 << 10)] {
+        let mut graph = build_untimed(&net, &with_budget(budget)).expect("bounded");
+        g.bench_function(tag, |b| {
+            b.iter(|| {
+                let outcome = ctl::check(&mut graph, &net, &formula).expect("checks");
+                assert!(outcome.holds_initially, "lattice invariant must hold");
+                outcome.satisfying.len()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     reach,
     bench_untimed,
     bench_timed,
     bench_parallel,
-    bench_spill
+    bench_spill,
+    bench_paged_analysis
 );
 
 fn export(name: &str, key: &str, value: f64) {
@@ -283,6 +310,31 @@ fn summary() {
             ratio,
         );
     }
+
+    // Paged-analysis series (gates the segment-ordered read path): the
+    // same CTL sweep on the same graph, budgeted vs resident. The
+    // budgeted sweep streams every state + edge segment per fixpoint
+    // iteration, so the ratio prices the seal/spill/fault machinery on
+    // the *analysis* side; a regression to random-access faulting
+    // (evict-everything-refault-everything churn) drags it down and
+    // trips the CI `--min-frac-for` bound.
+    println!("\n-- paged analyses: CTL AG sweep on wide_toggle(13) (min of 5 checks) --");
+    let formula = ctl::Formula::parse("AG (u0 + d0 = 1)").expect("parses");
+    let mut resident_graph = build_untimed(&net, &with_budget(usize::MAX)).expect("bounded");
+    let resident_ns = min_ns(5, || {
+        ctl::check(&mut resident_graph, &net, &formula).expect("checks")
+    });
+    let mut paged_graph = build_untimed(&net, &with_budget(64 << 10)).expect("bounded");
+    let paged_ns = min_ns(5, || {
+        ctl::check(&mut paged_graph, &net, &formula).expect("checks")
+    });
+    let ratio = resident_ns / paged_ns;
+    println!("wide_toggle ctl @64KiB   {ratio:>5.2}x of the resident-budget sweep");
+    export(
+        "reach/speedup/paged_analysis/wide_toggle/b64k",
+        "ratio",
+        ratio,
+    );
 }
 
 fn main() {

@@ -94,10 +94,10 @@ fn bench_reachability(c: &mut Criterion) {
 /// CTL model checking of the bus invariant over that graph.
 fn bench_ctl(c: &mut Criterion) {
     let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
-    let g = graph::build_untimed(&net, &graph::ReachOptions::default()).expect("bounded");
+    let mut g = graph::build_untimed(&net, &graph::ReachOptions::default()).expect("bounded");
     let f = ctl::Formula::parse("AG (Bus_free + Bus_busy = 1)").expect("parses");
     c.bench_function("tools/ctl_invariant", |b| {
-        b.iter(|| ctl::check(&g, &net, &f).expect("checks"));
+        b.iter(|| ctl::check(&mut g, &net, &f).expect("checks"));
     });
 }
 

@@ -176,8 +176,12 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<LegacyGraph, Rea
     check_deterministic(net)?;
     let mut firing_ticks = Vec::with_capacity(net.transition_count());
     for (_, t) in net.transitions() {
+        // The seed never modelled enabling clocks at all; the modern
+        // build resolves both constant and expression enabling times,
+        // so `NonConstantDelay` (the seed's catch-all for delay classes
+        // it cannot carry) survives only here.
         if !t.enabling_time().is_zero_constant() {
-            return Err(ReachError::EnablingTimesUnsupported {
+            return Err(ReachError::NonConstantDelay {
                 transition: t.name().to_string(),
             });
         }

@@ -336,21 +336,28 @@ usage: pnut <command> [args]
   measure <trace.json> [--pulses PLACE] [--intervals TRANS] [--latency FROM,TO]
 
 --timed builds the timed reachability graph: states carry in-flight
-firings and enabling clocks, so constant enabling delays (the paper's
-memory-access idiom) and deterministic table-driven firing delays are
-fully supported; only expression-valued enabling times are rejected.
-markov analyzes the same timed class.
+firings and enabling clocks. Both delay kinds may be constants or
+deterministic expressions — firing delays resolve against the
+post-action environment (the paper's table-driven idiom), enabling
+delays against the environment at arm time; only irand-based delays
+are rejected (determinism). markov analyzes the same timed class.
 --max-states raises/lowers the state-space cap (default 100000; 20000
 for markov). --jobs N explores the frontier with N worker threads
 (0 = all cores, default 1); results are identical at any job count.
---mem-budget caps the resident state arenas (e.g. 64KiB, 512MB;
-default unlimited): cold level segments spill to a temp file in
---spill-dir (default: system temp) and reload on demand, so state
-spaces can exceed RAM; results are identical at any budget.
+--mem-budget caps the resident state AND edge arenas under one shared
+budget (e.g. 64KiB, 512MB; default unlimited): cold level segments
+spill to a temp file in --spill-dir (default: system temp) and reload
+on demand, so state spaces can exceed RAM; results are identical at
+any budget. The budget is honored end to end: --ctl model checking,
+the deadlock/bound report, and markov's chain extraction all sweep
+the graph segment-at-a-time, evicting between segments, instead of
+faulting the whole store back into memory. (markov's *extracted*
+dense chain — one entry per edge — still lives outside the budget;
+its size is capped by --max-states, not --mem-budget.)
 cover ignores --jobs (with a warning): the Karp–Miller tree
 accelerates against ancestor chains, which is inherently sequential.
 cover likewise ignores --mem-budget/--spill-dir: the tree stays
-memory-resident.
+memory-resident (both are documented unsupported, not planned).
 
 exit codes: 0 ok · 1 error · 2 checked property is false
 ";
@@ -669,7 +676,7 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     args.finish()?;
 
     let net = load_net(&path)?;
-    let graph = if timed {
+    let mut graph = if timed {
         pnut_reach::graph::build_timed(&net, &options)
     } else {
         pnut_reach::graph::build_untimed(&net, &options)
@@ -689,13 +696,13 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         graph.store().env_count(),
         graph.approx_bytes() / 1024,
     );
-    if graph.store().spilled_bytes() > 0 {
+    if graph.spilled_bytes() > 0 {
         let _ = writeln!(
             out,
             "paged store: ~{} KiB resident (peak ~{} KiB), ~{} KiB spilled to disk",
-            graph.store().resident_arena_bytes() / 1024,
-            graph.store().peak_resident_arena_bytes() / 1024,
-            graph.store().spilled_bytes() / 1024,
+            graph.resident_bytes() / 1024,
+            graph.peak_resident_bytes() / 1024,
+            graph.spilled_bytes() / 1024,
         );
     }
     let bounds = graph.place_bounds();
@@ -706,8 +713,8 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     if let Some(formula_text) = ctl {
         let formula =
             pnut_reach::ctl::Formula::parse(&formula_text).map_err(|e| err(format!("ctl: {e}")))?;
-        let outcome =
-            pnut_reach::ctl::check(&graph, &net, &formula).map_err(|e| err(format!("ctl: {e}")))?;
+        let outcome = pnut_reach::ctl::check(&mut graph, &net, &formula)
+            .map_err(|e| err(format!("ctl: {e}")))?;
         let _ = writeln!(
             out,
             "CTL `{formula_text}`: {} ({} of {} states satisfy)",

@@ -19,6 +19,19 @@
 //!
 //! Deadlock states are treated as having an implicit self-loop, the
 //! usual convention for CTL over finite graphs with terminal states.
+//!
+//! # Memory: fixpoints sweep the graph segment-at-a-time
+//!
+//! Every sweep — atom evaluation, `EX`/`AX`, and the `EU`/`EG`
+//! fixpoint iterations — walks the graph in segment order through
+//! [`crate::graph::SegmentGuard`]s, calling
+//! [`ReachabilityGraph::maintain`] between segments (which is why
+//! [`check`] takes `&mut`: eviction needs exclusive access). On a
+//! budgeted graph ([`crate::graph::ReachOptions::mem_budget`]) the
+//! checker therefore runs in `budget + one pinned guard` resident
+//! bytes plus the `O(states)` satisfaction bit-vectors, instead of
+//! faulting the whole store resident — model checking, not just graph
+//! construction, scales past RAM.
 
 use crate::graph::ReachabilityGraph;
 use crate::store::StateRef;
@@ -144,11 +157,22 @@ impl CheckOutcome {
 /// Model-check `formula` on `graph` (which must have been built from
 /// `net`, used for name resolution).
 ///
+/// Takes `&mut` because every sweep evicts cold segments between
+/// pinned ones ([`ReachabilityGraph::maintain`]), which keeps the
+/// checker inside the graph's byte budget; the graph itself is never
+/// modified, and the result is identical at any budget.
+///
 /// # Errors
 ///
 /// Returns [`CtlError::UnknownName`] for unresolved atom names.
+///
+/// # Panics
+///
+/// Panics if a spilled segment fails to reload (the spill file
+/// vanished underneath the process), like the graph's other post-build
+/// accessors.
 pub fn check(
-    graph: &ReachabilityGraph,
+    graph: &mut ReachabilityGraph,
     net: &Net,
     formula: &Formula,
 ) -> Result<CheckOutcome, CtlError> {
@@ -177,17 +201,54 @@ fn eval_term(term: &Term, state: StateRef<'_>, net: &Net) -> Result<i64, CtlErro
     }
 }
 
-/// Successor list with the deadlock-self-loop convention.
-fn succ(graph: &ReachabilityGraph, i: usize) -> Vec<usize> {
-    let s = graph.successors(i);
-    if s.is_empty() {
-        vec![i]
+/// One segment-ordered pass over the graph: pin each segment, hand
+/// `f(state index, guard)` every state, evict between segments. The
+/// memory discipline of every sweep below lives here.
+fn sweep<E>(
+    graph: &mut ReachabilityGraph,
+    mut f: impl FnMut(usize, &crate::graph::SegmentGuard<'_>) -> Result<(), E>,
+) -> Result<(), E> {
+    for seg in 0..graph.segment_count() {
+        {
+            let guard = graph.pin_segment(seg);
+            for i in guard.range() {
+                f(i, &guard)?;
+            }
+        }
+        if let Err(e) = graph.maintain() {
+            panic!("paged reachability graph: eviction failed mid-sweep: {e}");
+        }
+    }
+    Ok(())
+}
+
+/// Whether some successor of `i` (deadlock self-loop convention) is in
+/// `set`.
+fn any_succ(guard: &crate::graph::SegmentGuard<'_>, i: usize, set: &[bool]) -> bool {
+    let succs = guard.successors(i);
+    if succs.is_empty() {
+        set[i]
     } else {
-        s.iter().map(|&(_, j)| j as usize).collect()
+        succs.iter().any(|&(_, j)| set[j as usize])
     }
 }
 
-fn sat_set(graph: &ReachabilityGraph, net: &Net, formula: &Formula) -> Result<Vec<bool>, CtlError> {
+/// Whether all successors of `i` (deadlock self-loop convention) are
+/// in `set`.
+fn all_succ(guard: &crate::graph::SegmentGuard<'_>, i: usize, set: &[bool]) -> bool {
+    let succs = guard.successors(i);
+    if succs.is_empty() {
+        set[i]
+    } else {
+        succs.iter().all(|&(_, j)| set[j as usize])
+    }
+}
+
+fn sat_set(
+    graph: &mut ReachabilityGraph,
+    net: &Net,
+    formula: &Formula,
+) -> Result<Vec<bool>, CtlError> {
     let n = graph.state_count();
     let all = |v: bool| vec![v; n];
     Ok(match formula {
@@ -195,10 +256,11 @@ fn sat_set(graph: &ReachabilityGraph, net: &Net, formula: &Formula) -> Result<Ve
         Formula::False => all(false),
         Formula::Atom(a, op, b) => {
             let mut sat = all(false);
-            for (i, s) in sat.iter_mut().enumerate() {
-                let x = eval_term(a, graph.state(i), net)?;
-                let y = eval_term(b, graph.state(i), net)?;
-                *s = match op {
+            sweep(graph, |i, guard| -> Result<(), CtlError> {
+                let state = guard.state(i);
+                let x = eval_term(a, state, net)?;
+                let y = eval_term(b, state, net)?;
+                sat[i] = match op {
                     CmpOp::Eq => x == y,
                     CmpOp::Ne => x != y,
                     CmpOp::Lt => x < y,
@@ -206,7 +268,8 @@ fn sat_set(graph: &ReachabilityGraph, net: &Net, formula: &Formula) -> Result<Ve
                     CmpOp::Gt => x > y,
                     CmpOp::Ge => x >= y,
                 };
-            }
+                Ok(())
+            })?;
             sat
         }
         Formula::Not(f) => {
@@ -233,19 +296,35 @@ fn sat_set(graph: &ReachabilityGraph, net: &Net, formula: &Formula) -> Result<Ve
         }
         Formula::Ex(f) => {
             let sf = sat_set(graph, net, f)?;
-            (0..n)
-                .map(|i| succ(graph, i).iter().any(|&j| sf[j]))
-                .collect()
+            let mut sat = all(false);
+            infallible(sweep(graph, |i, guard| {
+                sat[i] = any_succ(guard, i, &sf);
+                Ok(())
+            }));
+            sat
         }
         Formula::Ax(f) => {
             let sf = sat_set(graph, net, f)?;
-            (0..n)
-                .map(|i| succ(graph, i).iter().all(|&j| sf[j]))
-                .collect()
+            let mut sat = all(false);
+            infallible(sweep(graph, |i, guard| {
+                sat[i] = all_succ(guard, i, &sf);
+                Ok(())
+            }));
+            sat
         }
-        Formula::Ef(f) => eu(graph, &vec![true; n], &sat_set(graph, net, f)?),
-        Formula::Eu(a, b) => eu(graph, &sat_set(graph, net, a)?, &sat_set(graph, net, b)?),
-        Formula::Eg(f) => eg(graph, &sat_set(graph, net, f)?),
+        Formula::Ef(f) => {
+            let sf = sat_set(graph, net, f)?;
+            eu(graph, &vec![true; n], &sf)
+        }
+        Formula::Eu(a, b) => {
+            let sa = sat_set(graph, net, a)?;
+            let sb = sat_set(graph, net, b)?;
+            eu(graph, &sa, &sb)
+        }
+        Formula::Eg(f) => {
+            let sf = sat_set(graph, net, f)?;
+            eg(graph, &sf)
+        }
         Formula::Af(f) => {
             // AF f = ¬EG ¬f
             let mut nf = sat_set(graph, net, f)?;
@@ -283,36 +362,47 @@ fn sat_set(graph: &ReachabilityGraph, net: &Net, formula: &Formula) -> Result<Ve
     })
 }
 
-/// Least fixpoint for `E[a U b]`.
-fn eu(graph: &ReachabilityGraph, sa: &[bool], sb: &[bool]) -> Vec<bool> {
-    let n = graph.state_count();
+/// An error type for sweeps that cannot fail, so `sweep`'s plumbing
+/// stays uniform.
+enum Never {}
+
+fn infallible<T>(r: Result<T, Never>) -> T {
+    match r {
+        Ok(v) => v,
+    }
+}
+
+/// Least fixpoint for `E[a U b]`. Each iteration is one segment-ordered
+/// sweep; iterating until no sweep changes anything.
+fn eu(graph: &mut ReachabilityGraph, sa: &[bool], sb: &[bool]) -> Vec<bool> {
     let mut sat: Vec<bool> = sb.to_vec();
     loop {
         let mut changed = false;
-        for i in 0..n {
-            if !sat[i] && sa[i] && succ(graph, i).iter().any(|&j| sat[j]) {
+        infallible(sweep(graph, |i, guard| {
+            if !sat[i] && sa[i] && any_succ(guard, i, &sat) {
                 sat[i] = true;
                 changed = true;
             }
-        }
+            Ok(())
+        }));
         if !changed {
             return sat;
         }
     }
 }
 
-/// Greatest fixpoint for `EG a`.
-fn eg(graph: &ReachabilityGraph, sa: &[bool]) -> Vec<bool> {
-    let n = graph.state_count();
+/// Greatest fixpoint for `EG a`, segment-ordered like [`eu`].
+fn eg(graph: &mut ReachabilityGraph, sa: &[bool]) -> Vec<bool> {
     let mut sat: Vec<bool> = sa.to_vec();
     loop {
         let mut changed = false;
-        for i in 0..n {
-            if sat[i] && !succ(graph, i).iter().any(|&j| sat[j]) {
+        infallible(sweep(graph, |i, guard| {
+            if sat[i] && !any_succ(guard, i, &sat) {
                 sat[i] = false;
                 changed = true;
             }
-        }
+            Ok(())
+        }));
         if !changed {
             return sat;
         }
@@ -677,9 +767,9 @@ mod tests {
     }
 
     fn holds(net: &pnut_core::Net, f: &str) -> bool {
-        let g = build_untimed(net, &ReachOptions::default()).unwrap();
+        let mut g = build_untimed(net, &ReachOptions::default()).unwrap();
         let formula = Formula::parse(f).unwrap();
-        check(&g, net, &formula).unwrap().holds_initially
+        check(&mut g, net, &formula).unwrap().holds_initially
     }
 
     #[test]
@@ -751,10 +841,10 @@ mod tests {
     #[test]
     fn unknown_name_reported() {
         let net = mutex_net();
-        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         let f = Formula::parse("AG (ghost = 0)").unwrap();
         assert_eq!(
-            check(&g, &net, &f).unwrap_err(),
+            check(&mut g, &net, &f).unwrap_err(),
             CtlError::UnknownName("ghost".into())
         );
     }

@@ -2,18 +2,37 @@
 //!
 //! States live in a [`StateStore`] (each distinct state exactly once, in
 //! flat arenas — see [`crate::store`]); edges are kept in compressed
-//! sparse row (CSR) form: one flat `Vec<(EdgeLabel, u32)>` plus an
-//! `offsets` array with `offsets[i]..offsets[i + 1]` delimiting the
-//! successors of state `i`. Breadth-first exploration discovers and
-//! finishes states in index order, so the CSR rows are emitted directly
-//! without a compaction pass, and two builds of the same net produce
+//! sparse row (CSR) form, partitioned into the same fixed-state-count
+//! **segments** as the state arenas and paged through the same
+//! machinery ([`crate::pager`]): breadth-first exploration discovers
+//! and finishes states in index order, so the CSR rows are emitted
+//! append-only in source order — exactly the access pattern the
+//! seal/spill/fault path wants — and two builds of the same net produce
 //! bit-identical graphs.
+//!
+//! # Reading a graph that is bigger than RAM
+//!
+//! Random access ([`ReachabilityGraph::state`],
+//! [`ReachabilityGraph::successors`]) faults evicted segments back in
+//! under `&self` but can never evict, so a full sweep through them
+//! silently grows the resident set to the whole store. Analyses that
+//! sweep — CTL fixpoints, [`ReachabilityGraph::deadlocks`],
+//! [`ReachabilityGraph::place_bounds`], Markov extraction — instead
+//! walk the graph **segment-at-a-time**: pin one segment with a
+//! [`SegmentGuard`], scan its rows, drop the guard, and call
+//! [`ReachabilityGraph::maintain`] (an `&mut` point, so eviction is
+//! legal) before the next segment. That holds the resident envelope to
+//! `budget + one pinned guard (state segment + edge segment) + one
+//! segment of slack` for the *analysis* phase too, not just the build —
+//! asserted by `tests/paged_analysis.rs`.
 
-use crate::pager::{PagerConfig, SpillError};
-use crate::store::{self, EnvRef, PendingShard, StateRef, StateStore};
+use crate::pager::{EdgeSegment, PagedEdges, PagerConfig, SegmentData, SpillError};
+use crate::store::{self, EnvRef, MarkingView, PendingShard, StateRef, StateStore};
 use pnut_core::expr::Env;
 use pnut_core::{Net, Time, Transition, TransitionId};
+use std::cell::OnceCell;
 use std::fmt;
+use std::ops::Range;
 use std::sync::Mutex;
 
 /// Limits for graph construction.
@@ -88,19 +107,11 @@ pub enum ReachError {
         /// The underlying failure.
         source: pnut_core::EvalError,
     },
-    /// Timed construction requires constant (non-expression) enabling
-    /// times: the enabling clocks in the timed state hold pre-resolved
-    /// tick counts, and an expression delay could change per state.
-    /// Constant enabling delays are fully supported.
-    EnablingTimesUnsupported {
-        /// The transition with an expression-valued enabling time.
-        transition: String,
-    },
     /// Timed construction requires constant (non-expression) delays.
     /// Only the frozen seed construction (`pnut_bench::legacy_reach`)
     /// raises this today: [`build_timed`] resolves deterministic
-    /// expression firing times per state and rejects only expression
-    /// *enabling* times ([`ReachError::EnablingTimesUnsupported`]).
+    /// expression firing *and enabling* times per state (against the
+    /// environment at arm time, exactly like the simulator).
     NonConstantDelay {
         /// The transition with an expression-valued delay.
         transition: String,
@@ -150,11 +161,6 @@ impl fmt::Display for ReachError {
             ReachError::Eval { transition, source } => {
                 write!(f, "evaluation failed in `{transition}`: {source}")
             }
-            ReachError::EnablingTimesUnsupported { transition } => write!(
-                f,
-                "timed reachability requires constant enabling times (`{transition}` \
-                 uses an expression)"
-            ),
             ReachError::NonConstantDelay { transition } => write!(
                 f,
                 "timed reachability requires constant delays (`{transition}`)"
@@ -190,15 +196,24 @@ pub enum EdgeLabel {
 /// One outgoing edge: the label and the target state index.
 pub type Edge = (EdgeLabel, u32);
 
-/// A reachability graph: interned states, CSR-packed labeled edges, and
-/// the initial state (index 0).
-#[derive(Debug, PartialEq)]
+/// A reachability graph: interned states, CSR-packed labeled edges
+/// (paged on the same segment grain as the states, against the same
+/// byte budget), and the initial state (index 0).
+#[derive(Debug)]
 pub struct ReachabilityGraph {
     store: StateStore,
-    /// CSR row boundaries; `len == state_count() + 1`.
-    offsets: Vec<u32>,
-    /// All edges, grouped by source state.
-    edges: Vec<Edge>,
+    /// The paged CSR edge arena: the successor row of state `i` lives
+    /// in edge segment `i / seg_states`.
+    edges: PagedEdges,
+}
+
+/// Two graphs are equal iff they hold the same states in the same
+/// order with the same edges — paging grain, residency, and spill
+/// layout are ignored (comparing faults spilled segments back in).
+impl PartialEq for ReachabilityGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.store == other.store && self.edges == other.edges
+    }
 }
 
 impl ReachabilityGraph {
@@ -209,7 +224,7 @@ impl ReachabilityGraph {
 
     /// Total number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.edges.edge_count()
     }
 
     /// The interned state store (markings, environments, in-flight
@@ -218,57 +233,354 @@ impl ReachabilityGraph {
         &self.store
     }
 
-    /// A view of state `i`.
+    /// Unwrap a paged read for the infallible accessors: analyses read
+    /// through these after a successful build, where a reload failure
+    /// means the spill file vanished underneath the process.
+    #[track_caller]
+    fn paged<T>(r: Result<T, ReachError>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("paged reachability graph: segment reload failed: {e}"),
+        }
+    }
+
+    /// A view of state `i`, faulting its segment in if evicted.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range, or if reloading an evicted
+    /// segment fails.
     pub fn state(&self, i: usize) -> StateRef<'_> {
         self.store.state(i)
     }
 
-    /// Outgoing edges of state `i` as `(label, target)` pairs.
+    /// Outgoing edges of state `i` as `(label, target)` pairs, faulting
+    /// the edge segment in if evicted.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `i` is out of range, or if reloading an evicted
+    /// segment fails (see [`Self::try_successors`] for the fallible
+    /// form).
     pub fn successors(&self, i: usize) -> &[Edge] {
-        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        Self::paged(self.edges.row(i))
     }
 
-    /// Indices of deadlock states (no outgoing edges).
-    pub fn deadlocks(&self) -> Vec<usize> {
-        (0..self.state_count())
-            .filter(|&i| self.offsets[i] == self.offsets[i + 1])
-            .collect()
+    /// Fallible form of [`Self::successors`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the edge segment fails to reload.
+    pub fn try_successors(&self, i: usize) -> Result<&[Edge], ReachError> {
+        self.edges.row(i)
+    }
+
+    // -- segment-order read path ------------------------------------------
+
+    /// Number of segments the graph is partitioned into (states and
+    /// edges share the grain, so this counts both).
+    pub fn segment_count(&self) -> usize {
+        self.store.segment_count()
+    }
+
+    /// The global state range covered by segment `seg`.
+    pub fn segment_range(&self, seg: usize) -> Range<usize> {
+        self.store.segment_range(seg)
+    }
+
+    /// Pin segment `seg` for scanning: the returned [`SegmentGuard`]
+    /// gives row access to the segment's states and successor lists
+    /// without re-touching the pager's LRU per row, and — because it is
+    /// a shared borrow of the graph — *provably* blocks eviction for
+    /// its lifetime (eviction needs `&mut`; see [`crate::pager`] for
+    /// the aliasing argument). Pinning is lazy and free of I/O: the
+    /// state and edge segments fault in on the first row access of each
+    /// family, so a sweep that only reads edges never loads the
+    /// markings.
+    ///
+    /// The intended loop is: pin, scan the rows, drop the guard, call
+    /// [`Self::maintain`], move to the next segment — which is what
+    /// [`Self::for_each_state_in_segments`] packages.
+    pub fn pin_segment(&self, seg: usize) -> SegmentGuard<'_> {
+        SegmentGuard {
+            graph: self,
+            seg,
+            range: self.segment_range(seg),
+            states: OnceCell::new(),
+            edges: OnceCell::new(),
+        }
+    }
+
+    /// Evict cold segments (edges first — analysis sweeps re-read them
+    /// in order anyway — then states) until the shared resident total
+    /// fits the budget again. A no-op while under budget; the legal
+    /// eviction point between two pinned segments of an analysis sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if writing an evicted segment fails.
+    pub fn maintain(&mut self) -> Result<(), ReachError> {
+        self.edges.maintain()?;
+        self.store.maintain()
+    }
+
+    /// Scan every state in segment order — pin a segment, visit its
+    /// states (`f(index, state, successors)`), unpin, evict back under
+    /// budget, repeat — so a full sweep stays inside the analysis
+    /// budget envelope instead of faulting the whole store resident.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if a segment reload or eviction fails.
+    pub fn for_each_state_in_segments<F>(&mut self, mut f: F) -> Result<(), ReachError>
+    where
+        F: FnMut(usize, StateRef<'_>, &[Edge]),
+    {
+        for seg in 0..self.segment_count() {
+            {
+                let guard = self.pin_segment(seg);
+                for i in guard.range() {
+                    f(i, guard.try_state(i)?, guard.try_successors(i)?);
+                }
+            }
+            self.maintain()?;
+        }
+        Ok(())
+    }
+
+    // -- analyses (all segment-ordered, so they honor the byte budget) ----
+
+    /// Indices of deadlock states (no outgoing edges). Scans the edge
+    /// segments in order, evicting between segments, so the resident
+    /// envelope holds even on graphs larger than the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spilled segment fails to reload (as
+    /// [`Self::successors`]).
+    pub fn deadlocks(&mut self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for seg in 0..self.segment_count() {
+            {
+                let guard = self.pin_segment(seg);
+                for i in guard.range() {
+                    if guard.successors(i).is_empty() {
+                        out.push(i);
+                    }
+                }
+            }
+            Self::paged(self.maintain());
+        }
+        out
     }
 
     /// The bound of each place: the maximum token count over all
     /// reachable states (a net is k-bounded iff every entry ≤ k).
-    pub fn place_bounds(&self) -> Vec<u32> {
+    /// Segment-ordered like [`Self::deadlocks`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::deadlocks`].
+    pub fn place_bounds(&mut self) -> Vec<u32> {
         let places = self.store.places();
         let mut bounds = vec![0u32; places];
-        for i in 0..self.store.len() {
-            for (b, &t) in bounds.iter_mut().zip(self.store.marking_slice(i)) {
-                *b = (*b).max(t);
+        for seg in 0..self.segment_count() {
+            {
+                let guard = self.pin_segment(seg);
+                for i in guard.range() {
+                    for (b, &t) in bounds.iter_mut().zip(guard.marking(i)) {
+                        *b = (*b).max(t);
+                    }
+                }
             }
+            Self::paged(self.maintain());
         }
         bounds
     }
 
     /// Whether `transition` fires on some edge (L1-liveness witness).
-    pub fn ever_fires(&self, transition: TransitionId) -> bool {
-        self.edges
-            .iter()
-            .any(|&(l, _)| l == EdgeLabel::Fire(transition))
+    /// Segment-ordered like [`Self::deadlocks`]; returns at the first
+    /// witness.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::deadlocks`].
+    pub fn ever_fires(&mut self, transition: TransitionId) -> bool {
+        for seg in 0..self.segment_count() {
+            let found = {
+                let guard = self.pin_segment(seg);
+                guard.range().any(|i| {
+                    guard
+                        .successors(i)
+                        .iter()
+                        .any(|&(l, _)| l == EdgeLabel::Fire(transition))
+                })
+            };
+            // Evict even on the witness path, so a following sweep
+            // starts from an under-budget resident set and the
+            // envelope never stacks two pinned guards.
+            Self::paged(self.maintain());
+            if found {
+                return true;
+            }
+        }
+        false
     }
 
-    /// Approximate heap footprint of the graph (store arenas, intern
-    /// tables, and CSR edge arrays) in bytes.
+    // -- budget diagnostics -----------------------------------------------
+
+    /// Resident paged-arena bytes right now (states and edges — one
+    /// shared ledger).
+    pub fn resident_bytes(&self) -> usize {
+        self.store.resident_arena_bytes()
+    }
+
+    /// High-water mark of [`Self::resident_bytes`].
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.store.peak_resident_arena_bytes()
+    }
+
+    /// Restart [`Self::peak_resident_bytes`] tracking from the current
+    /// resident level. The budget-envelope test harness calls this
+    /// after the build so the recorded peak measures the *analysis*
+    /// phase alone.
+    pub fn reset_peak_resident_bytes(&mut self) {
+        self.store.reset_peak_resident_bytes();
+    }
+
+    /// Total bytes spilled to disk (state + edge images).
+    pub fn spilled_bytes(&self) -> usize {
+        self.store.spilled_bytes() + self.edges.spilled_bytes()
+    }
+
+    /// Content bytes of the largest sealed state segment.
+    pub fn max_state_segment_bytes(&self) -> usize {
+        self.store.max_segment_bytes()
+    }
+
+    /// Content bytes of the largest sealed edge segment.
+    pub fn max_edge_segment_bytes(&self) -> usize {
+        self.edges.max_segment_bytes()
+    }
+
+    /// Approximate heap footprint of the graph in bytes: the shared
+    /// resident-arena ledger (state *and* edge segments) plus the
+    /// always-resident intern tables and environments.
     pub fn approx_bytes(&self) -> usize {
+        // `StateStore::approx_bytes` already reads the shared ledger,
+        // which covers the edge arena too.
         self.store.approx_bytes()
-            + self.offsets.capacity() * 4
-            + self.edges.capacity() * std::mem::size_of::<Edge>()
+    }
+}
+
+/// A pinned segment of a [`ReachabilityGraph`]: row access to
+/// `seg_states` consecutive states and their successor lists.
+///
+/// # What pinning means, and why it is sound
+///
+/// The guard holds `&ReachabilityGraph`. Eviction — the only operation
+/// that frees segment memory — requires `&mut ReachabilityGraph`
+/// ([`ReachabilityGraph::maintain`]), so while any guard is alive the
+/// borrow checker statically rules out eviction: every `&[u32]` /
+/// `&[Edge]` the guard hands out stays valid for the guard's lifetime
+/// with no reference counting at run time. Faulting a segment *in*
+/// under `&self` only ever installs memory (see [`crate::pager`]),
+/// which is why lazy pinning is safe too.
+///
+/// The flip side: eviction can only run once the guard is dropped, so a
+/// sweep holding one guard at a time keeps the resident envelope at
+/// `budget + one state segment + one edge segment` (+ one segment of
+/// transient slack while the next pin faults before `maintain` evicts).
+///
+/// # Panics
+///
+/// Row accessors panic if the index is outside [`Self::range`] or if a
+/// spilled segment fails to reload (the spill file vanished underneath
+/// the process — consistent with the other post-build view accessors).
+pub struct SegmentGuard<'g> {
+    graph: &'g ReachabilityGraph,
+    seg: usize,
+    range: Range<usize>,
+    /// Lazily faulted state rows (markings, env ids, in-flight,
+    /// enabling clocks).
+    states: OnceCell<&'g SegmentData>,
+    /// Lazily faulted successor rows.
+    edges: OnceCell<&'g EdgeSegment>,
+}
+
+impl<'g> SegmentGuard<'g> {
+    /// The global state indices this guard covers.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    fn local(&self, i: usize) -> usize {
+        assert!(
+            self.range.contains(&i),
+            "state {i} outside pinned segment {:?}",
+            self.range
+        );
+        i - self.range.start
+    }
+
+    fn state_rows(&self) -> Result<&'g SegmentData, ReachError> {
+        if let Some(s) = self.states.get() {
+            return Ok(s);
+        }
+        let s = self.graph.store.state_segment(self.seg)?;
+        let _ = self.states.set(s);
+        Ok(s)
+    }
+
+    fn edge_rows(&self) -> Result<&'g EdgeSegment, ReachError> {
+        if let Some(s) = self.edges.get() {
+            return Ok(s);
+        }
+        let s = self.graph.edges.segment(self.seg)?;
+        let _ = self.edges.set(s);
+        Ok(s)
+    }
+
+    /// The marking row of state `i` (global index).
+    pub fn marking(&self, i: usize) -> &'g [u32] {
+        let local = self.local(i);
+        ReachabilityGraph::paged(self.state_rows()).marking(local, self.graph.store.places())
+    }
+
+    /// A full view of state `i` (global index).
+    pub fn state(&self, i: usize) -> StateRef<'g> {
+        ReachabilityGraph::paged(self.try_state(i))
+    }
+
+    /// Fallible form of [`Self::state`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the state segment fails to reload.
+    pub fn try_state(&self, i: usize) -> Result<StateRef<'g>, ReachError> {
+        let local = self.local(i);
+        let rows = self.state_rows()?;
+        Ok(StateRef {
+            marking: MarkingView::new(rows.marking(local, self.graph.store.places())),
+            env: self.graph.store.env(rows.env_id(local)),
+            in_flight: rows.in_flight(local),
+            enabling: rows.enabling(local),
+        })
+    }
+
+    /// The successor row of state `i` (global index).
+    pub fn successors(&self, i: usize) -> &'g [Edge] {
+        ReachabilityGraph::paged(self.try_successors(i))
+    }
+
+    /// Fallible form of [`Self::successors`].
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the edge segment fails to reload.
+    pub fn try_successors(&self, i: usize) -> Result<&'g [Edge], ReachError> {
+        let local = self.local(i);
+        Ok(self.edge_rows()?.row(local))
     }
 }
 
@@ -386,9 +698,12 @@ struct TimedTicks {
     /// table-driven delays (§3) see their own updates.
     firing: Vec<Option<u64>>,
     /// Enabling time per transition (ticks of continuous readiness
-    /// before the start-firing event becomes eligible). Constants only;
-    /// expression enabling times are rejected up front.
-    enabling: Vec<u64>,
+    /// before the start-firing event becomes eligible): `Some` for a
+    /// pre-resolved constant (`Some(0)` = never clocked), `None` for a
+    /// deterministic expression resolved per state against the
+    /// environment at arm time — the simulator's `refresh_enabling`
+    /// order, so table-driven enabling delays follow the state.
+    enabling: Vec<Option<u64>>,
 }
 
 /// The firing delay of compiled transition `ti`/`id` for the successor
@@ -408,6 +723,34 @@ fn firing_delay(
     }
     let t = net.transition(id);
     let pnut_core::Delay::Expr(e) = t.firing_time() else {
+        unreachable!("non-constant slot holds an expression delay");
+    };
+    let v = e
+        .eval_pure(env)
+        .and_then(|v| v.as_int())
+        .map_err(|e| eval_err(t, e))?;
+    u64::try_from(v).map_err(|_| eval_err(t, pnut_core::EvalError::Overflow))
+}
+
+/// The enabling delay of compiled transition `ti`/`id` for a state
+/// whose environment is `env`: the pre-resolved constant, or the
+/// expression evaluated against the environment *at arm time* — the
+/// moment the transition becomes ready in the successor under
+/// construction, mirroring the simulator's `refresh_enabling` (which
+/// resolves once when the clock arms and keeps the deadline while the
+/// transition stays continuously ready).
+fn enabling_delay(
+    net: &Net,
+    ticks: &TimedTicks,
+    ti: usize,
+    id: TransitionId,
+    env: &Env,
+) -> Result<u64, ReachError> {
+    if let Some(t) = ticks.enabling[ti] {
+        return Ok(t);
+    }
+    let t = net.transition(id);
+    let pnut_core::Delay::Expr(e) = t.enabling_time() else {
         unreachable!("non-constant slot holds an expression delay");
     };
     let v = e
@@ -512,16 +855,21 @@ impl Scratch {
     /// construction (`next_marking` + `next_inflight` + `env`) into
     /// `next_enabling`, mirroring the simulator's `refresh_enabling`:
     ///
-    /// * a transition with a non-zero enabling delay gets an entry iff
-    ///   it is *ready* in the successor (marking-enabled, inhibitors
-    ///   clear, concurrency cap not reached, predicate true);
+    /// * a transition with a (possibly per-state) enabling delay gets
+    ///   an entry iff it is *ready* in the successor (marking-enabled,
+    ///   inhibitors clear, concurrency cap not reached, predicate
+    ///   true) — constant-0 delays are never clocked at all;
     /// * a ready transition that was already counting down in the
     ///   current state keeps its clock, minus `elapsed` ticks for an
     ///   `Advance` edge (readiness cannot change mid-interval — the
-    ///   marking only moves at the endpoints);
-    /// * the transition that just `fired` (if any) re-arms from the full
-    ///   delay — a firing always ends its own enabling interval;
-    /// * a newly ready transition starts a fresh clock.
+    ///   marking only moves at the endpoints); expression delays are
+    ///   *not* re-resolved while continuously ready, exactly like the
+    ///   simulator;
+    /// * the transition that just `fired` (if any) re-arms from a fresh
+    ///   delay resolution — a firing always ends its own enabling
+    ///   interval;
+    /// * a newly ready transition starts a fresh clock, resolving an
+    ///   expression delay against `env` — the environment at arm time.
     ///
     /// Entries come out sorted by transition id because `compiled` is
     /// iterated in id order.
@@ -529,15 +877,14 @@ impl Scratch {
         &mut self,
         net: &Net,
         compiled: &[Compiled],
-        enabling_ticks: &[u64],
+        ticks: &TimedTicks,
         env: &Env,
         fired: Option<TransitionId>,
         elapsed: u64,
     ) -> Result<(), ReachError> {
         self.next_enabling.clear();
         for (ti, ct) in compiled.iter().enumerate() {
-            let full = enabling_ticks[ti];
-            if full == 0 {
+            if ticks.enabling[ti] == Some(0) {
                 continue;
             }
             let ready = ct
@@ -572,11 +919,11 @@ impl Scratch {
                 }
             }
             let countdown = if fired == Some(ct.id) {
-                full
+                enabling_delay(net, ticks, ti, ct.id, env)?
             } else {
                 match self.cur_enabling.iter().find(|&&(x, _)| x == ct.id) {
                     Some(&(_, k)) => k - elapsed,
-                    None => full,
+                    None => enabling_delay(net, ticks, ti, ct.id, env)?,
                 }
             };
             self.next_enabling.push((ct.id, countdown));
@@ -623,12 +970,6 @@ fn predicate_holds(
     }
 }
 
-fn edge_capacity(edges: usize) -> Result<u32, ReachError> {
-    u32::try_from(edges).map_err(|_| ReachError::CapacityExceeded {
-        resource: "edge index (more than u32::MAX edges)",
-    })
-}
-
 /// A fresh [`Scratch`] whose `next_enabling` holds the initial state's
 /// armed enabling clocks (empty for untimed builds): the simulator
 /// refreshes its clocks before the first step, so every initially ready
@@ -646,27 +987,24 @@ fn arm_initial(
         scratch
             .next_marking
             .copy_from_slice(net.initial_marking().as_slice());
-        scratch.compute_next_enabling(
-            net,
-            compiled,
-            &ticks.enabling,
-            store.env(initial_env),
-            None,
-            0,
-        )?;
+        scratch.compute_next_enabling(net, compiled, ticks, store.env(initial_env), None, 0)?;
     }
     Ok(scratch)
 }
 
 /// Shared exploration machinery for the sequential timed and untimed
-/// builds: the store, the CSR accumulators, the compiled transitions,
-/// and the scratch buffers.
+/// builds: the store, the paged CSR edge arena, the compiled
+/// transitions, and the scratch buffers.
 struct Explorer {
     max_states: usize,
     compiled: Vec<Compiled>,
     store: StateStore,
-    offsets: Vec<u32>,
-    edges: Vec<Edge>,
+    /// The paged edge arena, attached to the store's budget ledger.
+    edges: PagedEdges,
+    /// The successor row of the state under expansion, flushed into
+    /// `edges` by [`Self::end_row`] (edge rows seal/spill on the state
+    /// grain, so they are appended whole).
+    row: Vec<Edge>,
     scratch: Scratch,
 }
 
@@ -683,12 +1021,17 @@ impl Explorer {
         let compiled = compile(net);
         let scratch = arm_initial(net, &compiled, ticks, &store, initial_env)?;
         store.intern(initial.as_slice(), initial_env, &[], &scratch.next_enabling)?;
+        let edges = PagedEdges::new(
+            store.seg_states(),
+            store.pager_shared(),
+            options.spill_dir.clone(),
+        );
         Ok(Explorer {
             max_states: options.max_states,
             compiled,
             store,
-            offsets: Vec::new(),
-            edges: Vec::new(),
+            edges,
+            row: Vec::new(),
             scratch,
         })
     }
@@ -698,7 +1041,7 @@ impl Explorer {
     /// `maintain` evicts back under budget so the resident envelope
     /// stays at most one segment above it between interns.
     fn load(&mut self, cur: usize) -> Result<u32, ReachError> {
-        self.offsets.push(edge_capacity(self.edges.len())?);
+        self.row.clear();
         let env = self.scratch.load(&self.store, cur)?;
         self.store.maintain()?;
         Ok(env)
@@ -729,15 +1072,25 @@ impl Explorer {
             &self.scratch.next_enabling,
             self.max_states,
         )?;
-        self.edges.push((label, target as u32));
+        self.row.push((label, target as u32));
         Ok(())
     }
 
-    fn finish(mut self) -> Result<ReachabilityGraph, ReachError> {
-        self.offsets.push(edge_capacity(self.edges.len())?);
+    /// Flush the finished successor row of the scanned state into the
+    /// paged edge arena (its own `&mut` point: the arena evicts itself
+    /// back under budget per row).
+    fn end_row(&mut self) -> Result<(), ReachError> {
+        self.edges.push_row(&self.row)
+    }
+
+    fn finish(self) -> Result<ReachabilityGraph, ReachError> {
+        debug_assert_eq!(
+            self.edges.row_count(),
+            self.store.len(),
+            "one edge row per state"
+        );
         Ok(ReachabilityGraph {
             store: self.store,
-            offsets: self.offsets,
             edges: self.edges,
         })
     }
@@ -871,7 +1224,7 @@ fn explore_chunk(
                 continue;
             }
             let key = discovery_key(src, row.len());
-            if let Some(ticks) = ctx.ticks {
+            if ctx.ticks.is_some() {
                 if let Some(cap) = ct.cap {
                     let inflight =
                         sc.cur_inflight.iter().filter(|&&(x, _)| x == ct.id).count() as u32;
@@ -879,11 +1232,12 @@ fn explore_chunk(
                         continue;
                     }
                 }
-                // Enabling gate: a transition with a non-zero enabling
-                // delay starts only once its clock has run down to 0.
-                if ticks.enabling[ti] != 0
-                    && !sc.cur_enabling.iter().any(|&(x, k)| x == ct.id && k == 0)
-                {
+                // Enabling gate: a transition whose enabling clock is
+                // still counting down cannot start. (Ready transitions
+                // with a pending delay — constant or per-state
+                // expression — always carry a clock entry; a missing
+                // entry means the resolved delay was 0.)
+                if sc.cur_enabling.iter().any(|&(x, k)| x == ct.id && k > 0) {
                     continue;
                 }
             }
@@ -917,15 +1271,8 @@ fn explore_chunk(
                         sc.next_inflight.push((ct.id, ft));
                         sc.next_inflight.sort_unstable();
                     }
-                    sc.compute_next_enabling(
-                        ctx.net,
-                        ctx.compiled,
-                        &ticks.enabling,
-                        env,
-                        Some(ct.id),
-                        0,
-                    )
-                    .map_err(|e| (key, e))?;
+                    sc.compute_next_enabling(ctx.net, ctx.compiled, ticks, env, Some(ct.id), 0)
+                        .map_err(|e| (key, e))?;
                 }
             }
             let target = intern_target(ctx, &sc, env_ref, key).map_err(|e| (key, e))?;
@@ -959,7 +1306,7 @@ fn explore_chunk(
                 sc.compute_next_enabling(
                     ctx.net,
                     ctx.compiled,
-                    &ticks.enabling,
+                    ticks,
                     ctx.store.env(env_id),
                     None,
                     dt,
@@ -1020,8 +1367,12 @@ fn build_parallel(
     let mut shards: Vec<Mutex<PendingShard>> = (0..shard_count)
         .map(|s| Mutex::new(PendingShard::new(s, places)))
         .collect();
-    let mut offsets: Vec<u32> = Vec::new();
-    let mut edges: Vec<Edge> = Vec::new();
+    let mut edges = PagedEdges::new(
+        store.seg_states(),
+        store.pager_shared(),
+        options.spill_dir.clone(),
+    );
+    let mut rewritten: Vec<Edge> = Vec::new();
     let mut level = 0..1;
 
     while !level.is_empty() {
@@ -1086,36 +1437,34 @@ fn build_parallel(
             return Err(e.clone());
         }
         let state_map = store.splice_level(&mut shard_refs, &novel)?;
-        // Level barrier: workers may have faulted cold segments in
-        // (read-only loads cannot evict); squeeze back under budget
-        // before the next level.
-        store.maintain()?;
 
         // Append this level's CSR rows in source order (worker chunks
         // are contiguous and ordered), rewriting pending targets to
-        // their dense indices.
+        // their dense indices. `push_row` evicts the edge arena back
+        // under budget as segments seal.
         for rows in results {
             for row in rows.expect("worker errors handled above") {
-                offsets.push(edge_capacity(edges.len())?);
-                for (label, target) in row {
+                rewritten.clear();
+                rewritten.extend(row.into_iter().map(|(label, target)| {
                     let target = match target {
                         RawTarget::Committed(i) => i,
                         RawTarget::Pending(p) => {
                             state_map[store::pending_shard(p)][store::pending_local(p)]
                         }
                     };
-                    edges.push((label, target));
-                }
+                    (label, target)
+                }));
+                edges.push_row(&rewritten)?;
             }
         }
+        // Level barrier: workers may have faulted cold state segments
+        // in (read-only loads cannot evict); squeeze back under budget
+        // before the next level.
+        store.maintain()?;
         level = base..store.len();
     }
-    offsets.push(edge_capacity(edges.len())?);
-    Ok(ReachabilityGraph {
-        store,
-        offsets,
-        edges,
-    })
+    debug_assert_eq!(edges.row_count(), store.len(), "one edge row per state");
+    Ok(ReachabilityGraph { store, edges })
 }
 
 /// Build the untimed (classical occurrence semantics) reachability
@@ -1152,6 +1501,7 @@ pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGr
             let label = EdgeLabel::Fire(ex.compiled[ti].id);
             ex.link(label, next_env)?;
         }
+        ex.end_row()?;
         cur += 1;
     }
     ex.finish()
@@ -1168,12 +1518,15 @@ pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGr
 /// when nothing can start — time advances to the earliest pending
 /// event, a firing completion or an enabling deadline.
 ///
-/// Restrictions: firing times may be constants or deterministic
-/// expressions (resolved per state against the post-action environment,
-/// the paper's §3 table-driven idiom — `irand` is already rejected by
-/// the determinism check); enabling times must be constants, since the
-/// clock arms with a pre-resolved countdown — expression-valued
-/// enabling times raise [`ReachError::EnablingTimesUnsupported`].
+/// Both delay kinds may be constants or deterministic expressions
+/// (`irand` is already rejected by the determinism check): firing
+/// times resolve per state against the post-action environment (the
+/// paper's §3 table-driven idiom), and enabling times resolve per
+/// state against the environment *at arm time* — the moment the
+/// transition becomes ready — exactly as the simulator's
+/// `refresh_enabling` does, so a constant-valued expression is
+/// indistinguishable from the constant itself (pinned by the
+/// desugaring test in `tests/semantics.rs`).
 ///
 /// # Errors
 ///
@@ -1184,12 +1537,8 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
     let mut enabling = Vec::with_capacity(net.transition_count());
     for (_, t) in net.transitions() {
         match t.enabling_time() {
-            pnut_core::Delay::Fixed(ticks) => enabling.push(*ticks),
-            pnut_core::Delay::Expr(_) => {
-                return Err(ReachError::EnablingTimesUnsupported {
-                    transition: t.name().to_string(),
-                });
-            }
+            pnut_core::Delay::Fixed(ticks) => enabling.push(Some(*ticks)),
+            pnut_core::Delay::Expr(_) => enabling.push(None),
         }
         match t.firing_time() {
             pnut_core::Delay::Fixed(ticks) => firing.push(Some(*ticks)),
@@ -1223,16 +1572,16 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
                     continue;
                 }
             }
-            // Enabling gate: a transition with a non-zero enabling delay
-            // starts only once its clock has run down to 0. (Ready
-            // transitions always carry a clock entry — the successor
-            // construction maintains that invariant.)
-            if ticks.enabling[ti] != 0
-                && !ex
-                    .scratch
-                    .cur_enabling
-                    .iter()
-                    .any(|&(x, k)| x == tid && k == 0)
+            // Enabling gate: a transition whose enabling clock is still
+            // counting down cannot start. (Ready transitions with a
+            // pending delay always carry a clock entry — the successor
+            // construction maintains that invariant — so a missing
+            // entry means the resolved delay was 0.)
+            if ex
+                .scratch
+                .cur_enabling
+                .iter()
+                .any(|&(x, k)| x == tid && k > 0)
             {
                 continue;
             }
@@ -1260,7 +1609,7 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
             ex.scratch.compute_next_enabling(
                 net,
                 &ex.compiled,
-                &ticks.enabling,
+                &ticks,
                 ex.store.env(next_env),
                 Some(tid),
                 0,
@@ -1298,13 +1647,14 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
             ex.scratch.compute_next_enabling(
                 net,
                 &ex.compiled,
-                &ticks.enabling,
+                &ticks,
                 ex.store.env(env_id),
                 None,
                 dt,
             )?;
             ex.link(EdgeLabel::Advance(dt), env_id)?;
         }
+        ex.end_row()?;
         cur += 1;
     }
     let _ = Time::ZERO; // Time is part of the public vocabulary via labels.
@@ -1328,7 +1678,7 @@ mod tests {
     #[test]
     fn untimed_ring_has_expected_states() {
         let net = ring(1);
-        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 2);
         assert_eq!(g.edge_count(), 2);
         assert!(g.deadlocks().is_empty());
@@ -1339,7 +1689,7 @@ mod tests {
     #[test]
     fn untimed_counts_multi_token_interleavings() {
         let net = ring(2);
-        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         // Markings: (2,0), (1,1), (0,2).
         assert_eq!(g.state_count(), 3);
         assert_eq!(g.place_bounds(), vec![2, 2]);
@@ -1352,7 +1702,7 @@ mod tests {
         b.place("b", 0);
         b.transition("t").input("a").output("b").add();
         let net = b.build().unwrap();
-        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         assert_eq!(g.deadlocks().len(), 1);
         let d = g.deadlocks()[0];
         assert_eq!(g.state(d).marking.tokens(net.place_id("b").unwrap()), 1);
@@ -1434,7 +1784,7 @@ mod tests {
             .unwrap()
             .add();
         let net = b.build().unwrap();
-        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 1, "gate closed: nothing reachable");
         assert_eq!(g.deadlocks(), vec![0]);
     }
@@ -1454,7 +1804,7 @@ mod tests {
             .unwrap()
             .add();
         let net = b.build().unwrap();
-        let g = build_untimed(&net, &ReachOptions::default()).unwrap();
+        let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 4, "n in 0..=3");
         assert_eq!(g.deadlocks().len(), 1);
         // The four states share nothing but still intern four distinct
@@ -1495,7 +1845,7 @@ mod tests {
         b.place("b", 0);
         b.transition("work").input("a").output("b").firing(2).add();
         let net = b.build().unwrap();
-        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        let mut g = build_timed(&net, &ReachOptions::default()).unwrap();
         // Both tokens must start before time advances (maximal progress):
         // (2,0,[]) -> (1,0,[2]) -> (0,0,[2,2]) -> (0,2,[]) done.
         assert_eq!(g.state_count(), 4);
@@ -1532,7 +1882,7 @@ mod tests {
         b.place("b", 0);
         b.transition("t").input("a").output("b").enabling(4).add();
         let net = b.build().unwrap();
-        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        let mut g = build_timed(&net, &ReachOptions::default()).unwrap();
         // (a=1, clock 4) --Advance(4)--> (a=1, clock 0) --Fire--> (b=1).
         assert_eq!(g.state_count(), 3);
         assert_eq!(g.state(0).enabling, &[(net.transition_id("t").unwrap(), 4)]);
@@ -1574,7 +1924,7 @@ mod tests {
             .enabling(3)
             .add();
         let net = b.build().unwrap();
-        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        let mut g = build_timed(&net, &ReachOptions::default()).unwrap();
         let thief = net.transition_id("thief").unwrap();
         let slow = net.transition_id("slow").unwrap();
         // Cycle: (clocks 2/3) --A(2)--> (clocks 0/1) --Fire(thief)-->
@@ -1649,19 +1999,62 @@ mod tests {
     }
 
     #[test]
-    fn timed_rejects_expression_enabling_times_only() {
-        let mut b = NetBuilder::new("e");
-        b.place("a", 1);
-        b.var("d", 1);
-        b.transition("t")
-            .input("a")
-            .enabling_expr(pnut_core::Expr::parse("d").unwrap())
+    fn timed_resolves_expression_enabling_times_per_state() {
+        // A table-driven enabling delay: the action advances `ty`, the
+        // enabling time reads `dtab[ty]` — each re-arming must resolve
+        // against the environment of the state doing the arming, so the
+        // clock values 2 and 5 both appear in the reachable state
+        // space (the pre-PR engine rejected this net outright).
+        let mut b = NetBuilder::new("entab");
+        b.place("p", 1);
+        b.var("ty", 0);
+        b.table("dtab", vec![2, 5]);
+        b.transition("step")
+            .input("p")
+            .output("p")
+            .predicate_str("ty < 2")
+            .unwrap()
+            .action_str("ty = ty + 1;")
+            .unwrap()
+            .enabling_expr(pnut_core::Expr::parse("dtab[ty]").unwrap())
             .add();
         let net = b.build().unwrap();
-        assert!(matches!(
-            build_timed(&net, &ReachOptions::default()),
-            Err(ReachError::EnablingTimesUnsupported { .. })
-        ));
+        let g = build_timed(&net, &ReachOptions::default()).unwrap();
+        let step = net.transition_id("step").unwrap();
+        let mut armed = std::collections::BTreeSet::new();
+        for i in 0..g.state_count() {
+            for &(t, k) in g.state(i).enabling {
+                assert_eq!(t, step);
+                armed.insert(k);
+            }
+        }
+        assert!(
+            armed.contains(&2) && armed.contains(&5),
+            "both table delays must arm: {armed:?}"
+        );
+        // The parallel build agrees bit-for-bit.
+        let par = build_timed(
+            &net,
+            &ReachOptions {
+                jobs: 4,
+                ..ReachOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(par, g);
+        // Nondeterministic enabling expressions are still rejected, by
+        // the determinism check that guards all of reachability.
+        let mut b = NetBuilder::new("rnd");
+        b.place("p", 1);
+        b.transition("t")
+            .input("p")
+            .enabling_expr(pnut_core::Expr::parse("irand(1, 3)").unwrap())
+            .add();
+        let net = b.build().unwrap();
+        assert_eq!(
+            build_timed(&net, &ReachOptions::default()).unwrap_err(),
+            ReachError::UsesRandom
+        );
     }
 
     #[test]
@@ -1723,7 +2116,7 @@ mod tests {
             b.transition("t").input("p").input("p").output("q").add();
             b.build().unwrap()
         };
-        let g = build_untimed(&dup(1), &ReachOptions::default()).unwrap();
+        let mut g = build_untimed(&dup(1), &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 1, "merged arcs need 2 tokens");
         assert_eq!(g.deadlocks(), vec![0]);
 

@@ -31,11 +31,12 @@
 //!   separately). Duplicate detection is a raw open-addressing table of
 //!   `(FxHash, index)` pairs probing straight into the arenas — no
 //!   owned keys, no second copy of any state, no per-visit allocation.
-//! * **CSR edges.** [`ReachabilityGraph`] stores all edges in one flat
-//!   `(label, target)` array with row offsets per state, emitted
-//!   directly by the breadth-first exploration. Analyses that sweep
-//!   edges repeatedly (CTL fixpoints, Markov-chain extraction) walk a
-//!   contiguous array instead of chasing one heap `Vec` per state.
+//! * **CSR edges.** [`ReachabilityGraph`] stores all edges in flat
+//!   `(label, target)` rows emitted directly by the breadth-first
+//!   exploration, partitioned into the same fixed-state-count segments
+//!   as the state arenas. Analyses that sweep edges repeatedly (CTL
+//!   fixpoints, Markov-chain extraction) walk contiguous segment
+//!   arrays instead of chasing one heap `Vec` per state.
 //! * **Views, not copies.** [`ReachabilityGraph::state`] returns a
 //!   borrowed [`StateRef`] into the arenas; nothing is materialized.
 //! * **Parallel frontiers.** With [`ReachOptions::jobs`] > 1 (or 0 for
@@ -46,10 +47,14 @@
 //!   [`store`] for the design). Wide frontiers scale across cores;
 //!   narrow ones are explored inline without spawning.
 //! * **Disk-backed paging.** With [`ReachOptions::mem_budget`] set,
-//!   cold level segments of the arenas spill to a temp file behind an
-//!   LRU cache and fault back in on demand (see [`pager`]), so the
-//!   state-count ceiling is disk, not RAM — the hot frontier stays
-//!   resident and the graph is still bit-identical at any budget.
+//!   cold level segments of the state *and edge* arenas spill to a
+//!   temp file behind an LRU cache and fault back in on demand (see
+//!   [`pager`]), so the state-count ceiling is disk, not RAM — the hot
+//!   frontier stays resident and the graph is still bit-identical at
+//!   any budget. Analyses honor the same budget: CTL fixpoints,
+//!   deadlock/bound sweeps, and Markov extraction read the graph
+//!   segment-at-a-time through [`graph::SegmentGuard`]s, evicting
+//!   between segments, so *verification* runs past RAM too.
 //!
 //! Construction is O(edges × marking width) time with exactly one arena
 //! copy per distinct state; two builds of the same net yield
@@ -73,9 +78,9 @@
 //! b.transition("b_exit").input("b_cs").output("free").add();
 //! let net = b.build()?;
 //!
-//! let g = graph::build_untimed(&net, &graph::ReachOptions::default())?;
+//! let mut g = graph::build_untimed(&net, &graph::ReachOptions::default())?;
 //! let mutual_exclusion = ctl::Formula::parse("AG (a_cs + b_cs <= 1)")?;
-//! assert!(ctl::check(&g, &net, &mutual_exclusion)?.holds_initially);
+//! assert!(ctl::check(&mut g, &net, &mutual_exclusion)?.holds_initially);
 //! # Ok(())
 //! # }
 //! ```
@@ -88,6 +93,6 @@ pub mod store;
 
 pub use coverability::{CoverOptions, CoverabilityTree};
 pub use ctl::{CheckOutcome, CtlError, Formula};
-pub use graph::{Edge, EdgeLabel, ReachError, ReachOptions, ReachabilityGraph};
+pub use graph::{Edge, EdgeLabel, ReachError, ReachOptions, ReachabilityGraph, SegmentGuard};
 pub use pager::{PagerConfig, SpillError};
 pub use store::{FxHasher, MarkingView, StateRef, StateStore};

@@ -1,4 +1,5 @@
-//! Disk-backed paging for the state-store arenas.
+//! Disk-backed paging for the reachability arenas — the system-wide
+//! memory model of graph construction *and* analysis.
 //!
 //! # Why it exists
 //!
@@ -8,7 +9,10 @@
 //! frontier has moved past a BFS level, the states of that level are
 //! *cold* — the explorer only touches them again on the rare true hash
 //! hit (a duplicate successor that closes a long cycle back into an old
-//! level). Cold data can live on disk.
+//! level). Cold data can live on disk. The same holds for analyses:
+//! CTL fixpoints, deadlock/bound sweeps, and Markov extraction read the
+//! graph in **segment order**, so at any instant only one segment needs
+//! to be resident.
 //!
 //! # The three layers
 //!
@@ -23,22 +27,24 @@
 //! spill file     write-once images of sealed segments (temp file)
 //! ```
 //!
-//! * **Intern table** — stays in memory. It stores only the 64-bit
-//!   hash and the state index, so a committed-state probe touches disk
-//!   only when the full hash matches and the owning segment has been
-//!   evicted.
-//! * **Segments** — the arenas (`markings`, `env_ids`, the in-flight
-//!   CSR, and the enabling-clock CSR of timed states) are partitioned
-//!   into segments of a fixed number of states
-//!   ([`PagedStates::seg_states`], sized from the byte budget). The
-//!   *tail* segment receives appends and is always resident; a full
-//!   segment is **sealed** and becomes immutable — exactly the unit
-//!   [`crate::store::StateStore::splice_level`] commits level by level.
-//! * **Spill file** — a sealed segment evicted for the first time is
-//!   serialized to an anonymous temp file ([`SpillFile`]); because
-//!   sealed segments never change, the image is written once and later
-//!   evictions just drop the memory. Variable environments are *not*
-//!   paged: they are deduplicated and tiny relative to the state count.
+//! Two arena families ride this machinery, sharing one resident-byte
+//! budget through a common [`PagerShared`] ledger:
+//!
+//! * **state segments** ([`SegmentData`]) — the `markings`, `env_ids`,
+//!   in-flight CSR, and enabling-clock CSR rows of `seg_states`
+//!   consecutive states, appended at intern time;
+//! * **edge segments** ([`EdgeSegment`]) — the CSR successor rows of
+//!   the same `seg_states` consecutive source states, appended in scan
+//!   order (BFS emits edge rows strictly in source order, so the edge
+//!   arena is append-only and seals on exactly the same state grain).
+//!
+//! The *tail* segment of each family receives appends and is always
+//! resident; a full segment is **sealed** and becomes immutable. A
+//! sealed segment evicted for the first time is serialized to an
+//! anonymous temp file ([`SpillFile`]); because sealed segments never
+//! change, the image is written once and later evictions just drop the
+//! memory. Variable environments are *not* paged: they are
+//! deduplicated and tiny relative to the state count.
 //!
 //! # Segment states and when they move
 //!
@@ -61,25 +67,31 @@
 //! spilled segment must *fault it back in* without `&mut`:
 //!
 //! * each segment slot holds an [`AtomicPtr`] to its heap data; a fault
-//!   takes the pager's fault lock, re-checks, reads the image, and
+//!   takes the arena's fault lock, re-checks, reads the image, and
 //!   installs the pointer with `Release` (readers load with `Acquire`);
 //! * faults only ever **install** — memory is *freed* exclusively by
 //!   eviction, which requires `&mut self`, so no `&`-borrowed slice can
 //!   be dangling while any shared borrow is alive. That is the entire
-//!   safety argument for the `unsafe` derefs below.
+//!   safety argument for the `unsafe` derefs below, and it is also what
+//!   makes [`crate::graph::SegmentGuard`] sound: a guard is a shared
+//!   borrow of the graph, so the borrow checker itself proves no
+//!   eviction (`&mut`) can run while a guard pins a segment.
 //!
 //! The cost of that bargain: the resident set can only shrink at `&mut`
-//! points ([`PagedStates::maintain`] — called after every append and at
-//! every level barrier), so within one parallel level the resident set
-//! may transiently exceed the budget by the segments the level faults
-//! in. Sequentially the envelope is tight: at most one faulted segment
-//! above budget at any instant (asserted by the golden tests).
+//! points ([`Paged::maintain`] — called after every append, at every
+//! parallel level barrier, and between segments of an analysis sweep),
+//! so within one parallel level the resident set may transiently exceed
+//! the budget by the segments the level faults in. Sequentially the
+//! envelope is tight: at most one faulted segment pair (states + edges)
+//! above budget at any instant (asserted by the golden tests and the
+//! `tests/paged_analysis.rs` harness).
 //!
 //! All spill-file I/O reports [`ReachError::Spill`]; the only panicking
-//! paths are the infallible *view* accessors of [`crate::store`], which
-//! analyses use after a successful build (documented there).
+//! paths are the infallible *view* accessors of [`crate::store`] and
+//! [`crate::graph`], which analyses use after a successful build
+//! (documented there).
 
-use crate::graph::ReachError;
+use crate::graph::{Edge, EdgeLabel, ReachError};
 use pnut_core::TransitionId;
 use std::fmt;
 use std::fs::File;
@@ -135,17 +147,19 @@ impl std::error::Error for SpillError {
 }
 
 // ---------------------------------------------------------------------------
-// Configuration
+// Configuration and shared accounting
 // ---------------------------------------------------------------------------
 
-/// How much of the state arenas may stay resident, and where evicted
+/// How much of the paged arenas may stay resident, and where evicted
 /// segments go.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PagerConfig {
     /// Resident-arena byte budget; `usize::MAX` (the default) keeps
     /// everything in memory and never creates a spill file. The intern
     /// table and the deduplicated environments are *not* counted — they
-    /// stay resident regardless.
+    /// stay resident regardless. The budget is shared by every arena
+    /// attached to the same [`PagerShared`] ledger (the state arenas
+    /// and, once a graph exists, its CSR edge arena).
     pub mem_budget: usize,
     /// Directory for the spill file; `None` uses [`std::env::temp_dir`].
     /// The file is created lazily on the first eviction and unlinked
@@ -160,6 +174,58 @@ impl Default for PagerConfig {
             mem_budget: usize::MAX,
             spill_dir: None,
         }
+    }
+}
+
+/// The ledger every arena of one reachability computation shares: one
+/// budget, one LRU clock, one resident-byte counter, one high-water
+/// mark. This is what makes "`--mem-budget 64KiB`" mean *64 KiB total*
+/// rather than 64 KiB per arena family.
+#[derive(Debug)]
+pub(crate) struct PagerShared {
+    /// Resident byte budget across all attached arenas.
+    budget: usize,
+    /// LRU clock; advanced by every [`Paged::maintain`].
+    clock: AtomicU64,
+    /// Resident arena bytes right now (all attached arenas, tails
+    /// included).
+    resident: AtomicUsize,
+    /// High-water mark of `resident`. Resettable
+    /// ([`PagerShared::reset_peak`]) so tests can measure the envelope
+    /// of one *phase* (e.g. an analysis sweep after the build).
+    peak: AtomicUsize,
+}
+
+impl PagerShared {
+    fn new(budget: usize) -> Arc<Self> {
+        Arc::new(PagerShared {
+            budget,
+            clock: AtomicU64::new(1),
+            resident: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        })
+    }
+
+    fn add_resident(&self, bytes: usize) {
+        let now = self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub_resident(&self, bytes: usize) {
+        self.resident.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn resident(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Restart the high-water tracking from the current resident level.
+    pub(crate) fn reset_peak(&self) {
+        self.peak.store(self.resident(), Ordering::Relaxed);
     }
 }
 
@@ -251,17 +317,81 @@ impl SpillFile {
 }
 
 // ---------------------------------------------------------------------------
-// Segment data
+// Image format
 // ---------------------------------------------------------------------------
 
-/// Spill-image format version. Bumped whenever the serialized segment
+/// Spill-image format version. Bumped whenever any serialized segment
 /// layout changes; a reload checks it first so an image written by a
 /// different layout is rejected as corrupt instead of misread.
-/// Version 2 added the enabling-clock arena (offsets + entries).
-const IMAGE_VERSION: u32 = 2;
+/// Version 2 added the enabling-clock arena; **version 3** added the
+/// CSR edge arena as a second image kind and the kind word itself, so
+/// v2 images (which have no kind word) are rejected by the version
+/// check alone.
+const IMAGE_VERSION: u32 = 3;
 
-/// One segment's slice of every paged arena: `seg_states` consecutive
-/// states (fewer in the tail).
+/// Image-kind discriminators, written right after the version word.
+const KIND_STATES: u32 = 1;
+const KIND_EDGES: u32 = 2;
+
+fn corrupt() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, "corrupt spill image")
+}
+
+/// Validate the `version, kind` prefix of an image; errors *name* the
+/// mismatch so a stale or foreign image is diagnosable, not just
+/// "corrupt".
+fn check_image_header(image: &[u8], kind: u32) -> io::Result<()> {
+    let word = |i: usize| -> io::Result<u32> {
+        Ok(u32::from_le_bytes(
+            image
+                .get(i * 4..i * 4 + 4)
+                .ok_or_else(corrupt)?
+                .try_into()
+                .expect("4-byte chunk"),
+        ))
+    };
+    let version = word(0)?;
+    if version != IMAGE_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("spill image version {version} (expected {IMAGE_VERSION})"),
+        ));
+    }
+    let got_kind = word(1)?;
+    if got_kind != kind {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("spill image kind {got_kind} (expected {kind})"),
+        ));
+    }
+    Ok(())
+}
+
+/// The content of one paged segment: how to measure it, serialize it,
+/// and read an image back. Implemented by the state-row family
+/// ([`SegmentData`]) and the edge-row family ([`EdgeSegment`]); the
+/// generic [`Paged`] machinery handles everything else (sealing, LRU,
+/// spilling, faulting) identically for both.
+pub(crate) trait SegmentContent: fmt::Debug + PartialEq + Sized {
+    /// An empty tail segment.
+    fn empty() -> Self;
+    /// Rows recorded so far.
+    fn count(&self) -> usize;
+    /// Content bytes (by logical content, not capacity).
+    fn bytes(&self) -> usize;
+    /// Serialize to the version-3 spill image format.
+    fn serialize(&self) -> Vec<u8>;
+    /// Parse an image back; `places` is the marking width (ignored by
+    /// the edge family).
+    fn deserialize(image: &[u8], places: usize) -> io::Result<Self>;
+}
+
+// ---------------------------------------------------------------------------
+// State segments
+// ---------------------------------------------------------------------------
+
+/// One segment's slice of every paged *state* arena: `seg_states`
+/// consecutive states (fewer in the tail).
 #[derive(Debug, Default, PartialEq)]
 pub(crate) struct SegmentData {
     /// Dense marking matrix, `count × places`.
@@ -286,14 +416,6 @@ pub(crate) struct SegmentData {
 }
 
 impl SegmentData {
-    fn empty() -> Self {
-        SegmentData {
-            inflight_offsets: vec![0],
-            enabling_offsets: vec![0],
-            ..SegmentData::default()
-        }
-    }
-
     /// Whether the enabling arena is still in its lazy all-empty form.
     fn enabling_is_lazy(&self) -> bool {
         self.enabling_offsets.len() == 1
@@ -311,23 +433,6 @@ impl SegmentData {
         }
         self.enabling.extend_from_slice(enabling);
         self.enabling_offsets.push(self.enabling.len() as u32);
-    }
-
-    fn count(&self) -> usize {
-        self.env_ids.len()
-    }
-
-    /// Arena bytes of the segment (by content, not capacity). A lazy
-    /// enabling arena counts its single sentinel offset only, so
-    /// untimed segments cost exactly what they did before the arena
-    /// existed.
-    fn bytes(&self) -> usize {
-        self.markings.len() * 4
-            + self.env_ids.len() * 4
-            + self.inflight_offsets.len() * 4
-            + self.enabling_offsets.len() * 4
-            + (self.inflight.len() + self.enabling.len())
-                * std::mem::size_of::<(TransitionId, u64)>()
     }
 
     pub(crate) fn marking(&self, local: usize, places: usize) -> &[u32] {
@@ -350,17 +455,46 @@ impl SegmentData {
         &self.enabling
             [self.enabling_offsets[local] as usize..self.enabling_offsets[local + 1] as usize]
     }
+}
+
+impl SegmentContent for SegmentData {
+    fn empty() -> Self {
+        SegmentData {
+            inflight_offsets: vec![0],
+            enabling_offsets: vec![0],
+            ..SegmentData::default()
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.env_ids.len()
+    }
+
+    /// Arena bytes of the segment (by content, not capacity). A lazy
+    /// enabling arena counts its single sentinel offset only, so
+    /// untimed segments cost exactly what they did before the arena
+    /// existed.
+    fn bytes(&self) -> usize {
+        self.markings.len() * 4
+            + self.env_ids.len() * 4
+            + self.inflight_offsets.len() * 4
+            + self.enabling_offsets.len() * 4
+            + (self.inflight.len() + self.enabling.len())
+                * std::mem::size_of::<(TransitionId, u64)>()
+    }
 
     /// Serialize to the spill image format (all little-endian):
-    /// `version:u32, count:u32, inflight_len:u32, enabling_len:u32,
-    /// enabling_offsets_len:u32, markings, env_ids, inflight_offsets,
-    /// enabling_offsets, inflight as (id:u64, remaining:u64)*, enabling
-    /// likewise`. The enabling offsets keep their lazy form on disk
-    /// (`len == 1` for an all-empty segment), so untimed images cost
-    /// the same bytes they did before the arena existed.
+    /// `version:u32, kind:u32, count:u32, inflight_len:u32,
+    /// enabling_len:u32, enabling_offsets_len:u32, markings, env_ids,
+    /// inflight_offsets, enabling_offsets, inflight as (id:u64,
+    /// remaining:u64)*, enabling likewise`. The enabling offsets keep
+    /// their lazy form on disk (`len == 1` for an all-empty segment),
+    /// so untimed images cost the same bytes they did before the arena
+    /// existed.
     fn serialize(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(20 + self.bytes());
+        let mut out = Vec::with_capacity(24 + self.bytes());
         out.extend_from_slice(&IMAGE_VERSION.to_le_bytes());
+        out.extend_from_slice(&KIND_STATES.to_le_bytes());
         out.extend_from_slice(&(self.count() as u32).to_le_bytes());
         out.extend_from_slice(&(self.inflight.len() as u32).to_le_bytes());
         out.extend_from_slice(&(self.enabling.len() as u32).to_le_bytes());
@@ -382,8 +516,8 @@ impl SegmentData {
     }
 
     fn deserialize(image: &[u8], places: usize) -> io::Result<SegmentData> {
-        let corrupt = || io::Error::new(io::ErrorKind::InvalidData, "corrupt spill image");
-        let mut pos = 0usize;
+        check_image_header(image, KIND_STATES)?;
+        let mut pos = 8usize; // past version + kind
         let mut take = |n: usize| -> io::Result<&[u8]> {
             let end = pos.checked_add(n).ok_or_else(corrupt)?;
             let s = image.get(pos..end).ok_or_else(corrupt)?;
@@ -392,13 +526,6 @@ impl SegmentData {
         };
         let read_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4-byte chunk"));
         let read_u64 = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
-        let version = read_u32(take(4)?);
-        if version != IMAGE_VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("spill image version {version} (expected {IMAGE_VERSION})"),
-            ));
-        }
         let count = read_u32(take(4)?) as usize;
         let inflight_len = read_u32(take(4)?) as usize;
         let enabling_len = read_u32(take(4)?) as usize;
@@ -414,7 +541,7 @@ impl SegmentData {
         if eoff_len == 1 && enabling_len != 0 {
             return Err(corrupt());
         }
-        let implied = 20u64
+        let implied = 24u64
             + count as u64 * places as u64 * 4
             + count as u64 * 4
             + (count as u64 + 1) * 4
@@ -468,16 +595,125 @@ impl SegmentData {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Edge segments
+// ---------------------------------------------------------------------------
+
+/// One segment of the CSR edge arena: the successor rows of
+/// `seg_states` consecutive source states (fewer in the tail) — the
+/// same state grain as [`SegmentData`], so one
+/// [`crate::graph::SegmentGuard`] pins matching state and edge rows.
+#[derive(Debug, Default, PartialEq)]
+pub(crate) struct EdgeSegment {
+    /// Segment-local CSR row offsets; `len == count + 1`.
+    offsets: Vec<u32>,
+    /// All edges of the segment's source states, grouped by source.
+    edges: Vec<Edge>,
+}
+
+impl EdgeSegment {
+    /// The successor row of local state `local`.
+    pub(crate) fn row(&self, local: usize) -> &[Edge] {
+        &self.edges[self.offsets[local] as usize..self.offsets[local + 1] as usize]
+    }
+}
+
+impl SegmentContent for EdgeSegment {
+    fn empty() -> Self {
+        EdgeSegment {
+            offsets: vec![0],
+            edges: Vec::new(),
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.edges.len() * std::mem::size_of::<Edge>()
+    }
+
+    /// Serialize to the spill image format (little-endian):
+    /// `version:u32, kind:u32, count:u32, edge_len:u32, offsets,
+    /// edges as (tag:u32, payload:u64, target:u32)*` where tag 0 is
+    /// `Fire(payload)` and tag 1 is `Advance(payload)`.
+    fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.offsets.len() * 4 + self.edges.len() * 16);
+        out.extend_from_slice(&IMAGE_VERSION.to_le_bytes());
+        out.extend_from_slice(&KIND_EDGES.to_le_bytes());
+        out.extend_from_slice(&(self.count() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.edges.len() as u32).to_le_bytes());
+        for &o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        for &(label, target) in &self.edges {
+            let (tag, payload) = match label {
+                EdgeLabel::Fire(t) => (0u32, t.index() as u64),
+                EdgeLabel::Advance(dt) => (1u32, dt),
+            };
+            out.extend_from_slice(&tag.to_le_bytes());
+            out.extend_from_slice(&payload.to_le_bytes());
+            out.extend_from_slice(&target.to_le_bytes());
+        }
+        out
+    }
+
+    fn deserialize(image: &[u8], _places: usize) -> io::Result<EdgeSegment> {
+        check_image_header(image, KIND_EDGES)?;
+        let mut pos = 8usize;
+        let mut take = |n: usize| -> io::Result<&[u8]> {
+            let end = pos.checked_add(n).ok_or_else(corrupt)?;
+            let s = image.get(pos..end).ok_or_else(corrupt)?;
+            pos = end;
+            Ok(s)
+        };
+        let read_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4-byte chunk"));
+        let read_u64 = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8-byte chunk"));
+        let count = read_u32(take(4)?) as usize;
+        let edge_len = read_u32(take(4)?) as usize;
+        let implied = 16u64 + (count as u64 + 1) * 4 + edge_len as u64 * 16;
+        if implied != image.len() as u64 {
+            return Err(corrupt());
+        }
+        let mut seg = EdgeSegment {
+            offsets: Vec::with_capacity(count + 1),
+            edges: Vec::with_capacity(edge_len),
+        };
+        seg.offsets
+            .extend(take((count + 1) * 4)?.chunks_exact(4).map(read_u32));
+        for c in take(edge_len * 16)?.chunks_exact(16) {
+            let tag = read_u32(&c[..4]);
+            let payload = read_u64(&c[4..12]);
+            let target = read_u32(&c[12..]);
+            let label = match tag {
+                0 => EdgeLabel::Fire(TransitionId::new(payload as usize)),
+                1 => EdgeLabel::Advance(payload),
+                _ => return Err(corrupt()),
+            };
+            seg.edges.push((label, target));
+        }
+        if pos != image.len() || seg.offsets.last() != Some(&(edge_len as u32)) {
+            return Err(corrupt());
+        }
+        Ok(seg)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic paged arena
+// ---------------------------------------------------------------------------
+
 /// One segment slot: the (possibly absent) resident data plus the
 /// bookkeeping that survives eviction.
 #[derive(Debug)]
-struct Segment {
+struct Slot<S> {
     /// Resident data, or null when spilled. Faults install with
     /// `Release`; readers load with `Acquire`; only `&mut` eviction
     /// ever frees the pointee (see the module docs for the safety
     /// argument).
-    data: AtomicPtr<SegmentData>,
-    /// Arena bytes (final once sealed; grows while this is the tail).
+    data: AtomicPtr<S>,
+    /// Content bytes (final once sealed; grows while this is the tail).
     bytes: usize,
     /// Where the sealed image lives on disk (written once, on the
     /// first eviction).
@@ -486,18 +722,20 @@ struct Segment {
     last_touch: AtomicU64,
 }
 
-impl Segment {
+impl<S: SegmentContent> Slot<S> {
     fn new_resident() -> Self {
-        Segment {
-            data: AtomicPtr::new(Box::into_raw(Box::new(SegmentData::empty()))),
-            bytes: SegmentData::empty().bytes(),
+        let empty = S::empty();
+        let bytes = empty.bytes();
+        Slot {
+            data: AtomicPtr::new(Box::into_raw(Box::new(empty))),
+            bytes,
             disk: None,
             last_touch: AtomicU64::new(0),
         }
     }
 }
 
-impl Drop for Segment {
+impl<S> Drop for Slot<S> {
     fn drop(&mut self) {
         let p = *self.data.get_mut();
         if !p.is_null() {
@@ -506,10 +744,6 @@ impl Drop for Segment {
         }
     }
 }
-
-// ---------------------------------------------------------------------------
-// PagedStates
-// ---------------------------------------------------------------------------
 
 /// Hard ceilings on the states-per-segment choice. The upper bound
 /// keeps a faulted segment's transfer small; the lower bound keeps the
@@ -525,10 +759,11 @@ fn seg_states_for(places: usize, budget: usize) -> usize {
     if budget == usize::MAX {
         return MAX_SEG_STATES;
     }
-    // Marking row + env id + in-flight offset entry. The enabling
-    // arena is excluded: its offsets are lazy (zero bytes for nets
-    // without enabling times) and its entry count is model-dependent —
-    // the budget envelope tolerates the approximation either way.
+    // Marking row + env id + in-flight offset entry. The enabling and
+    // edge arenas are excluded: the former's offsets are lazy (zero
+    // bytes for nets without enabling times) and both entry counts are
+    // model-dependent — the budget envelope tolerates the approximation
+    // either way.
     let per_state = places * 4 + 8;
     let target = (budget / 4) / per_state.max(1);
     let rounded = match target.checked_next_power_of_two() {
@@ -539,53 +774,54 @@ fn seg_states_for(places: usize, budget: usize) -> usize {
     rounded.clamp(MIN_SEG_STATES, MAX_SEG_STATES)
 }
 
-/// The paged state arenas: a growing sequence of fixed-state-count
-/// segments, the last of which (the *tail*) receives appends, behind a
-/// byte budget enforced by LRU eviction to a [`SpillFile`].
+/// A paged arena: a growing sequence of fixed-row-count segments, the
+/// last of which (the *tail*) receives appends, behind the shared byte
+/// budget enforced by LRU eviction to a [`SpillFile`].
 ///
-/// See the [module docs](self) for the architecture. Used exclusively
-/// by [`crate::store::StateStore`], which layers the intern tables and
-/// the environment arena on top.
+/// See the [module docs](self) for the architecture. Instantiated as
+/// [`PagedStates`] (used by [`crate::store::StateStore`]) and wrapped
+/// by [`PagedEdges`] (used by [`crate::graph::ReachabilityGraph`]).
 #[derive(Debug)]
-pub(crate) struct PagedStates {
+pub(crate) struct Paged<S> {
     places: usize,
     seg_states: usize,
     seg_shift: u32,
     len: usize,
-    segments: Vec<Segment>,
-    budget: usize,
+    segments: Vec<Slot<S>>,
     spill_dir: Option<PathBuf>,
     spill: Option<SpillFile>,
     /// Serializes concurrent `&self` faults (double-checked inside).
     fault_lock: Mutex<()>,
-    /// LRU clock; advanced by [`Self::maintain`].
-    clock: AtomicU64,
-    /// Resident arena bytes (tail included).
-    resident: AtomicUsize,
-    /// High-water mark of `resident`.
-    peak: AtomicUsize,
+    /// The cross-arena budget/clock/resident ledger.
+    shared: Arc<PagerShared>,
     /// Largest sealed segment seen, for budget-envelope assertions.
     max_seg_bytes: usize,
 }
 
-impl PagedStates {
-    pub(crate) fn new(places: usize, config: &PagerConfig) -> Self {
-        let seg_states = seg_states_for(places, config.mem_budget);
-        let tail = Segment::new_resident();
-        let resident = tail.bytes;
-        PagedStates {
+/// The paged state arenas (markings, env ids, in-flight and enabling
+/// CSR), on the state grain chosen from the budget.
+pub(crate) type PagedStates = Paged<SegmentData>;
+
+impl<S: SegmentContent> Paged<S> {
+    fn with_shared(
+        places: usize,
+        seg_states: usize,
+        shared: Arc<PagerShared>,
+        spill_dir: Option<PathBuf>,
+    ) -> Self {
+        debug_assert!(seg_states.is_power_of_two());
+        let tail = Slot::new_resident();
+        shared.add_resident(tail.bytes);
+        Paged {
             places,
             seg_states,
             seg_shift: seg_states.trailing_zeros(),
             len: 0,
             segments: vec![tail],
-            budget: config.mem_budget,
-            spill_dir: config.spill_dir.clone(),
+            spill_dir,
             spill: None,
             fault_lock: Mutex::new(()),
-            clock: AtomicU64::new(1),
-            resident: AtomicUsize::new(resident),
-            peak: AtomicUsize::new(resident),
+            shared,
             max_seg_bytes: 0,
         }
     }
@@ -598,31 +834,53 @@ impl PagedStates {
         self.places
     }
 
-    /// States per segment (the paging grain).
-    #[cfg(test)]
+    /// Rows per segment (the paging grain).
     pub(crate) fn seg_states(&self) -> usize {
         self.seg_states
     }
 
-    /// Resident arena bytes right now.
+    /// The shared budget/clock/resident ledger, for attaching sibling
+    /// arenas (the graph's edge arena) to the same budget.
+    pub(crate) fn shared(&self) -> Arc<PagerShared> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Resident arena bytes right now — across *every* arena attached
+    /// to this ledger, not just this one.
     pub(crate) fn resident_bytes(&self) -> usize {
-        self.resident.load(Ordering::Relaxed)
+        self.shared.resident()
     }
 
-    /// High-water mark of resident arena bytes over the store's life.
+    /// High-water mark of [`Self::resident_bytes`].
     pub(crate) fn peak_resident_bytes(&self) -> usize {
-        self.peak.load(Ordering::Relaxed)
+        self.shared.peak()
     }
 
-    /// Bytes written to the spill file so far (0 until first eviction).
+    /// Bytes written to this arena's spill file so far (0 until first
+    /// eviction).
     pub(crate) fn spilled_bytes(&self) -> usize {
         self.spill.as_ref().map_or(0, |s| s.len as usize)
     }
 
-    /// The largest sealed segment's arena bytes (0 before any seal) —
+    /// The largest sealed segment's content bytes (0 before any seal) —
     /// the "+ one segment" term of the documented budget envelope.
     pub(crate) fn max_segment_bytes(&self) -> usize {
         self.max_seg_bytes
+    }
+
+    /// Number of segments holding at least one row.
+    pub(crate) fn segment_count(&self) -> usize {
+        if self.len == 0 {
+            0
+        } else {
+            self.segments.len()
+        }
+    }
+
+    /// The global row range of segment `seg`.
+    pub(crate) fn segment_range(&self, seg: usize) -> std::ops::Range<usize> {
+        let start = seg << self.seg_shift;
+        start..(start + self.seg_states).min(self.len)
     }
 
     #[inline]
@@ -633,11 +891,11 @@ impl PagedStates {
     /// The resident data of segment `seg`, faulting it in from the
     /// spill file if needed. Loads never evict (that needs `&mut`, see
     /// the module docs), so the returned borrow stays valid for the
-    /// whole `&self` borrow of the store.
-    fn segment(&self, seg: usize) -> Result<&SegmentData, ReachError> {
+    /// whole `&self` borrow of the arena.
+    pub(crate) fn segment(&self, seg: usize) -> Result<&S, ReachError> {
         let slot = &self.segments[seg];
         slot.last_touch
-            .store(self.clock.load(Ordering::Relaxed), Ordering::Relaxed);
+            .store(self.shared.clock.load(Ordering::Relaxed), Ordering::Relaxed);
         let p = slot.data.load(Ordering::Acquire);
         if !p.is_null() {
             // Safety: non-null data is freed only under `&mut self`.
@@ -648,7 +906,7 @@ impl PagedStates {
 
     /// Slow path of [`Self::segment`]: reload an evicted segment.
     #[cold]
-    fn fault(&self, seg: usize) -> Result<&SegmentData, ReachError> {
+    fn fault(&self, seg: usize) -> Result<&S, ReachError> {
         let _guard = self.fault_lock.lock().expect("pager fault lock");
         let slot = &self.segments[seg];
         let p = slot.data.load(Ordering::Acquire);
@@ -659,55 +917,16 @@ impl PagedStates {
         let span = slot.disk.expect("spilled segment has a disk image");
         let spill = self.spill.as_ref().expect("spilled segment has a file");
         let image = spill.read(span).map_err(|e| spill_err("read", e))?;
-        let data =
-            SegmentData::deserialize(&image, self.places).map_err(|e| spill_err("read", e))?;
+        let data = S::deserialize(&image, self.places).map_err(|e| spill_err("read", e))?;
         let raw = Box::into_raw(Box::new(data));
         slot.data.store(raw, Ordering::Release);
-        let now = self.resident.fetch_add(slot.bytes, Ordering::Relaxed) + slot.bytes;
-        self.peak.fetch_max(now, Ordering::Relaxed);
+        self.shared.add_resident(slot.bytes);
         // Safety: installed under the fault lock; freed only under `&mut`.
         Ok(unsafe { &*raw })
     }
 
-    /// The marking row of state `i`.
-    pub(crate) fn marking(&self, i: usize) -> Result<&[u32], ReachError> {
-        debug_assert!(i < self.len, "state {i} out of range");
-        let (seg, local) = self.seg_of(i);
-        Ok(self.segment(seg)?.marking(local, self.places))
-    }
-
-    /// The environment id of state `i`.
-    pub(crate) fn env_id(&self, i: usize) -> Result<u32, ReachError> {
-        debug_assert!(i < self.len, "state {i} out of range");
-        let (seg, local) = self.seg_of(i);
-        Ok(self.segment(seg)?.env_ids[local])
-    }
-
-    /// The in-flight multiset of state `i`.
-    pub(crate) fn in_flight(&self, i: usize) -> Result<&[(TransitionId, u64)], ReachError> {
-        debug_assert!(i < self.len, "state {i} out of range");
-        let (seg, local) = self.seg_of(i);
-        Ok(self.segment(seg)?.in_flight(local))
-    }
-
-    /// The enabling-clock multiset of state `i`.
-    pub(crate) fn enabling(&self, i: usize) -> Result<&[(TransitionId, u64)], ReachError> {
-        debug_assert!(i < self.len, "state {i} out of range");
-        let (seg, local) = self.seg_of(i);
-        Ok(self.segment(seg)?.enabling(local))
-    }
-
-    /// The owning segment of state `i` plus its local index — one
-    /// fault/LRU touch for a whole-row compare instead of one per
-    /// field (the intern probe's hot path).
-    pub(crate) fn row(&self, i: usize) -> Result<(&SegmentData, usize), ReachError> {
-        debug_assert!(i < self.len, "state {i} out of range");
-        let (seg, local) = self.seg_of(i);
-        Ok((self.segment(seg)?, local))
-    }
-
     /// Exclusive access to the tail segment's data (always resident).
-    fn tail_mut(&mut self) -> &mut SegmentData {
+    fn tail_mut(&mut self) -> &mut S {
         let slot = self.segments.last_mut().expect("tail segment exists");
         let p = *slot.data.get_mut();
         debug_assert!(!p.is_null(), "tail segment is always resident");
@@ -715,64 +934,36 @@ impl PagedStates {
         unsafe { &mut *p }
     }
 
-    /// Append one state to the tail, sealing it first if full, then
-    /// evict back under budget. The append itself cannot fail — only
-    /// eviction I/O can — and by then the state is fully recorded, so
-    /// an error leaves the store consistent (just over budget).
-    pub(crate) fn append(
-        &mut self,
-        marking: &[u32],
-        env_id: u32,
-        in_flight: &[(TransitionId, u64)],
-        enabling: &[(TransitionId, u64)],
-    ) -> Result<(), ReachError> {
-        debug_assert_eq!(marking.len(), self.places, "marking width mismatch");
-        if self.tail_mut().count() == self.seg_states {
-            self.seal_tail();
+    /// Seal the full tail (if it is full) and open a fresh one. Called
+    /// before every append so a segment seals exactly at the grain.
+    fn seal_tail_if_full(&mut self) {
+        if self.tail_mut().count() < self.seg_states {
+            return;
         }
-        let tail = self.tail_mut();
-        let before = tail.bytes();
-        tail.markings.extend_from_slice(marking);
-        tail.env_ids.push(env_id);
-        tail.inflight.extend_from_slice(in_flight);
-        let end = tail.inflight.len() as u32;
-        tail.inflight_offsets.push(end);
-        let count_before = tail.env_ids.len() - 1;
-        tail.push_enabling(count_before, enabling);
-        // Delta accounting (rather than an arithmetic formula): a lazy →
-        // materialized transition of the enabling offsets backfills the
-        // whole segment's offsets in one append.
-        let added = tail.bytes() - before;
-        self.segments.last_mut().expect("tail").bytes += added;
-        self.len += 1;
-        let now = self.resident.get_mut();
-        *now += added;
-        let peak = self.peak.get_mut();
-        *peak = (*peak).max(*now);
-        self.maintain()
-    }
-
-    /// Seal the full tail and open a fresh one.
-    fn seal_tail(&mut self) {
         let sealed_bytes = self.segments.last().expect("tail").bytes;
         self.max_seg_bytes = self.max_seg_bytes.max(sealed_bytes);
-        self.segments.push(Segment::new_resident());
-        let added = self.segments.last().expect("tail").bytes;
-        let now = self.resident.get_mut();
-        *now += added;
-        let peak = self.peak.get_mut();
-        *peak = (*peak).max(*now);
+        let fresh = Slot::new_resident();
+        self.shared.add_resident(fresh.bytes);
+        self.segments.push(fresh);
+    }
+
+    /// Record that the tail grew by `added` content bytes.
+    fn note_tail_growth(&mut self, added: usize) {
+        self.segments.last_mut().expect("tail").bytes += added;
+        self.shared.add_resident(added);
     }
 
     /// Advance the LRU clock and evict least-recently-touched sealed
-    /// segments until the resident arenas fit the budget (the tail is
-    /// never evicted). Call sites are the `&mut` points of the build:
-    /// after each append and at each parallel level barrier.
+    /// segments of *this arena* until the shared resident total fits
+    /// the budget (the tail is never evicted; segments of sibling
+    /// arenas are their own `maintain`'s job). Call sites are the
+    /// `&mut` points: after every append, at every parallel level
+    /// barrier, and between segments of an analysis sweep.
     pub(crate) fn maintain(&mut self) -> Result<(), ReachError> {
-        *self.clock.get_mut() += 1;
-        while *self.resident.get_mut() > self.budget {
+        self.shared.clock.fetch_add(1, Ordering::Relaxed);
+        while self.shared.resident() > self.shared.budget {
             let Some(victim) = self.coldest_resident_sealed() else {
-                break; // nothing evictable (tail alone can exceed tiny budgets)
+                break; // nothing evictable here (tail alone, or sibling arenas hold the rest)
             };
             self.evict(victim)?;
         }
@@ -822,7 +1013,7 @@ impl PagedStates {
         }
         let slot = &mut self.segments[seg];
         *slot.data.get_mut() = std::ptr::null_mut();
-        *self.resident.get_mut() -= slot.bytes;
+        self.shared.sub_resident(slot.bytes);
         // Safety: pointer detached above; `&mut self` excludes borrows.
         drop(unsafe { Box::from_raw(p) });
         Ok(())
@@ -833,11 +1024,89 @@ impl PagedStates {
     fn is_resident(&self, seg: usize) -> bool {
         !self.segments[seg].data.load(Ordering::Acquire).is_null()
     }
+}
 
-    /// Number of segments (including the tail).
-    #[cfg(test)]
-    fn segment_count(&self) -> usize {
-        self.segments.len()
+// ---------------------------------------------------------------------------
+// State-arena operations
+// ---------------------------------------------------------------------------
+
+impl PagedStates {
+    pub(crate) fn new(places: usize, config: &PagerConfig) -> Self {
+        let seg_states = seg_states_for(places, config.mem_budget);
+        Paged::with_shared(
+            places,
+            seg_states,
+            PagerShared::new(config.mem_budget),
+            config.spill_dir.clone(),
+        )
+    }
+
+    /// Append one state to the tail, sealing it first if full, then
+    /// evict back under budget. The append itself cannot fail — only
+    /// eviction I/O can — and by then the state is fully recorded, so
+    /// an error leaves the store consistent (just over budget).
+    pub(crate) fn append(
+        &mut self,
+        marking: &[u32],
+        env_id: u32,
+        in_flight: &[(TransitionId, u64)],
+        enabling: &[(TransitionId, u64)],
+    ) -> Result<(), ReachError> {
+        debug_assert_eq!(marking.len(), self.places, "marking width mismatch");
+        self.seal_tail_if_full();
+        let tail = self.tail_mut();
+        let before = tail.bytes();
+        tail.markings.extend_from_slice(marking);
+        tail.env_ids.push(env_id);
+        tail.inflight.extend_from_slice(in_flight);
+        let end = tail.inflight.len() as u32;
+        tail.inflight_offsets.push(end);
+        let count_before = tail.env_ids.len() - 1;
+        tail.push_enabling(count_before, enabling);
+        // Delta accounting (rather than an arithmetic formula): a lazy →
+        // materialized transition of the enabling offsets backfills the
+        // whole segment's offsets in one append.
+        let added = tail.bytes() - before;
+        self.note_tail_growth(added);
+        self.len += 1;
+        self.maintain()
+    }
+
+    /// The marking row of state `i`.
+    pub(crate) fn marking(&self, i: usize) -> Result<&[u32], ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok(self.segment(seg)?.marking(local, self.places))
+    }
+
+    /// The environment id of state `i`.
+    pub(crate) fn env_id(&self, i: usize) -> Result<u32, ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok(self.segment(seg)?.env_ids[local])
+    }
+
+    /// The in-flight multiset of state `i`.
+    pub(crate) fn in_flight(&self, i: usize) -> Result<&[(TransitionId, u64)], ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok(self.segment(seg)?.in_flight(local))
+    }
+
+    /// The enabling-clock multiset of state `i`.
+    pub(crate) fn enabling(&self, i: usize) -> Result<&[(TransitionId, u64)], ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok(self.segment(seg)?.enabling(local))
+    }
+
+    /// The owning segment of state `i` plus its local index — one
+    /// fault/LRU touch for a whole-row compare instead of one per
+    /// field (the intern probe's hot path).
+    pub(crate) fn row(&self, i: usize) -> Result<(&SegmentData, usize), ReachError> {
+        debug_assert!(i < self.len, "state {i} out of range");
+        let (seg, local) = self.seg_of(i);
+        Ok((self.segment(seg)?, local))
     }
 }
 
@@ -863,6 +1132,115 @@ impl PartialEq for PagedStates {
                 (Ok(a), Ok(b)) => a == b,
                 _ => panic!("spill reload failed while comparing stores"),
             }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge-arena operations
+// ---------------------------------------------------------------------------
+
+/// The paged CSR edge arena of a [`crate::graph::ReachabilityGraph`]:
+/// successor rows appended strictly in source-state order, on the same
+/// segment grain as the state arenas, against the same shared budget.
+#[derive(Debug)]
+pub(crate) struct PagedEdges {
+    arena: Paged<EdgeSegment>,
+    /// Total edges across all rows (the resident segments alone cannot
+    /// answer this without faulting everything back in).
+    total_edges: usize,
+}
+
+impl PagedEdges {
+    /// An empty edge arena on `seg_states` rows per segment, attached
+    /// to an existing ledger (normally the state store's — see
+    /// [`PagedStates::shared`]).
+    pub(crate) fn new(
+        seg_states: usize,
+        shared: Arc<PagerShared>,
+        spill_dir: Option<PathBuf>,
+    ) -> Self {
+        PagedEdges {
+            arena: Paged::with_shared(0, seg_states, shared, spill_dir),
+            total_edges: 0,
+        }
+    }
+
+    /// Rows (source states) recorded so far.
+    pub(crate) fn row_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Total edges across all rows.
+    pub(crate) fn edge_count(&self) -> usize {
+        self.total_edges
+    }
+
+    pub(crate) fn spilled_bytes(&self) -> usize {
+        self.arena.spilled_bytes()
+    }
+
+    pub(crate) fn max_segment_bytes(&self) -> usize {
+        self.arena.max_segment_bytes()
+    }
+
+    /// The resident data of edge segment `seg`, faulting as needed.
+    pub(crate) fn segment(&self, seg: usize) -> Result<&EdgeSegment, ReachError> {
+        self.arena.segment(seg)
+    }
+
+    /// Append the complete successor row of the next source state (rows
+    /// must arrive in state order — BFS emits them that way), then
+    /// evict back under budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::CapacityExceeded`] if a segment's edge offsets
+    /// would overflow `u32` (unreachable at the current grain ceiling);
+    /// [`ReachError::Spill`] from eviction I/O — by which point the row
+    /// is fully recorded, so the arena stays consistent.
+    pub(crate) fn push_row(&mut self, row: &[Edge]) -> Result<(), ReachError> {
+        self.arena.seal_tail_if_full();
+        let tail = self.arena.tail_mut();
+        let before = tail.bytes();
+        let end = u32::try_from(tail.edges.len() + row.len()).map_err(|_| {
+            ReachError::CapacityExceeded {
+                resource: "edge segment (u32 offsets)",
+            }
+        })?;
+        tail.edges.extend_from_slice(row);
+        tail.offsets.push(end);
+        let added = tail.bytes() - before;
+        self.arena.note_tail_growth(added);
+        self.arena.len += 1;
+        self.total_edges += row.len();
+        self.maintain()
+    }
+
+    /// The successor row of state `i`, faulting its segment as needed.
+    pub(crate) fn row(&self, i: usize) -> Result<&[Edge], ReachError> {
+        debug_assert!(i < self.arena.len, "row {i} out of range");
+        let (seg, local) = self.arena.seg_of(i);
+        Ok(self.arena.segment(seg)?.row(local))
+    }
+
+    /// Evict cold edge segments until the shared resident total fits
+    /// the budget (see [`Paged::maintain`]).
+    pub(crate) fn maintain(&mut self) -> Result<(), ReachError> {
+        self.arena.maintain()
+    }
+}
+
+/// Semantic equality over the logical row sequence, independent of
+/// paging state (see [`PagedStates`]'s impl for the panic caveat).
+impl PartialEq for PagedEdges {
+    fn eq(&self, other: &Self) -> bool {
+        if self.arena.len != other.arena.len || self.total_edges != other.total_edges {
+            return false;
+        }
+        (0..self.arena.len).all(|i| match (self.row(i), other.row(i)) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => panic!("spill reload failed while comparing edge arenas"),
         })
     }
 }
@@ -929,6 +1307,21 @@ mod tests {
         );
     }
 
+    /// The deterministic edge row of synthetic state `i`: `i % 4`
+    /// edges mixing fire and advance labels.
+    fn edge_row(i: usize) -> Vec<Edge> {
+        (0..i % 4)
+            .map(|k| {
+                let label = if k % 2 == 0 {
+                    EdgeLabel::Fire(TransitionId::new((i + k) % 6))
+                } else {
+                    EdgeLabel::Advance((i as u64) % 11 + 1)
+                };
+                (label, ((i + k) % 1000) as u32)
+            })
+            .collect()
+    }
+
     #[test]
     fn segment_image_roundtrips_byte_for_byte() {
         let mut data = SegmentData::empty();
@@ -959,8 +1352,33 @@ mod tests {
         // A bit-flipped count field must fail fast on the header check,
         // not attempt a multi-gigabyte allocation.
         let mut huge = image.clone();
-        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        huge[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(SegmentData::deserialize(&huge, 3).is_err());
+    }
+
+    #[test]
+    fn edge_image_roundtrips_byte_for_byte() {
+        let mut seg = EdgeSegment::empty();
+        for i in 0..7usize {
+            let row = edge_row(i);
+            seg.edges.extend_from_slice(&row);
+            seg.offsets.push(seg.edges.len() as u32);
+        }
+        let image = seg.serialize();
+        let back = EdgeSegment::deserialize(&image, 0).unwrap();
+        assert_eq!(back, seg);
+        for i in 0..7 {
+            assert_eq!(back.row(i), &edge_row(i)[..], "row {i}");
+        }
+        // Truncation, padding, and bad label tags are rejected.
+        assert!(EdgeSegment::deserialize(&image[..image.len() - 1], 0).is_err());
+        let mut padded = image.clone();
+        padded.push(0);
+        assert!(EdgeSegment::deserialize(&padded, 0).is_err());
+        let mut bad_tag = image.clone();
+        let tag_pos = 16 + 8 * 4; // header + offsets → first edge's tag
+        bad_tag[tag_pos..tag_pos + 4].copy_from_slice(&7u32.to_le_bytes());
+        assert!(EdgeSegment::deserialize(&bad_tag, 0).is_err());
     }
 
     #[test]
@@ -1000,22 +1418,44 @@ mod tests {
 
     #[test]
     fn wrong_image_version_is_rejected() {
-        // An image stamped with a different layout version (e.g. one
-        // written before the enabling-clock arena existed) must be
-        // rejected on the header check, not misinterpreted.
+        // An image stamped with a previous layout version (e.g. the v2
+        // images written before the edge arena existed) must be
+        // rejected on the header check — with an error *naming* the
+        // version — not misinterpreted.
         let mut data = SegmentData::empty();
         data.markings.extend_from_slice(&[1, 2]);
         data.env_ids.push(0);
         data.inflight_offsets.push(0);
         let mut image = data.serialize();
         assert_eq!(SegmentData::deserialize(&image, 2).unwrap(), data);
-        image[..4].copy_from_slice(&(IMAGE_VERSION - 1).to_le_bytes());
+        for old in [IMAGE_VERSION - 1, IMAGE_VERSION - 2] {
+            image[..4].copy_from_slice(&old.to_le_bytes());
+            let e = SegmentData::deserialize(&image, 2).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+            assert!(
+                e.to_string().contains(&format!("version {old}")),
+                "error should name the rejected version: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_image_kind_is_rejected() {
+        // A state image fed to the edge parser (or vice versa) is a
+        // bookkeeping bug; the kind word catches it with a named error
+        // instead of a length mismatch.
+        let mut seg = EdgeSegment::empty();
+        seg.edges.push((EdgeLabel::Advance(3), 0));
+        seg.offsets.push(1);
+        let image = seg.serialize();
         let e = SegmentData::deserialize(&image, 2).unwrap_err();
-        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
-        assert!(
-            e.to_string().contains("version"),
-            "error should name the version mismatch: {e}"
-        );
+        assert!(e.to_string().contains("kind"), "names the kind: {e}");
+        let mut data = SegmentData::empty();
+        data.markings.extend_from_slice(&[1, 2]);
+        data.env_ids.push(0);
+        data.inflight_offsets.push(0);
+        let e = EdgeSegment::deserialize(&data.serialize(), 0).unwrap_err();
+        assert!(e.to_string().contains("kind"), "names the kind: {e}");
     }
 
     #[test]
@@ -1039,6 +1479,39 @@ mod tests {
         }
         // Spilled → resident transitions really happened.
         assert!(ps.is_resident(0), "reads fault segments back in");
+    }
+
+    #[test]
+    fn edge_arena_shares_the_budget_and_reloads_verbatim() {
+        // States and edges attached to one ledger: a tiny shared budget
+        // forces both families to spill, and every edge row reloads
+        // byte-for-byte.
+        let mut ps = PagedStates::new(4, &tiny_config(8 * 1024));
+        let mut pe = PagedEdges::new(ps.seg_states(), ps.shared(), None);
+        let n = 12 * ps.seg_states();
+        for i in 0..n {
+            let marking: Vec<u32> = (0..4).map(|p| (i + p) as u32).collect();
+            ps.append(&marking, 0, &[], &[]).unwrap();
+            pe.push_row(&edge_row(i)).unwrap();
+        }
+        assert_eq!(pe.row_count(), n);
+        assert_eq!(pe.edge_count(), (0..n).map(|i| i % 4).sum::<usize>());
+        assert!(
+            ps.spilled_bytes() > 0 && pe.spilled_bytes() > 0,
+            "both families must spill under the shared budget \
+             (states {} B, edges {} B)",
+            ps.spilled_bytes(),
+            pe.spilled_bytes()
+        );
+        for i in 0..n {
+            assert_eq!(pe.row(i).unwrap(), &edge_row(i)[..], "edge row {i}");
+        }
+        // The shared resident counter really is shared: maintaining
+        // both brings the combined arenas back under budget.
+        pe.maintain().unwrap();
+        ps.maintain().unwrap();
+        assert!(ps.resident_bytes() <= 8 * 1024 + ps.max_segment_bytes());
+        assert_eq!(ps.resident_bytes(), pe.arena.shared.resident());
     }
 
     #[test]
@@ -1079,6 +1552,9 @@ mod tests {
         ps.maintain().unwrap();
         assert!(ps.resident_bytes() <= budget);
         assert!(ps.peak_resident_bytes() >= ps.resident_bytes());
+        // The peak probe is resettable, for phase-scoped envelopes.
+        ps.shared().reset_peak();
+        assert_eq!(ps.peak_resident_bytes(), ps.resident_bytes());
     }
 
     #[test]
@@ -1086,7 +1562,7 @@ mod tests {
         let mut ps = PagedStates::new(3, &PagerConfig::default());
         fill(&mut ps, 10_000);
         assert_eq!(ps.spilled_bytes(), 0);
-        assert!((0..ps.segment_count()).all(|s| ps.is_resident(s)));
+        assert!((0..ps.segments.len()).all(|s| ps.is_resident(s)));
         for i in [0, 4095, 4096, 9999] {
             expect_row(&ps, i);
         }
@@ -1114,6 +1590,21 @@ mod tests {
             Some(ReachError::Spill(e)) => assert_eq!(e.op, "create"),
             other => panic!("expected a spill create error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn segment_ranges_tile_the_rows() {
+        let mut ps = PagedStates::new(2, &tiny_config(4 * 1024));
+        let n = 3 * ps.seg_states() + ps.seg_states() / 2;
+        fill(&mut ps, n);
+        let mut covered = 0;
+        for seg in 0..ps.segment_count() {
+            let r = ps.segment_range(seg);
+            assert_eq!(r.start, covered, "ranges are contiguous");
+            assert!(!r.is_empty(), "no empty segments");
+            covered = r.end;
+        }
+        assert_eq!(covered, n, "ranges cover every row");
     }
 
     #[test]

@@ -106,11 +106,12 @@
 //! budgets small enough to force eviction).
 
 use crate::graph::ReachError;
-use crate::pager::{PagedStates, PagerConfig};
+use crate::pager::{PagedStates, PagerConfig, PagerShared, SegmentData};
 use pnut_core::expr::Env;
 use pnut_core::{Marking, PlaceId, TransitionId};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // FxHash
@@ -546,10 +547,13 @@ impl StateStore {
         }
     }
 
-    /// Evict cold segments until the resident arenas fit the budget
-    /// again (a no-op while under budget). The build calls this at
-    /// every `&mut` point; long read-only scans (which fault segments
-    /// in without being able to evict) can call it between passes.
+    /// Evict cold *state* segments until the resident arenas fit the
+    /// budget again (a no-op while under budget). The build calls this
+    /// at every `&mut` point; long read-only scans (which fault
+    /// segments in without being able to evict) can call it between
+    /// passes. A [`crate::graph::ReachabilityGraph`] pairs this with
+    /// its edge arena's maintenance — use
+    /// [`crate::graph::ReachabilityGraph::maintain`] there.
     ///
     /// # Errors
     ///
@@ -558,8 +562,12 @@ impl StateStore {
         self.states.maintain()
     }
 
-    /// Resident arena bytes right now (markings, env ids, in-flight;
-    /// excludes the always-resident intern tables and environments).
+    /// Resident paged-arena bytes right now. This reads the shared
+    /// pager ledger, so once a graph's edge arena is attached to the
+    /// same budget (see [`crate::pager`]) the number covers *all*
+    /// arenas charged against it — which is exactly what the budget
+    /// envelope is about. The always-resident intern tables and
+    /// environments are excluded.
     pub fn resident_arena_bytes(&self) -> usize {
         self.states.resident_bytes()
     }
@@ -569,16 +577,52 @@ impl StateStore {
         self.states.peak_resident_bytes()
     }
 
-    /// Bytes spilled to disk so far (0 while everything fits).
+    /// Restart the [`Self::peak_resident_arena_bytes`] tracking from
+    /// the current resident level — the phase probe the paged-analysis
+    /// test harness uses to measure an analysis sweep's envelope
+    /// independently of the build that preceded it.
+    pub fn reset_peak_resident_bytes(&mut self) {
+        self.states.shared().reset_peak();
+    }
+
+    /// Bytes of *state* segments spilled to disk so far (0 while
+    /// everything fits; the graph's edge arena spills separately).
     pub fn spilled_bytes(&self) -> usize {
         self.states.spilled_bytes()
     }
 
-    /// Arena bytes of the largest sealed segment — the granularity of
-    /// the budget envelope (`resident ≤ budget + one segment` at the
-    /// sequential build's `&mut` points).
+    /// Arena bytes of the largest sealed state segment — the
+    /// granularity of the budget envelope (`resident ≤ budget + one
+    /// segment` at the sequential build's `&mut` points).
     pub fn max_segment_bytes(&self) -> usize {
         self.states.max_segment_bytes()
+    }
+
+    /// Rows per segment — the paging grain the graph's edge arena must
+    /// mirror so one guard pins matching state and edge rows.
+    pub(crate) fn seg_states(&self) -> usize {
+        self.states.seg_states()
+    }
+
+    /// The shared pager ledger, for attaching the edge arena to the
+    /// same budget.
+    pub(crate) fn pager_shared(&self) -> Arc<PagerShared> {
+        self.states.shared()
+    }
+
+    /// Number of state segments holding at least one state.
+    pub(crate) fn segment_count(&self) -> usize {
+        self.states.segment_count()
+    }
+
+    /// The global state range of segment `seg`.
+    pub(crate) fn segment_range(&self, seg: usize) -> std::ops::Range<usize> {
+        self.states.segment_range(seg)
+    }
+
+    /// The resident data of state segment `seg`, faulting as needed.
+    pub(crate) fn state_segment(&self, seg: usize) -> Result<&SegmentData, ReachError> {
+        self.states.segment(seg)
     }
 
     /// Hash contribution of one `(place, count)` marking entry.

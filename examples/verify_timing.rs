@@ -157,9 +157,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .enabling(3) // hold the bus 3 cycles, then release atomically
         .add();
     let protocol = b.build()?;
-    let graph = build_timed(&protocol, &ReachOptions::default())?;
+    let mut graph = build_timed(&protocol, &ReachOptions::default())?;
     let formula = pnut::reach::ctl::Formula::parse("AG (Bus_busy + Bus_free = 1)")?;
-    let verdict = pnut::reach::ctl::check(&graph, &protocol, &formula)?;
+    let verdict = pnut::reach::ctl::check(&mut graph, &protocol, &formula)?;
     let busy = protocol.place_id("Bus_busy").expect("place exists");
     // The verified timing bound: total time the graph lets pass while
     // the bus is held, per acquisition cycle.
@@ -186,8 +186,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  verified bound: the bus is held exactly {held} cycles per acquisition");
     // The buggy variant fails the same exhaustive check (the in-flight
     // `seize` leaves both places empty — no trace luck involved).
-    let buggy_graph = build_timed(&buggy, &ReachOptions::default())?;
-    let buggy_verdict = pnut::reach::ctl::check(&buggy_graph, &buggy, &formula)?;
+    let mut buggy_graph = build_timed(&buggy, &ReachOptions::default())?;
+    let buggy_verdict = pnut::reach::ctl::check(&mut buggy_graph, &buggy, &formula)?;
     println!(
         "  buggy variant: {} ({} of {} timed states satisfy the invariant)",
         if buggy_verdict.holds_initially {

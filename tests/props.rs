@@ -220,6 +220,77 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Paged-analysis properties
+// ---------------------------------------------------------------------------
+
+/// Build the untimed or timed reachability graph, skipping nets whose
+/// state space exceeds the cap (random nets are routinely unbounded —
+/// the generator's input-free transitions mint tokens forever).
+fn reach_or_skip(
+    net: &pnut::core::Net,
+    timed: bool,
+    options: &pnut::reach::ReachOptions,
+) -> Option<pnut::reach::ReachabilityGraph> {
+    let build = if timed {
+        pnut::reach::graph::build_timed
+    } else {
+        pnut::reach::graph::build_untimed
+    };
+    match build(net, options) {
+        Ok(g) => Some(g),
+        Err(pnut::reach::ReachError::StateLimit { .. }) => None,
+        Err(e) => panic!("unexpected reachability failure: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Paged and unpaged analyses agree on random nets: deadlocks,
+    /// place bounds, and L1-liveness computed through the
+    /// segment-ordered read path at a 1-byte budget (maximum eviction
+    /// churn — every sealed segment is spilled the moment it is not
+    /// pinned) match the fully resident run exactly. This is the
+    /// analysis-path analogue of the build-determinism properties:
+    /// paging may change where rows live mid-analysis, never what any
+    /// analysis computes.
+    #[test]
+    fn paged_analyses_agree_with_unpaged(spec in arb_net(), timed in proptest::bool::ANY) {
+        let net = build(&spec);
+        let resident_opts = pnut::reach::ReachOptions {
+            max_states: 3000,
+            ..pnut::reach::ReachOptions::default()
+        };
+        let paged_opts = pnut::reach::ReachOptions {
+            mem_budget: 1,
+            ..resident_opts.clone()
+        };
+        let Some(mut resident) = reach_or_skip(&net, timed, &resident_opts) else {
+            return Ok(());
+        };
+        let mut paged = reach_or_skip(&net, timed, &paged_opts)
+            .expect("the budget never changes whether a net fits the state cap");
+        prop_assert_eq!(&paged, &resident, "stores/edges must be bit-identical");
+        prop_assert_eq!(paged.deadlocks(), resident.deadlocks());
+        prop_assert_eq!(paged.place_bounds(), resident.place_bounds());
+        for (tid, _) in net.transitions() {
+            prop_assert_eq!(
+                paged.ever_fires(tid),
+                resident.ever_fires(tid),
+                "liveness of transition {} diverged",
+                tid.index()
+            );
+        }
+        // And a reachability formula through the CTL fixpoints (the
+        // generated places are named p0, p1, ...).
+        let f = pnut::reach::Formula::parse("EF (p0 = 0)").expect("parses");
+        let a = pnut::reach::ctl::check(&mut paged, &net, &f).expect("checks");
+        let b = pnut::reach::ctl::check(&mut resident, &net, &f).expect("checks");
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Expression language properties
 // ---------------------------------------------------------------------------
 

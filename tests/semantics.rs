@@ -191,6 +191,72 @@ fn enabling_clock_graph_matches_hold_place_desugaring() {
     assert_eq!(matched.len(), ga.state_count(), "walk covered all of A");
 }
 
+/// An expression-valued enabling time that resolves to a constant must
+/// be *indistinguishable* from writing the constant directly — the
+/// constant-delay desugaring that pins the arm-time resolution
+/// semantics: `build_timed` evaluates `Delay::Expr` enabling times
+/// against the state's environment at the moment the clock arms
+/// (mirroring the simulator's `refresh_enabling`), so a never-written
+/// variable behaves exactly like its initial value.
+#[test]
+fn expression_enabling_time_matches_constant_desugaring() {
+    use pnut::reach::graph::{build_timed, ReachOptions};
+
+    let build = |expr: bool| {
+        let mut b = NetBuilder::new(if expr { "expr" } else { "const" });
+        b.place("src", 1);
+        b.place("dst", 0);
+        if expr {
+            b.var("d", 4);
+        }
+        let t = b.transition("work").input("src").output("dst");
+        if expr {
+            t.enabling_expr(pnut::core::Expr::parse("d").unwrap()).add();
+        } else {
+            t.enabling(4).add();
+        }
+        b.transition("back")
+            .input("dst")
+            .output("src")
+            .firing(1)
+            .add();
+        b.build().expect("builds")
+    };
+
+    let ge = build_timed(&build(true), &ReachOptions::default()).expect("expr builds");
+    let gc = build_timed(&build(false), &ReachOptions::default()).expect("const builds");
+    // The environments differ (the expr net carries `d`), so compare
+    // everything *but* them: state-by-state markings, in-flight and
+    // enabling multisets, and edge-by-edge successors. BFS order is
+    // driven by structure alone, so the graphs must line up index by
+    // index.
+    assert_eq!(ge.state_count(), gc.state_count(), "state counts differ");
+    assert_eq!(ge.edge_count(), gc.edge_count(), "edge counts differ");
+    for i in 0..ge.state_count() {
+        let (a, b) = (ge.state(i), gc.state(i));
+        assert_eq!(
+            a.marking.as_slice(),
+            b.marking.as_slice(),
+            "marking of state {i}"
+        );
+        assert_eq!(a.in_flight, b.in_flight, "in-flight of state {i}");
+        assert_eq!(
+            a.enabling, b.enabling,
+            "enabling clocks of state {i} (arm-time resolution must \
+             yield the constant's countdown)"
+        );
+        assert_eq!(ge.successors(i), gc.successors(i), "edges of state {i}");
+    }
+    // The clock really arms at 4 somewhere (the test is not vacuous).
+    assert!(
+        (0..ge.state_count()).any(|i| ge
+            .state(i)
+            .enabling
+            .contains(&(build(true).transition_id("work").unwrap(), 4))),
+        "the expression delay must arm a 4-tick clock"
+    );
+}
+
 /// The converse direction is impossible (§1): an enabling time reacts to
 /// *disabling* by resetting, which a firing time cannot, because firing
 /// removes the tokens. Demonstrate the observable difference.

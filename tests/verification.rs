@@ -13,7 +13,7 @@ fn untimed(net: &pnut::core::Net) -> graph::ReachabilityGraph {
 #[test]
 fn full_pipeline_model_is_bounded_and_deadlock_free() {
     let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
-    let g = untimed(&net);
+    let mut g = untimed(&net);
     assert!(g.state_count() > 10, "nontrivial state space");
     assert!(
         g.deadlocks().is_empty(),
@@ -35,7 +35,7 @@ fn full_pipeline_model_is_bounded_and_deadlock_free() {
 fn every_transition_of_the_pipeline_can_fire() {
     // L1-liveness: the model contains no dead transitions.
     let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
-    let g = untimed(&net);
+    let mut g = untimed(&net);
     for (tid, t) in net.transitions() {
         assert!(
             g.ever_fires(tid),
@@ -48,7 +48,7 @@ fn every_transition_of_the_pipeline_can_fire() {
 #[test]
 fn ctl_invariants_of_the_pipeline() {
     let net = three_stage::build(&ThreeStageConfig::default()).expect("builds");
-    let g = untimed(&net);
+    let mut g = untimed(&net);
     for (formula, expect) in [
         // The §4.4 invariant, proved over *all* behaviours here, not
         // just one trace.
@@ -68,7 +68,7 @@ fn ctl_invariants_of_the_pipeline() {
         ("EF (Full_I_buffers = 7)", false),
     ] {
         let f = ctl::Formula::parse(formula).expect("parses");
-        let outcome = ctl::check(&g, &net, &f).expect("checks");
+        let outcome = ctl::check(&mut g, &net, &f).expect("checks");
         assert_eq!(
             outcome.holds_initially, expect,
             "CTL formula `{formula}` expected {expect}"
@@ -97,7 +97,7 @@ fn timed_reachability_of_a_pipeline_fragment() {
         .output("Done")
         .add();
     let net = b.build().expect("builds");
-    let g = graph::build_timed(&net, &graph::ReachOptions::default()).expect("bounded");
+    let mut g = graph::build_timed(&net, &graph::ReachOptions::default()).expect("bounded");
     assert!(
         (4..=16).contains(&g.state_count()),
         "small timed graph, got {}",
@@ -230,7 +230,7 @@ fn coverability_agrees_with_reachability_on_a_plain_fragment() {
         .add();
     let net = b.build().expect("builds");
 
-    let g = untimed(&net);
+    let mut g = untimed(&net);
     let tree = pnut::reach::coverability::coverability_tree(
         &net,
         &pnut::reach::coverability::CoverOptions::default(),
