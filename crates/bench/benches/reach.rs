@@ -9,7 +9,8 @@
 
 use criterion::{criterion_group, Criterion};
 use pnut_bench::{legacy_reach, workloads};
-use pnut_core::Net;
+use pnut_core::expr::compile::{CompiledNet, EnvSlots, Scratch};
+use pnut_core::{Delay, Net};
 use pnut_reach::ctl;
 use pnut_reach::graph::{build_timed, build_untimed, ReachOptions, ReachabilityGraph};
 use std::io::Write as _;
@@ -158,13 +159,98 @@ fn bench_paged_analysis(c: &mut Criterion) {
     g.finish();
 }
 
+/// The per-state expression workload the explorer pays on every visit:
+/// evaluate the predicate, apply the action to a fresh successor
+/// environment, and resolve any expression delays — here run over every
+/// reachable state of a built graph, on the tree interpreter.
+fn ast_sweep(net: &Net, g: &ReachabilityGraph) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..g.state_count() {
+        let env = g.state(i).env;
+        for (_, t) in net.transitions() {
+            if let Some(p) = t.predicate() {
+                acc += u64::from(matches!(
+                    p.eval_pure(env).and_then(|v| v.as_bool()),
+                    Ok(true)
+                ));
+            }
+            if let Some(a) = t.action() {
+                let mut next = env.clone();
+                acc += u64::from(a.apply_pure(&mut next).is_ok());
+            }
+            for d in [t.firing_time(), t.enabling_time()] {
+                if let Delay::Expr(e) = d {
+                    if let Ok(v) = e.eval_pure(env).and_then(|v| v.as_int()) {
+                        acc = acc.wrapping_add(v as u64);
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// The same workload as [`ast_sweep`], on the bytecode evaluator: slot
+/// loads instead of name lookups, a slot-file copy instead of an `Env`
+/// clone, flat register programs instead of tree walks.
+fn bytecode_sweep(g: &ReachabilityGraph, programs: &CompiledNet) -> u64 {
+    let mut acc = 0u64;
+    let mut cur = EnvSlots::new();
+    let mut next = EnvSlots::new();
+    let mut vm = Scratch::new();
+    for i in 0..g.state_count() {
+        cur.load(&programs.map, g.state(i).env);
+        for ct in &programs.transitions {
+            if let Some(p) = &ct.predicate {
+                acc += u64::from(matches!(
+                    p.eval_pure(&cur, &programs.map, &mut vm)
+                        .and_then(|v| v.as_bool()),
+                    Ok(true)
+                ));
+            }
+            if let Some(a) = &ct.action {
+                next.copy_from(&cur);
+                acc += u64::from(a.apply_pure(&mut next, &programs.map, &mut vm).is_ok());
+            }
+            for p in [&ct.firing, &ct.enabling].into_iter().flatten() {
+                if let Ok(v) = p
+                    .eval_pure(&cur, &programs.map, &mut vm)
+                    .and_then(|v| v.as_int())
+                {
+                    acc = acc.wrapping_add(v as u64);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Compiled expression evaluation vs the tree interpreter, as the
+/// explorer's per-state sweep over every state of the built graph. The
+/// interpreted pipeline is the expression-heavy model (predicates,
+/// actions, table lookups on most transitions) and carries the gated
+/// ratio; the three-stage pipeline has *no* expressions, so its series
+/// documents the no-op floor — nets without predicates or actions pay
+/// nothing for the compilation layer.
+fn bench_compiled(c: &mut Criterion) {
+    for (name, net) in untimed_workloads() {
+        let g = build_untimed(&net, &OPTIONS).expect("bounded");
+        let programs = CompiledNet::compile(&net).expect("paper models compile");
+        let mut group = c.benchmark_group(format!("reach/compiled/{name}"));
+        group.bench_function("ast", |b| b.iter(|| ast_sweep(&net, &g)));
+        group.bench_function("bytecode", |b| b.iter(|| bytecode_sweep(&g, &programs)));
+        group.finish();
+    }
+}
+
 criterion_group!(
     reach,
     bench_untimed,
     bench_timed,
     bench_parallel,
     bench_spill,
-    bench_paged_analysis
+    bench_paged_analysis,
+    bench_compiled
 );
 
 fn export(name: &str, key: &str, value: f64) {
@@ -260,6 +346,27 @@ fn summary() {
             timed_g.state_count(),
         );
         export(&format!("reach/speedup/timed/{name}"), "ratio", ratio);
+    }
+
+    // Compiled-evaluation series (gates the bytecode layer): the same
+    // per-state expression sweep on both evaluators. Only the
+    // expression-heavy interpreted pipeline is exported/gated — the
+    // three-stage sweep is a no-op on both sides (no expressions) and
+    // its ratio would gate nothing but loop noise.
+    println!("\n-- compiled expression sweep vs AST interpreter (min of 10 sweeps) --");
+    for (name, net) in untimed_workloads() {
+        let g = build_untimed(&net, &OPTIONS).expect("bounded");
+        let programs = CompiledNet::compile(&net).expect("paper models compile");
+        let ast = min_ns(10, || ast_sweep(&net, &g));
+        let bytecode = min_ns(10, || bytecode_sweep(&g, &programs));
+        let ratio = ast / bytecode;
+        println!(
+            "compiled/{name:<15} {:>7} states  speedup {ratio:>5.2}x over the tree interpreter",
+            g.state_count(),
+        );
+        if name == "interpreted" {
+            export("reach/speedup/compiled/interpreted", "ratio", ratio);
+        }
     }
 
     println!("\n-- parallel frontier vs. sequential (min of 5 builds) --");

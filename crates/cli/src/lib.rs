@@ -359,6 +359,11 @@ accelerates against ancestor chains, which is inherently sequential.
 cover likewise ignores --mem-budget/--spill-dir: the tree stays
 memory-resident (both are documented unsupported, not planned).
 
+All expression evaluation (predicates, actions, delay expressions) in
+sim, reach, and markov runs on register bytecode compiled once per
+net at load time — semantics are bit-identical to the language
+reference interpreter, including error cases and randomness draws.
+
 exit codes: 0 ok · 1 error · 2 checked property is false
 ";
 

@@ -10,6 +10,24 @@ use crate::error::NetError;
 use crate::expr::{Action, Env, Expr, Value};
 use crate::net::{Delay, Net, Place, PlaceId, Transition};
 
+/// Constant-fold an expression delay at build time: a `Delay::Expr`
+/// whose expression provably evaluates to a non-negative integer (no
+/// variables, tables, or `irand`) is stored as `Delay::Fixed`, so it
+/// takes the constant fast path everywhere instead of paying per-state
+/// resolution. Expressions that would error — or fold to a negative or
+/// boolean value — are kept symbolic so their runtime error behaviour
+/// is unchanged.
+fn fold_delay(d: &Delay) -> Delay {
+    if let Delay::Expr(e) = d {
+        if let Some(Value::Int(v)) = e.const_value() {
+            if let Ok(ticks) = u64::try_from(v) {
+                return Delay::Fixed(ticks);
+            }
+        }
+    }
+    d.clone()
+}
+
 #[derive(Debug, Clone)]
 struct TransitionDecl {
     name: String,
@@ -168,8 +186,8 @@ impl NetBuilder {
                 resolve(&d.name, &d.inputs, true)?,
                 resolve(&d.name, &d.outputs, true)?,
                 resolve(&d.name, &d.inhibitors, false)?,
-                d.firing_time.clone(),
-                d.enabling_time.clone(),
+                fold_delay(&d.firing_time),
+                fold_delay(&d.enabling_time),
                 d.frequency,
                 d.predicate.clone(),
                 d.action.clone(),

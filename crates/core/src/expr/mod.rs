@@ -37,12 +37,14 @@
 //! ```
 
 mod ast;
+pub mod compile;
 mod env;
 mod eval;
 mod lexer;
 mod parser;
 
 pub use ast::{Assignment, BinOp, Expr, Func, Target, UnaryOp};
+pub use compile::{CompileError, CompiledNet, CompiledTransition};
 pub use env::{Env, Value};
 pub use eval::EvalError;
 pub use parser::ParseExprError;

@@ -55,7 +55,7 @@ mod time;
 
 pub use builder::{NetBuilder, TransitionBuilder};
 pub use error::NetError;
-pub use expr::{Action, Env, EvalError, Expr, ParseExprError, Value};
+pub use expr::{Action, CompileError, CompiledNet, Env, EvalError, Expr, ParseExprError, Value};
 pub use marking::Marking;
 pub use net::{Delay, Net, Place, PlaceId, Transition, TransitionId};
 pub use time::Time;

@@ -28,7 +28,7 @@
 
 use crate::pager::{EdgeSegment, PagedEdges, PagerConfig, SegmentData, SpillError};
 use crate::store::{self, EnvRef, MarkingView, PendingShard, StateRef, StateStore};
-use pnut_core::expr::Env;
+use pnut_core::expr::compile as bc;
 use pnut_core::{Net, Time, Transition, TransitionId};
 use std::cell::OnceCell;
 use std::fmt;
@@ -107,6 +107,11 @@ pub enum ReachError {
         /// The underlying failure.
         source: pnut_core::EvalError,
     },
+    /// A transition expression failed to lower to bytecode (names the
+    /// transition and the offending expression). Expressions from the
+    /// surface language never hit this; it bounds pathological
+    /// programmatically-built nets.
+    Compile(pnut_core::CompileError),
     /// Timed construction requires constant (non-expression) delays.
     /// Only the frozen seed construction (`pnut_bench::legacy_reach`)
     /// raises this today: [`build_timed`] resolves deterministic
@@ -161,6 +166,7 @@ impl fmt::Display for ReachError {
             ReachError::Eval { transition, source } => {
                 write!(f, "evaluation failed in `{transition}`: {source}")
             }
+            ReachError::Compile(e) => write!(f, "{e}"),
             ReachError::NonConstantDelay { transition } => write!(
                 f,
                 "timed reachability requires constant delays (`{transition}`)"
@@ -713,20 +719,23 @@ struct TimedTicks {
 /// compute their own firing times", paper §3).
 fn firing_delay(
     net: &Net,
+    programs: &bc::CompiledNet,
     ticks: &TimedTicks,
     ti: usize,
     id: TransitionId,
-    env: &Env,
+    slots: &bc::EnvSlots,
+    vm: &mut bc::Scratch,
 ) -> Result<u64, ReachError> {
     if let Some(t) = ticks.firing[ti] {
         return Ok(t);
     }
+    let prog = programs.transitions[ti]
+        .firing
+        .as_ref()
+        .expect("non-constant slot holds an expression delay");
     let t = net.transition(id);
-    let pnut_core::Delay::Expr(e) = t.firing_time() else {
-        unreachable!("non-constant slot holds an expression delay");
-    };
-    let v = e
-        .eval_pure(env)
+    let v = prog
+        .eval_pure(slots, &programs.map, vm)
         .and_then(|v| v.as_int())
         .map_err(|e| eval_err(t, e))?;
     u64::try_from(v).map_err(|_| eval_err(t, pnut_core::EvalError::Overflow))
@@ -741,20 +750,23 @@ fn firing_delay(
 /// transition stays continuously ready).
 fn enabling_delay(
     net: &Net,
+    programs: &bc::CompiledNet,
     ticks: &TimedTicks,
     ti: usize,
     id: TransitionId,
-    env: &Env,
+    slots: &bc::EnvSlots,
+    vm: &mut bc::Scratch,
 ) -> Result<u64, ReachError> {
     if let Some(t) = ticks.enabling[ti] {
         return Ok(t);
     }
+    let prog = programs.transitions[ti]
+        .enabling
+        .as_ref()
+        .expect("non-constant slot holds an expression delay");
     let t = net.transition(id);
-    let pnut_core::Delay::Expr(e) = t.enabling_time() else {
-        unreachable!("non-constant slot holds an expression delay");
-    };
-    let v = e
-        .eval_pure(env)
+    let v = prog
+        .eval_pure(slots, &programs.map, vm)
         .and_then(|v| v.as_int())
         .map_err(|e| eval_err(t, e))?;
     u64::try_from(v).map_err(|_| eval_err(t, pnut_core::EvalError::Overflow))
@@ -873,12 +885,15 @@ impl Scratch {
     ///
     /// Entries come out sorted by transition id because `compiled` is
     /// iterated in id order.
+    #[allow(clippy::too_many_arguments)] // bundled per-build context threads through
     fn compute_next_enabling(
         &mut self,
         net: &Net,
         compiled: &[Compiled],
+        programs: &bc::CompiledNet,
         ticks: &TimedTicks,
-        env: &Env,
+        slots: &bc::EnvSlots,
+        vm: &mut bc::Scratch,
         fired: Option<TransitionId>,
         elapsed: u64,
     ) -> Result<(), ReachError> {
@@ -906,24 +921,15 @@ impl Scratch {
             if !ready {
                 continue;
             }
-            if ct.has_predicate {
-                let t = net.transition(ct.id);
-                let holds = t
-                    .predicate()
-                    .expect("has_predicate")
-                    .eval_pure(env)
-                    .and_then(|v| v.as_bool())
-                    .map_err(|e| eval_err(t, e))?;
-                if !holds {
-                    continue;
-                }
+            if ct.has_predicate && !predicate_holds(net, programs, ti, ct, slots, vm)? {
+                continue;
             }
             let countdown = if fired == Some(ct.id) {
-                enabling_delay(net, ticks, ti, ct.id, env)?
+                enabling_delay(net, programs, ticks, ti, ct.id, slots, vm)?
             } else {
                 match self.cur_enabling.iter().find(|&&(x, _)| x == ct.id) {
                     Some(&(_, k)) => k - elapsed,
-                    None => enabling_delay(net, ticks, ti, ct.id, env)?,
+                    None => enabling_delay(net, programs, ticks, ti, ct.id, slots, vm)?,
                 }
             };
             self.next_enabling.push((ct.id, countdown));
@@ -952,21 +958,24 @@ impl Scratch {
     }
 }
 
-/// Run `ct`'s predicate against the interned environment `env_id`
+/// Run `ct`'s compiled predicate against the slot-form environment
 /// (true when absent).
 fn predicate_holds(
     net: &Net,
-    store: &StateStore,
+    programs: &bc::CompiledNet,
+    ti: usize,
     ct: &Compiled,
-    env_id: u32,
+    slots: &bc::EnvSlots,
+    vm: &mut bc::Scratch,
 ) -> Result<bool, ReachError> {
-    let t = net.transition(ct.id);
-    match t.predicate() {
+    match &programs.transitions[ti].predicate {
         None => Ok(true),
-        Some(p) => p
-            .eval_pure(store.env(env_id))
-            .and_then(|v| v.as_bool())
-            .map_err(|e| eval_err(t, e)),
+        Some(p) => {
+            let t = net.transition(ct.id);
+            p.eval_pure(slots, &programs.map, vm)
+                .and_then(|v| v.as_bool())
+                .map_err(|e| eval_err(t, e))
+        }
     }
 }
 
@@ -978,16 +987,20 @@ fn predicate_holds(
 fn arm_initial(
     net: &Net,
     compiled: &[Compiled],
+    programs: &bc::CompiledNet,
     ticks: Option<&TimedTicks>,
     store: &StateStore,
     initial_env: u32,
 ) -> Result<Scratch, ReachError> {
     let mut scratch = Scratch::new(net.place_count());
     if let Some(ticks) = ticks {
+        let mut slots = bc::EnvSlots::new();
+        slots.load(&programs.map, store.env(initial_env));
+        let mut vm = bc::Scratch::new();
         scratch
             .next_marking
             .copy_from_slice(net.initial_marking().as_slice());
-        scratch.compute_next_enabling(net, compiled, ticks, store.env(initial_env), None, 0)?;
+        scratch.compute_next_enabling(net, compiled, programs, ticks, &slots, &mut vm, None, 0)?;
     }
     Ok(scratch)
 }
@@ -998,6 +1011,9 @@ fn arm_initial(
 struct Explorer {
     max_states: usize,
     compiled: Vec<Compiled>,
+    /// Bytecode programs for every transition expression, compiled once
+    /// against the net's slot map.
+    programs: bc::CompiledNet,
     store: StateStore,
     /// The paged edge arena, attached to the store's budget ledger.
     edges: PagedEdges,
@@ -1006,6 +1022,15 @@ struct Explorer {
     /// grain, so they are appended whole).
     row: Vec<Edge>,
     scratch: Scratch,
+    /// Slot-form environment of the state under expansion.
+    cur_slots: bc::EnvSlots,
+    /// Slot-form successor environment (after an action).
+    next_slots: bc::EnvSlots,
+    /// Which interned env id `cur_slots` holds: consecutive states
+    /// usually share an environment, so reloads are skipped.
+    loaded_env: Option<u32>,
+    /// Bytecode register file, shared by every program.
+    vm: bc::Scratch,
 }
 
 impl Explorer {
@@ -1019,7 +1044,8 @@ impl Explorer {
         let initial_env = store.intern_env(net.initial_env())?;
         let initial = net.initial_marking();
         let compiled = compile(net);
-        let scratch = arm_initial(net, &compiled, ticks, &store, initial_env)?;
+        let programs = bc::CompiledNet::compile(net).map_err(ReachError::Compile)?;
+        let scratch = arm_initial(net, &compiled, &programs, ticks, &store, initial_env)?;
         store.intern(initial.as_slice(), initial_env, &[], &scratch.next_enabling)?;
         let edges = PagedEdges::new(
             store.seg_states(),
@@ -1029,10 +1055,15 @@ impl Explorer {
         Ok(Explorer {
             max_states: options.max_states,
             compiled,
+            programs,
             store,
             edges,
             row: Vec::new(),
             scratch,
+            cur_slots: bc::EnvSlots::new(),
+            next_slots: bc::EnvSlots::new(),
+            loaded_env: None,
+            vm: bc::Scratch::new(),
         })
     }
 
@@ -1044,19 +1075,30 @@ impl Explorer {
         self.row.clear();
         let env = self.scratch.load(&self.store, cur)?;
         self.store.maintain()?;
+        if self.loaded_env != Some(env) {
+            self.cur_slots.load(&self.programs.map, self.store.env(env));
+            self.loaded_env = Some(env);
+        }
         Ok(env)
     }
 
-    /// Environment after `ti`'s action (the common actionless path
-    /// reuses the interned id without touching the environment at all).
+    /// Environment after `ti`'s action: runs the compiled action over
+    /// `next_slots` (starting from the current state's slots) and
+    /// interns the result. The common actionless path reuses the
+    /// interned id without touching the environment at all.
     fn next_env(&mut self, net: &Net, ti: usize, env_id: u32) -> Result<u32, ReachError> {
         if !self.compiled[ti].has_action {
             return Ok(env_id);
         }
         let t = net.transition(self.compiled[ti].id);
-        let a = t.action().expect("has_action");
-        let mut env: Env = self.store.env(env_id).clone();
-        a.apply_pure(&mut env).map_err(|e| eval_err(t, e))?;
+        let prog = self.programs.transitions[ti]
+            .action
+            .as_ref()
+            .expect("has_action");
+        self.next_slots.copy_from(&self.cur_slots);
+        prog.apply_pure(&mut self.next_slots, &self.programs.map, &mut self.vm)
+            .map_err(|e| eval_err(t, e))?;
+        let env = self.next_slots.to_env(&self.programs.map);
         self.store.intern_env(&env)
     }
 
@@ -1117,6 +1159,8 @@ type Rows = Vec<Vec<(EdgeLabel, RawTarget)>>;
 struct WorkerCtx<'a> {
     net: &'a Net,
     compiled: &'a [Compiled],
+    /// Compiled bytecode programs, shared read-only by all workers.
+    programs: &'a bc::CompiledNet,
     store: &'a StateStore,
     shards: &'a [Mutex<PendingShard>],
     /// `Some` for timed builds: constant firing and enabling delays per
@@ -1135,33 +1179,44 @@ fn discovery_key(src: usize, seq: usize) -> u64 {
 
 /// Resolve the environment of the successor under construction: reuse
 /// the source's committed id on the (common) actionless path, otherwise
-/// apply the action and intern the result — into the committed table if
-/// the content is already known, into a pending shard otherwise. The
-/// owned successor environment rides along (`None` on the actionless
-/// path) so the timed builder can evaluate predicates against it even
-/// when the environment is still pending.
+/// run the compiled action over `next_slots` (starting from the
+/// current state's `cur_slots`) and intern the result — into the
+/// committed table if the content is already known, into a pending
+/// shard otherwise. On the action path `next_slots` holds the
+/// post-action environment afterwards, so the timed builder resolves
+/// delays and predicates against it without re-deriving it per state.
+#[allow(clippy::too_many_arguments)] // per-worker scratch threads through
 fn next_env_ref(
     ctx: &WorkerCtx<'_>,
     ct: &Compiled,
+    ti: usize,
     env_id: u32,
+    cur_slots: &bc::EnvSlots,
+    next_slots: &mut bc::EnvSlots,
+    vm: &mut bc::Scratch,
     key: u64,
-) -> Result<(EnvRef, Option<Env>), ReachError> {
+) -> Result<EnvRef, ReachError> {
     if !ct.has_action {
-        return Ok((EnvRef::Committed(env_id), None));
+        return Ok(EnvRef::Committed(env_id));
     }
     let t = ctx.net.transition(ct.id);
-    let a = t.action().expect("has_action");
-    let mut env: Env = ctx.store.env(env_id).clone();
-    a.apply_pure(&mut env).map_err(|e| eval_err(t, e))?;
+    let prog = ctx.programs.transitions[ti]
+        .action
+        .as_ref()
+        .expect("has_action");
+    next_slots.copy_from(cur_slots);
+    prog.apply_pure(next_slots, &ctx.programs.map, vm)
+        .map_err(|e| eval_err(t, e))?;
+    let env = next_slots.to_env(&ctx.programs.map);
     let hash = store::fx_hash_of(&env);
     if let Some(id) = ctx.store.find_env_hashed(&env, hash) {
-        return Ok((EnvRef::Committed(id), Some(env)));
+        return Ok(EnvRef::Committed(id));
     }
     let shard = store::shard_index(hash, ctx.shards.len());
     let mut sh = ctx.shards[shard].lock().expect("env shard lock");
     let id = sh.intern_env(&env, hash, key)?;
     drop(sh);
-    Ok((EnvRef::Pending(id), Some(env)))
+    Ok(EnvRef::Pending(id))
 }
 
 /// Intern the scratch successor: a committed-table hit resolves to its
@@ -1212,11 +1267,19 @@ fn explore_chunk(
     chunk: std::ops::Range<usize>,
 ) -> Result<Rows, (u64, ReachError)> {
     let mut sc = Scratch::new(ctx.store.places());
+    let mut cur_slots = bc::EnvSlots::new();
+    let mut next_slots = bc::EnvSlots::new();
+    let mut vm = bc::Scratch::new();
+    let mut loaded_env: Option<u32> = None;
     let mut rows = Vec::with_capacity(chunk.len());
     for src in chunk {
         let env_id = sc
             .load(ctx.store, src)
             .map_err(|e| (discovery_key(src, 0), e))?;
+        if loaded_env != Some(env_id) {
+            cur_slots.load(&ctx.programs.map, ctx.store.env(env_id));
+            loaded_env = Some(env_id);
+        }
         let mut row: Vec<(EdgeLabel, RawTarget)> = Vec::new();
         let mut can_start = false;
         for (ti, ct) in ctx.compiled.iter().enumerate() {
@@ -1242,7 +1305,8 @@ fn explore_chunk(
                 }
             }
             if ct.has_predicate
-                && !predicate_holds(ctx.net, ctx.store, ct, env_id).map_err(|e| (key, e))?
+                && !predicate_holds(ctx.net, ctx.programs, ti, ct, &cur_slots, &mut vm)
+                    .map_err(|e| (key, e))?
             {
                 continue;
             }
@@ -1250,7 +1314,17 @@ fn explore_chunk(
             // The successor environment is resolved first (the action
             // runs before the firing delay, as in the simulator and the
             // sequential explorer above).
-            let (env_ref, env_val) = next_env_ref(ctx, ct, env_id, key).map_err(|e| (key, e))?;
+            let env_ref = next_env_ref(
+                ctx,
+                ct,
+                ti,
+                env_id,
+                &cur_slots,
+                &mut next_slots,
+                &mut vm,
+                key,
+            )
+            .map_err(|e| (key, e))?;
             match ctx.ticks {
                 None => {
                     sc.fire(ctx.net, ct, true).map_err(|e| (key, e))?;
@@ -1258,11 +1332,16 @@ fn explore_chunk(
                     sc.next_enabling.clear();
                 }
                 Some(ticks) => {
-                    let env = env_val.as_ref().unwrap_or_else(|| match env_ref {
-                        EnvRef::Committed(e) => ctx.store.env(e),
-                        EnvRef::Pending(_) => unreachable!("pending env carries its value"),
-                    });
-                    let ft = firing_delay(ctx.net, ticks, ti, ct.id, env).map_err(|e| (key, e))?;
+                    // The post-action environment already sits in
+                    // `next_slots`; actionless firings keep the
+                    // current slots.
+                    let slots = if ct.has_action {
+                        &next_slots
+                    } else {
+                        &cur_slots
+                    };
+                    let ft = firing_delay(ctx.net, ctx.programs, ticks, ti, ct.id, slots, &mut vm)
+                        .map_err(|e| (key, e))?;
                     sc.fire(ctx.net, ct, ft == 0).map_err(|e| (key, e))?;
                     sc.next_inflight.clear();
                     let (next, cur) = (&mut sc.next_inflight, &sc.cur_inflight);
@@ -1271,8 +1350,17 @@ fn explore_chunk(
                         sc.next_inflight.push((ct.id, ft));
                         sc.next_inflight.sort_unstable();
                     }
-                    sc.compute_next_enabling(ctx.net, ctx.compiled, ticks, env, Some(ct.id), 0)
-                        .map_err(|e| (key, e))?;
+                    sc.compute_next_enabling(
+                        ctx.net,
+                        ctx.compiled,
+                        ctx.programs,
+                        ticks,
+                        slots,
+                        &mut vm,
+                        Some(ct.id),
+                        0,
+                    )
+                    .map_err(|e| (key, e))?;
                 }
             }
             let target = intern_target(ctx, &sc, env_ref, key).map_err(|e| (key, e))?;
@@ -1306,8 +1394,10 @@ fn explore_chunk(
                 sc.compute_next_enabling(
                     ctx.net,
                     ctx.compiled,
+                    ctx.programs,
                     ticks,
-                    ctx.store.env(env_id),
+                    &cur_slots,
+                    &mut vm,
                     None,
                     dt,
                 )
@@ -1356,7 +1446,15 @@ fn build_parallel(
     let mut store = StateStore::with_config(places, &options.pager_config());
     let initial_env = store.intern_env(net.initial_env())?;
     let compiled = compile(net);
-    let init = arm_initial(net, &compiled, ticks.as_ref(), &store, initial_env)?;
+    let programs = bc::CompiledNet::compile(net).map_err(ReachError::Compile)?;
+    let init = arm_initial(
+        net,
+        &compiled,
+        &programs,
+        ticks.as_ref(),
+        &store,
+        initial_env,
+    )?;
     store.intern(
         net.initial_marking().as_slice(),
         initial_env,
@@ -1379,6 +1477,7 @@ fn build_parallel(
         let ctx = WorkerCtx {
             net,
             compiled: &compiled,
+            programs: &programs,
             store: &store,
             shards: &shards,
             ticks: ticks.as_ref(),
@@ -1490,7 +1589,14 @@ pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGr
                 continue;
             }
             if ex.compiled[ti].has_predicate
-                && !predicate_holds(net, &ex.store, &ex.compiled[ti], env_id)?
+                && !predicate_holds(
+                    net,
+                    &ex.programs,
+                    ti,
+                    &ex.compiled[ti],
+                    &ex.cur_slots,
+                    &mut ex.vm,
+                )?
             {
                 continue;
             }
@@ -1586,16 +1692,31 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
                 continue;
             }
             if ex.compiled[ti].has_predicate
-                && !predicate_holds(net, &ex.store, &ex.compiled[ti], env_id)?
+                && !predicate_holds(
+                    net,
+                    &ex.programs,
+                    ti,
+                    &ex.compiled[ti],
+                    &ex.cur_slots,
+                    &mut ex.vm,
+                )?
             {
                 continue;
             }
             can_start = true;
             // The environment (and with it any table-driven firing
             // delay) is resolved before the token movement: the action
-            // runs first, exactly as in the simulator.
+            // runs first, exactly as in the simulator. On the action
+            // path `next_slots` holds the post-action environment
+            // afterwards, so delay resolution and the enabling refresh
+            // reuse it instead of re-deriving it from the store.
             let next_env = ex.next_env(net, ti, env_id)?;
-            let ft = firing_delay(net, &ticks, ti, tid, ex.store.env(next_env))?;
+            let slots = if ex.compiled[ti].has_action {
+                &ex.next_slots
+            } else {
+                &ex.cur_slots
+            };
+            let ft = firing_delay(net, &ex.programs, &ticks, ti, tid, slots, &mut ex.vm)?;
             // Zero-delay firings are atomic: outputs appear immediately
             // and the in-flight multiset is unchanged.
             ex.scratch.fire(net, &ex.compiled[ti], ft == 0)?;
@@ -1609,8 +1730,10 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
             ex.scratch.compute_next_enabling(
                 net,
                 &ex.compiled,
+                &ex.programs,
                 &ticks,
-                ex.store.env(next_env),
+                slots,
+                &mut ex.vm,
                 Some(tid),
                 0,
             )?;
@@ -1647,8 +1770,10 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
             ex.scratch.compute_next_enabling(
                 net,
                 &ex.compiled,
+                &ex.programs,
                 &ticks,
-                ex.store.env(env_id),
+                &ex.cur_slots,
+                &mut ex.vm,
                 None,
                 dt,
             )?;

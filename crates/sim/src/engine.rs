@@ -2,8 +2,9 @@
 
 use crate::error::SimError;
 use crate::rng::SeededRandomness;
+use pnut_core::expr::compile as bc;
 use pnut_core::expr::Env;
-use pnut_core::{Marking, Net, Randomness, Time, TransitionId};
+use pnut_core::{Delay, EvalError, Marking, Net, Randomness, Time, TransitionId};
 use pnut_trace::{Delta, DeltaKind, TraceHeader, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -61,7 +62,14 @@ pub struct Simulator<'n> {
     options: SimOptions,
     time: Time,
     marking: Marking,
+    /// Mirror of the slot state, kept bit-identical by replaying the
+    /// write log of every fired action. Serves [`Simulator::env`] and
+    /// the trace header; all hot-path evaluation runs on `slots`.
     env: Env,
+    programs: bc::CompiledNet,
+    slots: bc::EnvSlots,
+    vm: bc::Scratch,
+    writes: Vec<bc::Write>,
     firing_counts: Vec<u32>,
     firing_seq: Vec<u64>,
     enabled_since: Vec<Option<Time>>,
@@ -97,6 +105,10 @@ impl<'n> Simulator<'n> {
                 });
             }
         }
+        let programs = bc::CompiledNet::compile(net).map_err(SimError::Compile)?;
+        let env = net.initial_env().clone();
+        let mut slots = bc::EnvSlots::new();
+        slots.load(&programs.map, &env);
         let n = net.transition_count();
         Ok(Simulator {
             net,
@@ -104,7 +116,11 @@ impl<'n> Simulator<'n> {
             options,
             time: Time::ZERO,
             marking: net.initial_marking(),
-            env: net.initial_env().clone(),
+            env,
+            programs,
+            slots,
+            vm: bc::Scratch::new(),
+            writes: Vec::new(),
             firing_counts: vec![0; n],
             firing_seq: vec![0; n],
             enabled_since: vec![None; n],
@@ -248,7 +264,7 @@ impl<'n> Simulator<'n> {
 
     /// Whether `tid` is instantaneously ready: marking-enabled, predicate
     /// true, concurrency cap not reached.
-    fn is_ready(&self, tid: TransitionId) -> Result<bool, SimError> {
+    fn is_ready(&mut self, tid: TransitionId) -> Result<bool, SimError> {
         let t = self.net.transition(tid);
         if let Some(cap) = t.max_concurrent() {
             if self.firing_counts[tid.index()] >= cap {
@@ -258,15 +274,44 @@ impl<'n> Simulator<'n> {
         if !t.marking_enabled(&self.marking) {
             return Ok(false);
         }
-        match t.predicate() {
+        match &self.programs.transitions[tid.index()].predicate {
             Some(p) => p
-                .eval_pure(&self.env)
+                .eval_pure(&self.slots, &self.programs.map, &mut self.vm)
                 .and_then(|v| v.as_bool())
                 .map_err(|source| SimError::Eval {
                     transition: t.name().to_string(),
                     source,
                 }),
             None => Ok(true),
+        }
+    }
+
+    /// Resolve a delay against the current slot state, drawing `irand`
+    /// from the engine RNG. `prog` is the compiled form of the delay's
+    /// expression when it has one. Mirrors [`Delay::resolve`].
+    fn resolve_delay(
+        &mut self,
+        tid: TransitionId,
+        delay: &Delay,
+        compiled: fn(&bc::CompiledTransition) -> Option<&bc::Program>,
+    ) -> Result<Time, SimError> {
+        match delay {
+            Delay::Fixed(t) => Ok(Time::from_ticks(*t)),
+            Delay::Expr(_) => {
+                let prog = compiled(&self.programs.transitions[tid.index()])
+                    .expect("expression delays always compile to a program");
+                prog.eval(&self.slots, &self.programs.map, &mut self.vm, &mut self.rng)
+                    .and_then(|v| v.as_int())
+                    .and_then(|v| {
+                        u64::try_from(v)
+                            .map(Time::from_ticks)
+                            .map_err(|_| EvalError::Overflow)
+                    })
+                    .map_err(|source| SimError::Eval {
+                        transition: self.net.transition(tid).name().to_string(),
+                        source,
+                    })
+            }
         }
     }
 
@@ -279,14 +324,8 @@ impl<'n> Simulator<'n> {
             let ready = self.is_ready(tid)?;
             if ready && self.enabled_since[i].is_none() {
                 self.enabled_since[i] = Some(self.time);
-                let t = self.net.transition(tid);
-                let d = t
-                    .enabling_time()
-                    .resolve(&self.env, &mut self.rng)
-                    .map_err(|source| SimError::Eval {
-                        transition: t.name().to_string(),
-                        source,
-                    })?;
+                let enabling = self.net.transition(tid).enabling_time();
+                let d = self.resolve_delay(tid, enabling, |ct| ct.enabling.as_ref())?;
                 self.deadline[i] = Some(self.time + d);
             } else if !ready {
                 self.enabled_since[i] = None;
@@ -352,27 +391,52 @@ impl<'n> Simulator<'n> {
             );
         }
 
-        if let Some(action) = t.action() {
-            let log = action
-                .apply_logged(&mut self.env, &mut self.rng)
-                .map_err(|source| SimError::Eval {
-                    transition: t.name().to_string(),
-                    source,
-                })?;
-            for (name, value) in log {
-                self.emit(sink, DeltaKind::VarSet { name, value });
+        if let Some(prog) = &self.programs.transitions[tid.index()].action {
+            self.writes.clear();
+            prog.apply_logged(
+                &mut self.slots,
+                &self.programs.map,
+                &mut self.vm,
+                &mut self.rng,
+                &mut self.writes,
+            )
+            .map_err(|source| SimError::Eval {
+                transition: t.name().to_string(),
+                source,
+            })?;
+            // Replay the write log into the `Env` mirror (keeping
+            // `env()` and the trace header exact) and surface scalar
+            // assignments as trace deltas, in execution order.
+            for w in &self.writes {
+                match w {
+                    bc::Write::Var { slot, value } => {
+                        let name = self.programs.map.var_name(*slot);
+                        self.env.set_var(name, *value);
+                        self.emit(
+                            sink,
+                            DeltaKind::VarSet {
+                                name: name.to_string(),
+                                value: *value,
+                            },
+                        );
+                    }
+                    bc::Write::Elem {
+                        table,
+                        index,
+                        value,
+                    } => {
+                        let name = self.programs.map.table_name(*table);
+                        self.env
+                            .set_table_elem(name, *index, *value)
+                            .expect("slot write succeeded, mirror must too");
+                    }
+                }
             }
         }
 
         // The action runs before the delay is resolved so table-driven
         // models can compute their own firing times (paper §3).
-        let duration = t
-            .firing_time()
-            .resolve(&self.env, &mut self.rng)
-            .map_err(|source| SimError::Eval {
-                transition: t.name().to_string(),
-                source,
-            })?;
+        let duration = self.resolve_delay(tid, t.firing_time(), |ct| ct.firing.as_ref())?;
 
         self.started += 1;
         if duration == Time::ZERO {

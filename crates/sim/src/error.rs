@@ -1,6 +1,6 @@
 //! Simulation errors.
 
-use pnut_core::{EvalError, Time};
+use pnut_core::{CompileError, EvalError, Time};
 use std::fmt;
 
 /// Error produced while constructing or running a [`crate::Simulator`].
@@ -13,6 +13,9 @@ pub enum SimError {
         /// The offending transition.
         transition: String,
     },
+    /// A transition expression failed to lower to bytecode at
+    /// construction time. Names the transition and the expression.
+    Compile(CompileError),
     /// An expression failed to evaluate during the run.
     Eval {
         /// The transition whose predicate/action/delay failed.
@@ -37,6 +40,7 @@ impl fmt::Display for SimError {
             SimError::PredicateUsesRandom { transition } => {
                 write!(f, "predicate of transition `{transition}` uses irand")
             }
+            SimError::Compile(e) => write!(f, "{e}"),
             SimError::Eval { transition, source } => {
                 write!(
                     f,
@@ -55,6 +59,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Eval { source, .. } => Some(source),
+            SimError::Compile(e) => Some(e),
             _ => None,
         }
     }

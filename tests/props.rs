@@ -294,7 +294,27 @@ proptest! {
 // Expression language properties
 // ---------------------------------------------------------------------------
 
+fn arb_binop() -> impl Strategy<Value = pnut::core::expr::BinOp> {
+    use pnut::core::expr::BinOp;
+    prop_oneof![
+        Just(BinOp::Or),
+        Just(BinOp::And),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+    ]
+}
+
 fn arb_expr() -> impl Strategy<Value = Expr> {
+    use pnut::core::expr::{Func, UnaryOp};
     let leaf = prop_oneof![
         (-100i64..100).prop_map(Expr::Int),
         any::<bool>().prop_map(Expr::Bool),
@@ -302,29 +322,22 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                pnut::core::expr::BinOp::Add,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                pnut::core::expr::BinOp::Mul,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                pnut::core::expr::BinOp::Lt,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                pnut::core::expr::BinOp::And,
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
                 Box::new(a),
                 Box::new(b)
             )),
             inner
                 .clone()
-                .prop_map(|a| Expr::Unary(pnut::core::expr::UnaryOp::Neg, Box::new(a))),
+                .prop_map(|a| Expr::Unary(UnaryOp::Neg, Box::new(a))),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(UnaryOp::Not, Box::new(a))),
+            ("[a-z][a-z0-9_]{0,6}", inner.clone()).prop_map(|(t, i)| Expr::Index(t, Box::new(i))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(Func::Min, vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(Func::Max, vec![a, b])),
+            inner.clone().prop_map(|a| Expr::Call(Func::Abs, vec![a])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Call(Func::Irand, vec![a, b])),
             (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::If(
                 Box::new(c),
                 Box::new(a),
@@ -332,6 +345,26 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             )),
         ]
     })
+}
+
+/// An environment binding a subset of the short names `arb_expr` can
+/// reference, so generated expressions hit bound variables, unbound
+/// variables, tables, and missing tables alike.
+fn arb_env() -> impl Strategy<Value = pnut::core::Env> {
+    (
+        proptest::collection::btree_map("[a-z]", -8i64..8, 0..4),
+        proptest::collection::btree_map("[a-z]", proptest::collection::vec(-8i64..8, 0..4), 0..3),
+    )
+        .prop_map(|(vars, tables)| {
+            let mut env = pnut::core::Env::new();
+            for (name, v) in vars {
+                env.set_var(name, pnut::core::expr::Value::Int(v));
+            }
+            for (name, t) in tables {
+                env.define_table(name, t);
+            }
+            env
+        })
 }
 
 proptest! {
@@ -348,6 +381,67 @@ proptest! {
         prop_assert_eq!(&once, &twice);
         let reparsed = Expr::parse(&twice).expect("fixpoint parses");
         prop_assert_eq!(parsed, reparsed);
+    }
+
+    /// The bytecode compiler agrees with the tree interpreter on any
+    /// generated expression under any generated environment — same
+    /// value or same error, and the same number of randomness draws.
+    #[test]
+    fn compiled_expressions_match_interpreter(e in arb_expr(), env in arb_env()) {
+        use pnut::core::expr::compile::{EnvSlots, Program, Scratch, SlotMap};
+        let mut vars = std::collections::BTreeSet::new();
+        let mut tables = std::collections::BTreeSet::new();
+        collect_names(&e, &mut vars, &mut tables);
+        for (name, _) in env.vars() {
+            vars.insert(name.to_string());
+        }
+        for (name, _) in env.tables() {
+            tables.insert(name.to_string());
+        }
+        let map = SlotMap::from_names(vars, tables);
+        let program = Program::compile(&e, &map).expect("all names are mapped");
+        let mut slots = EnvSlots::new();
+        slots.load(&map, &env);
+        let mut vm = Scratch::new();
+        prop_assert_eq!(e.eval_pure(&env), program.eval_pure(&slots, &map, &mut vm));
+        let mut ri = pnut::core::CyclingRandomness::new();
+        let mut rc = pnut::core::CyclingRandomness::new();
+        prop_assert_eq!(e.eval(&env, &mut ri), program.eval(&slots, &map, &mut vm, &mut rc));
+        prop_assert_eq!(ri, rc, "randomness draw order diverged");
+    }
+}
+
+/// Every variable and table name `e` references (the props-local
+/// analogue of the compiler's internal collector).
+fn collect_names(
+    e: &Expr,
+    vars: &mut std::collections::BTreeSet<String>,
+    tables: &mut std::collections::BTreeSet<String>,
+) {
+    match e {
+        Expr::Int(_) | Expr::Bool(_) => {}
+        Expr::Var(v) => {
+            vars.insert(v.clone());
+        }
+        Expr::Index(t, i) => {
+            tables.insert(t.clone());
+            collect_names(i, vars, tables);
+        }
+        Expr::Unary(_, a) => collect_names(a, vars, tables),
+        Expr::Binary(_, a, b) => {
+            collect_names(a, vars, tables);
+            collect_names(b, vars, tables);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_names(a, vars, tables);
+            }
+        }
+        Expr::If(c, a, b) => {
+            collect_names(c, vars, tables);
+            collect_names(a, vars, tables);
+            collect_names(b, vars, tables);
+        }
     }
 }
 
