@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-analytic — analytical performance evaluation
 //!
 //! The paper's conclusion notes that "other tools support analytical (as

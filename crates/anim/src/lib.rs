@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-anim — trace animation
 //!
 //! Reproduction of the P-NUT animator (paper §4.3, Figure 6): "simulation

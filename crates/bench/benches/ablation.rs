@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Ablation benches for the engine's design choices:
 //!
 //! * conflict-resolution cost as the competing set grows (the engine

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Criterion benches for the simulation engine: the cost envelope of
 //! the figure-generating workloads.
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Construction cost of the reachability engine: the interned
 //! `StateStore` + CSR build in `pnut_reach` versus the frozen seed
 //! construction ([`pnut_bench::legacy_reach`]) on the paper's state

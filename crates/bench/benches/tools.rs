@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Criterion benches for the analysis tools: statistics collection,
 //! trace filtering, query evaluation, timeline sampling, reachability
 //! construction, CTL checking, and the textual language.

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Bench trend gate: diff the speedup ratios of a fresh
 //! `BENCH_reach.json` against the committed baseline and fail on
 //! regression (the ROADMAP "bench trend tracking" item).

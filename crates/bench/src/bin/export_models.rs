@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Regenerate the checked-in `models/*.pn` files from the model
 //! builders, so the textual artifacts can never drift from the code
 //! (`tests/models.rs` asserts they stay identical).

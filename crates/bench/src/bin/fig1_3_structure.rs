@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Figures 1–3: the three-stage pipeline's subnets, shown structurally.
 //!
 //! The paper's figures are screenshots of the graphical editor; the

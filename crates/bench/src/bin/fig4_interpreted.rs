@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Figure 4: the interpreted (table-driven) operand-fetch net.
 //!
 //! Prints the net with the paper's predicates and actions, then runs it

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Figure 5: the performance statistics report.
 //!
 //! Runs the §2 model for 10 000 cycles and prints the RUN / EVENT /

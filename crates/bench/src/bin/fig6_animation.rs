@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Figure 6: animation of the pipeline model.
 //!
 //! Renders the first frames of a run of the §2 model, showing token flow

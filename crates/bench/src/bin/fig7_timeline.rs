@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Figure 7: timing analysis using tracertool.
 //!
 //! Reproduces the paper's logic-analyzer display: `Bus_busy` activity

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Parameter sweeps backing the paper's introductory claims: memory
 //! speed and processor organization "have a strong yet difficult to
 //! predict impact" on performance.

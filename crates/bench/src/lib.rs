@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-bench — figure regeneration and benchmark harness
 //!
 //! One binary per figure of the paper's evaluation plus the intro

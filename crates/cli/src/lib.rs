@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-cli — the P-NUT toolset as a command line
 //!
 //! P-NUT is "a collection of tools" (paper abstract) in the UNIX mold:

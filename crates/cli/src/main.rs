@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! The `pnut` binary: thin wrapper over [`pnut_cli::run`].
 
 use std::process::ExitCode;

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! A std-only stand-in for the [criterion](https://docs.rs/criterion)
 //! statistics-driven benchmark harness, exposing the API subset the
 //! workspace benches use.

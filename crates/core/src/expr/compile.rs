@@ -2,7 +2,7 @@
 //!
 //! Reachability and simulation evaluate every transition's predicate,
 //! action, and delay expressions once *per candidate firing per state*.
-//! Walking the [`Expr`](super::Expr) tree each time pays for recursion,
+//! Walking the [`Expr`] tree each time pays for recursion,
 //! `BTreeMap` name lookups, and (for actions) a full environment clone.
 //! This module lowers each expression once, at net-build time, into a
 //! flat register [`Program`] over a dense [`SlotMap`], so the hot loop
@@ -10,7 +10,7 @@
 //!
 //! # Instruction set
 //!
-//! Programs are sequences of [`Instr`]s over a register file of
+//! Programs are sequences of instructions (`Instr`) over a register file of
 //! [`Value`]s (registers are dynamically typed exactly like the tree
 //! interpreter — an `i64`-only file could not reproduce
 //! [`EvalError::TypeMismatch`] semantics bit-for-bit). The result of a

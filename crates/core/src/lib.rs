@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-core — extended timed Petri nets
 //!
 //! Core data model for the P-NUT reproduction: the "flavor" of Petri nets

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-lang — the textual net description language
 //!
 //! The paper notes that the complete pipelined-processor model "can be

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-pipeline — the paper's pipelined-processor models
 //!
 //! Petri-net models of the microprocessors from Razouk's paper:

@@ -28,12 +28,12 @@
 
 use crate::pager::{EdgeSegment, PagedEdges, PagerConfig, SegmentData, SpillError};
 use crate::store::{self, EnvRef, MarkingView, PendingShard, StateRef, StateStore};
+use crate::sync::Mutex;
 use pnut_core::expr::compile as bc;
 use pnut_core::{Net, Time, Transition, TransitionId};
 use std::cell::OnceCell;
 use std::fmt;
 use std::ops::Range;
-use std::sync::Mutex;
 
 /// Limits for graph construction.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -85,11 +85,19 @@
 //! # }
 //! ```
 
+// The pager/store module docs deliberately narrate internal machinery
+// (segments, shards, spill files) with doc links so the story stays
+// anchored to the code; those items are private on purpose.
+#![allow(rustdoc::private_intra_doc_links)]
+
 pub mod coverability;
 pub mod ctl;
 pub mod graph;
 pub mod pager;
+#[cfg(feature = "race-model")]
+pub mod race;
 pub mod store;
+pub mod sync;
 
 pub use coverability::{CoverOptions, CoverabilityTree};
 pub use ctl::{CheckOutcome, CtlError, Formula};

@@ -77,6 +77,15 @@
 //!   borrow of the graph, so the borrow checker itself proves no
 //!   eviction (`&mut`) can run while a guard pins a segment.
 //!
+//! The full formal argument — every shared location, every
+//! happens-before edge, why each `Ordering` suffices — is written out
+//! in `docs/CONCURRENCY.md`. It is machine-checked two ways: the
+//! in-tree interleaving checker (`crate::race`, built with
+//! `--features race-model`) explores the real fault path exhaustively
+//! and kills the seeded protocol mutants ([`crate::sync::mutation`]),
+//! and `models/pager_protocol.pn` verifies the same invariants
+//! self-hosted with this repo's own reachability + CTL engine.
+//!
 //! The cost of that bargain: the resident set can only shrink at `&mut`
 //! points ([`Paged::maintain`] — called after every append, at every
 //! parallel level barrier, and between segments of an analysis sweep),
@@ -92,6 +101,7 @@
 //! (documented there).
 
 use crate::graph::{Edge, EdgeLabel, ReachError};
+use crate::sync::{mutation, raw, AtomicPtr, AtomicU64, AtomicUsize, Mutex, Ordering};
 use pnut_core::TransitionId;
 use std::fmt;
 use std::fs::File;
@@ -99,8 +109,7 @@ use std::fs::File;
 use std::io::Read as _;
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -212,7 +221,16 @@ impl PagerShared {
     }
 
     fn sub_resident(&self, bytes: usize) {
-        self.resident.fetch_sub(bytes, Ordering::Relaxed);
+        let before = self.resident.fetch_sub(bytes, Ordering::Relaxed);
+        // The ledger is in bytes of segments this very code accounted
+        // for, so a deficit is always a pager bug (e.g. a double
+        // eviction of one segment), never workload-dependent. The race
+        // model runs with debug assertions on, so every interleaving
+        // that could underflow trips this deterministically.
+        debug_assert!(
+            before >= bytes,
+            "resident-byte ledger underflow: {before} - {bytes}"
+        );
     }
 
     pub(crate) fn resident(&self) -> usize {
@@ -259,7 +277,11 @@ impl SpillFile {
     /// Create the spill file in `dir` and immediately unlink it, so the
     /// open handle is its only tether.
     fn create(dir: Option<&Path>) -> io::Result<SpillFile> {
-        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        // Process-global name disambiguator — not part of the pager
+        // protocol, so it deliberately stays on the std atomic rather
+        // than the `crate::sync` facade (the race model has no business
+        // interleaving file-name generation).
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let dir = dir
             .map(Path::to_path_buf)
             .unwrap_or_else(std::env::temp_dir);
@@ -288,6 +310,7 @@ impl SpillFile {
 
     /// Append one serialized segment image, returning where it landed.
     fn append(&mut self, image: &[u8]) -> io::Result<DiskSpan> {
+        fail::check_write()?;
         self.file.seek(SeekFrom::Start(self.len))?;
         self.file.write_all(image)?;
         let span = DiskSpan {
@@ -300,6 +323,7 @@ impl SpillFile {
 
     /// Read one segment image back (positioned; safe under `&self`).
     fn read(&self, span: DiskSpan) -> io::Result<Vec<u8>> {
+        fail::check_read()?;
         let mut buf = vec![0u8; span.len as usize];
         #[cfg(unix)]
         {
@@ -313,6 +337,69 @@ impl SpillFile {
             (&self.file).read_exact(&mut buf)?;
         }
         Ok(buf)
+    }
+}
+
+/// Spill-I/O fault injection, for tests that need a reload or a spill
+/// write to fail at a precise moment (e.g. mid-sweep during a parallel
+/// build). Disabled by default; the hot-path cost is one relaxed load
+/// of a static that is zero for the whole life of a production
+/// process.
+///
+/// The counters are process-global, so tests that arm them must not
+/// run concurrently with other spill-exercising tests — keep such
+/// tests in their own integration-test binary (each binary is its own
+/// process) and serialize within it.
+pub mod fail {
+    use std::io;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// 0 = disabled; N = the N-th call fails (counting down).
+    static FAIL_READ_IN: AtomicU64 = AtomicU64::new(0);
+    static FAIL_WRITE_IN: AtomicU64 = AtomicU64::new(0);
+
+    fn injected(which: &str) -> io::Error {
+        io::Error::other(format!("injected spill {which} failure"))
+    }
+
+    /// Countdown `counter`; error exactly when it hits zero.
+    fn tick(counter: &AtomicU64, which: &str) -> io::Result<()> {
+        if counter.load(Ordering::Relaxed) == 0 {
+            return Ok(()); // fast path: injection disarmed
+        }
+        if counter.fetch_sub(1, Ordering::Relaxed) == 1 {
+            return Err(injected(which));
+        }
+        Ok(())
+    }
+
+    pub(super) fn check_read() -> io::Result<()> {
+        tick(&FAIL_READ_IN, "read")
+    }
+
+    pub(super) fn check_write() -> io::Result<()> {
+        tick(&FAIL_WRITE_IN, "write")
+    }
+
+    /// Arm the hook: the `n`-th spill-image *read* from now (1-based)
+    /// fails with an injected [`io::Error`]. Test-only.
+    #[doc(hidden)]
+    pub fn fail_nth_spill_read(n: u64) {
+        FAIL_READ_IN.store(n, Ordering::Relaxed);
+    }
+
+    /// Arm the hook: the `n`-th spill-image *write* from now (1-based)
+    /// fails with an injected [`io::Error`]. Test-only.
+    #[doc(hidden)]
+    pub fn fail_nth_spill_write(n: u64) {
+        FAIL_WRITE_IN.store(n, Ordering::Relaxed);
+    }
+
+    /// Disarm both hooks.
+    #[doc(hidden)]
+    pub fn reset_spill_failures() {
+        FAIL_READ_IN.store(0, Ordering::Relaxed);
+        FAIL_WRITE_IN.store(0, Ordering::Relaxed);
     }
 }
 
@@ -727,7 +814,7 @@ impl<S: SegmentContent> Slot<S> {
         let empty = S::empty();
         let bytes = empty.bytes();
         Slot {
-            data: AtomicPtr::new(Box::into_raw(Box::new(empty))),
+            data: AtomicPtr::new(raw::alloc(empty)),
             bytes,
             disk: None,
             last_touch: AtomicU64::new(0),
@@ -739,8 +826,11 @@ impl<S> Drop for Slot<S> {
     fn drop(&mut self) {
         let p = *self.data.get_mut();
         if !p.is_null() {
-            // Safety: we hold `&mut`, so no borrow of the data exists.
-            drop(unsafe { Box::from_raw(p) });
+            // SAFETY: `p` came from `raw::alloc` (installed at
+            // construction or by a fault) and is freed only here or in
+            // `evict`, which nulls the slot first; we hold `&mut self`,
+            // so no borrow of the data exists.
+            unsafe { raw::free(p) };
         }
     }
 }
@@ -898,8 +988,12 @@ impl<S: SegmentContent> Paged<S> {
             .store(self.shared.clock.load(Ordering::Relaxed), Ordering::Relaxed);
         let p = slot.data.load(Ordering::Acquire);
         if !p.is_null() {
-            // Safety: non-null data is freed only under `&mut self`.
-            return Ok(unsafe { &*p });
+            // SAFETY: a non-null pointer read with `Acquire` was
+            // installed by `Slot::new_resident` or by a fault's
+            // `Release` store, so the pointee is fully initialized; it
+            // is freed only under `&mut self` (`evict`/`Drop`), which
+            // cannot run while this `&self` borrow is alive.
+            return Ok(unsafe { raw::deref(p) });
         }
         self.fault(seg)
     }
@@ -910,19 +1004,59 @@ impl<S: SegmentContent> Paged<S> {
         let _guard = self.fault_lock.lock().expect("pager fault lock");
         let slot = &self.segments[seg];
         let p = slot.data.load(Ordering::Acquire);
-        if !p.is_null() {
+        if !p.is_null() && !mutation::active(mutation::DROP_FAULT_RECHECK) {
             // Another worker faulted it in while we waited.
-            return Ok(unsafe { &*p });
+            // SAFETY: as in `segment` — non-null implies initialized,
+            // and frees need `&mut self`.
+            return Ok(unsafe { raw::deref(p) });
         }
         let span = slot.disk.expect("spilled segment has a disk image");
         let spill = self.spill.as_ref().expect("spilled segment has a file");
         let image = spill.read(span).map_err(|e| spill_err("read", e))?;
         let data = S::deserialize(&image, self.places).map_err(|e| spill_err("read", e))?;
-        let raw = Box::into_raw(Box::new(data));
-        slot.data.store(raw, Ordering::Release);
+        let fresh = raw::alloc(data);
+        let install = if mutation::active(mutation::RELAXED_INSTALL) {
+            Ordering::Relaxed
+        } else {
+            // Release pairs with the Acquire loads above: a reader that
+            // sees `fresh` also sees the fully deserialized pointee.
+            Ordering::Release
+        };
+        slot.data.store(fresh, install);
         self.shared.add_resident(slot.bytes);
-        // Safety: installed under the fault lock; freed only under `&mut`.
-        Ok(unsafe { &*raw })
+        if mutation::active(mutation::FREE_IN_FAULT) {
+            self.free_in_fault_mutant(seg);
+        }
+        // SAFETY: `fresh` was allocated above and installed under the
+        // fault lock; it is freed only under `&mut self`.
+        Ok(unsafe { raw::deref(fresh) })
+    }
+
+    /// The seeded [`mutation::FREE_IN_FAULT`] protocol bug: evict (free)
+    /// some other already-imaged cold segment right here in the fault
+    /// path, under `&self` — the memory another thread may be borrowing
+    /// right now. Statically dead in production builds
+    /// (`mutation::active` is a constant `false` there); the race-model
+    /// mutation battery asserts the checker reports the resulting
+    /// use-after-free with a replayable schedule.
+    fn free_in_fault_mutant(&self, faulted: usize) {
+        let tail = self.segments.len() - 1;
+        for (i, slot) in self.segments[..tail].iter().enumerate() {
+            if i == faulted || slot.disk.is_none() {
+                continue;
+            }
+            let p = slot.data.swap(raw::null(), Ordering::AcqRel);
+            if !p.is_null() {
+                self.shared.sub_resident(slot.bytes);
+                // SAFETY: intentionally unsound — this is the seeded
+                // bug under test. A concurrent reader may hold a borrow
+                // of the pointee; the race model's generation-tagged
+                // allocation registry detects exactly that. Unreachable
+                // in production builds.
+                unsafe { raw::free(p) };
+                return;
+            }
+        }
     }
 
     /// Exclusive access to the tail segment's data (always resident).
@@ -930,8 +1064,9 @@ impl<S: SegmentContent> Paged<S> {
         let slot = self.segments.last_mut().expect("tail segment exists");
         let p = *slot.data.get_mut();
         debug_assert!(!p.is_null(), "tail segment is always resident");
-        // Safety: `&mut self` — no shared borrow of any segment exists.
-        unsafe { &mut *p }
+        // SAFETY: the tail is never evicted, so `p` is live; `&mut
+        // self` guarantees no shared borrow of any segment exists.
+        unsafe { raw::deref_mut(p) }
     }
 
     /// Seal the full tail (if it is full) and open a fresh one. Called
@@ -1001,8 +1136,10 @@ impl<S: SegmentContent> Paged<S> {
                         .map_err(|e| spill_err("create", e))?,
                 );
             }
-            // Safety: `&mut self`; the borrow ends before the data is freed.
-            let image = unsafe { &*p }.serialize();
+            // SAFETY: `p` is the live segment pointer read above;
+            // `&mut self` excludes all other borrows, and this shared
+            // borrow ends before the data is freed below.
+            let image = unsafe { raw::deref(p) }.serialize();
             let span = self
                 .spill
                 .as_mut()
@@ -1012,10 +1149,13 @@ impl<S: SegmentContent> Paged<S> {
             self.segments[seg].disk = Some(span);
         }
         let slot = &mut self.segments[seg];
-        *slot.data.get_mut() = std::ptr::null_mut();
+        *slot.data.get_mut() = raw::null();
         self.shared.sub_resident(slot.bytes);
-        // Safety: pointer detached above; `&mut self` excludes borrows.
-        drop(unsafe { Box::from_raw(p) });
+        // SAFETY: the pointer was detached from the slot above, so no
+        // future reader can observe it; `&mut self` excludes live
+        // borrows. This is the *only* place (besides `Drop`) that frees
+        // segment memory — the soundness linchpin of `&self` faulting.
+        unsafe { raw::free(p) };
         Ok(())
     }
 
@@ -1615,5 +1755,80 @@ mod tests {
         // Degenerate budgets clamp to the minimum grain.
         assert_eq!(seg_states_for(1000, 1), MIN_SEG_STATES);
         assert!(seg_states_for(0, 1024).is_power_of_two());
+    }
+}
+
+/// Ledger invariants under the interleaving checker: every schedule
+/// (within the preemption bound) of concurrent accounting keeps the
+/// resident counter non-negative and the peak an envelope, and a peak
+/// reset racing an account stays benign. See `tests/race_model.rs` for
+/// the full-protocol scenarios; these pin the [`PagerShared`] ledger in
+/// isolation.
+#[cfg(all(test, feature = "race-model"))]
+mod race_tests {
+    use super::PagerShared;
+    use crate::race::{self, Options};
+
+    #[test]
+    fn ledger_balances_and_peak_envelopes_under_contention() {
+        race::check(&Options::default(), || {
+            let shared = PagerShared::new(1 << 20);
+            race::scope(|s| {
+                s.spawn(|| {
+                    shared.add_resident(100);
+                    // `sub` carries the underflow debug-assert: any
+                    // interleaving that could drive the ledger negative
+                    // fails the execution.
+                    shared.sub_resident(100);
+                });
+                s.spawn(|| {
+                    shared.add_resident(50);
+                    let p1 = shared.peak();
+                    let p2 = shared.peak();
+                    assert!(p2 >= p1, "peak regressed {p1} -> {p2} without a reset");
+                    shared.sub_resident(50);
+                });
+            });
+            assert_eq!(
+                shared.resident(),
+                0,
+                "ledger must balance after both return"
+            );
+            let peak = shared.peak();
+            assert!(
+                (50..=150).contains(&peak),
+                "peak {peak} outside the feasible envelope"
+            );
+        })
+        .expect("ledger accounting has no defects");
+    }
+
+    #[test]
+    fn peak_reset_racing_an_account_is_benign() {
+        race::check(&Options::default(), || {
+            let shared = PagerShared::new(1 << 20);
+            shared.add_resident(30);
+            race::scope(|s| {
+                s.spawn(|| {
+                    shared.add_resident(10);
+                    shared.sub_resident(10);
+                });
+                s.spawn(|| {
+                    // An owner-side phase boundary: restart the
+                    // high-water mark while a fault is accounting.
+                    shared.reset_peak();
+                });
+            });
+            assert_eq!(shared.resident(), 30);
+            // Whatever the interleaving, the mark never exceeds the
+            // true high water and ends at least at the resident level
+            // observed by some serialization point.
+            assert!(
+                shared.peak() <= 40,
+                "peak {} above high water",
+                shared.peak()
+            );
+        })
+        .expect("peak reset racing an account has no defects");
     }
 }

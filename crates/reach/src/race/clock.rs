@@ -1,0 +1,70 @@
+//! Vector clocks — the happens-before lattice of the race detector.
+//!
+//! Component `t` of a clock counts the instrumented operations of
+//! virtual thread `t` that are *known to have happened before* the
+//! clock's owner. Every instrumented operation increments the acting
+//! thread's own component; synchronization edges (mutex release →
+//! acquire, `Release` store → `Acquire` load, spawn, join) propagate
+//! knowledge by joining clocks. An access epoch `(t, c)` happened
+//! before an observer iff the observer's clock has component `t ≥ c`.
+
+/// A vector clock over virtual-thread ids (grown on demand).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn set(&mut self, tid: usize, v: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = v;
+    }
+
+    /// Advance the owner's own component; returns the new value (the
+    /// epoch of the operation being recorded).
+    pub(crate) fn inc(&mut self, tid: usize) -> u64 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    /// Pointwise maximum: afterwards `self` knows everything `other`
+    /// knew.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (t, &v) in other.0.iter().enumerate() {
+            if v > self.get(t) {
+                self.set(t, v);
+            }
+        }
+    }
+
+    /// Forget everything (a `Relaxed` store wipes the release clock of
+    /// an atomic: later readers of the new value synchronize with
+    /// nothing).
+    pub(crate) fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Whether epoch `(tid, c)` happened before the owner of this
+    /// clock.
+    pub(crate) fn knows(&self, tid: usize, c: u64) -> bool {
+        self.get(tid) >= c
+    }
+
+    /// Iterate the non-zero components.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0)
+            .map(|(t, &v)| (t, v))
+    }
+}

@@ -1,0 +1,331 @@
+//! `pnut-race` — an in-tree interleaving checker and race detector.
+//!
+//! This module is the `race-model` personality behind [`crate::sync`]:
+//! compile `pnut-reach` with `--features race-model` and every atomic,
+//! mutex, and raw-pointer operation of the pager protocol runs under a
+//! deterministic cooperative scheduler that explores thread
+//! interleavings **exhaustively** within a preemption bound, while a
+//! vector-clock happens-before detector and a generation-tagged
+//! allocation registry turn data races, use-after-frees, leaks, and
+//! deadlocks into deterministic failures carrying a replayable
+//! schedule. It is an in-tree analogue of `loom` (the external crate
+//! is unavailable in this offline build), specialized to exactly the
+//! primitive vocabulary the pager uses.
+//!
+//! # Using it
+//!
+//! ```ignore
+//! use pnut_reach::race;
+//!
+//! let stats = race::check(&race::Options::default(), || {
+//!     // Build state fresh per execution, spawn virtual threads,
+//!     // assert invariants. Runs once per explored interleaving.
+//!     race::scope(|s| {
+//!         s.spawn(|| { /* thread 1 */ });
+//!         s.spawn(|| { /* thread 2 */ });
+//!     });
+//! })?;
+//! ```
+//!
+//! On failure, [`Failure::schedule`] feeds [`replay`] to re-run the
+//! exact interleaving — the debugging loop is deterministic end to
+//! end. The pager protocol scenarios and the mutation battery live in
+//! `crates/reach/tests/race_model.rs`; the formal argument the checker
+//! validates is written out in `docs/CONCURRENCY.md`.
+//!
+//! # What it checks — and what it doesn't
+//!
+//! The scheduler enumerates *sequentially consistent* interleavings;
+//! weak-memory effects are approximated through the happens-before
+//! lens: an access must be ordered (by the declared `Ordering`s,
+//! mutexes, spawn/join) after the write that produced the value it
+//! reads, or the execution fails. That catches missing-`Release`/
+//! `Acquire` bugs precisely, but it is a race *detector* over SC
+//! executions, not an operational weak-memory simulator (no store
+//! buffering, no load reordering). Preemption bounding (default 2)
+//! keeps exploration tractable; it is complete for all schedules
+//! within the bound, which is where almost all real concurrency bugs
+//! live.
+
+mod clock;
+mod sched;
+pub mod sync;
+
+pub use sched::{check, replay, yield_now, Failure, FailureKind, JoinHandle, Options, Stats};
+
+pub(crate) use sched::tag_active;
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+
+/// A scope for spawning virtual threads that borrow from the enclosing
+/// stack frame (the model's `std::thread::scope`).
+///
+/// Every spawned thread is joined when the scope closure returns; a
+/// panicking closure instead aborts the whole execution (recorded as
+/// [`FailureKind::Panic`]), so no spawned thread ever outlives the
+/// borrows it captured.
+pub struct Scope<'env> {
+    handles: RefCell<Vec<JoinHandle>>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Spawn a virtual thread. Must be called under [`check`] /
+    /// [`replay`]; panics otherwise.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the closure only runs on a virtual thread of the
+        // current execution, and every virtual thread provably ends
+        // before `scope` returns: on the normal path `scope` joins all
+        // handles; on the panic path the execution aborts and the
+        // orchestrator (`run_once`) joins every OS thread — while the
+        // scheduler guarantees no user code runs once the abort flag
+        // is set. Either way the `'env` borrows outlive all use, so
+        // erasing the lifetime to `'static` for `std::thread::spawn`
+        // is sound (the same argument as `std::thread::scope`).
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send + 'static>>(
+                boxed,
+            )
+        };
+        self.handles.borrow_mut().push(sched::spawn_virtual(boxed));
+    }
+}
+
+/// Run `f` with a [`Scope`], joining every spawned virtual thread
+/// before returning (join edges feed the vector clocks, so accesses
+/// after the scope happen-after everything the threads did).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let sc = Scope {
+        handles: RefCell::new(Vec::new()),
+        _env: PhantomData,
+    };
+    let r = f(&sc);
+    for h in sc.handles.into_inner() {
+        h.join();
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{raw, AtomicPtr, AtomicU64, Mutex};
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn opts() -> Options {
+        Options::default()
+    }
+
+    #[test]
+    fn exhaustive_counter_is_deterministic() {
+        let stats = check(&opts(), || {
+            let counter = AtomicU64::new(0);
+            scope(|s| {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        })
+        .expect("atomic counter has no defects");
+        assert!(
+            stats.executions > 1,
+            "two racing increments must explore multiple interleavings, got {}",
+            stats.executions
+        );
+    }
+
+    #[test]
+    fn mutex_protected_writes_pass() {
+        check(&opts(), || {
+            let cell = raw::alloc(0u64);
+            let m = Mutex::new(());
+            scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        let _g = m.lock().expect("model lock");
+                        // SAFETY: exclusive by mutual exclusion; the
+                        // model verifies this claim.
+                        let v = unsafe { raw::deref_mut(cell) };
+                        *v += 1;
+                    });
+                }
+            });
+            // SAFETY: scope joined both writers; freed below, after
+            // the last use.
+            assert_eq!(*unsafe { raw::deref(cell) }, 2);
+            // SAFETY: no references outlive this point.
+            unsafe { raw::free(cell) };
+        })
+        .expect("mutex-protected counter has no defects");
+    }
+
+    #[test]
+    fn unsynchronized_writes_race() {
+        let err = check(&opts(), || {
+            let cell = raw::alloc(0u64);
+            scope(|s| {
+                for _ in 0..2 {
+                    s.spawn(|| {
+                        // SAFETY: intentionally wrong — two threads
+                        // write without synchronization; the model
+                        // must catch it.
+                        let v = unsafe { raw::deref_mut(cell) };
+                        *v += 1;
+                    });
+                }
+            });
+            // SAFETY: scope joined the writers.
+            unsafe { raw::free(cell) };
+        })
+        .expect_err("unsynchronized writes must race");
+        assert_eq!(err.kind, FailureKind::Race, "{err}");
+    }
+
+    #[test]
+    fn relaxed_publication_races_and_release_fixes_it() {
+        let publish = |publish_order: Ordering| {
+            move || {
+                let slot = AtomicPtr::new(raw::null::<u64>());
+                scope(|s| {
+                    s.spawn(|| {
+                        slot.store(raw::alloc(41u64), publish_order);
+                    });
+                    s.spawn(|| {
+                        let p = slot.load(Ordering::Acquire);
+                        if !p.is_null() {
+                            // SAFETY: non-null ⇒ published; whether the
+                            // pointee is *visible* is exactly what the
+                            // model checks.
+                            assert_eq!(*unsafe { raw::deref(p) }, 41);
+                        }
+                    });
+                });
+                let p = slot.load(Ordering::Acquire);
+                if !p.is_null() {
+                    // SAFETY: both threads joined; last use.
+                    unsafe { raw::free(p) };
+                }
+            }
+        };
+        let err = check(&opts(), publish(Ordering::Relaxed))
+            .expect_err("Relaxed publication must race with the consumer's deref");
+        assert_eq!(err.kind, FailureKind::Race, "{err}");
+        check(&opts(), publish(Ordering::Release))
+            .expect("Release publication synchronizes with the Acquire load");
+    }
+
+    #[test]
+    fn use_after_free_is_reported_and_replayable() {
+        let scenario = || {
+            let slot = AtomicPtr::new(raw::alloc(7u64));
+            scope(|s| {
+                s.spawn(|| {
+                    let p = slot.load(Ordering::Acquire);
+                    if !p.is_null() {
+                        // SAFETY: intentionally unsound — the main
+                        // thread frees concurrently.
+                        let _ = *unsafe { raw::deref(p) };
+                    }
+                });
+                let p = slot.swap(raw::null(), Ordering::AcqRel);
+                // SAFETY: intentionally unsound (no join before free).
+                unsafe { raw::free(p) };
+            });
+        };
+        let err = check(&opts(), scenario).expect_err("freeing under a reader must fail");
+        assert!(
+            matches!(err.kind, FailureKind::Race | FailureKind::UseAfterFree),
+            "{err}"
+        );
+        let replayed = replay(&opts(), &err.schedule, scenario)
+            .expect("recorded schedule must reproduce the failure");
+        assert_eq!(replayed.kind, err.kind, "replay diverged: {replayed}");
+    }
+
+    #[test]
+    fn leaked_allocation_is_reported() {
+        let err = check(&opts(), || {
+            let _ = raw::alloc(3u32);
+        })
+        .expect_err("unfreed tracked allocation must be a leak");
+        assert_eq!(err.kind, FailureKind::Leak, "{err}");
+    }
+
+    #[test]
+    fn lock_order_inversion_deadlocks() {
+        let err = check(&opts(), || {
+            let a = Mutex::new(());
+            let b = Mutex::new(());
+            scope(|s| {
+                s.spawn(|| {
+                    let _ga = a.lock().expect("model lock");
+                    let _gb = b.lock().expect("model lock");
+                });
+                s.spawn(|| {
+                    let _gb = b.lock().expect("model lock");
+                    let _ga = a.lock().expect("model lock");
+                });
+            });
+        })
+        .expect_err("ABBA locking must deadlock in some interleaving");
+        assert_eq!(err.kind, FailureKind::Deadlock, "{err}");
+    }
+
+    #[test]
+    fn scenario_panic_is_captured_with_schedule() {
+        let flag = AtomicU64::new(0);
+        let err = check(&opts(), || {
+            flag.store(0, Ordering::SeqCst);
+            scope(|s| {
+                s.spawn(|| {
+                    flag.store(1, Ordering::SeqCst);
+                });
+                s.spawn(|| {
+                    // Fails only when the sibling ran first — the
+                    // explorer must find that interleaving.
+                    assert_eq!(flag.load(Ordering::SeqCst), 0, "sibling won the race");
+                });
+            });
+        })
+        .expect_err("the assert must fail in some interleaving");
+        assert_eq!(err.kind, FailureKind::Panic, "{err}");
+        assert!(err.message.contains("sibling won the race"), "{err}");
+    }
+
+    #[test]
+    fn passing_schedule_replays_clean() {
+        let outcome = replay(&opts(), &[], || {
+            let c = AtomicU64::new(0);
+            c.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+        });
+        assert!(outcome.is_none(), "single-threaded run cannot fail");
+    }
+
+    #[test]
+    fn mutation_tags_reach_the_facade() {
+        use crate::sync::mutation;
+        let mut o = opts();
+        o.tags = vec![mutation::RELAXED_INSTALL];
+        check(&o, || {
+            assert!(mutation::active(mutation::RELAXED_INSTALL));
+            assert!(!mutation::active(mutation::FREE_IN_FAULT));
+        })
+        .expect("tag probing has no defects");
+        // Outside any execution the facade reports inactive.
+        assert!(!mutation::active(mutation::RELAXED_INSTALL));
+    }
+}

@@ -1,0 +1,1090 @@
+//! The deterministic cooperative scheduler and its DFS explorer.
+//!
+//! # Execution model
+//!
+//! A *virtual thread* is a real OS thread that only runs while the
+//! scheduler says it is *active*; all others are parked on a condvar.
+//! Every instrumented operation (atomic access, mutex acquire/release,
+//! tracked-pointer access, spawn, join) first calls [`reschedule`],
+//! which is a **choice point**: the scheduler picks which ready thread
+//! runs next. Exactly one thread executes user code at any instant, so
+//! an execution is fully described by the sequence of choices made at
+//! choice points with more than one option — the *branch string*.
+//!
+//! # Exploration
+//!
+//! [`check`] enumerates branch strings depth-first: run an execution
+//! following a prescribed prefix (defaulting to choice 0 afterwards),
+//! record every branch point's `(chosen, options)`, then backtrack to
+//! the deepest branch point with an untried sibling and re-run with
+//! that prefix. Preemption bounding keeps the tree tractable: once an
+//! execution has context-switched away from a *ready* thread
+//! `preemption_bound` times, the active thread runs on without further
+//! branching (forced switches at blocking operations are free). This
+//! explores every interleaving with at most that many preemptions —
+//! the regime where real concurrency bugs overwhelmingly live.
+//!
+//! # Detection
+//!
+//! * **Races** — vector clocks ([`super::clock::VClock`]): each thread
+//!   owns a clock, mutexes and atomics carry synchronization clocks,
+//!   and every tracked-pointer access is checked for a happens-before
+//!   edge against the cell's last write epoch and read clock.
+//! * **Use-after-free / ABA** — an allocation registry keyed by address
+//!   with generation counters; a dereference whose generation does not
+//!   match the live cell is a deterministic failure even if the
+//!   allocator reused the address.
+//! * **Leaks** — live registry entries when an execution ends.
+//! * **Deadlocks** — a choice point with no ready thread while
+//!   unfinished threads remain.
+//!
+//! Every failure carries the branch string that produced it;
+//! [`replay`] re-runs exactly that schedule.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use super::clock::VClock;
+
+/// Exploration parameters for [`check`] / [`replay`].
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Maximum context switches away from a still-ready thread per
+    /// execution. Forced switches (current thread blocked or finished)
+    /// are not counted.
+    pub preemption_bound: u32,
+    /// Abort with [`FailureKind::ExplorationBudget`] after this many
+    /// executions — a safety net against state-space blowups, not a
+    /// tuning knob.
+    pub max_executions: u64,
+    /// Active mutation tags: [`crate::sync::mutation::active`] returns
+    /// `true` inside the model exactly for tags listed here.
+    pub tags: Vec<&'static str>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            preemption_bound: 2,
+            max_executions: 500_000,
+            tags: Vec::new(),
+        }
+    }
+}
+
+/// Aggregate exploration statistics returned by a passing [`check`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Number of complete executions explored.
+    pub executions: u64,
+    /// Deepest branch string seen.
+    pub max_branch_points: usize,
+}
+
+/// What kind of defect the checker found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Two accesses to a tracked allocation without a happens-before
+    /// edge between them.
+    Race,
+    /// Dereference of a freed or stale-generation pointer.
+    UseAfterFree,
+    /// Tracked allocations still live when the execution ended.
+    Leak,
+    /// No ready thread while unfinished threads remain.
+    Deadlock,
+    /// A virtual thread panicked (assertion failure in a scenario).
+    Panic,
+    /// `max_executions` exhausted before the space was covered.
+    ExplorationBudget,
+    /// A replayed schedule prescribed a choice that does not exist —
+    /// the code under test diverged from the recorded run.
+    ReplayDivergence,
+}
+
+/// A defect plus the schedule that reaches it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Branch string reproducing the failing execution via [`replay`].
+    pub schedule: Vec<u8>,
+    /// Human-readable tail of the scheduling decisions that led here.
+    pub trace: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:?}: {}", self.kind, self.message)?;
+        writeln!(f, "schedule: {:?}", self.schedule)?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Panic payload used to tear an execution down after a failure has
+/// been recorded; thread wrappers swallow it.
+struct Abort;
+
+/// Teardown panics are control flow, not errors: keep the default
+/// panic hook from printing one message per aborted execution (DFS
+/// aborts thousands of them). Real panics still print via the saved
+/// hook.
+fn silence_abort_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<Abort>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Branch {
+    chosen: u8,
+    options: u8,
+}
+
+struct Step {
+    tid: usize,
+    label: &'static str,
+    ran: usize,
+}
+
+/// Runtime state of one model mutex (`sync` holds the release clock
+/// accumulated across the lock's critical sections).
+pub(crate) struct MutexRt {
+    st: StdMutex<MutexState>,
+}
+
+struct MutexState {
+    holder: Option<usize>,
+    sync: VClock,
+}
+
+impl MutexRt {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(MutexRt {
+            st: StdMutex::new(MutexState {
+                holder: None,
+                sync: VClock::new(),
+            }),
+        })
+    }
+}
+
+/// Release clock of one model atomic.
+pub(crate) struct AtomicMeta {
+    sync: StdMutex<VClock>,
+}
+
+impl AtomicMeta {
+    pub(crate) fn new() -> Self {
+        AtomicMeta {
+            sync: StdMutex::new(VClock::new()),
+        }
+    }
+}
+
+/// How an atomic operation participates in synchronization.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Access {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// One tracked heap allocation.
+struct Cell {
+    gen: u64,
+    alive: bool,
+    /// Epoch of the last write (allocation counts as the first write).
+    write: (usize, u64),
+    /// Clock of reads since the last write.
+    reads: VClock,
+    what: &'static str,
+}
+
+enum Status {
+    Ready,
+    BlockedMutex(Arc<MutexRt>),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadSlot {
+    status: Status,
+    final_clock: Option<VClock>,
+}
+
+struct ExecState {
+    threads: Vec<ThreadSlot>,
+    active: usize,
+    preemptions: u32,
+    /// Branch choices to follow (replay / DFS prefix); past the end,
+    /// choice 0 is taken.
+    prescribed: Vec<u8>,
+    cursor: usize,
+    branches: Vec<Branch>,
+    steps: Vec<Step>,
+    aborting: bool,
+    failure: Option<Failure>,
+    registry: HashMap<usize, Cell>,
+    next_gen: u64,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cv: Condvar,
+    preemption_bound: u32,
+    tags: Vec<&'static str>,
+}
+
+/// Per-OS-thread binding to the execution it belongs to.
+pub(crate) struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+    clock: VClock,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current virtual-thread context, or `None` when the
+/// calling OS thread is not a virtual thread (production fallback) or
+/// is unwinding (teardown must never re-enter the scheduler).
+fn with_ctx<R>(f: impl FnOnce(Option<&mut Ctx>) -> R) -> R {
+    if std::thread::panicking() {
+        return f(None);
+    }
+    CURRENT.with(|c| {
+        let mut b = c.borrow_mut();
+        f(b.as_mut())
+    })
+}
+
+/// Whether mutation `tag` is switched on for the current execution.
+pub(crate) fn tag_active(tag: &str) -> bool {
+    with_ctx(|ctx| ctx.is_some_and(|c| c.exec.tags.contains(&tag)))
+}
+
+fn lock_state(exec: &Execution) -> StdMutexGuard<'_, ExecState> {
+    exec.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether `PNUT_RACE_DEBUG` is set: stream every scheduling decision
+/// and DFS prefix to stderr (for debugging the checker itself).
+fn debug_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("PNUT_RACE_DEBUG").is_some())
+}
+
+/// Unwind the calling virtual thread to tear the execution down.
+///
+/// Teardown ordering is load-bearing: scenario state (the store under
+/// test) lives in **thread 0's** stack frame, and the other threads'
+/// unwinding drops guards that reference into it (e.g. a fault-lock
+/// guard whose `std` mutex is a field of the store). So children must
+/// finish unwinding before thread 0's frames drop — thread 0 parks
+/// here until every other thread reports `Finished` (set *after* its
+/// user frames are fully unwound), then unwinds itself.
+fn unwind_for_abort(exec: &Execution, mut st: StdMutexGuard<'_, ExecState>, tid: usize) -> ! {
+    if tid == 0 {
+        while !st
+            .threads
+            .iter()
+            .enumerate()
+            .all(|(i, t)| i == 0 || matches!(t.status, Status::Finished))
+        {
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    drop(st);
+    std::panic::panic_any(Abort);
+}
+
+/// Record a failure (first one wins), flip the execution into abort
+/// mode, wake everyone, and unwind the calling thread (children first,
+/// thread 0 last — see [`unwind_for_abort`]).
+fn fail(
+    exec: &Execution,
+    st: StdMutexGuard<'_, ExecState>,
+    tid: usize,
+    kind: FailureKind,
+    message: String,
+) -> ! {
+    let mut st = st;
+    if st.failure.is_none() {
+        st.failure = Some(Failure {
+            kind,
+            message,
+            schedule: st.branches.iter().map(|b| b.chosen).collect(),
+            trace: render_trace(&st.steps),
+        });
+    }
+    st.aborting = true;
+    exec.cv.notify_all();
+    unwind_for_abort(exec, st, tid);
+}
+
+fn render_trace(steps: &[Step]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let skip = steps.len().saturating_sub(60);
+    if skip > 0 {
+        let _ = writeln!(out, "  … {skip} earlier steps elided …");
+    }
+    for (i, s) in steps.iter().enumerate().skip(skip) {
+        let _ = if s.tid == s.ran {
+            writeln!(out, "  #{i:<4} t{}: {}", s.tid, s.label)
+        } else {
+            writeln!(
+                out,
+                "  #{i:<4} t{}: {} → switch to t{}",
+                s.tid, s.label, s.ran
+            )
+        };
+    }
+    out
+}
+
+/// Outcome of one scheduling decision.
+enum Pick {
+    /// Run this thread next (already marked active, step recorded).
+    Run(usize),
+    /// Every thread has finished — the execution is over.
+    AllDone,
+    /// The decision itself found a defect; the caller (which owns the
+    /// state guard) must call [`fail`].
+    Defect(FailureKind, String),
+}
+
+/// Pick the next thread to run. `current` is the calling virtual
+/// thread, or `None` when called from a finishing thread's epilogue.
+fn pick_next(
+    exec: &Execution,
+    st: &mut ExecState,
+    label: &'static str,
+    current: Option<usize>,
+) -> Pick {
+    let options: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| matches!(t.status, Status::Ready))
+        .map(|(i, _)| i)
+        .collect();
+    if options.is_empty() {
+        if st
+            .threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished))
+        {
+            return Pick::AllDone;
+        }
+        let blocked: Vec<String> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t.status {
+                Status::BlockedMutex(_) => Some(format!("t{i} waiting on a mutex")),
+                Status::BlockedJoin(on) => Some(format!("t{i} joining t{on}")),
+                _ => None,
+            })
+            .collect();
+        return Pick::Defect(
+            FailureKind::Deadlock,
+            format!("deadlock at `{label}`: {}", blocked.join(", ")),
+        );
+    }
+    let me_ready = current.is_some_and(|tid| matches!(st.threads[tid].status, Status::Ready));
+    let chosen = if me_ready && st.preemptions >= exec.preemption_bound {
+        // Preemption budget spent: a ready thread keeps running.
+        current.unwrap()
+    } else if options.len() == 1 {
+        options[0]
+    } else {
+        let c = if st.cursor < st.prescribed.len() {
+            st.prescribed[st.cursor] as usize
+        } else {
+            0
+        };
+        st.cursor += 1;
+        if c >= options.len() {
+            return Pick::Defect(
+                FailureKind::ReplayDivergence,
+                format!(
+                    "schedule prescribed option {c} of {} at `{label}` — \
+                     the program diverged from the recorded run",
+                    options.len()
+                ),
+            );
+        }
+        st.branches.push(Branch {
+            chosen: c as u8,
+            options: options.len() as u8,
+        });
+        options[c]
+    };
+    if me_ready && chosen != current.unwrap() {
+        st.preemptions += 1;
+    }
+    if debug_enabled() {
+        eprintln!(
+            "  step {}: t{:?} at `{label}` -> t{chosen}",
+            st.steps.len(),
+            current
+        );
+    }
+    st.steps.push(Step {
+        tid: current.unwrap_or(chosen),
+        label,
+        ran: chosen,
+    });
+    st.active = chosen;
+    Pick::Run(chosen)
+}
+
+/// Choice point: yield to the scheduler and return once this thread is
+/// active again. The caller's status must already reflect whether it
+/// can continue (`Ready`) or is blocked.
+fn reschedule(ctx: &mut Ctx, label: &'static str) {
+    let exec = ctx.exec.clone();
+    let mut st = lock_state(&exec);
+    if st.aborting {
+        unwind_for_abort(&exec, st, ctx.tid);
+    }
+    match pick_next(&exec, &mut st, label, Some(ctx.tid)) {
+        Pick::Run(tid) if tid == ctx.tid => return,
+        Pick::Defect(kind, msg) => fail(&exec, st, ctx.tid, kind, msg),
+        _ => exec.cv.notify_all(),
+    }
+    loop {
+        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        if st.aborting {
+            unwind_for_abort(&exec, st, ctx.tid);
+        }
+        if st.active == ctx.tid && matches!(st.threads[ctx.tid].status, Status::Ready) {
+            return;
+        }
+    }
+}
+
+/// Public yield: an extra interleaving point inside scenario code.
+pub fn yield_now() {
+    with_ctx(|ctx| {
+        if let Some(ctx) = ctx {
+            reschedule(ctx, "yield");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Synchronization-object hooks (called from `race::sync` model types)
+// ---------------------------------------------------------------------
+
+/// Acquire a model mutex: block (cooperatively) until it is free.
+/// Outside the model this is a no-op — the caller's std mutex provides
+/// real exclusion.
+pub(crate) fn mutex_lock(rt: &Arc<MutexRt>) {
+    with_ctx(|ctx| {
+        let Some(ctx) = ctx else { return };
+        loop {
+            reschedule(ctx, "Mutex::lock");
+            let mut ms = rt.st.lock().unwrap_or_else(|e| e.into_inner());
+            match ms.holder {
+                None => {
+                    ms.holder = Some(ctx.tid);
+                    ctx.clock.join(&ms.sync);
+                    drop(ms);
+                    ctx.clock.inc(ctx.tid);
+                    return;
+                }
+                Some(_) => {
+                    drop(ms);
+                    let exec = ctx.exec.clone();
+                    let mut st = lock_state(&exec);
+                    st.threads[ctx.tid].status = Status::BlockedMutex(rt.clone());
+                }
+            }
+        }
+    });
+}
+
+/// Release a model mutex: publish the release clock and wake waiters.
+pub(crate) fn mutex_unlock(rt: &Arc<MutexRt>) {
+    with_ctx(|ctx| {
+        let Some(ctx) = ctx else { return };
+        {
+            let mut ms = rt.st.lock().unwrap_or_else(|e| e.into_inner());
+            debug_assert_eq!(ms.holder, Some(ctx.tid), "unlock by non-holder");
+            ms.holder = None;
+            ms.sync.join(&ctx.clock);
+        }
+        ctx.clock.inc(ctx.tid);
+        {
+            let exec = ctx.exec.clone();
+            let mut st = lock_state(&exec);
+            for t in st.threads.iter_mut() {
+                if let Status::BlockedMutex(waiting_on) = &t.status {
+                    if Arc::ptr_eq(waiting_on, rt) {
+                        t.status = Status::Ready;
+                    }
+                }
+            }
+        }
+        reschedule(ctx, "Mutex::unlock");
+    });
+}
+
+fn is_acquire(order: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(order, Acquire | AcqRel | SeqCst)
+}
+
+fn is_release(order: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(order, Release | AcqRel | SeqCst)
+}
+
+/// Perform one atomic operation: a choice point, the value operation
+/// `f` itself, then the clock transfer its `Ordering` justifies.
+pub(crate) fn atomic_op<R>(
+    meta: &AtomicMeta,
+    access: Access,
+    order: std::sync::atomic::Ordering,
+    label: &'static str,
+    f: impl FnOnce() -> R,
+) -> R {
+    with_ctx(|ctx| {
+        let Some(ctx) = ctx else { return f() };
+        reschedule(ctx, label);
+        let r = f();
+        let mut sync = meta.sync.lock().unwrap_or_else(|e| e.into_inner());
+        match access {
+            Access::Load => {
+                if is_acquire(order) {
+                    ctx.clock.join(&sync);
+                }
+            }
+            Access::Store => {
+                if is_release(order) {
+                    *sync = ctx.clock.clone();
+                } else {
+                    // A relaxed store publishes a value with no
+                    // ordering: readers of it synchronize with nothing.
+                    sync.clear();
+                }
+            }
+            Access::Rmw => {
+                if is_acquire(order) {
+                    ctx.clock.join(&sync);
+                }
+                if is_release(order) {
+                    sync.join(&ctx.clock);
+                }
+                // A fully relaxed RMW leaves the release clock intact:
+                // it continues the release sequence of a prior store.
+            }
+        }
+        drop(sync);
+        ctx.clock.inc(ctx.tid);
+        r
+    })
+}
+
+// ---------------------------------------------------------------------
+// Tracked allocations
+// ---------------------------------------------------------------------
+
+/// Register a fresh allocation; returns its generation tag (0 outside
+/// the model — untracked).
+pub(crate) fn track_alloc(addr: usize, what: &'static str) -> u64 {
+    with_ctx(|ctx| {
+        let Some(ctx) = ctx else { return 0 };
+        reschedule(ctx, "alloc");
+        let epoch = ctx.clock.inc(ctx.tid);
+        let exec = ctx.exec.clone();
+        let mut st = lock_state(&exec);
+        st.next_gen += 1;
+        let gen = st.next_gen;
+        let prev = st.registry.insert(
+            addr,
+            Cell {
+                gen,
+                alive: true,
+                write: (ctx.tid, epoch),
+                reads: VClock::new(),
+                what,
+            },
+        );
+        debug_assert!(
+            prev.is_none_or(|c| !c.alive),
+            "allocator returned a live address"
+        );
+        gen
+    })
+}
+
+/// Check a shared (read) access to a tracked allocation.
+pub(crate) fn track_read(addr: usize, gen: u64, what: &'static str) {
+    track_access(addr, gen, what, false);
+}
+
+/// Check an exclusive (write) access to a tracked allocation.
+pub(crate) fn track_write(addr: usize, gen: u64, what: &'static str) {
+    track_access(addr, gen, what, true);
+}
+
+fn track_access(addr: usize, gen: u64, what: &'static str, exclusive: bool) {
+    with_ctx(|ctx| {
+        let Some(ctx) = ctx else { return };
+        let label = if exclusive { "deref_mut" } else { "deref" };
+        reschedule(ctx, label);
+        let epoch = ctx.clock.inc(ctx.tid);
+        let exec = ctx.exec.clone();
+        let mut st = lock_state(&exec);
+        // Copy the cell's verdict-relevant fields out so `fail` can
+        // borrow the state mutably.
+        let (alive, cell_gen, write, racy_read) = match st.registry.get(&addr) {
+            // Allocated outside the model (or never tracked): nothing
+            // to check against.
+            None => return,
+            Some(cell) => (
+                cell.alive,
+                cell.gen,
+                cell.write,
+                if exclusive {
+                    cell.reads.iter().find(|&(t, c)| !ctx.clock.knows(t, c))
+                } else {
+                    None
+                },
+            ),
+        };
+        if !alive || cell_gen != gen {
+            let msg = format!(
+                "t{} dereferenced a dangling `{what}` pointer \
+                 (allocation {}, pointer generation {gen})",
+                ctx.tid,
+                if alive { "recycled" } else { "freed" },
+            );
+            fail(&exec, st, ctx.tid, FailureKind::UseAfterFree, msg);
+        }
+        let (wt, wc) = write;
+        if !ctx.clock.knows(wt, wc) {
+            let msg = format!(
+                "t{} read `{what}` without a happens-before edge from \
+                 t{wt}'s initializing write — the reader may observe a \
+                 partially constructed value",
+                ctx.tid
+            );
+            fail(&exec, st, ctx.tid, FailureKind::Race, msg);
+        }
+        if let Some((rt, _)) = racy_read {
+            let msg = format!(
+                "t{} wrote `{what}` concurrently with t{rt}'s read \
+                 — no happens-before edge orders them",
+                ctx.tid
+            );
+            fail(&exec, st, ctx.tid, FailureKind::Race, msg);
+        }
+        let cell = st.registry.get_mut(&addr).expect("checked above");
+        if exclusive {
+            cell.write = (ctx.tid, epoch);
+            cell.reads.clear();
+        } else {
+            let prev = cell.reads.get(ctx.tid);
+            cell.reads.set(ctx.tid, prev.max(epoch));
+        }
+    });
+}
+
+/// Check and record a free.
+///
+/// A free is *stricter* than a write. A tracked access is an event,
+/// but the reference a `deref` hands out lives on invisibly afterwards
+/// (it is a plain `&T`, not a guard) — an epoch-level happens-before
+/// edge to the recorded access does **not** prove the borrow has
+/// ended. (Concretely: a reader can deref inside a critical section,
+/// release the lock, and still be using the borrow when the freeing
+/// thread — ordered after it by the lock — reclaims the memory. The
+/// model would deadlock-free "pass" while the real execution reads
+/// freed memory.) A borrow cannot outlive its thread, though, so the
+/// sound requirement is: every other thread that ever touched the
+/// allocation has *terminated*, and its termination happens-before the
+/// free. That is exactly the discipline the pager encodes with `&mut
+/// self` frees — the borrow checker grants `&mut` only once every
+/// reader thread has been joined.
+pub(crate) fn track_free(addr: usize, gen: u64, what: &'static str) {
+    with_ctx(|ctx| {
+        let Some(ctx) = ctx else { return };
+        reschedule(ctx, "free");
+        ctx.clock.inc(ctx.tid);
+        let exec = ctx.exec.clone();
+        let mut st = lock_state(&exec);
+        let (alive, cell_gen, accessors) = match st.registry.get(&addr) {
+            None => return,
+            Some(cell) => {
+                let mut acc: Vec<usize> = cell.reads.iter().map(|(t, _)| t).collect();
+                acc.push(cell.write.0);
+                (cell.alive, cell.gen, acc)
+            }
+        };
+        if !alive || cell_gen != gen {
+            let msg = format!("t{} double-freed `{what}`", ctx.tid);
+            fail(&exec, st, ctx.tid, FailureKind::UseAfterFree, msg);
+        }
+        for t in accessors {
+            if t == ctx.tid {
+                continue;
+            }
+            let slot = &st.threads[t];
+            let ended = matches!(slot.status, Status::Finished)
+                && slot
+                    .final_clock
+                    .as_ref()
+                    .is_some_and(|fc| ctx.clock.knows(t, fc.get(t)));
+            if !ended {
+                let msg = format!(
+                    "t{} freed `{what}` while t{t} may still hold a \
+                     borrow of it — a free must happen-after the \
+                     accessing thread's termination (join it first; \
+                     the pager grants frees only under `&mut self`)",
+                    ctx.tid
+                );
+                fail(&exec, st, ctx.tid, FailureKind::Race, msg);
+            }
+        }
+        let cell = st.registry.get_mut(&addr).expect("checked above");
+        cell.alive = false;
+    });
+}
+
+// ---------------------------------------------------------------------
+// Virtual threads
+// ---------------------------------------------------------------------
+
+/// Handle to a spawned virtual thread (see [`super::Scope::spawn`]).
+pub struct JoinHandle {
+    tid: usize,
+}
+
+impl JoinHandle {
+    /// Cooperatively wait for the thread and absorb its final clock
+    /// (the join edge).
+    pub fn join(self) {
+        let target = self.tid;
+        with_ctx(|ctx| {
+            let Some(ctx) = ctx else { return };
+            loop {
+                {
+                    let exec = ctx.exec.clone();
+                    let mut st = lock_state(&exec);
+                    match &st.threads[target].status {
+                        Status::Finished => {
+                            let fc = st.threads[target]
+                                .final_clock
+                                .clone()
+                                .expect("finished thread has a final clock");
+                            drop(st);
+                            ctx.clock.join(&fc);
+                            ctx.clock.inc(ctx.tid);
+                            return;
+                        }
+                        _ => {
+                            st.threads[ctx.tid].status = Status::BlockedJoin(target);
+                        }
+                    }
+                }
+                reschedule(ctx, "join");
+            }
+        });
+    }
+}
+
+/// Epilogue run by every virtual thread's OS wrapper: mark finished,
+/// wake joiners, record any non-`Abort` panic as a failure, and hand
+/// the schedule to the next thread (or the orchestrator).
+fn finish_thread(
+    exec: &Arc<Execution>,
+    tid: usize,
+    clock: VClock,
+    outcome: Result<(), Box<dyn std::any::Any + Send>>,
+) {
+    let mut st = lock_state(exec);
+    st.threads[tid].status = Status::Finished;
+    st.threads[tid].final_clock = Some(clock);
+    for t in st.threads.iter_mut() {
+        if matches!(t.status, Status::BlockedJoin(on) if on == tid) {
+            t.status = Status::Ready;
+        }
+    }
+    if let Err(payload) = outcome {
+        if !payload.is::<Abort>() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            if st.failure.is_none() {
+                st.failure = Some(Failure {
+                    kind: FailureKind::Panic,
+                    message: format!("t{tid} panicked: {msg}"),
+                    schedule: st.branches.iter().map(|b| b.chosen).collect(),
+                    trace: render_trace(&st.steps),
+                });
+            }
+            st.aborting = true;
+        }
+    }
+    if st.aborting {
+        exec.cv.notify_all();
+        return;
+    }
+    // The finishing thread performs one last scheduling decision; a
+    // deadlock here is recorded via `fail`, whose Abort unwind the
+    // wrapper swallows (catch below in `os_wrapper`). The finishing
+    // thread's user frames are already unwound, so `fail` with its own
+    // tid is safe even for thread 0 (it waits for the children, whose
+    // frames may still borrow scenario state).
+    if let Pick::Defect(kind, msg) = pick_next(exec, &mut st, "thread exit", None) {
+        fail(exec, st, tid, kind, msg);
+    }
+    exec.cv.notify_all();
+}
+
+fn os_wrapper(exec: Arc<Execution>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    // Park until first scheduled (or the execution aborts before we
+    // ever run).
+    {
+        let mut st = lock_state(&exec);
+        loop {
+            if st.aborting {
+                drop(st);
+                finish_thread(&exec, tid, VClock::new(), Ok(()));
+                return;
+            }
+            if st.active == tid && matches!(st.threads[tid].status, Status::Ready) {
+                break;
+            }
+            st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    let clock = CURRENT
+        .with(|c| c.borrow_mut().take())
+        .map(|ctx| ctx.clock)
+        .unwrap_or_default();
+    // `finish_thread` may itself unwind (deadlock detected at exit);
+    // swallow the Abort so the OS thread dies quietly.
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        finish_thread(&exec, tid, clock, outcome)
+    }));
+}
+
+/// Spawn a virtual thread. Panics outside a [`check`] execution — the
+/// model's `scope` is only meaningful under the scheduler.
+pub(crate) fn spawn_virtual(body: Box<dyn FnOnce() + Send + 'static>) -> JoinHandle {
+    with_ctx(|ctx| {
+        let ctx = ctx.expect("race::spawn outside race::check/replay");
+        let exec = ctx.exec.clone();
+        ctx.clock.inc(ctx.tid);
+        let child_clock = ctx.clock.clone();
+        let tid = {
+            let mut st = lock_state(&exec);
+            st.threads.push(ThreadSlot {
+                status: Status::Ready,
+                final_clock: None,
+            });
+            st.threads.len() - 1
+        };
+        let exec2 = exec.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("pnut-race-t{tid}"))
+            .spawn(move || {
+                let mut clock = child_clock;
+                clock.inc(tid);
+                CURRENT.with(|c| {
+                    *c.borrow_mut() = Some(Ctx {
+                        exec: exec2.clone(),
+                        tid,
+                        clock,
+                    });
+                });
+                os_wrapper(exec2, tid, body);
+            })
+            .expect("spawn model thread");
+        lock_state(&exec).os_handles.push(handle);
+        // Choice point: the child may run immediately.
+        reschedule(ctx, "spawn");
+        JoinHandle { tid }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------
+
+/// Run `f` once under the scheduler following `prescribed`; returns the
+/// branch record on success.
+fn run_once<F>(opts: &Options, prescribed: Vec<u8>, f: &F) -> Result<Vec<Branch>, Failure>
+where
+    F: Fn() + Send + Sync,
+{
+    silence_abort_panics();
+    let exec = Arc::new(Execution {
+        state: StdMutex::new(ExecState {
+            threads: vec![ThreadSlot {
+                status: Status::Ready,
+                final_clock: None,
+            }],
+            active: 0,
+            preemptions: 0,
+            prescribed,
+            cursor: 0,
+            branches: Vec::new(),
+            steps: Vec::new(),
+            aborting: false,
+            failure: None,
+            registry: HashMap::new(),
+            next_gen: 0,
+            os_handles: Vec::new(),
+        }),
+        cv: Condvar::new(),
+        preemption_bound: opts.preemption_bound,
+        tags: opts.tags.clone(),
+    });
+
+    std::thread::scope(|s| {
+        let exec0 = exec.clone();
+        s.spawn(move || {
+            let mut clock = VClock::new();
+            clock.inc(0);
+            CURRENT.with(|c| {
+                *c.borrow_mut() = Some(Ctx {
+                    exec: exec0.clone(),
+                    tid: 0,
+                    clock,
+                });
+            });
+            // Thread 0 is active from the start; run the scenario body
+            // directly (no initial park).
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            let clock = CURRENT
+                .with(|c| c.borrow_mut().take())
+                .map(|ctx| ctx.clock)
+                .unwrap_or_default();
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                finish_thread(&exec0, 0, clock, outcome)
+            }));
+        });
+        // Orchestrator: wait until every virtual thread has finished
+        // (normally or via abort), then join the raw OS threads.
+        let handles = {
+            let mut st = lock_state(&exec);
+            // Every thread reaches `Finished` even under abort: parked
+            // threads are woken by `notify_all`, observe `aborting`,
+            // unwind, and their wrappers run `finish_thread`.
+            while !st
+                .threads
+                .iter()
+                .all(|t| matches!(t.status, Status::Finished))
+            {
+                st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            std::mem::take(&mut st.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    });
+
+    let mut st = lock_state(&exec);
+    if let Some(f) = st.failure.take() {
+        return Err(f);
+    }
+    let leaked: Vec<&'static str> = st
+        .registry
+        .values()
+        .filter(|c| c.alive)
+        .map(|c| c.what)
+        .collect();
+    if !leaked.is_empty() {
+        return Err(Failure {
+            kind: FailureKind::Leak,
+            message: format!(
+                "{} tracked allocation(s) still live at execution end: {}",
+                leaked.len(),
+                leaked.join(", ")
+            ),
+            schedule: st.branches.iter().map(|b| b.chosen).collect(),
+            trace: render_trace(&st.steps),
+        });
+    }
+    Ok(std::mem::take(&mut st.branches))
+}
+
+/// Exhaustively explore every interleaving of `f` within the
+/// preemption bound. `f` runs once per execution; it must be
+/// self-contained (build its own state, spawn via [`super::scope`],
+/// assert its own invariants).
+pub fn check<F>(opts: &Options, f: F) -> Result<Stats, Failure>
+where
+    F: Fn() + Send + Sync,
+{
+    let mut prescribed: Vec<u8> = Vec::new();
+    let mut stats = Stats::default();
+    loop {
+        if stats.executions >= opts.max_executions {
+            return Err(Failure {
+                kind: FailureKind::ExplorationBudget,
+                message: format!(
+                    "exploration budget of {} executions exhausted",
+                    opts.max_executions
+                ),
+                schedule: prescribed,
+                trace: String::new(),
+            });
+        }
+        stats.executions += 1;
+        if debug_enabled() {
+            eprintln!("run {}: prefix {:?}", stats.executions, prescribed);
+        }
+        let branches = run_once(opts, prescribed.clone(), &f)?;
+        stats.max_branch_points = stats.max_branch_points.max(branches.len());
+        // Backtrack: deepest branch point with an untried sibling.
+        let mut next = None;
+        for (i, b) in branches.iter().enumerate().rev() {
+            if u16::from(b.chosen) + 1 < u16::from(b.options) {
+                next = Some(i);
+                break;
+            }
+        }
+        match next {
+            None => return Ok(stats),
+            Some(i) => {
+                prescribed = branches[..i].iter().map(|b| b.chosen).collect();
+                prescribed.push(branches[i].chosen + 1);
+            }
+        }
+    }
+}
+
+/// Re-run exactly one schedule (from [`Failure::schedule`]); returns
+/// the failure it reproduces, or `None` if the run passes (which for a
+/// recorded failing schedule means the defect is *not* reproducible —
+/// a checker bug).
+pub fn replay<F>(opts: &Options, schedule: &[u8], f: F) -> Option<Failure>
+where
+    F: Fn() + Send + Sync,
+{
+    run_once(opts, schedule.to_vec(), &f).err()
+}

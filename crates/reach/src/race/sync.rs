@@ -1,0 +1,361 @@
+//! Model synchronization types — the `race-model` personality of
+//! [`crate::sync`].
+//!
+//! Each type mirrors the `std` API surface the pager uses, but routes
+//! every operation through the scheduler ([`super::sched`]): the
+//! operation is a choice point, the value itself lives behind a real
+//! `std` mutex (so the types stay genuinely thread-safe even when no
+//! scheduler is active — ordinary tests compiled with the feature
+//! still pass), and the declared `Ordering` drives the vector-clock
+//! transfer that the race detector checks against.
+//!
+//! Raw pointers become [`TrackedPtr`]: an address plus the
+//! *generation* of the allocation it was created from. The registry
+//! in the scheduler checks every dereference and free against the
+//! live generation, so a use-after-free — or an ABA reuse of the same
+//! address — is a deterministic failure instead of silent corruption.
+
+use std::marker::PhantomData;
+use std::sync::{LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use super::sched::{self, Access, AtomicMeta, MutexRt};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A generation-tagged heap pointer (the model's [`crate::sync::Ptr`]).
+pub struct TrackedPtr<T> {
+    pub(super) addr: usize,
+    pub(super) gen: u64,
+    /// `fn(T) -> T` keeps `TrackedPtr` `Send + Sync` irrespective of
+    /// `T`, matching `*mut T` inside a `std` `AtomicPtr` (the atomic
+    /// cell is what's shared, not the pointee).
+    pub(super) _marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T> Clone for TrackedPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for TrackedPtr<T> {}
+
+impl<T> PartialEq for TrackedPtr<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.addr == other.addr && self.gen == other.gen
+    }
+}
+impl<T> Eq for TrackedPtr<T> {}
+
+impl<T> std::fmt::Debug for TrackedPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TrackedPtr({:#x}@g{})", self.addr, self.gen)
+    }
+}
+
+impl<T> TrackedPtr<T> {
+    pub fn is_null(&self) -> bool {
+        self.addr == 0
+    }
+}
+
+/// The model pointer type exported through the facade.
+pub type Ptr<T> = TrackedPtr<T>;
+
+/// Raw-pointer operations, generation-checked. Signatures (including
+/// the `unsafe` contracts) match the production `sync::prod::raw`
+/// exactly — the model merely *also* verifies the contract at runtime.
+pub mod raw {
+    use super::*;
+
+    /// Move `value` to the heap, register the allocation, and return
+    /// its tagged handle.
+    pub fn alloc<T>(value: T) -> Ptr<T> {
+        let p = Box::into_raw(Box::new(value));
+        let gen = sched::track_alloc(p as usize, std::any::type_name::<T>());
+        TrackedPtr {
+            addr: p as usize,
+            gen,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The null pointer (generation 0, never registered).
+    pub fn null<T>() -> Ptr<T> {
+        TrackedPtr {
+            addr: 0,
+            gen: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Shared-reference a pointer from [`alloc`].
+    ///
+    /// # Safety
+    ///
+    /// Same contract as the production `raw::deref`: `p` must come
+    /// from [`alloc`], not yet freed, no live `&mut` to the pointee.
+    /// The model additionally *checks* the contract and fails the
+    /// execution instead of exhibiting undefined behavior.
+    pub unsafe fn deref<'a, T>(p: Ptr<T>) -> &'a T {
+        sched::track_read(p.addr, p.gen, std::any::type_name::<T>());
+        // SAFETY: forwarded from the function contract; the registry
+        // check above turns a violated contract into a model failure
+        // before this executes (within the model's schedule coverage).
+        unsafe { &*(p.addr as *const T) }
+    }
+
+    /// Exclusive-reference a pointer from [`alloc`].
+    ///
+    /// # Safety
+    ///
+    /// As [`deref`], and additionally no other reference to the
+    /// pointee may be live at all.
+    pub unsafe fn deref_mut<'a, T>(p: Ptr<T>) -> &'a mut T {
+        sched::track_write(p.addr, p.gen, std::any::type_name::<T>());
+        // SAFETY: forwarded from the function contract (checked, as in
+        // `deref`).
+        unsafe { &mut *(p.addr as *mut T) }
+    }
+
+    /// Reclaim and drop a pointer from [`alloc`].
+    ///
+    /// # Safety
+    ///
+    /// `p` must come from [`alloc`], not yet have been freed, and no
+    /// reference to the pointee may be live.
+    pub unsafe fn free<T>(p: Ptr<T>) {
+        sched::track_free(p.addr, p.gen, std::any::type_name::<T>());
+        // SAFETY: forwarded from the function contract (checked).
+        drop(unsafe { Box::from_raw(p.addr as *mut T) });
+    }
+}
+
+macro_rules! model_int_atomic {
+    ($name:ident, $int:ty) => {
+        /// Model integer atomic: the value lives behind a `std` mutex
+        /// (real thread safety even outside the scheduler); each
+        /// operation is a scheduler choice point plus the vector-clock
+        /// transfer its `Ordering` justifies.
+        pub struct $name {
+            v: StdMutex<$int>,
+            meta: AtomicMeta,
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Debug must not schedule (it is not a protocol
+                // operation); peek the raw value.
+                let v = self.v.lock().unwrap_or_else(|e| e.into_inner());
+                write!(f, concat!(stringify!($name), "({:?})"), *v)
+            }
+        }
+
+        impl $name {
+            pub fn new(v: $int) -> Self {
+                $name {
+                    v: StdMutex::new(v),
+                    meta: AtomicMeta::new(),
+                }
+            }
+
+            fn with<R>(&self, f: impl FnOnce(&mut $int) -> R) -> R {
+                let mut g = self.v.lock().unwrap_or_else(|e| e.into_inner());
+                f(&mut g)
+            }
+
+            pub fn load(&self, order: Ordering) -> $int {
+                sched::atomic_op(
+                    &self.meta,
+                    Access::Load,
+                    order,
+                    concat!(stringify!($name), "::load"),
+                    || self.with(|v| *v),
+                )
+            }
+
+            pub fn store(&self, val: $int, order: Ordering) {
+                sched::atomic_op(
+                    &self.meta,
+                    Access::Store,
+                    order,
+                    concat!(stringify!($name), "::store"),
+                    || self.with(|v| *v = val),
+                )
+            }
+
+            pub fn fetch_add(&self, val: $int, order: Ordering) -> $int {
+                sched::atomic_op(
+                    &self.meta,
+                    Access::Rmw,
+                    order,
+                    concat!(stringify!($name), "::fetch_add"),
+                    || {
+                        self.with(|v| {
+                            let old = *v;
+                            *v = old.wrapping_add(val);
+                            old
+                        })
+                    },
+                )
+            }
+
+            pub fn fetch_sub(&self, val: $int, order: Ordering) -> $int {
+                sched::atomic_op(
+                    &self.meta,
+                    Access::Rmw,
+                    order,
+                    concat!(stringify!($name), "::fetch_sub"),
+                    || {
+                        self.with(|v| {
+                            let old = *v;
+                            *v = old.wrapping_sub(val);
+                            old
+                        })
+                    },
+                )
+            }
+
+            pub fn fetch_max(&self, val: $int, order: Ordering) -> $int {
+                sched::atomic_op(
+                    &self.meta,
+                    Access::Rmw,
+                    order,
+                    concat!(stringify!($name), "::fetch_max"),
+                    || {
+                        self.with(|v| {
+                            let old = *v;
+                            *v = old.max(val);
+                            old
+                        })
+                    },
+                )
+            }
+
+            pub fn get_mut(&mut self) -> &mut $int {
+                // `&mut self` proves exclusivity — no choice point, no
+                // clock traffic, exactly like `std`.
+                self.v.get_mut().unwrap_or_else(|e| e.into_inner())
+            }
+        }
+    };
+}
+
+model_int_atomic!(AtomicU64, u64);
+model_int_atomic!(AtomicUsize, usize);
+
+/// Model pointer atomic over [`TrackedPtr`].
+pub struct AtomicPtr<T> {
+    v: StdMutex<TrackedPtr<T>>,
+    meta: AtomicMeta,
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.v.lock().unwrap_or_else(|e| e.into_inner());
+        write!(f, "AtomicPtr({:?})", *v)
+    }
+}
+
+impl<T> AtomicPtr<T> {
+    pub fn new(p: TrackedPtr<T>) -> Self {
+        AtomicPtr {
+            v: StdMutex::new(p),
+            meta: AtomicMeta::new(),
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut TrackedPtr<T>) -> R) -> R {
+        let mut g = self.v.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut g)
+    }
+
+    pub fn load(&self, order: Ordering) -> TrackedPtr<T> {
+        sched::atomic_op(&self.meta, Access::Load, order, "AtomicPtr::load", || {
+            self.with(|v| *v)
+        })
+    }
+
+    pub fn store(&self, p: TrackedPtr<T>, order: Ordering) {
+        sched::atomic_op(&self.meta, Access::Store, order, "AtomicPtr::store", || {
+            self.with(|v| *v = p)
+        })
+    }
+
+    pub fn swap(&self, p: TrackedPtr<T>, order: Ordering) -> TrackedPtr<T> {
+        sched::atomic_op(&self.meta, Access::Rmw, order, "AtomicPtr::swap", || {
+            self.with(|v| std::mem::replace(v, p))
+        })
+    }
+
+    pub fn get_mut(&mut self) -> &mut TrackedPtr<T> {
+        self.v.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Model mutex: real `std` exclusion underneath (correct outside the
+/// scheduler), cooperative blocking plus release-clock transfer inside
+/// it.
+pub struct Mutex<T> {
+    rt: Arc<MutexRt>,
+    inner: StdMutex<T>,
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mutex({:?})", self.inner)
+    }
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex {
+            rt: MutexRt::new(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Always returns `Ok` (the model never poisons — a panicking
+    /// execution is torn down wholesale), but keeps the `LockResult`
+    /// shape so call sites are identical to `std`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        sched::mutex_lock(&self.rt);
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard {
+            rt: self.rt.clone(),
+            inner: Some(g),
+        })
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.inner.get_mut().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// Guard for the model [`Mutex`]; releases the model lock (waking
+/// cooperative waiters) after the real one.
+pub struct MutexGuard<'a, T> {
+    rt: Arc<MutexRt>,
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real mutex first so the waiter the scheduler
+        // picks next can take it without blocking the OS thread.
+        drop(self.inner.take());
+        sched::mutex_unlock(&self.rt);
+    }
+}

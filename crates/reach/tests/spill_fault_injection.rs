@@ -1,0 +1,186 @@
+//! Spill-file fault injection: a failing reload or spill write must
+//! surface as [`ReachError::Spill`] — never a panic, never a deadlock,
+//! never a corrupted store — and the store must keep working once the
+//! fault clears (a retryable I/O error is retryable end to end).
+//!
+//! The hooks ([`pnut_reach::pager::fail`]) are process-global
+//! countdowns, so every test here serializes on one mutex.
+
+use std::sync::Mutex;
+
+use pnut_core::expr::Env;
+use pnut_core::NetBuilder;
+use pnut_reach::graph::{build_untimed, ReachOptions};
+use pnut_reach::pager::fail::{fail_nth_spill_read, fail_nth_spill_write, reset_spill_failures};
+use pnut_reach::{PagerConfig, ReachError, StateStore};
+
+/// Serializes the tests (the injection counters are process-global)
+/// and guarantees they are disarmed afterwards even if a test panics.
+static HOOKS: Mutex<()> = Mutex::new(());
+
+struct Armed<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+fn arm<'a>() -> Armed<'a> {
+    Armed(HOOKS.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+impl Drop for Armed<'_> {
+    fn drop(&mut self) {
+        reset_spill_failures();
+    }
+}
+
+/// A store whose first two segments are spilled (grain 64, 140 states).
+fn spilled_store() -> StateStore {
+    let cfg = PagerConfig {
+        mem_budget: 512,
+        spill_dir: None,
+    };
+    let mut s = StateStore::with_config(2, &cfg);
+    let env = s.intern_env(&Env::new()).expect("env");
+    for i in 0..140u32 {
+        s.intern(&[i, 0], env, &[], &[]).expect("intern");
+    }
+    s.maintain().expect("seal + evict");
+    assert!(s.spilled_bytes() > 0, "setup must actually spill");
+    s
+}
+
+fn expect_spill(err: ReachError, op: &str) {
+    match err {
+        ReachError::Spill(e) => assert_eq!(e.op, op, "wrong failing op: {e}"),
+        other => panic!("expected ReachError::Spill({op}), got {other:?}"),
+    }
+}
+
+#[test]
+fn reload_failure_surfaces_as_spill_error_and_is_retryable() {
+    let _g = arm();
+    let store = spilled_store();
+
+    fail_nth_spill_read(1);
+    expect_spill(
+        store.try_marking_slice(0).expect_err("injected read fails"),
+        "read",
+    );
+
+    // The failed fault left the store consistent: the segment is still
+    // spilled, nothing double-accounted, and the same probe succeeds
+    // once the fault clears.
+    reset_spill_failures();
+    assert_eq!(store.try_marking_slice(0).expect("retry"), &[0, 0]);
+    assert_eq!(
+        store.try_marking_slice(70).expect("other segment"),
+        &[70, 0]
+    );
+}
+
+#[test]
+fn second_read_failing_spares_the_first_fault() {
+    let _g = arm();
+    let store = spilled_store();
+
+    // N-th semantics: arm the *second* read; the first fault succeeds,
+    // the next one fails.
+    fail_nth_spill_read(2);
+    assert_eq!(store.try_marking_slice(0).expect("first fault"), &[0, 0]);
+    expect_spill(
+        store.try_marking_slice(70).expect_err("second fault fails"),
+        "read",
+    );
+}
+
+#[test]
+fn spill_write_failure_surfaces_during_eviction_and_is_retryable() {
+    let _g = arm();
+    let cfg = PagerConfig {
+        mem_budget: 512,
+        spill_dir: None,
+    };
+    let mut s = StateStore::with_config(2, &cfg);
+    let env = s.intern_env(&Env::new()).expect("env");
+
+    // Spilling is eager: `append` seals a full tail and evicts back
+    // under budget inline, so the first spill write happens mid-intern,
+    // not in a later explicit `maintain()`. Arm before interning.
+    fail_nth_spill_write(1);
+    let mut failed_at = None;
+    for i in 0..140u32 {
+        match s.intern(&[i, 0], env, &[], &[]) {
+            Ok(_) => {}
+            Err(e) => {
+                expect_spill(e, "write");
+                failed_at = Some(i);
+                break;
+            }
+        }
+    }
+    let failed_at = failed_at.expect("a seal-time eviction must hit the injected write failure");
+    assert_eq!(s.spilled_bytes(), 0, "the failed eviction wrote nothing");
+
+    // The aborted eviction lost no data: the whole interned prefix —
+    // including the state whose append triggered the eviction — is
+    // still readable (the store is merely over budget).
+    for i in 0..=failed_at {
+        assert_eq!(
+            s.try_marking_slice(i as usize).expect("still readable"),
+            &[i, 0]
+        );
+    }
+
+    // Once the fault clears, an explicit maintain() retries the same
+    // eviction cleanly...
+    reset_spill_failures();
+    s.maintain().expect("retry spills");
+    assert!(s.spilled_bytes() > 0);
+
+    // ...and the store keeps working end to end: finish interning,
+    // spill, and fault the evicted segments back in.
+    for i in failed_at + 1..140u32 {
+        s.intern(&[i, 0], env, &[], &[]).expect("intern resumes");
+    }
+    s.maintain().expect("steady state");
+    assert_eq!(s.try_marking_slice(0).expect("faults back in"), &[0, 0]);
+    assert_eq!(s.try_marking_slice(139).expect("tail stays"), &[139, 0]);
+}
+
+#[test]
+fn mid_sweep_reload_failure_in_a_parallel_paged_graph() {
+    let _g = arm();
+    // A 201-state chain, built in parallel with a budget small enough
+    // that segments spill during construction and the sweep must fault
+    // them back in.
+    let mut b = NetBuilder::new("chain");
+    b.place("A", 200);
+    b.place("B", 0);
+    b.transition("step").input("A").output("B").add();
+    let net = b.build().expect("builds");
+    let opts = ReachOptions {
+        jobs: 4,
+        mem_budget: 512,
+        ..ReachOptions::default()
+    };
+    let mut g = build_untimed(&net, &opts).expect("bounded build");
+    let total = g.state_count();
+    assert_eq!(total, 201);
+
+    // Fail a reload somewhere mid-sweep: the analysis returns the error
+    // (no panic, no deadlock, no partial visit presented as complete).
+    fail_nth_spill_read(2);
+    let mut visited = 0usize;
+    let err = g
+        .for_each_state_in_segments(|_, _, _| visited += 1)
+        .expect_err("injected mid-sweep read fails");
+    expect_spill(err, "read");
+    assert!(
+        visited < total,
+        "sweep must stop at the failed segment, visited {visited}/{total}"
+    );
+
+    // Once the fault clears the same graph sweeps to completion.
+    reset_spill_failures();
+    let mut revisited = 0usize;
+    g.for_each_state_in_segments(|_, _, _| revisited += 1)
+        .expect("clean sweep");
+    assert_eq!(revisited, total);
+}

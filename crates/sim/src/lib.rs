@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-sim — the P-NUT simulation engine
 //!
 //! "The P-NUT simulator is a simple simulation engine which *pushes*

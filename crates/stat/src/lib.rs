@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-stat — statistical analysis of simulation traces
 //!
 //! Reproduction of the P-NUT `stat` tool (paper §4.2 and Figure 5): a

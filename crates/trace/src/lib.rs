@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-trace — simulation traces
 //!
 //! The P-NUT simulator "simply generates a trace: the description of the

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut-tracer — timing analysis and trace verification
 //!
 //! Reproduction of the P-NUT *tracertool* (paper §4.4), which plays two

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # pnut — Petri-Net Utility Tools, reproduced in Rust
 //!
 //! A reproduction of the P-NUT system from Razouk, *The Use of Petri
