@@ -21,6 +21,7 @@
 //! up to sampling noise (tested).
 
 use pnut_core::{Net, PlaceId, TransitionId};
+use pnut_obs as obs;
 use pnut_reach::graph::{build_timed, EdgeLabel, ReachOptions, ReachabilityGraph};
 use std::fmt;
 
@@ -220,6 +221,7 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
     // resident. Deadlocks surface here too (segment order is state
     // order, so the first one found is the lowest-numbered, matching
     // the pre-paging behaviour of `deadlocks().first()`).
+    let extract_span = obs::span("markov.extract");
     let mut jumps: Vec<Vec<(usize, f64, EdgeLabel)>> = Vec::with_capacity(n);
     let mut sojourn = vec![0.0f64; n];
     for seg in 0..graph.segment_count() {
@@ -268,6 +270,8 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
         }
         graph.maintain()?;
     }
+    obs::metrics::MARKOV_EXTRACTED_EDGES.add(jumps.iter().map(|out| out.len() as u64).sum());
+    drop(extract_span);
     if sojourn.iter().all(|&t| t == 0.0) {
         return Err(MarkovError::Zeno);
     }
@@ -290,8 +294,17 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
             average[s] = 1.0 / members.len() as f64;
         }
     }
+    let solve_span = obs::span("markov.solve");
     let mut converged = false;
-    for _ in 0..options.max_iterations {
+    for iter in 0..options.max_iterations {
+        obs::metrics::MARKOV_SOLVER_ITERATIONS.inc();
+        obs::heartbeat(iter as u64 + 1, || {
+            format!(
+                "markov solve: iteration {} of at most {}",
+                iter + 1,
+                options.max_iterations
+            )
+        });
         let mut next = vec![0.0f64; n];
         for (s, out) in jumps.iter().enumerate() {
             if average[s] == 0.0 {
@@ -309,6 +322,7 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
             break;
         }
     }
+    drop(solve_span);
     if !converged {
         return Err(MarkovError::NoConvergence);
     }

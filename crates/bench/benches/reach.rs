@@ -444,6 +444,22 @@ fn summary() {
         "ratio",
         ratio,
     );
+
+    // Observability-overhead series (gates `pnut_obs`): the same
+    // interpreted-pipeline build with the recorder absent vs installed.
+    // Every hot-path metric mutation is behind one relaxed load, so the
+    // off/on ratio should sit at ~1.0; a counter placed inside an inner
+    // loop (or a gate that stops being a single load) drags it down and
+    // trips the CI `--min-frac-for` bound of 0.9.
+    println!("\n-- observability: interpreted build, recorder off vs on (min of 10 builds) --");
+    let obs_net = workloads::interpreted_net();
+    let off_ns = min_ns(10, || build_untimed(&obs_net, &OPTIONS).expect("bounded"));
+    pnut_obs::install();
+    let on_ns = min_ns(10, || build_untimed(&obs_net, &OPTIONS).expect("bounded"));
+    pnut_obs::uninstall();
+    let ratio = off_ns / on_ns;
+    println!("obs_overhead interpreted {ratio:>5.2}x of the recorder-off build (1.0 = free)");
+    export("reach/obs_overhead/interpreted", "ratio", ratio);
 }
 
 fn main() {

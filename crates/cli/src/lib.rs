@@ -25,6 +25,7 @@
 //! properties, grep-style).
 
 use pnut_core::{Net, Time};
+use pnut_obs as obs;
 use pnut_trace::{RecordedTrace, TraceSink};
 use std::fmt::Write as _;
 use std::fs;
@@ -98,6 +99,27 @@ impl<'a> Args<'a> {
         false
     }
 
+    /// An optional-value flag in the single-token `--name[=V]` form
+    /// (used by `--progress[=N]`, whose value must not be mistaken for
+    /// a positional). `None` = absent, `Some(None)` = bare flag,
+    /// `Some(Some(v))` = `--name=v`.
+    fn flag_opt_value(&mut self, name: &str) -> Option<Option<String>> {
+        for (i, item) in self.items.iter().enumerate() {
+            if self.used[i] {
+                continue;
+            }
+            if item == name {
+                self.used[i] = true;
+                return Some(None);
+            }
+            if let Some(v) = item.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+                self.used[i] = true;
+                return Some(Some(v.to_string()));
+            }
+        }
+        None
+    }
+
     /// Next unused positional argument.
     fn positional(&mut self) -> Option<String> {
         for (i, item) in self.items.iter().enumerate() {
@@ -152,36 +174,10 @@ fn parse_limit_flags(
 
 /// Parse a byte-size value like `65536`, `64KiB`, `512MB`, or `2GiB`
 /// (binary multipliers throughout; `unlimited` disables the budget).
+/// One shared implementation with the `--stats` output formatter, so
+/// everything `format_bytes` prints parses back here.
 fn parse_byte_size(value: &str) -> Option<usize> {
-    let v = value.trim().to_ascii_lowercase();
-    if v == "unlimited" {
-        return Some(usize::MAX);
-    }
-    let (digits, mult) = if let Some(d) = v
-        .strip_suffix("kib")
-        .or_else(|| v.strip_suffix("kb"))
-        .or_else(|| v.strip_suffix('k'))
-    {
-        (d, 1usize << 10)
-    } else if let Some(d) = v
-        .strip_suffix("mib")
-        .or_else(|| v.strip_suffix("mb"))
-        .or_else(|| v.strip_suffix('m'))
-    {
-        (d, 1usize << 20)
-    } else if let Some(d) = v
-        .strip_suffix("gib")
-        .or_else(|| v.strip_suffix("gb"))
-        .or_else(|| v.strip_suffix('g'))
-    {
-        (d, 1usize << 30)
-    } else if let Some(d) = v.strip_suffix('b') {
-        (d, 1)
-    } else {
-        (v.as_str(), 1)
-    };
-    let n: usize = digits.trim().parse().ok()?;
-    n.checked_mul(mult)
+    obs::bytes::parse_bytes(value).and_then(|n| usize::try_from(n).ok())
 }
 
 /// Parse the shared paging options `--mem-budget BYTES` /
@@ -243,6 +239,82 @@ fn parse_reach_options(
         options.spill_dir = spill_dir;
     }
     Ok(options)
+}
+
+/// The shared observability options `--stats` / `--metrics-json PATH` /
+/// `--progress[=N]`: if any is present the process-global
+/// [`pnut_obs`] recorder is installed for the duration of the command.
+/// All telemetry goes to stderr or the metrics file — stdout stays
+/// byte-identical with and without these flags.
+struct ObsSession {
+    stats: bool,
+    metrics_json: Option<std::path::PathBuf>,
+    active: bool,
+}
+
+impl ObsSession {
+    /// Parse the observability flags and install the recorder when any
+    /// is given. `--progress` without a value heartbeats at every tick.
+    fn from_args(args: &mut Args<'_>, cmd: &str) -> Result<Self, CliError> {
+        let stats = args.flag("--stats");
+        let metrics_json = args.value("--metrics-json").map(std::path::PathBuf::from);
+        let progress =
+            args.flag_opt_value("--progress")
+                .map(|v| match v {
+                    None => Ok(1u64),
+                    Some(n) => n.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        err(format!("{cmd}: --progress=N needs a positive integer"))
+                    }),
+                })
+                .transpose()?;
+        let active = stats || metrics_json.is_some() || progress.is_some();
+        if active {
+            obs::install();
+            obs::set_progress_every(progress.unwrap_or(0));
+        }
+        Ok(ObsSession {
+            stats,
+            metrics_json,
+            active,
+        })
+    }
+
+    /// Stop recording and emit the session's outputs: the human summary
+    /// to stderr (`--stats`) and the NDJSON file (`--metrics-json`).
+    fn finish(&mut self, tool: &str) -> Result<(), CliError> {
+        if !self.active {
+            return Ok(());
+        }
+        self.active = false;
+        obs::set_progress_every(0);
+        obs::uninstall();
+        let snap = obs::snapshot();
+        if self.stats {
+            let mut buf = Vec::new();
+            snap.render_human(&mut buf)
+                .map_err(|e| err(format!("{tool}: --stats: {e}")))?;
+            eprint!("{}", String::from_utf8_lossy(&buf));
+        }
+        if let Some(path) = self.metrics_json.take() {
+            let file = fs::File::create(&path)
+                .map_err(|e| err(format!("{tool}: cannot write `{}`: {e}", path.display())))?;
+            let mut w = std::io::BufWriter::new(file);
+            snap.write_ndjson(&mut w, tool)
+                .map_err(|e| err(format!("{tool}: --metrics-json: {e}")))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for ObsSession {
+    // Error paths skip `finish`; still disable the recorder so a failed
+    // command can't leave telemetry running for the next `run()` call.
+    fn drop(&mut self) {
+        if self.active {
+            obs::set_progress_every(0);
+            obs::uninstall();
+        }
+    }
 }
 
 fn load_net(path: &str) -> Result<Net, CliError> {
@@ -322,18 +394,18 @@ usage: pnut <command> [args]
   check <model.pn>                     structural report + P/T-invariants
   print <model.pn>                     parse and pretty-print
   dot <model.pn>                       Graphviz rendering of the net
-  sim <model.pn> [--until N] [--seed S] [-o trace.json]
+  sim <model.pn> [--until N] [--seed S] [-o trace.json] [observability]
   stat <trace.json>                    statistics report (Figure 5)
   filter <trace.json> [--place P]... [--trans T]... [--vars] [-o out.json]
   query <trace.json> <query>           forall/exists/inev over trace states
   timeline <trace.json> [--from A] [--to B] [--probe NAME]... [--fn L=EXPR]...
   anim <trace.json> [--max-frames N]
   reach <model.pn> [--timed] [--ctl FORMULA] [--max-states N] [--jobs N]
-                   [--mem-budget BYTES] [--spill-dir DIR]
+                   [--mem-budget BYTES] [--spill-dir DIR] [observability]
   cover <model.pn> [--max-states N] [--jobs N]   Karp–Miller boundedness
   cycle <model.pn>                     analytic cycle time (marked graphs)
   markov <model.pn> [--max-states N] [--jobs N]  analytic steady state
-                    [--mem-budget BYTES] [--spill-dir DIR]
+                    [--mem-budget BYTES] [--spill-dir DIR] [observability]
   heatmap <trace.json>                 activity heatmap (bottleneck feedback)
   measure <trace.json> [--pulses PLACE] [--intervals TRANS] [--latency FROM,TO]
 
@@ -365,6 +437,15 @@ All expression evaluation (predicates, actions, delay expressions) in
 sim, reach, and markov runs on register bytecode compiled once per
 net at load time — semantics are bit-identical to the language
 reference interpreter, including error cases and randomness draws.
+
+observability (sim, reach, cover, markov — see docs/OBSERVABILITY.md):
+  --stats            phase timings + nonzero metrics summary on stderr
+  --metrics-json F   full metric snapshot as NDJSON written to file F
+  --progress[=N]     deterministic heartbeat lines on stderr every N
+                     ticks (levels/events/iterations; default 1)
+Telemetry goes to stderr or the metrics file only: stdout is
+byte-identical with and without these flags, and recorded metrics
+never feed back into exploration.
 
 exit codes: 0 ok · 1 error · 2 checked property is false
 ";
@@ -511,12 +592,17 @@ fn cmd_sim(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         .transpose()?
         .unwrap_or(1);
     let output = args.value("-o");
+    let mut session = ObsSession::from_args(&mut args, "sim")?;
     args.finish()?;
 
-    let net = load_net(&path)?;
+    let net = {
+        let _parse = obs::span("parse");
+        load_net(&path)?
+    };
     let trace = pnut_sim::simulate(&net, seed, Time::from_ticks(until))
         .map_err(|e| err(format!("simulation failed: {e}")))?;
     save_trace(&trace, output.as_deref(), out)?;
+    session.finish("sim")?;
     Ok(0)
 }
 
@@ -680,9 +766,13 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let timed = args.flag("--timed");
     let ctl = args.value("--ctl");
     let options = parse_reach_options(&mut args, "reach", pnut_reach::ReachOptions::default())?;
+    let mut session = ObsSession::from_args(&mut args, "reach")?;
     args.finish()?;
 
-    let net = load_net(&path)?;
+    let net = {
+        let _parse = obs::span("parse");
+        load_net(&path)?
+    };
     let mut graph = if timed {
         pnut_reach::graph::build_timed(&net, &options)
     } else {
@@ -717,6 +807,7 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         let _ = writeln!(out, "  bound({}) = {}", p.name(), bounds[pid.index()]);
     }
 
+    let mut code = 0;
     if let Some(formula_text) = ctl {
         let formula =
             pnut_reach::ctl::Formula::parse(&formula_text).map_err(|e| err(format!("ctl: {e}")))?;
@@ -733,9 +824,12 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
             outcome.count(),
             graph.state_count()
         );
-        return Ok(if outcome.holds_initially { 0 } else { 2 });
+        if !outcome.holds_initially {
+            code = 2;
+        }
     }
-    Ok(0)
+    session.finish("reach")?;
+    Ok(code)
 }
 
 fn cmd_cover(argv: &[String], out: &mut String) -> Result<i32, CliError> {
@@ -764,8 +858,12 @@ fn cmd_cover(argv: &[String], out: &mut String) -> Result<i32, CliError> {
              tree is memory-resident (only reach/markov page their state arenas)"
         );
     }
+    let mut session = ObsSession::from_args(&mut args, "cover")?;
     args.finish()?;
-    let net = load_net(&path)?;
+    let net = {
+        let _parse = obs::span("parse");
+        load_net(&path)?
+    };
     let tree = pnut_reach::coverability::coverability_tree(&net, &options)
         .map_err(|e| err(format!("cover: {e}")))?;
     let _ = writeln!(
@@ -788,6 +886,7 @@ fn cmd_cover(argv: &[String], out: &mut String) -> Result<i32, CliError> {
             }
         }
     }
+    session.finish("cover")?;
     Ok(if tree.is_unbounded() { 2 } else { 0 })
 }
 
@@ -910,8 +1009,12 @@ fn cmd_markov(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     if spill_dir.is_some() {
         options.spill_dir = spill_dir;
     }
+    let mut session = ObsSession::from_args(&mut args, "markov")?;
     args.finish()?;
-    let net = load_net(&path)?;
+    let net = {
+        let _parse = obs::span("parse");
+        load_net(&path)?
+    };
     let ss = pnut_analytic::markov::steady_state(&net, &options)
         .map_err(|e| err(format!("markov: {e}")))?;
     let _ = writeln!(out, "ANALYTIC STEADY STATE (semi-Markov, exact semantics)");
@@ -924,6 +1027,7 @@ fn cmd_markov(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     for (tid, t) in net.transitions() {
         let _ = writeln!(out, "  {:<28} {:.6}", t.name(), ss.throughput(tid));
     }
+    session.finish("markov")?;
     Ok(0)
 }
 
@@ -1259,6 +1363,108 @@ mod tests {
             out.contains("0.333333"),
             "seize fires once per 3 ticks: {out}"
         );
+    }
+
+    // The obs recorder is process-global; tests that install it (any
+    // test passing --stats/--metrics-json/--progress) serialize here.
+    static OBS_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn obs_serial<'a>() -> std::sync::MutexGuard<'a, ()> {
+        OBS_TESTS.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn stats_flags_leave_stdout_byte_identical() {
+        let _g = obs_serial();
+        let dir = tmpdir("obsflags");
+        let model = write_model(&dir);
+        let (code, plain) = run_args(&["reach", &model, "--timed"]);
+        assert_eq!(code, 0);
+        let metrics = dir.join("m.ndjson").to_string_lossy().into_owned();
+        let (code, observed) = run_args(&[
+            "reach",
+            &model,
+            "--timed",
+            "--stats",
+            "--metrics-json",
+            &metrics,
+            "--progress=2",
+        ]);
+        assert_eq!(code, 0);
+        assert_eq!(plain, observed, "observability must not touch stdout");
+
+        let text = fs::read_to_string(&metrics).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            r#"{"type":"meta","version":1,"tool":"reach"}"#
+        );
+        assert!(
+            text.contains(r#""name":"store.misses","value":4"#),
+            "4 timed states interned: {text}"
+        );
+        assert!(text.contains(r#""type":"span","path":"build""#), "{text}");
+        assert!(text.contains(r#""path":"parse""#), "{text}");
+    }
+
+    #[test]
+    fn stats_flags_cover_all_tools() {
+        let _g = obs_serial();
+        let dir = tmpdir("obstools");
+        let model = write_model(&dir);
+        for (tool, extra) in [("cover", None), ("markov", None), ("sim", Some("--until"))] {
+            let metrics = dir
+                .join(format!("{tool}.ndjson"))
+                .to_string_lossy()
+                .into_owned();
+            let mut argv = vec![tool, &model, "--stats", "--metrics-json", &metrics];
+            if let Some(flag) = extra {
+                argv.push(flag);
+                argv.push("50");
+            }
+            let (code, _) = run_args(&argv);
+            assert_eq!(code, 0, "{tool}");
+            let text = fs::read_to_string(&metrics).unwrap();
+            assert!(
+                text.starts_with(&format!(r#"{{"type":"meta","version":1,"tool":"{tool}"}}"#)),
+                "{tool}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_with_stats_counts_events() {
+        let _g = obs_serial();
+        let dir = tmpdir("obssim");
+        let model = write_model(&dir);
+        let metrics = dir.join("sim.ndjson").to_string_lossy().into_owned();
+        let (code, _) = run_args(&["sim", &model, "--until", "30", "--metrics-json", &metrics]);
+        assert_eq!(code, 0);
+        let text = fs::read_to_string(&metrics).unwrap();
+        let events = text
+            .lines()
+            .find(|l| l.contains(r#""name":"sim.events""#))
+            .unwrap();
+        assert!(
+            !events.contains(r#""value":0"#),
+            "the bus model fires in 30 ticks: {events}"
+        );
+    }
+
+    #[test]
+    fn bad_progress_values_are_usage_errors() {
+        let _g = obs_serial();
+        let dir = tmpdir("obsbad");
+        let model = write_model(&dir);
+        for bad in ["--progress=abc", "--progress=0", "--progress=-1"] {
+            let argv: Vec<String> = ["reach", &model, bad]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let mut out = String::new();
+            let e = run(&argv, &mut out).unwrap_err();
+            assert!(e.to_string().contains("--progress"), "{bad}: {e}");
+        }
     }
 
     #[test]

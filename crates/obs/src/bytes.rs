@@ -1,0 +1,121 @@
+//! Human byte sizes, one implementation for the whole workspace: the
+//! CLI's `--mem-budget` parsing and the `--stats`/bench reporting both
+//! route through this pair instead of hand-rolling their own.
+
+/// Parse a byte-size value like `65536`, `64KiB`, `512MB`, or `2GiB`
+/// (binary multipliers throughout; `unlimited` → [`u64::MAX`] disables
+/// a budget). Whitespace between the number and the suffix is allowed;
+/// fractional sizes are not (budgets are exact).
+pub fn parse_bytes(value: &str) -> Option<u64> {
+    let v = value.trim().to_ascii_lowercase();
+    if v == "unlimited" {
+        return Some(u64::MAX);
+    }
+    let (digits, mult) = if let Some(d) = v
+        .strip_suffix("kib")
+        .or_else(|| v.strip_suffix("kb"))
+        .or_else(|| v.strip_suffix('k'))
+    {
+        (d, 1u64 << 10)
+    } else if let Some(d) = v
+        .strip_suffix("mib")
+        .or_else(|| v.strip_suffix("mb"))
+        .or_else(|| v.strip_suffix('m'))
+    {
+        (d, 1u64 << 20)
+    } else if let Some(d) = v
+        .strip_suffix("gib")
+        .or_else(|| v.strip_suffix("gb"))
+        .or_else(|| v.strip_suffix('g'))
+    {
+        (d, 1u64 << 30)
+    } else if let Some(d) = v.strip_suffix('b') {
+        (d, 1)
+    } else {
+        (v.as_str(), 1)
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_mul(mult)
+}
+
+/// Format a byte count for humans: `512 B`, `64 KiB`, `1.5 MiB`,
+/// `unlimited` for [`u64::MAX`]. Exact multiples of a binary unit print
+/// as integers in the largest unit that divides them (`1025 KiB`, not
+/// `1.0 MiB`), so `parse_bytes(&format_bytes(n)) == Some(n)` for every
+/// exact KiB/MiB/GiB multiple (pinned by the round-trip test below);
+/// inexact values print with one decimal and are display-only.
+pub fn format_bytes(n: u64) -> String {
+    if n == u64::MAX {
+        return "unlimited".to_string();
+    }
+    if n < 1024 {
+        return format!("{n} B");
+    }
+    if n.is_multiple_of(1024) {
+        for (shift, unit) in [(30, "GiB"), (20, "MiB"), (10, "KiB")] {
+            if n.trailing_zeros() >= shift {
+                return format!("{} {unit}", n >> shift);
+            }
+        }
+    }
+    let (shift, unit) = match n {
+        _ if n >= 1 << 30 => (30, "GiB"),
+        _ if n >= 1 << 20 => (20, "MiB"),
+        _ => (10, "KiB"),
+    };
+    format!("{:.1} {unit}", n as f64 / (1u64 << shift) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{format_bytes, parse_bytes};
+
+    #[test]
+    fn parses_binary_suffixes() {
+        assert_eq!(parse_bytes("65536"), Some(65536));
+        assert_eq!(parse_bytes("64KiB"), Some(64 * 1024));
+        assert_eq!(parse_bytes("64kb"), Some(64 * 1024));
+        assert_eq!(parse_bytes("2M"), Some(2 << 20));
+        assert_eq!(parse_bytes("1GiB"), Some(1 << 30));
+        assert_eq!(parse_bytes("512B"), Some(512));
+        assert_eq!(parse_bytes("unlimited"), Some(u64::MAX));
+        assert_eq!(parse_bytes("64 KiB"), Some(64 * 1024));
+        assert_eq!(parse_bytes("lots"), None);
+        assert_eq!(parse_bytes("1.5M"), None);
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("99999999999999999999G"), None, "overflow");
+    }
+
+    #[test]
+    fn formats_for_humans() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(1023), "1023 B");
+        assert_eq!(format_bytes(64 * 1024), "64 KiB");
+        assert_eq!(format_bytes(1536), "1.5 KiB");
+        assert_eq!(format_bytes(3 << 20), "3 MiB");
+        assert_eq!(format_bytes(7 << 30), "7 GiB");
+        assert_eq!(format_bytes(u64::MAX), "unlimited");
+    }
+
+    #[test]
+    fn round_trips_exact_unit_multiples() {
+        for n in [
+            0,
+            1,
+            512,
+            1023,
+            1024,
+            64 * 1024,
+            (1 << 20) + (1 << 10), // 1025 KiB, exact in KiB
+            3 << 20,
+            7 << 30,
+            u64::MAX,
+        ] {
+            let text = format_bytes(n);
+            assert_eq!(parse_bytes(&text), Some(n), "round-trip of `{text}`");
+        }
+        // Inexact values render with a decimal and are display-only.
+        assert_eq!(parse_bytes(&format_bytes(1536)), None);
+    }
+}

@@ -1,0 +1,241 @@
+//! Emitters for [`Snapshot`](crate::Snapshot): the machine NDJSON
+//! stream and the human `--stats` summary. Metric names and span paths
+//! are drawn from fixed in-tree alphabets (`[a-z0-9._/]`), so the JSON
+//! writer needs no string escaping — asserted in debug builds.
+
+use std::io::{self, Write};
+
+use crate::bytes::format_bytes;
+use crate::{HistSnapshot, Snapshot, SpanRecord};
+
+fn check_name(name: &str) -> &str {
+    debug_assert!(
+        name.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._/-".contains(c)),
+        "metric/span name `{name}` needs escaping"
+    );
+    name
+}
+
+pub(crate) fn write_ndjson<W: Write>(snap: &Snapshot, w: &mut W, tool: &str) -> io::Result<()> {
+    writeln!(
+        w,
+        r#"{{"type":"meta","version":1,"tool":"{}"}}"#,
+        check_name(tool)
+    )?;
+    for &(name, value) in &snap.counters {
+        writeln!(
+            w,
+            r#"{{"type":"counter","name":"{}","value":{value}}}"#,
+            check_name(name)
+        )?;
+    }
+    for &(name, value) in &snap.gauges {
+        writeln!(
+            w,
+            r#"{{"type":"gauge","name":"{}","value":{value}}}"#,
+            check_name(name)
+        )?;
+    }
+    for hist in &snap.hists {
+        let buckets: Vec<String> = hist
+            .buckets
+            .iter()
+            .map(|&(lo, n)| format!("[{lo},{n}]"))
+            .collect();
+        writeln!(
+            w,
+            r#"{{"type":"hist","name":"{}","count":{},"sum":{},"max":{},"buckets":[{}]}}"#,
+            check_name(hist.name),
+            hist.count,
+            hist.sum,
+            hist.max,
+            buckets.join(",")
+        )?;
+    }
+    for span in &snap.spans {
+        writeln!(
+            w,
+            r#"{{"type":"span","path":"{}","start_ns":{},"dur_ns":{}}}"#,
+            check_name(&span.path),
+            span.start_ns,
+            span.dur_ns
+        )?;
+    }
+    Ok(())
+}
+
+fn format_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+/// Derived throughput lines: `(counter, span leaf name, label)`. Rates
+/// divide a deterministic counter by a wall-clock span duration, so
+/// they live only in the human rendering, never in snapshots.
+const RATES: &[(&str, &str, &str)] = &[
+    ("store.misses", "build", "states interned/sec"),
+    ("sim.events", "sim.run", "events/sec"),
+    (
+        "markov.solver_iterations",
+        "markov.solve",
+        "solver iters/sec",
+    ),
+];
+
+fn span_total_ns(spans: &[SpanRecord], leaf: &str) -> u64 {
+    spans
+        .iter()
+        .filter(|s| s.path.rsplit('/').next() == Some(leaf))
+        .map(|s| s.dur_ns)
+        .sum()
+}
+
+fn render_hist_line(h: &HistSnapshot) -> String {
+    if h.count == 0 {
+        return "empty".to_string();
+    }
+    let avg = h.sum as f64 / h.count as f64;
+    format!("count {} · avg {avg:.1} · max {}", h.count, h.max)
+}
+
+pub(crate) fn render_human<W: Write>(snap: &Snapshot, w: &mut W) -> io::Result<()> {
+    writeln!(w, "pnut stats:")?;
+    if !snap.spans.is_empty() {
+        writeln!(w, "  phases:")?;
+        for span in &snap.spans {
+            let depth = span.path.matches('/').count();
+            let leaf = span.path.rsplit('/').next().unwrap_or(&span.path);
+            writeln!(
+                w,
+                "    {:indent$}{leaf:<width$} {:>10}",
+                "",
+                format_ns(span.dur_ns),
+                indent = depth * 2,
+                width = 24usize.saturating_sub(depth * 2),
+            )?;
+        }
+    }
+    let live_counters: Vec<_> = snap.counters.iter().filter(|&&(_, v)| v != 0).collect();
+    if !live_counters.is_empty() {
+        writeln!(w, "  counters:")?;
+        for &&(name, value) in &live_counters {
+            if name.ends_with("_bytes") {
+                writeln!(w, "    {name:<28} {:>12}", format_bytes(value))?;
+            } else {
+                writeln!(w, "    {name:<28} {value:>12}")?;
+            }
+        }
+    }
+    let live_gauges: Vec<_> = snap.gauges.iter().filter(|&&(_, v)| v != 0).collect();
+    if !live_gauges.is_empty() {
+        writeln!(w, "  gauges:")?;
+        for &&(name, value) in &live_gauges {
+            if name.ends_with("_bytes") {
+                writeln!(w, "    {name:<28} {:>12}", format_bytes(value))?;
+            } else {
+                writeln!(w, "    {name:<28} {value:>12}")?;
+            }
+        }
+    }
+    let live_hists: Vec<_> = snap.hists.iter().filter(|h| h.count != 0).collect();
+    if !live_hists.is_empty() {
+        writeln!(w, "  histograms:")?;
+        for h in &live_hists {
+            writeln!(w, "    {:<28} {}", h.name, render_hist_line(h))?;
+        }
+    }
+    let mut rate_lines = Vec::new();
+    for &(counter, leaf, label) in RATES {
+        let events = snap.counter(counter);
+        let ns = span_total_ns(&snap.spans, leaf);
+        if events > 0 && ns > 0 {
+            let per_sec = events as f64 * 1e9 / ns as f64;
+            rate_lines.push(format!("    {label:<28} {per_sec:>12.0}"));
+        }
+    }
+    if !rate_lines.is_empty() {
+        writeln!(w, "  rates:")?;
+        for line in rate_lines {
+            writeln!(w, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![("store.probes", 10), ("store.misses", 6), ("sim.events", 0)],
+            gauges: vec![
+                ("pager.resident_bytes", 64 * 1024),
+                ("reach.peak_frontier", 0),
+            ],
+            hists: vec![HistSnapshot {
+                name: "reach.frontier_width",
+                count: 3,
+                sum: 12,
+                max: 8,
+                buckets: vec![(2, 2), (8, 1)],
+            }],
+            spans: vec![
+                SpanRecord {
+                    path: "build".to_string(),
+                    start_ns: 0,
+                    dur_ns: 2_000_000,
+                },
+                SpanRecord {
+                    path: "build/seal".to_string(),
+                    start_ns: 500,
+                    dur_ns: 1_000,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn human_summary_shows_phases_and_nonzero_metrics() {
+        let mut buf = Vec::new();
+        render_human(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("pnut stats:"), "{text}");
+        assert!(text.contains("build"), "{text}");
+        assert!(text.contains("seal"), "{text}");
+        assert!(text.contains("store.probes"), "{text}");
+        assert!(!text.contains("sim.events"), "zero counters hidden: {text}");
+        assert!(text.contains("64 KiB"), "bytes formatted: {text}");
+        assert!(
+            text.contains("states interned/sec"),
+            "derived rate present: {text}"
+        );
+    }
+
+    #[test]
+    fn ndjson_encodes_hists_and_spans() {
+        let mut buf = Vec::new();
+        write_ndjson(&sample(), &mut buf, "reach").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(
+            r#"{"type":"hist","name":"reach.frontier_width","count":3,"sum":12,"max":8,"buckets":[[2,2],[8,1]]}"#
+        ), "{text}");
+        assert!(
+            text.contains(r#"{"type":"span","path":"build/seal","start_ns":500,"dur_ns":1000}"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(format_ns(12), "12 ns");
+        assert_eq!(format_ns(12_345), "12.3 µs");
+        assert_eq!(format_ns(12_345_678), "12.35 ms");
+        assert_eq!(format_ns(1_234_567_890), "1.23 s");
+    }
+}

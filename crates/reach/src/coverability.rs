@@ -23,6 +23,7 @@
 
 use crate::graph::ReachError;
 use pnut_core::{Marking, Net, TransitionId};
+use pnut_obs as obs;
 use std::fmt;
 
 /// A token count that may be the symbolic "arbitrarily many".
@@ -266,6 +267,7 @@ pub fn coverability_tree(
     net: &Net,
     options: &CoverOptions,
 ) -> Result<CoverabilityTree, ReachError> {
+    let _span = obs::span("cover.build");
     for (_, t) in net.transitions() {
         if !t.inhibitors().is_empty() || t.predicate().is_some() || t.action().is_some() {
             return Err(ReachError::NotPlain {
@@ -309,6 +311,14 @@ pub fn coverability_tree(
         if repeats {
             continue;
         }
+        obs::metrics::COVER_NODES.inc();
+        obs::heartbeat(obs::metrics::COVER_NODES.get(), || {
+            format!(
+                "cover: {} nodes expanded, {} in tree",
+                obs::metrics::COVER_NODES.get(),
+                tree.parents.len()
+            )
+        });
 
         let span_start = tree.child_edges.len() as u32;
         for (tid, t) in net.transitions() {

@@ -36,6 +36,7 @@
 use crate::graph::ReachabilityGraph;
 use crate::store::StateRef;
 use pnut_core::Net;
+use pnut_obs as obs;
 use std::fmt;
 
 /// Error from parsing or checking a CTL formula.
@@ -176,6 +177,7 @@ pub fn check(
     net: &Net,
     formula: &Formula,
 ) -> Result<CheckOutcome, CtlError> {
+    let _span = obs::span("ctl.check");
     let sat = sat_set(graph, net, formula)?;
     Ok(CheckOutcome {
         holds_initially: sat.first().copied().unwrap_or(false),
@@ -208,6 +210,7 @@ fn sweep<E>(
     graph: &mut ReachabilityGraph,
     mut f: impl FnMut(usize, &crate::graph::SegmentGuard<'_>) -> Result<(), E>,
 ) -> Result<(), E> {
+    obs::metrics::CTL_SWEEPS.inc();
     for seg in 0..graph.segment_count() {
         {
             let guard = graph.pin_segment(seg);
@@ -377,6 +380,7 @@ fn infallible<T>(r: Result<T, Never>) -> T {
 fn eu(graph: &mut ReachabilityGraph, sa: &[bool], sb: &[bool]) -> Vec<bool> {
     let mut sat: Vec<bool> = sb.to_vec();
     loop {
+        obs::metrics::CTL_EU_ITERATIONS.inc();
         let mut changed = false;
         infallible(sweep(graph, |i, guard| {
             if !sat[i] && sa[i] && any_succ(guard, i, &sat) {
@@ -395,6 +399,7 @@ fn eu(graph: &mut ReachabilityGraph, sa: &[bool], sb: &[bool]) -> Vec<bool> {
 fn eg(graph: &mut ReachabilityGraph, sa: &[bool]) -> Vec<bool> {
     let mut sat: Vec<bool> = sa.to_vec();
     loop {
+        obs::metrics::CTL_EG_ITERATIONS.inc();
         let mut changed = false;
         infallible(sweep(graph, |i, guard| {
             if sat[i] && !any_succ(guard, i, &sat) {

@@ -31,6 +31,7 @@ use crate::store::{self, EnvRef, MarkingView, PendingShard, StateRef, StateStore
 use crate::sync::Mutex;
 use pnut_core::expr::compile as bc;
 use pnut_core::{Net, Time, Transition, TransitionId};
+use pnut_obs as obs;
 use std::cell::OnceCell;
 use std::fmt;
 use std::ops::Range;
@@ -1125,12 +1126,17 @@ impl Explorer {
         self.edges.push_row(&self.row)
     }
 
-    fn finish(self) -> Result<ReachabilityGraph, ReachError> {
+    fn finish(mut self) -> Result<ReachabilityGraph, ReachError> {
         debug_assert_eq!(
             self.edges.row_count(),
             self.store.len(),
             "one edge row per state"
         );
+        // Final squeeze back under budget (a no-op unless the last
+        // appends left the arenas over); also the "seal" phase boundary
+        // for the span hierarchy.
+        let _seal = obs::span("seal");
+        self.store.maintain()?;
         Ok(ReachabilityGraph {
             store: self.store,
             edges: self.edges,
@@ -1432,6 +1438,28 @@ fn split_chunks(level: std::ops::Range<usize>, jobs: usize) -> Vec<std::ops::Ran
 /// chunk), which keeps shallow prefixes and tails cheap.
 const SPAWN_THRESHOLD_PER_JOB: usize = 48;
 
+/// Per-level observability, shared by the sequential and parallel
+/// builders (the sequential loops recover the same level boundaries
+/// with a watermark, so both emit identical level metrics — the builds
+/// are bit-identical). `level` is 1-based and `width` is the state
+/// count of the level just completed. The heartbeat line is built from
+/// deterministic quantities only, so a fixed run configuration always
+/// prints the same lines.
+fn note_level(store: &StateStore, level: u64, width: usize, budget: usize) {
+    obs::metrics::REACH_LEVELS.inc();
+    obs::metrics::REACH_FRONTIER_WIDTH.record(width as u64);
+    obs::metrics::REACH_PEAK_FRONTIER.set_max(width as u64);
+    obs::heartbeat(level, || {
+        format!(
+            "reach level {level}: {} states, frontier {width}, resident {} / {}, faults {}",
+            store.len(),
+            obs::bytes::format_bytes(store.resident_arena_bytes() as u64),
+            obs::bytes::format_bytes(budget as u64),
+            obs::metrics::PAGER_FAULTS.get(),
+        )
+    });
+}
+
 /// Level-synchronous parallel construction (untimed when `ticks` is
 /// `None`, timed otherwise). See [`crate::store`] for the sharding
 /// and barrier design; the result is bit-identical to the sequential
@@ -1441,6 +1469,7 @@ fn build_parallel(
     options: &ReachOptions,
     ticks: Option<TimedTicks>,
 ) -> Result<ReachabilityGraph, ReachError> {
+    let _span = obs::span("build");
     let jobs = options.effective_jobs();
     let places = net.place_count();
     let mut store = StateStore::with_config(places, &options.pager_config());
@@ -1472,6 +1501,7 @@ fn build_parallel(
     );
     let mut rewritten: Vec<Edge> = Vec::new();
     let mut level = 0..1;
+    let mut levels = 0u64;
 
     while !level.is_empty() {
         let ctx = WorkerCtx {
@@ -1560,9 +1590,13 @@ fn build_parallel(
         // in (read-only loads cannot evict); squeeze back under budget
         // before the next level.
         store.maintain()?;
+        levels += 1;
+        note_level(&store, levels, level.len(), options.mem_budget);
         level = base..store.len();
     }
     debug_assert_eq!(edges.row_count(), store.len(), "one edge row per state");
+    let _seal = obs::span("seal");
+    store.maintain()?;
     Ok(ReachabilityGraph { store, edges })
 }
 
@@ -1578,8 +1612,14 @@ pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGr
     if options.effective_jobs() > 1 {
         return build_parallel(net, options, None);
     }
+    let _span = obs::span("build");
     let mut ex = Explorer::new(net, options, None)?;
     let mut cur = 0;
+    // Level watermark: when `cur` reaches it, a full BFS level has been
+    // scanned — the exact boundary the parallel build barriers on.
+    let mut level_start = 0usize;
+    let mut level_end = 1usize;
+    let mut levels = 0u64;
     // States are discovered in BFS order and numbered densely, so the
     // frontier is simply "indices not yet scanned" — no queue needed.
     while cur < ex.store.len() {
@@ -1609,6 +1649,17 @@ pub fn build_untimed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGr
         }
         ex.end_row()?;
         cur += 1;
+        if cur == level_end {
+            levels += 1;
+            note_level(
+                &ex.store,
+                levels,
+                level_end - level_start,
+                options.mem_budget,
+            );
+            level_start = level_end;
+            level_end = ex.store.len();
+        }
     }
     ex.finish()
 }
@@ -1656,8 +1707,13 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
     if options.effective_jobs() > 1 {
         return build_parallel(net, options, Some(ticks));
     }
+    let _span = obs::span("build");
     let mut ex = Explorer::new(net, options, Some(&ticks))?;
     let mut cur = 0;
+    // Same level watermark as the untimed loop (see `note_level`).
+    let mut level_start = 0usize;
+    let mut level_end = 1usize;
+    let mut levels = 0u64;
     while cur < ex.store.len() {
         let env_id = ex.load(cur)?;
         let mut can_start = false;
@@ -1781,6 +1837,17 @@ pub fn build_timed(net: &Net, options: &ReachOptions) -> Result<ReachabilityGrap
         }
         ex.end_row()?;
         cur += 1;
+        if cur == level_end {
+            levels += 1;
+            note_level(
+                &ex.store,
+                levels,
+                level_end - level_start,
+                options.mem_budget,
+            );
+            level_start = level_end;
+            level_end = ex.store.len();
+        }
     }
     let _ = Time::ZERO; // Time is part of the public vocabulary via labels.
     ex.finish()

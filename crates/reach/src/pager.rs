@@ -103,6 +103,7 @@
 use crate::graph::{Edge, EdgeLabel, ReachError};
 use crate::sync::{mutation, raw, AtomicPtr, AtomicU64, AtomicUsize, Mutex, Ordering};
 use pnut_core::TransitionId;
+use pnut_obs as obs;
 use std::fmt;
 use std::fs::File;
 #[cfg(not(unix))]
@@ -207,6 +208,7 @@ pub(crate) struct PagerShared {
 
 impl PagerShared {
     fn new(budget: usize) -> Arc<Self> {
+        obs::metrics::PAGER_BUDGET_BYTES.set(budget as u64);
         Arc::new(PagerShared {
             budget,
             clock: AtomicU64::new(1),
@@ -218,10 +220,13 @@ impl PagerShared {
     fn add_resident(&self, bytes: usize) {
         let now = self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.peak.fetch_max(now, Ordering::Relaxed);
+        obs::metrics::PAGER_RESIDENT_BYTES.set(now as u64);
+        obs::metrics::PAGER_PEAK_RESIDENT_BYTES.set_max(now as u64);
     }
 
     fn sub_resident(&self, bytes: usize) {
         let before = self.resident.fetch_sub(bytes, Ordering::Relaxed);
+        obs::metrics::PAGER_RESIDENT_BYTES.set(before.saturating_sub(bytes) as u64);
         // The ledger is in bytes of segments this very code accounted
         // for, so a deficit is always a pager bug (e.g. a double
         // eviction of one segment), never workload-dependent. The race
@@ -1012,8 +1017,21 @@ impl<S: SegmentContent> Paged<S> {
         }
         let span = slot.disk.expect("spilled segment has a disk image");
         let spill = self.spill.as_ref().expect("spilled segment has a file");
-        let image = spill.read(span).map_err(|e| spill_err("read", e))?;
-        let data = S::deserialize(&image, self.places).map_err(|e| spill_err("read", e))?;
+        // Every attempted reload counts as a fault; it then lands in
+        // either `fault_failures` or `reloads`, never both, so
+        // `faults == fault_failures + reloads` is an invariant the
+        // fault-injection tests pin.
+        obs::metrics::PAGER_FAULTS.inc();
+        let image = spill.read(span).map_err(|e| {
+            obs::metrics::PAGER_FAULT_FAILURES.inc();
+            spill_err("read", e)
+        })?;
+        obs::metrics::PAGER_SPILL_READ_BYTES.add(image.len() as u64);
+        let data = S::deserialize(&image, self.places).map_err(|e| {
+            obs::metrics::PAGER_FAULT_FAILURES.inc();
+            spill_err("read", e)
+        })?;
+        obs::metrics::PAGER_RELOADS.inc();
         let fresh = raw::alloc(data);
         let install = if mutation::active(mutation::RELAXED_INSTALL) {
             Ordering::Relaxed
@@ -1146,8 +1164,10 @@ impl<S: SegmentContent> Paged<S> {
                 .expect("just created")
                 .append(&image)
                 .map_err(|e| spill_err("write", e))?;
+            obs::metrics::PAGER_SPILL_WRITE_BYTES.add(image.len() as u64);
             self.segments[seg].disk = Some(span);
         }
+        obs::metrics::PAGER_EVICTIONS.inc();
         let slot = &mut self.segments[seg];
         *slot.data.get_mut() = raw::null();
         self.shared.sub_resident(slot.bytes);

@@ -109,6 +109,7 @@ use crate::graph::ReachError;
 use crate::pager::{PagedStates, PagerConfig, PagerShared, SegmentData};
 use pnut_core::expr::Env;
 use pnut_core::{Marking, PlaceId, TransitionId};
+use pnut_obs as obs;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -746,6 +747,7 @@ impl StateStore {
         })?;
         self.states.append(marking, env_id, in_flight, enabling)?;
         self.state_table.insert(hash, idx);
+        obs::metrics::STORE_MISSES.inc();
         Ok((idx as usize, true))
     }
 
@@ -761,6 +763,7 @@ impl StateStore {
         in_flight: &[(TransitionId, u64)],
         enabling: &[(TransitionId, u64)],
     ) -> Result<Option<u32>, ReachError> {
+        obs::metrics::STORE_PROBES.inc();
         let mask = self.state_table.entries.len() - 1;
         let mut i = self.state_table.start(hash);
         loop {
@@ -777,6 +780,7 @@ impl StateStore {
                     && seg.in_flight(local) == in_flight
                     && seg.enabling(local) == enabling
                 {
+                    obs::metrics::STORE_HITS.inc();
                     return Ok(Some(idx));
                 }
             }
@@ -1118,6 +1122,11 @@ impl StateStore {
         shards: &mut [&mut PendingShard],
         novel: &[(u64, u32)],
     ) -> Result<Vec<Vec<u32>>, ReachError> {
+        for sh in shards.iter() {
+            if sh.state_count() > 0 {
+                obs::metrics::STORE_SPLICE_STATES.record(sh.state_count() as u64);
+            }
+        }
         let mut env_order: Vec<(u64, u32)> = shards
             .iter()
             .flat_map(|sh| {

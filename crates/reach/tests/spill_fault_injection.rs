@@ -27,6 +27,7 @@ fn arm<'a>() -> Armed<'a> {
 impl Drop for Armed<'_> {
     fn drop(&mut self) {
         reset_spill_failures();
+        pnut_obs::uninstall();
     }
 }
 
@@ -57,18 +58,33 @@ fn expect_spill(err: ReachError, op: &str) {
 fn reload_failure_surfaces_as_spill_error_and_is_retryable() {
     let _g = arm();
     let store = spilled_store();
+    // Install the obs recorder *after* setup so the pager counters see
+    // exactly the injected fault sequence below.
+    pnut_obs::install();
 
     fail_nth_spill_read(1);
     expect_spill(
         store.try_marking_slice(0).expect_err("injected read fails"),
         "read",
     );
+    let snap = pnut_obs::snapshot();
+    assert_eq!(snap.counter("pager.faults"), 1, "one reload attempted");
+    assert_eq!(snap.counter("pager.fault_failures"), 1, "and it failed");
+    assert_eq!(snap.counter("pager.reloads"), 0, "no successful reload");
 
     // The failed fault left the store consistent: the segment is still
     // spilled, nothing double-accounted, and the same probe succeeds
     // once the fault clears.
     reset_spill_failures();
     assert_eq!(store.try_marking_slice(0).expect("retry"), &[0, 0]);
+    let snap = pnut_obs::snapshot();
+    assert_eq!(snap.counter("pager.faults"), 2, "exactly one retry");
+    assert_eq!(snap.counter("pager.fault_failures"), 1);
+    assert_eq!(snap.counter("pager.reloads"), 1, "the retry reloaded");
+    assert!(
+        snap.counter("pager.spill_read_bytes") > 0,
+        "the successful reload read the spilled image"
+    );
     assert_eq!(
         store.try_marking_slice(70).expect("other segment"),
         &[70, 0]

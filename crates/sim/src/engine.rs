@@ -5,6 +5,7 @@ use crate::rng::SeededRandomness;
 use pnut_core::expr::compile as bc;
 use pnut_core::expr::Env;
 use pnut_core::{Delay, EvalError, Marking, Net, Randomness, Time, TransitionId};
+use pnut_obs as obs;
 use pnut_trace::{Delta, DeltaKind, TraceHeader, TraceSink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -168,6 +169,7 @@ impl<'n> Simulator<'n> {
     /// the sink will have received `end` with the failure time, so
     /// partial traces remain well-formed.
     pub fn run<S: TraceSink>(&mut self, until: Time, sink: &mut S) -> Result<RunSummary, SimError> {
+        let _span = obs::span("sim.run");
         let initial_clock = self.time;
         let started_before = self.started;
         let finished_before = self.finished;
@@ -439,6 +441,14 @@ impl<'n> Simulator<'n> {
         let duration = self.resolve_delay(tid, t.firing_time(), |ct| ct.firing.as_ref())?;
 
         self.started += 1;
+        obs::metrics::SIM_EVENTS.inc();
+        obs::heartbeat(self.started, || {
+            format!(
+                "sim: {} events started at t={}",
+                self.started,
+                self.time.ticks()
+            )
+        });
         if duration == Time::ZERO {
             // Atomic firing: finish within the same step so invariants
             // like Bus_free + Bus_busy = 1 hold in every observable state.

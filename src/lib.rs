@@ -21,6 +21,7 @@
 //! | [`reach`] | `pnut-reach` | §4 — reachability & temporal logic |
 //! | [`lang`] | `pnut-lang` | — the textual net format |
 //! | [`pipeline`] | `pnut-pipeline` | §2–§3 — the processor models |
+//! | [`obs`] | `pnut-obs` | — metrics, phase spans, heartbeats (`docs/OBSERVABILITY.md`) |
 //!
 //! # Quickstart
 //!
@@ -42,6 +43,7 @@ pub use pnut_analytic as analytic;
 pub use pnut_anim as anim;
 pub use pnut_core as core;
 pub use pnut_lang as lang;
+pub use pnut_obs as obs;
 pub use pnut_pipeline as pipeline;
 pub use pnut_reach as reach;
 pub use pnut_sim as sim;

@@ -1,0 +1,151 @@
+//! End-to-end contracts for the `pnut_obs` recorder across the real
+//! engines (see `docs/OBSERVABILITY.md`):
+//!
+//! * **Off means off**: with no recorder installed, a full build leaves
+//!   every counter at zero and records no spans.
+//! * **Determinism at jobs=1**: two identical runs produce *identical*
+//!   metric snapshots ([`pnut::obs::Snapshot::metrics_eq`] — spans are
+//!   wall-clock and excluded).
+//! * **Conservation at jobs>1**: schedule-dependent counters still obey
+//!   the catalogue's invariants (probes ≥ hits, misses == states,
+//!   faults == reloads on a clean run, level count matches jobs=1).
+//!
+//! The recorder is process-global, so this lives in its own test
+//! binary and every test serializes on one mutex.
+
+use std::sync::{Mutex, MutexGuard};
+
+use pnut::obs;
+use pnut::reach::graph::{build_untimed, ReachOptions};
+use pnut_bench::workloads::wide_toggle;
+
+static RECORDER: Mutex<()> = Mutex::new(());
+
+struct Installed<'a>(#[allow(dead_code)] MutexGuard<'a, ()>);
+
+fn serial<'a>() -> Installed<'a> {
+    Installed(RECORDER.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+impl Drop for Installed<'_> {
+    fn drop(&mut self) {
+        obs::uninstall();
+    }
+}
+
+fn options(jobs: usize, mem_budget: usize) -> ReachOptions {
+    ReachOptions {
+        jobs,
+        mem_budget,
+        ..ReachOptions::default()
+    }
+}
+
+#[test]
+fn no_recorder_means_no_telemetry() {
+    let _g = serial();
+    obs::install(); // reset any residue from a poisoned prior test...
+    obs::uninstall(); // ...then run with the recorder OFF.
+    let net = wide_toggle(10);
+    let g = build_untimed(&net, &options(1, 64 * 1024)).expect("builds");
+    assert_eq!(g.state_count(), 1 << 10);
+    let snap = obs::snapshot();
+    assert!(
+        snap.counters.iter().all(|&(_, v)| v == 0),
+        "disabled counters must stay zero: {:?}",
+        snap.counters
+    );
+    assert!(snap.gauges.iter().all(|&(_, v)| v == 0));
+    assert!(snap.hists.iter().all(|h| h.count == 0));
+    assert!(snap.spans.is_empty(), "no spans without a recorder");
+}
+
+#[test]
+fn sequential_runs_snapshot_identically() {
+    let _g = serial();
+    let net = wide_toggle(10);
+    // 16 KiB is far below the ~forty-byte-per-state arena of 1024
+    // states, so the build must evict sealed segments and fault them
+    // back in for duplicate probes.
+    let snap = |()| {
+        obs::install();
+        let g = build_untimed(&net, &options(1, 16 * 1024)).expect("builds");
+        assert_eq!(g.state_count(), 1 << 10);
+        drop(g);
+        obs::uninstall();
+        obs::snapshot()
+    };
+    let a = snap(());
+    let b = snap(());
+    assert!(
+        a.metrics_eq(&b),
+        "jobs=1 runs must be metric-identical:\n{:?}\nvs\n{:?}",
+        a.counters,
+        b.counters
+    );
+    // Sanity: the runs actually recorded something.
+    assert_eq!(a.counter("store.misses"), 1 << 10, "misses == states");
+    assert!(a.counter("pager.faults") > 0, "a 64 KiB budget must page");
+    assert!(!a.spans.is_empty(), "the build span was recorded");
+    assert!(
+        a.spans.iter().any(|s| s.path == "build"),
+        "span paths: {:?}",
+        a.spans.iter().map(|s| &s.path).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn parallel_counters_obey_the_catalogue_invariants() {
+    let _g = serial();
+    let net = wide_toggle(10);
+
+    obs::install();
+    let g = build_untimed(&net, &options(1, 64 * 1024)).expect("builds");
+    drop(g);
+    obs::uninstall();
+    let seq = obs::snapshot();
+
+    obs::install();
+    let g = build_untimed(&net, &options(4, 64 * 1024)).expect("builds");
+    assert_eq!(g.state_count(), 1 << 10);
+    drop(g);
+    obs::uninstall();
+    let par = obs::snapshot();
+
+    for snap in [&seq, &par] {
+        assert!(
+            snap.counter("store.probes") >= snap.counter("store.hits"),
+            "every hit is a probe"
+        );
+        assert_eq!(
+            snap.counter("store.misses"),
+            1 << 10,
+            "misses == distinct states at any job count"
+        );
+        assert_eq!(
+            snap.counter("pager.faults"),
+            snap.counter("pager.reloads"),
+            "clean runs reload every fault"
+        );
+        assert_eq!(snap.counter("pager.fault_failures"), 0);
+        assert!(
+            snap.gauge("pager.peak_resident_bytes") >= snap.gauge("pager.resident_bytes"),
+            "peak ratchets"
+        );
+    }
+    // Level barriers are bit-identical between sequential and parallel
+    // builds, so the level count (and peak frontier) must agree even
+    // though fault/probe schedules differ.
+    assert_eq!(seq.counter("reach.levels"), par.counter("reach.levels"));
+    assert_eq!(
+        seq.gauge("reach.peak_frontier"),
+        par.gauge("reach.peak_frontier")
+    );
+    // Only parallel builds splice pending shards at barriers.
+    let splices = par
+        .hists
+        .iter()
+        .find(|h| h.name == "store.splice_states")
+        .expect("registered");
+    assert!(splices.count > 0, "parallel build splices shards");
+}
