@@ -1,0 +1,43 @@
+//! Structural static analysis of P-NUT nets (`pnut lint`).
+//!
+//! Classical incidence-matrix analysis (\[RH80\], \[Pet81\] — see
+//! `pnut_core::invariant`) applied as a linter: prove place bounds from
+//! semi-positive P-invariants, find statically dead transitions and
+//! structural dead ends, and lint the expression layer for guaranteed
+//! runtime errors — all *before* a `reach` or `sim` run spends time on
+//! a meaningless model. [`check_invariants`] closes the loop with the
+//! dynamic engine: every explored state must satisfy every proven
+//! invariant, which doubles as a semantic integrity check on pager
+//! spill reloads.
+//!
+//! See `docs/STATIC_ANALYSIS.md` for the pass-by-pass description,
+//! soundness caveats, and the `--json` schema.
+//!
+//! # Example
+//!
+//! ```
+//! use pnut_core::NetBuilder;
+//!
+//! # fn main() -> Result<(), pnut_core::NetError> {
+//! let mut b = NetBuilder::new("bus");
+//! b.place("Bus_free", 1);
+//! b.place("Bus_busy", 0);
+//! b.transition("seize").input("Bus_free").output("Bus_busy").add();
+//! b.transition("release").input("Bus_busy").output("Bus_free").add();
+//! let net = b.build()?;
+//! let report = pnut_analysis::lint(&net);
+//! assert_eq!(report.errors(), 0);
+//! assert_eq!(report.bounds, vec![Some(1), Some(1)]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod check;
+mod lint;
+mod report;
+
+pub use check::{check_invariants, InvariantCheck, InvariantCheckError};
+pub use lint::{lint, structural_bounds, StructuralBounds};
+pub use report::{json_meta_line, Finding, LintReport, Severity};

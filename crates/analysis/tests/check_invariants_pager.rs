@@ -1,0 +1,125 @@
+//! `check_invariants` through the pager: clean paged sweeps agree with
+//! the in-memory graph at any budget × job count, and a *silently*
+//! corrupted spill reload — one that passes the image format's
+//! structural validation — trips the invariant check.
+//!
+//! The corruption hooks are process-global, so this file is its own
+//! test binary and serializes its tests on a mutex (same discipline as
+//! `pnut-reach/tests/spill_fault_injection.rs`).
+
+use std::sync::Mutex;
+
+use pnut_analysis::{check_invariants, InvariantCheckError};
+use pnut_bench::workloads;
+use pnut_reach::pager::fail;
+use pnut_reach::{graph, ReachOptions, ReachabilityGraph};
+
+static HOOKS: Mutex<()> = Mutex::new(());
+
+/// Serialize on [`HOOKS`], shrugging off poisoning: a failed test must
+/// not cascade into the others.
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    HOOKS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Disarm-on-drop so a failing assert can't leak an armed hook into
+/// the next test.
+struct Armed;
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        fail::reset_spill_failures();
+    }
+}
+
+const CELLS: u32 = 13; // 2^13 = 8192 states, 13 invariants u_i + d_i = 1
+const BUDGET: usize = 64 * 1024;
+
+fn build(jobs: usize, mem_budget: usize) -> ReachabilityGraph {
+    let net = workloads::wide_toggle(CELLS);
+    let options = ReachOptions {
+        max_states: 10_000,
+        jobs,
+        mem_budget,
+        ..ReachOptions::default()
+    };
+    graph::build_untimed(&net, &options).expect("wide_toggle builds")
+}
+
+#[test]
+fn clean_paged_check_is_identical_across_jobs() {
+    let _serial = serialize();
+    let net = workloads::wide_toggle(CELLS);
+
+    // Unpaged reference.
+    let mut reference = build(1, usize::MAX);
+    let ref_check = check_invariants(&net, &mut reference).expect("reference check passes");
+    assert_eq!(ref_check.invariants, CELLS as usize);
+    assert_eq!(ref_check.states_checked, 1 << CELLS);
+    assert_eq!(ref_check.states_skipped, 0);
+
+    for jobs in [1, 4] {
+        let mut g = build(jobs, BUDGET);
+        assert!(
+            g.spilled_bytes() > 0,
+            "64 KiB budget must force spilling, or the test is vacuous"
+        );
+        let check = check_invariants(&net, &mut g).expect("paged check passes");
+        // Same summary as the unpaged graph: the sweep reads identical
+        // data through the pager.
+        assert_eq!(check, ref_check, "jobs={jobs}");
+        assert_eq!(g.state_count(), reference.state_count(), "jobs={jobs}");
+        assert_eq!(g.edge_count(), reference.edge_count(), "jobs={jobs}");
+        assert_eq!(
+            g.place_bounds(),
+            reference.place_bounds(),
+            "jobs={jobs}: paged graph must stay bit-identical"
+        );
+    }
+}
+
+#[test]
+fn corrupted_spill_reload_trips_the_check() {
+    let _serial = serialize();
+    let net = workloads::wide_toggle(CELLS);
+
+    for jobs in [1, 4] {
+        let mut g = build(jobs, BUDGET);
+        assert!(g.spilled_bytes() > 0);
+
+        let _armed = Armed;
+        fail::corrupt_nth_spill_read(1);
+        let err = check_invariants(&net, &mut g)
+            .expect_err("a flipped marking byte must violate an invariant");
+        assert!(err.to_string().contains("violates P-invariant"), "{err}");
+        match &err {
+            InvariantCheckError::Violation { expected, got, .. } => {
+                // u_i + d_i = 1 with one bit flipped reads 0 or 2.
+                assert_eq!(*expected, 1, "jobs={jobs}");
+                assert!(*got == 0 || *got == 2, "jobs={jobs}: got {got}");
+            }
+            other => panic!("jobs={jobs}: expected a violation, got: {other}"),
+        }
+        // The flipped image stays resident after the reload, so the
+        // corruption is sticky for this graph — rebuild to recover
+        // (which `clean_paged_check_is_identical_across_jobs` covers).
+    }
+}
+
+#[test]
+fn injected_read_failure_surfaces_as_reach_error() {
+    let _serial = serialize();
+    let net = workloads::wide_toggle(CELLS);
+    let mut g = build(1, BUDGET);
+    assert!(g.spilled_bytes() > 0);
+
+    let _armed = Armed;
+    fail::fail_nth_spill_read(1);
+    let err = check_invariants(&net, &mut g).expect_err("injected I/O failure propagates");
+    assert!(
+        matches!(err, InvariantCheckError::Reach(_)),
+        "expected a reach error, got: {err}"
+    );
+}

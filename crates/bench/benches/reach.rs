@@ -245,6 +245,18 @@ fn bench_compiled(c: &mut Criterion) {
     }
 }
 
+/// Wall time of the full static-analysis pass (`pnut_analysis::lint`)
+/// on the paper pipelines: invariant bounds, dead-net detection, and
+/// the expression lint, end to end. Purely structural — no graph is
+/// built — so this is the cost `pnut lint` adds on top of parsing.
+fn bench_lint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lint");
+    for (name, net) in untimed_workloads() {
+        g.bench_function(name, |b| b.iter(|| pnut_analysis::lint(&net)));
+    }
+    g.finish();
+}
+
 criterion_group!(
     reach,
     bench_untimed,
@@ -252,7 +264,8 @@ criterion_group!(
     bench_parallel,
     bench_spill,
     bench_paged_analysis,
-    bench_compiled
+    bench_compiled,
+    bench_lint
 );
 
 fn export(name: &str, key: &str, value: f64) {
@@ -444,6 +457,27 @@ fn summary() {
         "ratio",
         ratio,
     );
+
+    // Invariant-check series (gates `--check-invariants` through the
+    // pager): the same P-invariant sweep over all 8192 states, on a
+    // fully resident graph vs one squeezed to a 64 KiB budget. The
+    // budgeted sweep must stream state segments in order through the
+    // pager window; a regression to per-state refaulting collapses the
+    // ratio and trips the CI `--min-frac-for` bound.
+    println!(
+        "\n-- invariant cross-check: P-invariant sweep on wide_toggle(13) (min of 5 sweeps) --"
+    );
+    let mut resident_graph = build_untimed(&net, &with_budget(usize::MAX)).expect("bounded");
+    let resident_ns = min_ns(5, || {
+        pnut_analysis::check_invariants(&net, &mut resident_graph).expect("invariants hold")
+    });
+    let mut paged_graph = build_untimed(&net, &with_budget(64 << 10)).expect("bounded");
+    let paged_ns = min_ns(5, || {
+        pnut_analysis::check_invariants(&net, &mut paged_graph).expect("invariants hold")
+    });
+    let ratio = resident_ns / paged_ns;
+    println!("wide_toggle check @64KiB {ratio:>5.2}x of the resident-budget sweep");
+    export("reach/check_invariants/wide_toggle", "ratio", ratio);
 
     // Observability-overhead series (gates `pnut_obs`): the same
     // interpreted-pipeline build with the recorder absent vs installed.

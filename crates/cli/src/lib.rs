@@ -322,6 +322,15 @@ fn load_net(path: &str) -> Result<Net, CliError> {
     pnut_lang::parse(&text).map_err(|e| err(format!("{path}: {e}")))
 }
 
+/// Shared model-load plumbing (`check`, `lint`, `reach`): read, parse,
+/// and build a model inside the `parse` span, with uniform
+/// [`CliError`] reporting. Call after [`ObsSession::from_args`] so the
+/// span lands in the session.
+fn load_model(path: &str) -> Result<Net, CliError> {
+    let _parse = obs::span("parse");
+    load_net(path)
+}
+
 fn load_trace(path: &str) -> Result<RecordedTrace, CliError> {
     let file = fs::File::open(path).map_err(|e| err(format!("cannot open `{path}`: {e}")))?;
     RecordedTrace::read_json(std::io::BufReader::new(file)).map_err(|e| err(format!("{path}: {e}")))
@@ -368,6 +377,7 @@ pub fn run(argv: &[String], out: &mut String) -> Result<i32, CliError> {
             Ok(0)
         }
         "check" => cmd_check(rest, out),
+        "lint" => cmd_lint(rest, out),
         "print" => cmd_print(rest, out),
         "dot" => cmd_dot(rest, out),
         "sim" => cmd_sim(rest, out),
@@ -392,6 +402,9 @@ pnut — Petri-Net Utility Tools (Razouk 1987/88 reproduction)
 usage: pnut <command> [args]
 
   check <model.pn>                     structural report + P/T-invariants
+  lint <model.pn>... [--json] [observability]  static analysis: invariant
+                     bounds, dead transitions, expression lint
+                     (docs/STATIC_ANALYSIS.md; exit 2 on error findings)
   print <model.pn>                     parse and pretty-print
   dot <model.pn>                       Graphviz rendering of the net
   sim <model.pn> [--until N] [--seed S] [-o trace.json] [observability]
@@ -401,7 +414,8 @@ usage: pnut <command> [args]
   timeline <trace.json> [--from A] [--to B] [--probe NAME]... [--fn L=EXPR]...
   anim <trace.json> [--max-frames N]
   reach <model.pn> [--timed] [--ctl FORMULA] [--max-states N] [--jobs N]
-                   [--mem-budget BYTES] [--spill-dir DIR] [observability]
+                   [--mem-budget BYTES] [--spill-dir DIR]
+                   [--check-invariants] [observability]
   cover <model.pn> [--max-states N] [--jobs N]   Karp–Miller boundedness
   cycle <model.pn>                     analytic cycle time (marked graphs)
   markov <model.pn> [--max-states N] [--jobs N]  analytic steady state
@@ -433,6 +447,13 @@ accelerates against ancestor chains, which is inherently sequential.
 cover likewise ignores --mem-budget/--spill-dir: the tree stays
 memory-resident (both are documented unsupported, not planned).
 
+reach --check-invariants re-sweeps the finished graph segment-at-a-time
+and asserts every quiescent state satisfies every semi-positive
+P-invariant token sum — a static-vs-dynamic cross-check that doubles
+as a semantic integrity check on pager spill reloads (see
+docs/STATIC_ANALYSIS.md). A violation is reported as an error (exit 1):
+it means an engine bug or corrupted spill data, not a model property.
+
 All expression evaluation (predicates, actions, delay expressions) in
 sim, reach, and markov runs on register bytecode compiled once per
 net at load time — semantics are bit-identical to the language
@@ -456,7 +477,7 @@ fn cmd_check(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         .positional()
         .ok_or_else(|| err("check: need a model file"))?;
     args.finish()?;
-    let net = load_net(&path)?;
+    let net = load_model(&path)?;
     let report = pnut_core::analysis::structural_report(&net);
     let _ = writeln!(
         out,
@@ -549,6 +570,42 @@ fn cmd_check(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let tinv = pnut_core::invariant::t_invariants(&net);
     let _ = writeln!(out, "T-invariants ({})", tinv.len());
     Ok(if clean { 0 } else { 2 })
+}
+
+fn cmd_lint(argv: &[String], out: &mut String) -> Result<i32, CliError> {
+    let mut args = Args::new(argv);
+    let json = args.flag("--json");
+    let mut session = ObsSession::from_args(&mut args, "lint")?;
+    let mut paths = Vec::new();
+    while let Some(p) = args.positional() {
+        paths.push(p);
+    }
+    if paths.is_empty() {
+        return Err(err("lint: need at least one model file"));
+    }
+    args.finish()?;
+
+    let mut errors = 0usize;
+    if json {
+        out.push_str(pnut_analysis::json_meta_line());
+        out.push('\n');
+    }
+    for (i, path) in paths.iter().enumerate() {
+        let net = load_model(path)?;
+        // `lint` opens its own `analysis.lint` span.
+        let report = pnut_analysis::lint(&net);
+        errors += report.errors();
+        if json {
+            report.render_json(path, out);
+        } else {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&report.render_text(path));
+        }
+    }
+    session.finish("lint")?;
+    Ok(if errors > 0 { 2 } else { 0 })
 }
 
 fn cmd_print(argv: &[String], out: &mut String) -> Result<i32, CliError> {
@@ -765,14 +822,12 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
         .ok_or_else(|| err("reach: need a model file"))?;
     let timed = args.flag("--timed");
     let ctl = args.value("--ctl");
+    let check_invariants = args.flag("--check-invariants");
     let options = parse_reach_options(&mut args, "reach", pnut_reach::ReachOptions::default())?;
     let mut session = ObsSession::from_args(&mut args, "reach")?;
     args.finish()?;
 
-    let net = {
-        let _parse = obs::span("parse");
-        load_net(&path)?
-    };
+    let net = load_model(&path)?;
     let mut graph = if timed {
         pnut_reach::graph::build_timed(&net, &options)
     } else {
@@ -805,6 +860,28 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let bounds = graph.place_bounds();
     for (pid, p) in net.places() {
         let _ = writeln!(out, "  bound({}) = {}", p.name(), bounds[pid.index()]);
+    }
+
+    if check_invariants {
+        let check = pnut_analysis::check_invariants(&net, &mut graph)
+            .map_err(|e| err(format!("reach: --check-invariants: {e}")))?;
+        if check.invariants == 0 {
+            let _ = writeln!(
+                out,
+                "P-invariant check: no semi-positive P-invariants (vacuously ok)"
+            );
+        } else {
+            let skipped = if check.states_skipped > 0 {
+                format!(" ({} mid-firing state(s) skipped)", check.states_skipped)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                out,
+                "P-invariant check: {} state(s) x {} invariant(s) hold{skipped}",
+                check.states_checked, check.invariants
+            );
+        }
     }
 
     let mut code = 0;
@@ -1603,5 +1680,117 @@ mod tests {
             &mut out
         )
         .is_err());
+    }
+
+    /// The acceptance fixture: one provably dead transition (`dead_t`
+    /// starves on `z`, bound 0 by the invariant `z = 0`), one uncovered
+    /// place (`mint` forges tokens into `u`), one out-of-range constant
+    /// table write (`tab[5]` on a 3-entry table) — and nothing else.
+    fn write_bad_model(dir: &std::path::Path) -> String {
+        let model = dir.join("bad.pn");
+        fs::write(
+            &model,
+            "net bad\ntable tab = 1 2 3\n\
+             place a = 1\nplace b = 0\nplace z = 0\nplace u = 1\n\
+             trans go\n  in a\n  out b\nend\n\
+             trans back\n  in b\n  out a\n  act tab[5] = tab[0] + 1;\nend\n\
+             trans mint\n  in a\n  out a u\nend\n\
+             trans burn\n  in u*2\n  out u\nend\n\
+             trans dead_t\n  in z a\n  out z a\nend\n",
+        )
+        .unwrap();
+        model.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn lint_clean_model_exits_zero() {
+        let dir = tmpdir("lintok");
+        let model = write_model(&dir);
+        let (code, out) = run_args(&["lint", &model]);
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("model `bus`"), "{out}");
+        assert!(out.contains("bound(Bus_free) = 1"), "{out}");
+        assert!(out.contains("summary: 0 error(s)"), "{out}");
+    }
+
+    #[test]
+    fn lint_bad_model_yields_exactly_three_findings() {
+        let dir = tmpdir("lintbad");
+        let model = write_bad_model(&dir);
+
+        let (code, out) = run_args(&["lint", &model]);
+        assert_eq!(code, 2, "error findings exit 2: {out}");
+        assert!(out.contains("error[dead-transition] dead_t"), "{out}");
+        assert!(out.contains("error[const-table-index] tab[5]"), "{out}");
+        assert!(out.contains("warn[unbounded-place] u"), "{out}");
+        assert!(out.contains("summary: 2 error(s), 1 warning(s)"), "{out}");
+        let findings = out
+            .lines()
+            .filter(|l| {
+                let l = l.trim_start();
+                l.starts_with("error[") || l.starts_with("warn[") || l.starts_with("info[")
+            })
+            .count();
+        assert_eq!(findings, 3, "exactly three findings: {out}");
+
+        let (code, json) = run_args(&["lint", &model, "--json"]);
+        assert_eq!(code, 2, "{json}");
+        let mut lines = json.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            r#"{"type":"meta","version":1,"tool":"lint"}"#
+        );
+        let findings = json
+            .lines()
+            .filter(|l| l.starts_with(r#"{"type":"finding""#))
+            .count();
+        assert_eq!(findings, 3, "{json}");
+        assert!(json.contains(r#""code":"dead-transition""#), "{json}");
+        assert!(json.contains(r#""code":"const-table-index""#), "{json}");
+        assert!(json.contains(r#""code":"unbounded-place""#), "{json}");
+        assert!(
+            json.contains(r#""errors":2,"warnings":1,"infos":0"#),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn lint_takes_several_files_and_requires_one() {
+        let dir = tmpdir("lintmulti");
+        let ok = write_model(&dir);
+        let bad = write_bad_model(&dir);
+        // Worst finding across all files decides the exit code.
+        let (code, out) = run_args(&["lint", &ok, &bad]);
+        assert_eq!(code, 2);
+        assert!(
+            out.contains("model `bus`") && out.contains("model `bad`"),
+            "{out}"
+        );
+
+        let mut s = String::new();
+        let e = run(&["lint".to_string()], &mut s).unwrap_err();
+        assert!(e.to_string().contains("model file"), "{e}");
+    }
+
+    #[test]
+    fn reach_check_invariants_flag_reports_and_stays_identical() {
+        let dir = tmpdir("reachinv");
+        let model = write_model(&dir);
+        let (code, plain) = run_args(&["reach", &model]);
+        assert_eq!(code, 0);
+        let (code, checked) = run_args(&["reach", &model, "--check-invariants"]);
+        assert_eq!(code, 0, "{checked}");
+        assert!(
+            checked.contains("P-invariant check: 2 state(s) x 1 invariant(s) hold"),
+            "{checked}"
+        );
+        // The flag only appends its verdict line; the report proper is
+        // untouched.
+        let stripped: String = checked
+            .lines()
+            .filter(|l| !l.contains("P-invariant check"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, plain);
     }
 }

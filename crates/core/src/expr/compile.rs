@@ -868,6 +868,15 @@ impl Expr {
     /// division by zero, type mismatch) are *not* considered constant,
     /// so folding never changes error behaviour or timing.
     pub fn const_value(&self) -> Option<Value> {
+        self.const_eval().and_then(Result::ok)
+    }
+
+    /// Like [`Expr::const_value`], but keeps the failure case apart:
+    /// `Some(Err(e))` means the expression reads no variable, table, or
+    /// randomness and *always* fails with `e` when evaluated — a
+    /// guaranteed runtime [`EvalError`](super::EvalError) worth flagging
+    /// statically. `None` means the value depends on the environment.
+    pub fn const_eval(&self) -> Option<Result<Value, super::EvalError>> {
         fn is_static(e: &Expr) -> bool {
             match e {
                 Expr::Int(_) | Expr::Bool(_) => true,
@@ -881,7 +890,7 @@ impl Expr {
         if !is_static(self) {
             return None;
         }
-        self.eval_pure(&Env::new()).ok()
+        Some(self.eval_pure(&Env::new()))
     }
 }
 

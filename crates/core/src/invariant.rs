@@ -125,6 +125,60 @@ pub fn p_invariants(net: &Net) -> Vec<PInvariant> {
         .collect()
 }
 
+/// Semi-positive P-invariants (all weights `>= 0`, not all zero)
+/// derived from the basis returned by [`p_invariants`].
+///
+/// Basis vectors produced by Gaussian elimination may mix signs even
+/// when a semi-positive combination exists, so in addition to filtering
+/// the basis this searches pairwise integer combinations
+/// (`vᵢ + vⱼ`, `vᵢ − vⱼ`) and keeps the semi-positive ones, normalized
+/// to coprime weights and deduplicated. The result is sound but not
+/// complete: every returned vector is a true P-invariant, but a place
+/// covered by *some* semi-positive invariant may still be missed —
+/// callers deriving bounds must treat uncovered places as "unknown",
+/// never as "unbounded is proven".
+pub fn semi_positive_p_invariants(net: &Net) -> Vec<PInvariant> {
+    let basis = p_invariants(net);
+    let mut out: Vec<PInvariant> = Vec::new();
+    let push = |weights: Vec<i64>, out: &mut Vec<PInvariant>| {
+        if weights.iter().all(|&w| w == 0) || weights.iter().any(|&w| w < 0) {
+            return;
+        }
+        let g = weights
+            .iter()
+            .fold(0u64, |g, &w| gcd64(g, w.unsigned_abs()))
+            .max(1) as i64;
+        let inv = PInvariant {
+            weights: weights.into_iter().map(|w| w / g).collect(),
+        };
+        if !out.contains(&inv) {
+            out.push(inv);
+        }
+    };
+    for v in &basis {
+        push(v.weights.clone(), &mut out);
+    }
+    for (i, a) in basis.iter().enumerate() {
+        for b in basis.iter().skip(i + 1) {
+            if a.is_semi_positive() && b.is_semi_positive() {
+                // Their sum is a weaker invariant covering no new place.
+                continue;
+            }
+            let zip = |f: fn(i64, i64) -> i64| -> Vec<i64> {
+                a.weights
+                    .iter()
+                    .zip(&b.weights)
+                    .map(|(&x, &y)| f(x, y))
+                    .collect()
+            };
+            push(zip(|x, y| x + y), &mut out);
+            push(zip(|x, y| x - y), &mut out);
+            push(zip(|x, y| y - x), &mut out);
+        }
+    }
+    out
+}
+
 /// A basis of the T-invariant space (right null space of the incidence
 /// matrix).
 pub fn t_invariants(net: &Net) -> Vec<TInvariant> {

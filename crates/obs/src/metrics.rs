@@ -233,6 +233,15 @@ pub static SIM_EVENTS: Counter = Counter::new();
 /// Karp–Miller tree nodes expanded.
 pub static COVER_NODES: Counter = Counter::new();
 
+// --- analysis (static lint + invariant cross-check) -------------------
+
+/// Lint findings emitted, all severities.
+pub static ANALYSIS_LINT_FINDINGS: Counter = Counter::new();
+/// Lint findings of severity `error`.
+pub static ANALYSIS_LINT_ERRORS: Counter = Counter::new();
+/// States whose P-invariant sums were verified by `--check-invariants`.
+pub static ANALYSIS_INVARIANT_STATES: Counter = Counter::new();
+
 /// The full metric catalogue, in emission order. `docs/OBSERVABILITY.md`
 /// mirrors this list; `metrics_check` validates emitted NDJSON against
 /// it.
@@ -260,6 +269,9 @@ pub static REGISTRY: &[Metric] = &[
     Metric::Counter("markov.solver_iterations", &MARKOV_SOLVER_ITERATIONS),
     Metric::Counter("sim.events", &SIM_EVENTS),
     Metric::Counter("cover.nodes", &COVER_NODES),
+    Metric::Counter("analysis.lint_findings", &ANALYSIS_LINT_FINDINGS),
+    Metric::Counter("analysis.lint_errors", &ANALYSIS_LINT_ERRORS),
+    Metric::Counter("analysis.invariant_states", &ANALYSIS_INVARIANT_STATES),
 ];
 
 /// Zero every registered metric (called by [`crate::install`]).

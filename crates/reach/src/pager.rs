@@ -341,6 +341,7 @@ impl SpillFile {
             (&self.file).seek(SeekFrom::Start(span.offset))?;
             (&self.file).read_exact(&mut buf)?;
         }
+        fail::maybe_corrupt_state_image(&mut buf);
         Ok(buf)
     }
 }
@@ -386,6 +387,34 @@ pub mod fail {
         tick(&FAIL_WRITE_IN, "write")
     }
 
+    /// 0 = disabled; N = the N-th *state*-image reload (counting down)
+    /// comes back with one marking byte flipped.
+    static CORRUPT_READ_IN: AtomicU64 = AtomicU64::new(0);
+
+    /// Silently corrupt the `n`-th state-image reload: flip the low bit
+    /// of the first marking byte. The damage passes the image format's
+    /// structural validation (lengths and offsets are untouched) but
+    /// changes a token count, so it is only catchable by a semantic
+    /// check such as `--check-invariants`. Edge images and images too
+    /// short to hold a marking are left alone and do not consume the
+    /// countdown.
+    pub(super) fn maybe_corrupt_state_image(buf: &mut [u8]) {
+        if CORRUPT_READ_IN.load(Ordering::Relaxed) == 0 {
+            return; // fast path: injection disarmed
+        }
+        // Header: version, kind, count, ... as little-endian u32 words;
+        // markings start at byte 24.
+        let is_state_image = buf.len() > 24
+            && buf[4..8] == super::KIND_STATES.to_le_bytes()
+            && buf[8..12] != 0u32.to_le_bytes();
+        if !is_state_image {
+            return;
+        }
+        if CORRUPT_READ_IN.fetch_sub(1, Ordering::Relaxed) == 1 {
+            buf[24] ^= 1;
+        }
+    }
+
     /// Arm the hook: the `n`-th spill-image *read* from now (1-based)
     /// fails with an injected [`io::Error`]. Test-only.
     #[doc(hidden)]
@@ -400,11 +429,21 @@ pub mod fail {
         FAIL_WRITE_IN.store(n, Ordering::Relaxed);
     }
 
-    /// Disarm both hooks.
+    /// Arm the hook: the `n`-th state-image reload from now (1-based)
+    /// is silently corrupted — one marking byte flipped, structure left
+    /// valid. Used to prove `--check-invariants` catches bad reloads.
+    /// Test-only.
+    #[doc(hidden)]
+    pub fn corrupt_nth_spill_read(n: u64) {
+        CORRUPT_READ_IN.store(n, Ordering::Relaxed);
+    }
+
+    /// Disarm all hooks.
     #[doc(hidden)]
     pub fn reset_spill_failures() {
         FAIL_READ_IN.store(0, Ordering::Relaxed);
         FAIL_WRITE_IN.store(0, Ordering::Relaxed);
+        CORRUPT_READ_IN.store(0, Ordering::Relaxed);
     }
 }
 

@@ -22,6 +22,7 @@
 //! | [`lang`] | `pnut-lang` | — the textual net format |
 //! | [`pipeline`] | `pnut-pipeline` | §2–§3 — the processor models |
 //! | [`obs`] | `pnut-obs` | — metrics, phase spans, heartbeats (`docs/OBSERVABILITY.md`) |
+//! | [`analysis`] | `pnut-analysis` | — structural lint & invariant cross-checks (`docs/STATIC_ANALYSIS.md`) |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@
 //! # }
 //! ```
 
+pub use pnut_analysis as analysis;
 pub use pnut_analytic as analytic;
 pub use pnut_anim as anim;
 pub use pnut_core as core;
