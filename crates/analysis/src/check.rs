@@ -106,7 +106,7 @@ pub fn check_invariants(
         {
             let guard = graph.pin_segment(seg);
             for i in guard.range() {
-                let state = guard.try_state(i)?;
+                let state = guard.state(i)?;
                 if !state.in_flight.is_empty() {
                     skipped += 1;
                     continue;

@@ -26,7 +26,7 @@ fn cross_check(net: &Net, max_states: usize) -> bool {
         return false;
     };
 
-    let exact = g.place_bounds();
+    let exact = g.place_bounds().expect("paged sweep");
     for (p, bound) in report.bounds.iter().enumerate() {
         if let Some(b) = bound {
             assert!(
@@ -41,7 +41,7 @@ fn cross_check(net: &Net, max_states: usize) -> bool {
 
     for &t in &report.dead_transitions {
         assert!(
-            !g.ever_fires(t),
+            !g.ever_fires(t).expect("paged sweep"),
             "{}: lint called `{}` dead but it fires",
             net.name(),
             net.transition(t).name()
@@ -50,7 +50,7 @@ fn cross_check(net: &Net, max_states: usize) -> bool {
     // The other direction of "no false dead verdicts": every
     // dynamically firing transition must be absent from the dead list.
     for (tid, tr) in net.transitions() {
-        if g.ever_fires(tid) {
+        if g.ever_fires(tid).expect("paged sweep") {
             assert!(
                 !report.dead_transitions.contains(&tid),
                 "{}: `{}` fires yet was reported dead",

@@ -228,7 +228,7 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
         {
             let guard = graph.pin_segment(seg);
             for s in guard.range() {
-                let edges = guard.successors(s);
+                let edges = guard.successors(s)?;
                 if edges.is_empty() {
                     return Err(MarkovError::Deadlock { state: s });
                 }
@@ -350,7 +350,7 @@ pub fn steady_state(net: &Net, options: &MarkovOptions) -> Result<SteadyState, M
                 if frac == 0.0 {
                     continue;
                 }
-                for (p, &tokens) in guard.marking(s).iter().enumerate() {
+                for (p, &tokens) in guard.marking(s)?.iter().enumerate() {
                     place_average_tokens[p] += frac * f64::from(tokens);
                 }
             }

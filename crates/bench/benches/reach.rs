@@ -168,7 +168,7 @@ fn bench_paged_analysis(c: &mut Criterion) {
 fn ast_sweep(net: &Net, g: &ReachabilityGraph) -> u64 {
     let mut acc = 0u64;
     for i in 0..g.state_count() {
-        let env = g.state(i).env;
+        let env = g.state(i).expect("resident bench graph").env;
         for (_, t) in net.transitions() {
             if let Some(p) = t.predicate() {
                 acc += u64::from(matches!(
@@ -201,7 +201,7 @@ fn bytecode_sweep(g: &ReachabilityGraph, programs: &CompiledNet) -> u64 {
     let mut next = EnvSlots::new();
     let mut vm = Scratch::new();
     for i in 0..g.state_count() {
-        cur.load(&programs.map, g.state(i).env);
+        cur.load(&programs.map, g.state(i).expect("resident bench graph").env);
         for ct in &programs.transitions {
             if let Some(p) = &ct.predicate {
                 acc += u64::from(matches!(

@@ -247,6 +247,7 @@ fn parse_reach_options(
 /// All telemetry goes to stderr or the metrics file — stdout stays
 /// byte-identical with and without these flags.
 struct ObsSession {
+    tool: String,
     stats: bool,
     metrics_json: Option<std::path::PathBuf>,
     active: bool,
@@ -273,6 +274,7 @@ impl ObsSession {
             obs::set_progress_every(progress.unwrap_or(0));
         }
         Ok(ObsSession {
+            tool: cmd.to_string(),
             stats,
             metrics_json,
             active,
@@ -281,13 +283,14 @@ impl ObsSession {
 
     /// Stop recording and emit the session's outputs: the human summary
     /// to stderr (`--stats`) and the NDJSON file (`--metrics-json`).
-    fn finish(&mut self, tool: &str) -> Result<(), CliError> {
+    fn finish(&mut self) -> Result<(), CliError> {
         if !self.active {
             return Ok(());
         }
         self.active = false;
         obs::set_progress_every(0);
         obs::uninstall();
+        let tool = &self.tool;
         let snap = obs::snapshot();
         if self.stats {
             let mut buf = Vec::new();
@@ -307,12 +310,16 @@ impl ObsSession {
 }
 
 impl Drop for ObsSession {
-    // Error paths skip `finish`; still disable the recorder so a failed
-    // command can't leave telemetry running for the next `run()` call.
+    // Error paths skip the explicit `finish` call; emit the session's
+    // outputs best-effort anyway — a command that failed mid-analysis
+    // must still leave a valid `--metrics-json` snapshot (that's where
+    // `pager.fault_failures` lives, exactly the counter an operator
+    // wants after a spill failure) — and in any case disable the
+    // recorder so a failed command can't leave telemetry running for
+    // the next `run()` call.
     fn drop(&mut self) {
         if self.active {
-            obs::set_progress_every(0);
-            obs::uninstall();
+            let _ = self.finish();
         }
     }
 }
@@ -469,6 +476,21 @@ byte-identical with and without these flags, and recorded metrics
 never feed back into exploration.
 
 exit codes: 0 ok · 1 error · 2 checked property is false
+
+error taxonomy — every failure names which of these it is:
+  your model   parse errors, unknown names, non-constant delays,
+               capacity/state-cap overflows: fix the .pn file or the
+               formula (exit 1; property-is-false is exit 2, not an
+               error).
+  your flags   bad or conflicting command-line arguments, unwritable
+               output paths (exit 1).
+  your disk    spill I/O failures under --mem-budget: a cold segment
+               could not be written or reloaded (message names the
+               segment and spill file). The process never aborts —
+               the one analysis that hit the fault returns this error,
+               stdout stays empty, and --metrics-json still writes a
+               valid snapshot (see pager.fault_failures). Retry with
+               a healthy --spill-dir or a larger --mem-budget.
 ";
 
 fn cmd_check(argv: &[String], out: &mut String) -> Result<i32, CliError> {
@@ -604,7 +626,7 @@ fn cmd_lint(argv: &[String], out: &mut String) -> Result<i32, CliError> {
             out.push_str(&report.render_text(path));
         }
     }
-    session.finish("lint")?;
+    session.finish()?;
     Ok(if errors > 0 { 2 } else { 0 })
 }
 
@@ -659,7 +681,7 @@ fn cmd_sim(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     let trace = pnut_sim::simulate(&net, seed, Time::from_ticks(until))
         .map_err(|e| err(format!("simulation failed: {e}")))?;
     save_trace(&trace, output.as_deref(), out)?;
-    session.finish("sim")?;
+    session.finish()?;
     Ok(0)
 }
 
@@ -835,12 +857,13 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     }
     .map_err(|e| err(format!("reach: {e}")))?;
 
+    let deadlocks = graph.deadlocks().map_err(|e| err(format!("reach: {e}")))?;
     let _ = writeln!(
         out,
         "{} states, {} edges, {} deadlock(s)",
         graph.state_count(),
         graph.edge_count(),
-        graph.deadlocks().len()
+        deadlocks.len()
     );
     let _ = writeln!(
         out,
@@ -857,7 +880,9 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
             graph.spilled_bytes() / 1024,
         );
     }
-    let bounds = graph.place_bounds();
+    let bounds = graph
+        .place_bounds()
+        .map_err(|e| err(format!("reach: {e}")))?;
     for (pid, p) in net.places() {
         let _ = writeln!(out, "  bound({}) = {}", p.name(), bounds[pid.index()]);
     }
@@ -905,7 +930,7 @@ fn cmd_reach(argv: &[String], out: &mut String) -> Result<i32, CliError> {
             code = 2;
         }
     }
-    session.finish("reach")?;
+    session.finish()?;
     Ok(code)
 }
 
@@ -963,7 +988,7 @@ fn cmd_cover(argv: &[String], out: &mut String) -> Result<i32, CliError> {
             }
         }
     }
-    session.finish("cover")?;
+    session.finish()?;
     Ok(if tree.is_unbounded() { 2 } else { 0 })
 }
 
@@ -1104,7 +1129,7 @@ fn cmd_markov(argv: &[String], out: &mut String) -> Result<i32, CliError> {
     for (tid, t) in net.transitions() {
         let _ = writeln!(out, "  {:<28} {:.6}", t.name(), ss.throughput(tid));
     }
-    session.finish("markov")?;
+    session.finish()?;
     Ok(0)
 }
 

@@ -33,7 +33,7 @@
 //! faulting the whole store resident — model checking, not just graph
 //! construction, scales past RAM.
 
-use crate::graph::ReachabilityGraph;
+use crate::graph::{ReachError, ReachabilityGraph};
 use crate::store::StateRef;
 use pnut_core::Net;
 use pnut_obs as obs;
@@ -51,6 +51,11 @@ pub enum CtlError {
     },
     /// An atomic proposition referenced an unknown place/transition.
     UnknownName(String),
+    /// A sweep failed to page a graph segment ([`ReachError::Spill`]:
+    /// the spill file vanished, the disk errored, or a reloaded image
+    /// was rejected as corrupt). The graph stays usable; a retry
+    /// re-faults from scratch.
+    Reach(ReachError),
 }
 
 impl fmt::Display for CtlError {
@@ -60,11 +65,25 @@ impl fmt::Display for CtlError {
             CtlError::UnknownName(n) => {
                 write!(f, "`{n}` is neither a place nor a transition of the net")
             }
+            CtlError::Reach(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for CtlError {}
+impl std::error::Error for CtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtlError::Reach(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ReachError> for CtlError {
+    fn from(e: ReachError) -> Self {
+        CtlError::Reach(e)
+    }
+}
 
 /// Comparison operators in atoms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -165,13 +184,10 @@ impl CheckOutcome {
 ///
 /// # Errors
 ///
-/// Returns [`CtlError::UnknownName`] for unresolved atom names.
-///
-/// # Panics
-///
-/// Panics if a spilled segment fails to reload (the spill file
-/// vanished underneath the process), like the graph's other post-build
-/// accessors.
+/// Returns [`CtlError::UnknownName`] for unresolved atom names, and
+/// [`CtlError::Reach`] if any sweep fails to page a graph segment
+/// (wrapping the [`ReachError::Spill`] from the pager) — the process
+/// never aborts on a bad spill reload, the one check does.
 pub fn check(
     graph: &mut ReachabilityGraph,
     net: &Net,
@@ -205,8 +221,11 @@ fn eval_term(term: &Term, state: StateRef<'_>, net: &Net) -> Result<i64, CtlErro
 
 /// One segment-ordered pass over the graph: pin each segment, hand
 /// `f(state index, guard)` every state, evict between segments. The
-/// memory discipline of every sweep below lives here.
-fn sweep<E>(
+/// memory discipline of every sweep below lives here. A mid-sweep
+/// paging failure — a row accessor inside `f` or the eviction between
+/// segments — propagates as `E` (every sweep error type absorbs
+/// [`ReachError`]); it never aborts the process.
+fn sweep<E: From<ReachError>>(
     graph: &mut ReachabilityGraph,
     mut f: impl FnMut(usize, &crate::graph::SegmentGuard<'_>) -> Result<(), E>,
 ) -> Result<(), E> {
@@ -218,33 +237,39 @@ fn sweep<E>(
                 f(i, &guard)?;
             }
         }
-        if let Err(e) = graph.maintain() {
-            panic!("paged reachability graph: eviction failed mid-sweep: {e}");
-        }
+        graph.maintain().map_err(E::from)?;
     }
     Ok(())
 }
 
 /// Whether some successor of `i` (deadlock self-loop convention) is in
 /// `set`.
-fn any_succ(guard: &crate::graph::SegmentGuard<'_>, i: usize, set: &[bool]) -> bool {
-    let succs = guard.successors(i);
-    if succs.is_empty() {
+fn any_succ(
+    guard: &crate::graph::SegmentGuard<'_>,
+    i: usize,
+    set: &[bool],
+) -> Result<bool, ReachError> {
+    let succs = guard.successors(i)?;
+    Ok(if succs.is_empty() {
         set[i]
     } else {
         succs.iter().any(|&(_, j)| set[j as usize])
-    }
+    })
 }
 
 /// Whether all successors of `i` (deadlock self-loop convention) are
 /// in `set`.
-fn all_succ(guard: &crate::graph::SegmentGuard<'_>, i: usize, set: &[bool]) -> bool {
-    let succs = guard.successors(i);
-    if succs.is_empty() {
+fn all_succ(
+    guard: &crate::graph::SegmentGuard<'_>,
+    i: usize,
+    set: &[bool],
+) -> Result<bool, ReachError> {
+    let succs = guard.successors(i)?;
+    Ok(if succs.is_empty() {
         set[i]
     } else {
         succs.iter().all(|&(_, j)| set[j as usize])
-    }
+    })
 }
 
 fn sat_set(
@@ -260,7 +285,7 @@ fn sat_set(
         Formula::Atom(a, op, b) => {
             let mut sat = all(false);
             sweep(graph, |i, guard| -> Result<(), CtlError> {
-                let state = guard.state(i);
+                let state = guard.state(i)?;
                 let x = eval_term(a, state, net)?;
                 let y = eval_term(b, state, net)?;
                 sat[i] = match op {
@@ -300,33 +325,33 @@ fn sat_set(
         Formula::Ex(f) => {
             let sf = sat_set(graph, net, f)?;
             let mut sat = all(false);
-            infallible(sweep(graph, |i, guard| {
-                sat[i] = any_succ(guard, i, &sf);
+            sweep(graph, |i, guard| -> Result<(), CtlError> {
+                sat[i] = any_succ(guard, i, &sf)?;
                 Ok(())
-            }));
+            })?;
             sat
         }
         Formula::Ax(f) => {
             let sf = sat_set(graph, net, f)?;
             let mut sat = all(false);
-            infallible(sweep(graph, |i, guard| {
-                sat[i] = all_succ(guard, i, &sf);
+            sweep(graph, |i, guard| -> Result<(), CtlError> {
+                sat[i] = all_succ(guard, i, &sf)?;
                 Ok(())
-            }));
+            })?;
             sat
         }
         Formula::Ef(f) => {
             let sf = sat_set(graph, net, f)?;
-            eu(graph, &vec![true; n], &sf)
+            eu(graph, &vec![true; n], &sf)?
         }
         Formula::Eu(a, b) => {
             let sa = sat_set(graph, net, a)?;
             let sb = sat_set(graph, net, b)?;
-            eu(graph, &sa, &sb)
+            eu(graph, &sa, &sb)?
         }
         Formula::Eg(f) => {
             let sf = sat_set(graph, net, f)?;
-            eg(graph, &sf)
+            eg(graph, &sf)?
         }
         Formula::Af(f) => {
             // AF f = ¬EG ¬f
@@ -334,7 +359,7 @@ fn sat_set(
             for s in &mut nf {
                 *s = !*s;
             }
-            let mut sat = eg(graph, &nf);
+            let mut sat = eg(graph, &nf)?;
             for s in &mut sat {
                 *s = !*s;
             }
@@ -346,7 +371,7 @@ fn sat_set(
             for s in &mut nf {
                 *s = !*s;
             }
-            let mut sat = eu(graph, &vec![true; n], &nf);
+            let mut sat = eu(graph, &vec![true; n], &nf)?;
             for s in &mut sat {
                 *s = !*s;
             }
@@ -358,58 +383,56 @@ fn sat_set(
             let sb = sat_set(graph, net, b)?;
             let not_b: Vec<bool> = sb.iter().map(|&x| !x).collect();
             let not_a_and_not_b: Vec<bool> = sa.iter().zip(&sb).map(|(&x, &y)| !x && !y).collect();
-            let e1 = eu(graph, &not_b, &not_a_and_not_b);
-            let e2 = eg(graph, &not_b);
+            let e1 = eu(graph, &not_b, &not_a_and_not_b)?;
+            let e2 = eg(graph, &not_b)?;
             e1.iter().zip(e2).map(|(&x, y)| !(x || y)).collect()
         }
     })
 }
 
-/// An error type for sweeps that cannot fail, so `sweep`'s plumbing
-/// stays uniform.
-enum Never {}
-
-fn infallible<T>(r: Result<T, Never>) -> T {
-    match r {
-        Ok(v) => v,
-    }
-}
-
 /// Least fixpoint for `E[a U b]`. Each iteration is one segment-ordered
 /// sweep; iterating until no sweep changes anything.
-fn eu(graph: &mut ReachabilityGraph, sa: &[bool], sb: &[bool]) -> Vec<bool> {
+///
+/// # Errors
+///
+/// [`ReachError::Spill`] if any sweep fails to page a segment.
+fn eu(graph: &mut ReachabilityGraph, sa: &[bool], sb: &[bool]) -> Result<Vec<bool>, ReachError> {
     let mut sat: Vec<bool> = sb.to_vec();
     loop {
         obs::metrics::CTL_EU_ITERATIONS.inc();
         let mut changed = false;
-        infallible(sweep(graph, |i, guard| {
-            if !sat[i] && sa[i] && any_succ(guard, i, &sat) {
+        sweep(graph, |i, guard| -> Result<(), ReachError> {
+            if !sat[i] && sa[i] && any_succ(guard, i, &sat)? {
                 sat[i] = true;
                 changed = true;
             }
             Ok(())
-        }));
+        })?;
         if !changed {
-            return sat;
+            return Ok(sat);
         }
     }
 }
 
 /// Greatest fixpoint for `EG a`, segment-ordered like [`eu`].
-fn eg(graph: &mut ReachabilityGraph, sa: &[bool]) -> Vec<bool> {
+///
+/// # Errors
+///
+/// [`ReachError::Spill`] if any sweep fails to page a segment.
+fn eg(graph: &mut ReachabilityGraph, sa: &[bool]) -> Result<Vec<bool>, ReachError> {
     let mut sat: Vec<bool> = sa.to_vec();
     loop {
         obs::metrics::CTL_EG_ITERATIONS.inc();
         let mut changed = false;
-        infallible(sweep(graph, |i, guard| {
-            if sat[i] && !any_succ(guard, i, &sat) {
+        sweep(graph, |i, guard| -> Result<(), ReachError> {
+            if sat[i] && !any_succ(guard, i, &sat)? {
                 sat[i] = false;
                 changed = true;
             }
             Ok(())
-        }));
+        })?;
         if !changed {
-            return sat;
+            return Ok(sat);
         }
     }
 }

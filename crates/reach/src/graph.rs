@@ -240,45 +240,30 @@ impl ReachabilityGraph {
         &self.store
     }
 
-    /// Unwrap a paged read for the infallible accessors: analyses read
-    /// through these after a successful build, where a reload failure
-    /// means the spill file vanished underneath the process.
-    #[track_caller]
-    fn paged<T>(r: Result<T, ReachError>) -> T {
-        match r {
-            Ok(v) => v,
-            Err(e) => panic!("paged reachability graph: segment reload failed: {e}"),
-        }
-    }
-
     /// A view of state `i`, faulting its segment in if evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the state segment fails to reload.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range, or if reloading an evicted
-    /// segment fails.
-    pub fn state(&self, i: usize) -> StateRef<'_> {
+    /// Panics if `i` is out of range.
+    pub fn state(&self, i: usize) -> Result<StateRef<'_>, ReachError> {
         self.store.state(i)
     }
 
     /// Outgoing edges of state `i` as `(label, target)` pairs, faulting
     /// the edge segment in if evicted.
     ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range, or if reloading an evicted
-    /// segment fails (see [`Self::try_successors`] for the fallible
-    /// form).
-    pub fn successors(&self, i: usize) -> &[Edge] {
-        Self::paged(self.edges.row(i))
-    }
-
-    /// Fallible form of [`Self::successors`].
-    ///
     /// # Errors
     ///
     /// [`ReachError::Spill`] if the edge segment fails to reload.
-    pub fn try_successors(&self, i: usize) -> Result<&[Edge], ReachError> {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn successors(&self, i: usize) -> Result<&[Edge], ReachError> {
         self.edges.row(i)
     }
 
@@ -318,6 +303,22 @@ impl ReachabilityGraph {
         }
     }
 
+    /// Eager form of [`Self::pin_segment`]: faults both the state and
+    /// the edge segment in up front, so a sweep that wants its I/O
+    /// failure before touching any row gets it here instead of from
+    /// the first row accessor.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if either family's segment fails to
+    /// reload.
+    pub fn try_pin_segment(&self, seg: usize) -> Result<SegmentGuard<'_>, ReachError> {
+        let guard = self.pin_segment(seg);
+        guard.state_rows()?;
+        guard.edge_rows()?;
+        Ok(guard)
+    }
+
     /// Evict cold segments (edges first — analysis sweeps re-read them
     /// in order anyway — then states) until the shared resident total
     /// fits the budget again. A no-op while under budget; the legal
@@ -347,7 +348,7 @@ impl ReachabilityGraph {
             {
                 let guard = self.pin_segment(seg);
                 for i in guard.range() {
-                    f(i, guard.try_state(i)?, guard.try_successors(i)?);
+                    f(i, guard.state(i)?, guard.successors(i)?);
                 }
             }
             self.maintain()?;
@@ -361,77 +362,83 @@ impl ReachabilityGraph {
     /// segments in order, evicting between segments, so the resident
     /// envelope holds even on graphs larger than the budget.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a spilled segment fails to reload (as
-    /// [`Self::successors`]).
-    pub fn deadlocks(&mut self) -> Vec<usize> {
+    /// [`ReachError::Spill`] if a segment reload or eviction fails;
+    /// the graph stays usable and a retry re-faults from scratch.
+    pub fn deadlocks(&mut self) -> Result<Vec<usize>, ReachError> {
         let mut out = Vec::new();
         for seg in 0..self.segment_count() {
             {
                 let guard = self.pin_segment(seg);
                 for i in guard.range() {
-                    if guard.successors(i).is_empty() {
+                    if guard.successors(i)?.is_empty() {
                         out.push(i);
                     }
                 }
             }
-            Self::paged(self.maintain());
+            self.maintain()?;
         }
-        out
+        Ok(out)
     }
 
     /// The bound of each place: the maximum token count over all
     /// reachable states (a net is k-bounded iff every entry ≤ k).
     /// Segment-ordered like [`Self::deadlocks`].
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`Self::deadlocks`].
-    pub fn place_bounds(&mut self) -> Vec<u32> {
+    pub fn place_bounds(&mut self) -> Result<Vec<u32>, ReachError> {
         let places = self.store.places();
         let mut bounds = vec![0u32; places];
         for seg in 0..self.segment_count() {
             {
                 let guard = self.pin_segment(seg);
                 for i in guard.range() {
-                    for (b, &t) in bounds.iter_mut().zip(guard.marking(i)) {
+                    for (b, &t) in bounds.iter_mut().zip(guard.marking(i)?) {
                         *b = (*b).max(t);
                     }
                 }
             }
-            Self::paged(self.maintain());
+            self.maintain()?;
         }
-        bounds
+        Ok(bounds)
     }
 
     /// Whether `transition` fires on some edge (L1-liveness witness).
     /// Segment-ordered like [`Self::deadlocks`]; returns at the first
     /// witness.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`Self::deadlocks`].
-    pub fn ever_fires(&mut self, transition: TransitionId) -> bool {
+    pub fn ever_fires(&mut self, transition: TransitionId) -> Result<bool, ReachError> {
         for seg in 0..self.segment_count() {
             let found = {
                 let guard = self.pin_segment(seg);
-                guard.range().any(|i| {
-                    guard
-                        .successors(i)
+                let mut found = false;
+                for i in guard.range() {
+                    if guard
+                        .successors(i)?
                         .iter()
                         .any(|&(l, _)| l == EdgeLabel::Fire(transition))
-                })
+                    {
+                        found = true;
+                        break;
+                    }
+                }
+                found
             };
             // Evict even on the witness path, so a following sweep
             // starts from an under-budget resident set and the
             // envelope never stacks two pinned guards.
-            Self::paged(self.maintain());
+            self.maintain()?;
             if found {
-                return true;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 
     // -- budget diagnostics -----------------------------------------------
@@ -499,11 +506,14 @@ impl ReachabilityGraph {
 /// `budget + one state segment + one edge segment` (+ one segment of
 /// transient slack while the next pin faults before `maintain` evicts).
 ///
-/// # Panics
+/// # Errors and panics
 ///
-/// Row accessors panic if the index is outside [`Self::range`] or if a
-/// spilled segment fails to reload (the spill file vanished underneath
-/// the process — consistent with the other post-build view accessors).
+/// Row accessors return [`ReachError::Spill`] if a spilled segment
+/// fails to reload (disk error, short read, bad image header), and
+/// panic only on indices outside [`Self::range`] — a caller bug, not
+/// an environment failure. [`ReachabilityGraph::try_pin_segment`]
+/// front-loads both families' faults for sweeps that want the I/O
+/// error before touching any row.
 pub struct SegmentGuard<'g> {
     graph: &'g ReachabilityGraph,
     seg: usize,
@@ -549,22 +559,21 @@ impl<'g> SegmentGuard<'g> {
     }
 
     /// The marking row of state `i` (global index).
-    pub fn marking(&self, i: usize) -> &'g [u32] {
-        let local = self.local(i);
-        ReachabilityGraph::paged(self.state_rows()).marking(local, self.graph.store.places())
-    }
-
-    /// A full view of state `i` (global index).
-    pub fn state(&self, i: usize) -> StateRef<'g> {
-        ReachabilityGraph::paged(self.try_state(i))
-    }
-
-    /// Fallible form of [`Self::state`].
     ///
     /// # Errors
     ///
     /// [`ReachError::Spill`] if the state segment fails to reload.
-    pub fn try_state(&self, i: usize) -> Result<StateRef<'g>, ReachError> {
+    pub fn marking(&self, i: usize) -> Result<&'g [u32], ReachError> {
+        let local = self.local(i);
+        Ok(self.state_rows()?.marking(local, self.graph.store.places()))
+    }
+
+    /// A full view of state `i` (global index).
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the state segment fails to reload.
+    pub fn state(&self, i: usize) -> Result<StateRef<'g>, ReachError> {
         let local = self.local(i);
         let rows = self.state_rows()?;
         Ok(StateRef {
@@ -576,16 +585,11 @@ impl<'g> SegmentGuard<'g> {
     }
 
     /// The successor row of state `i` (global index).
-    pub fn successors(&self, i: usize) -> &'g [Edge] {
-        ReachabilityGraph::paged(self.try_successors(i))
-    }
-
-    /// Fallible form of [`Self::successors`].
     ///
     /// # Errors
     ///
     /// [`ReachError::Spill`] if the edge segment fails to reload.
-    pub fn try_successors(&self, i: usize) -> Result<&'g [Edge], ReachError> {
+    pub fn successors(&self, i: usize) -> Result<&'g [Edge], ReachError> {
         let local = self.local(i);
         Ok(self.edge_rows()?.row(local))
     }
@@ -1873,9 +1877,9 @@ mod tests {
         let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 2);
         assert_eq!(g.edge_count(), 2);
-        assert!(g.deadlocks().is_empty());
-        assert_eq!(g.place_bounds(), vec![1, 1]);
-        assert!(g.ever_fires(net.transition_id("ab").unwrap()));
+        assert!(g.deadlocks().unwrap().is_empty());
+        assert_eq!(g.place_bounds().unwrap(), vec![1, 1]);
+        assert!(g.ever_fires(net.transition_id("ab").unwrap()).unwrap());
     }
 
     #[test]
@@ -1884,7 +1888,7 @@ mod tests {
         let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         // Markings: (2,0), (1,1), (0,2).
         assert_eq!(g.state_count(), 3);
-        assert_eq!(g.place_bounds(), vec![2, 2]);
+        assert_eq!(g.place_bounds().unwrap(), vec![2, 2]);
     }
 
     #[test]
@@ -1895,9 +1899,15 @@ mod tests {
         b.transition("t").input("a").output("b").add();
         let net = b.build().unwrap();
         let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
-        assert_eq!(g.deadlocks().len(), 1);
-        let d = g.deadlocks()[0];
-        assert_eq!(g.state(d).marking.tokens(net.place_id("b").unwrap()), 1);
+        assert_eq!(g.deadlocks().unwrap().len(), 1);
+        let d = g.deadlocks().unwrap()[0];
+        assert_eq!(
+            g.state(d)
+                .unwrap()
+                .marking
+                .tokens(net.place_id("b").unwrap()),
+            1
+        );
     }
 
     #[test]
@@ -1978,7 +1988,7 @@ mod tests {
         let net = b.build().unwrap();
         let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 1, "gate closed: nothing reachable");
-        assert_eq!(g.deadlocks(), vec![0]);
+        assert_eq!(g.deadlocks().unwrap(), vec![0]);
     }
 
     #[test]
@@ -1998,7 +2008,7 @@ mod tests {
         let net = b.build().unwrap();
         let mut g = build_untimed(&net, &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 4, "n in 0..=3");
-        assert_eq!(g.deadlocks().len(), 1);
+        assert_eq!(g.deadlocks().unwrap().len(), 1);
         // The four states share nothing but still intern four distinct
         // environments (n = 0..=3).
         assert_eq!(g.store().env_count(), 4);
@@ -2020,12 +2030,13 @@ mod tests {
         let g = build_timed(&net, &ReachOptions::default()).unwrap();
         // (a=1), (in flight, 3 left), (b=1).
         assert_eq!(g.state_count(), 3);
-        let mid = g.state(1);
+        let mid = g.state(1).unwrap();
         assert_eq!(mid.in_flight.len(), 1);
         assert_eq!(mid.in_flight[0].1, 3);
         // The advance edge carries the delay.
         assert!(g
             .successors(1)
+            .unwrap()
             .iter()
             .any(|&(l, _)| l == EdgeLabel::Advance(3)));
     }
@@ -2041,7 +2052,10 @@ mod tests {
         // Both tokens must start before time advances (maximal progress):
         // (2,0,[]) -> (1,0,[2]) -> (0,0,[2,2]) -> (0,2,[]) done.
         assert_eq!(g.state_count(), 4);
-        assert!(g.deadlocks().len() == 1, "final state is quiescent");
+        assert!(
+            g.deadlocks().unwrap().len() == 1,
+            "final state is quiescent"
+        );
     }
 
     #[test]
@@ -2058,7 +2072,7 @@ mod tests {
         let net = b.build().unwrap();
         let g = build_timed(&net, &ReachOptions::default()).unwrap();
         for i in 0..g.state_count() {
-            let inflight = g.state(i).in_flight.len();
+            let inflight = g.state(i).unwrap().in_flight.len();
             assert!(inflight <= 1, "state {i} has {inflight} concurrent serves");
         }
     }
@@ -2077,21 +2091,28 @@ mod tests {
         let mut g = build_timed(&net, &ReachOptions::default()).unwrap();
         // (a=1, clock 4) --Advance(4)--> (a=1, clock 0) --Fire--> (b=1).
         assert_eq!(g.state_count(), 3);
-        assert_eq!(g.state(0).enabling, &[(net.transition_id("t").unwrap(), 4)]);
-        assert_eq!(g.state(0).marking.as_slice(), &[1, 0]);
+        assert_eq!(
+            g.state(0).unwrap().enabling,
+            &[(net.transition_id("t").unwrap(), 4)]
+        );
+        assert_eq!(g.state(0).unwrap().marking.as_slice(), &[1, 0]);
         assert!(g
             .successors(0)
+            .unwrap()
             .iter()
             .any(|&(l, _)| l == EdgeLabel::Advance(4)));
-        assert_eq!(g.state(1).enabling, &[(net.transition_id("t").unwrap(), 0)]);
         assert_eq!(
-            g.state(1).marking.as_slice(),
+            g.state(1).unwrap().enabling,
+            &[(net.transition_id("t").unwrap(), 0)]
+        );
+        assert_eq!(
+            g.state(1).unwrap().marking.as_slice(),
             &[1, 0],
             "token not yet moved"
         );
-        assert_eq!(g.state(2).marking.as_slice(), &[0, 1]);
-        assert!(g.state(2).enabling.is_empty());
-        assert_eq!(g.deadlocks(), vec![2]);
+        assert_eq!(g.state(2).unwrap().marking.as_slice(), &[0, 1]);
+        assert!(g.state(2).unwrap().enabling.is_empty());
+        assert_eq!(g.deadlocks().unwrap(), vec![2]);
     }
 
     #[test]
@@ -2122,11 +2143,17 @@ mod tests {
         // Cycle: (clocks 2/3) --A(2)--> (clocks 0/1) --Fire(thief)-->
         // (token in flight, no clocks) --A(2)--> back to the start.
         assert_eq!(g.state_count(), 3);
-        assert_eq!(g.state(0).enabling, &[(thief, 2), (slow, 3)]);
-        assert_eq!(g.state(1).enabling, &[(thief, 0), (slow, 1)]);
-        assert!(g.state(2).enabling.is_empty(), "token stolen: no clocks");
-        assert!(g.ever_fires(thief));
-        assert!(!g.ever_fires(slow), "slow's clock must reset each round");
+        assert_eq!(g.state(0).unwrap().enabling, &[(thief, 2), (slow, 3)]);
+        assert_eq!(g.state(1).unwrap().enabling, &[(thief, 0), (slow, 1)]);
+        assert!(
+            g.state(2).unwrap().enabling.is_empty(),
+            "token stolen: no clocks"
+        );
+        assert!(g.ever_fires(thief).unwrap());
+        assert!(
+            !g.ever_fires(slow).unwrap(),
+            "slow's clock must reset each round"
+        );
     }
 
     #[test]
@@ -2148,10 +2175,11 @@ mod tests {
         assert_eq!(g.edge_count(), 2);
         assert!(g
             .successors(0)
+            .unwrap()
             .iter()
             .any(|&(l, _)| l == EdgeLabel::Advance(5)));
         assert_eq!(
-            g.successors(1),
+            g.successors(1).unwrap(),
             &[(EdgeLabel::Fire(net.transition_id("tick").unwrap()), 0)],
             "firing re-arms the clock back to the initial state"
         );
@@ -2178,7 +2206,7 @@ mod tests {
         let net = b.build().unwrap();
         let seq = build_timed(&net, &ReachOptions::default()).unwrap();
         assert!(
-            (0..seq.state_count()).any(|i| !seq.state(i).enabling.is_empty()),
+            (0..seq.state_count()).any(|i| !seq.state(i).unwrap().enabling.is_empty()),
             "the model must actually exercise enabling clocks"
         );
         for jobs in [2, 4, 8] {
@@ -2215,7 +2243,7 @@ mod tests {
         let step = net.transition_id("step").unwrap();
         let mut armed = std::collections::BTreeSet::new();
         for i in 0..g.state_count() {
-            for &(t, k) in g.state(i).enabling {
+            for &(t, k) in g.state(i).unwrap().enabling {
                 assert_eq!(t, step);
                 armed.insert(k);
             }
@@ -2273,7 +2301,7 @@ mod tests {
         // Both resolved delays appear as in-flight remaining times.
         let mut seen = std::collections::BTreeSet::new();
         for i in 0..g.state_count() {
-            for &(t, r) in g.state(i).in_flight {
+            for &(t, r) in g.state(i).unwrap().in_flight {
                 assert_eq!(t, work);
                 seen.insert(r);
             }
@@ -2310,11 +2338,11 @@ mod tests {
         };
         let mut g = build_untimed(&dup(1), &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 1, "merged arcs need 2 tokens");
-        assert_eq!(g.deadlocks(), vec![0]);
+        assert_eq!(g.deadlocks().unwrap(), vec![0]);
 
         let g = build_untimed(&dup(2), &ReachOptions::default()).unwrap();
         assert_eq!(g.state_count(), 2);
-        let fired = g.state(1);
+        let fired = g.state(1).unwrap();
         assert_eq!(fired.marking.as_slice(), &[0, 1]);
     }
 
@@ -2322,10 +2350,12 @@ mod tests {
     fn csr_rows_partition_the_edge_list() {
         let net = ring(2);
         let g = build_untimed(&net, &ReachOptions::default()).unwrap();
-        let total: usize = (0..g.state_count()).map(|i| g.successors(i).len()).sum();
+        let total: usize = (0..g.state_count())
+            .map(|i| g.successors(i).unwrap().len())
+            .sum();
         assert_eq!(total, g.edge_count());
         for i in 0..g.state_count() {
-            for &(_, target) in g.successors(i) {
+            for &(_, target) in g.successors(i).unwrap() {
                 assert!((target as usize) < g.state_count());
             }
         }
@@ -2425,7 +2455,11 @@ mod tests {
         .unwrap();
         assert_eq!(seq.store().env_count(), 25, "5×5 counter grid");
         for i in 0..seq.state_count() {
-            assert_eq!(seq.store().env_id(i), par.store().env_id(i), "state {i}");
+            assert_eq!(
+                seq.store().try_env_id(i).unwrap(),
+                par.store().try_env_id(i).unwrap(),
+                "state {i}"
+            );
         }
     }
 

@@ -39,6 +39,9 @@
 //!   arrays instead of chasing one heap `Vec` per state.
 //! * **Views, not copies.** [`ReachabilityGraph::state`] returns a
 //!   borrowed [`StateRef`] into the arenas; nothing is materialized.
+//!   Every post-build accessor that may touch the pager is fallible
+//!   (`Result<_, ReachError>`): a spill reload that fails degrades the
+//!   one analysis that hit it, never the process.
 //! * **Parallel frontiers.** With [`ReachOptions::jobs`] > 1 (or 0 for
 //!   all cores), each BFS level is split across a scoped worker pool:
 //!   the committed store is probed lock-free, new states land in

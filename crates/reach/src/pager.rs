@@ -116,28 +116,46 @@ use std::sync::Arc;
 // Errors
 // ---------------------------------------------------------------------------
 
-/// A spill-file I/O failure: which operation failed and the underlying
-/// [`io::Error`]. Wrapped in [`ReachError::Spill`]; the `Arc` keeps
-/// `ReachError` cheaply clonable (the parallel barrier clones the
-/// earliest worker error).
+/// A spill-file I/O failure: which operation failed, on which arena
+/// segment, against which spill file, and the underlying [`io::Error`].
+/// Wrapped in [`ReachError::Spill`]; the `Arc`s keep `ReachError`
+/// cheaply clonable (the parallel barrier clones the earliest worker
+/// error).
 #[derive(Debug, Clone)]
 pub struct SpillError {
     /// The file operation that failed (`"create"`, `"write"`, `"read"`).
     pub op: &'static str,
+    /// The arena segment being paged when the operation failed, if
+    /// known (`None` only when the failure predates any segment, e.g.
+    /// creating the spill file itself).
+    pub segment: Option<usize>,
+    /// The path the spill file was created under. The file is unlinked
+    /// eagerly at creation (the open handle is its only tether), so
+    /// the path names *which* file failed, not a file an operator can
+    /// still inspect.
+    pub path: Option<Arc<std::path::PathBuf>>,
     /// The underlying I/O error.
     pub source: Arc<io::Error>,
 }
 
-/// Wrap an [`io::Error`] from spill operation `op` as a [`ReachError`].
-fn spill_err(op: &'static str, source: io::Error) -> ReachError {
+/// Wrap an [`io::Error`] from spill operation `op` on `segment` as a
+/// [`ReachError`].
+fn spill_err(
+    op: &'static str,
+    segment: usize,
+    path: Option<Arc<std::path::PathBuf>>,
+    source: io::Error,
+) -> ReachError {
     ReachError::Spill(SpillError {
         op,
+        segment: Some(segment),
+        path,
         source: Arc::new(source),
     })
 }
 
-/// Same failed operation and error kind (messages can carry addresses
-/// and differ between equivalent failures).
+/// Same failed operation and error kind (messages can carry addresses,
+/// segment indices, and paths that differ between equivalent failures).
 impl PartialEq for SpillError {
     fn eq(&self, other: &Self) -> bool {
         self.op == other.op && self.source.kind() == other.source.kind()
@@ -146,7 +164,14 @@ impl PartialEq for SpillError {
 
 impl fmt::Display for SpillError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spill file {} failed: {}", self.op, self.source)
+        write!(f, "spill file {} failed", self.op)?;
+        match (self.segment, &self.path) {
+            (Some(seg), Some(p)) => write!(f, " (segment {seg}, {})", p.display())?,
+            (Some(seg), None) => write!(f, " (segment {seg})")?,
+            (None, Some(p)) => write!(f, " ({})", p.display())?,
+            (None, None) => {}
+        }
+        write!(f, ": {}", self.source)
     }
 }
 
@@ -271,6 +296,9 @@ struct DiskSpan {
 #[derive(Debug)]
 pub(crate) struct SpillFile {
     file: File,
+    /// The name the file was created under (already unlinked; kept so
+    /// spill errors can say *which* file failed).
+    path: Arc<std::path::PathBuf>,
     /// Append cursor == bytes spilled so far.
     len: u64,
     /// Serializes the seek+read fallback on platforms without `pread`.
@@ -308,6 +336,7 @@ impl SpillFile {
         let _ = std::fs::remove_file(&path);
         Ok(SpillFile {
             file,
+            path: Arc::new(path),
             len: 0,
             read_lock: Mutex::new(()),
         })
@@ -337,11 +366,18 @@ impl SpillFile {
         }
         #[cfg(not(unix))]
         {
-            let _guard = self.read_lock.lock().expect("spill read lock");
+            // Recover a poisoned guard: the lock serializes a
+            // seek+read pair on the shared descriptor and protects no
+            // in-memory state, so a reader that panicked mid-pair left
+            // nothing torn — the next reader re-seeks from scratch
+            // anyway. Propagating the poison would instead cascade one
+            // worker's panic into every sibling's fault.
+            let _guard = self.read_lock.lock().unwrap_or_else(|e| e.into_inner());
             (&self.file).seek(SeekFrom::Start(span.offset))?;
             (&self.file).read_exact(&mut buf)?;
         }
         fail::maybe_corrupt_state_image(&mut buf);
+        fail::maybe_mangle_image(&mut buf);
         Ok(buf)
     }
 }
@@ -415,11 +451,51 @@ pub mod fail {
         }
     }
 
+    /// 0 = disabled; N = the N-th reload comes back truncated to half
+    /// its length (a short read the format's bounds checks must catch).
+    static TRUNCATE_READ_IN: AtomicU64 = AtomicU64::new(0);
+
+    /// 0 = disabled; N = the N-th reload comes back with a garbled
+    /// version word (the header check must reject it).
+    static BAD_HEADER_READ_IN: AtomicU64 = AtomicU64::new(0);
+
+    /// Structurally mangle the image so the *deserialize* stage — not
+    /// the read itself — is the one that fails: these drive the
+    /// `fault_failures` tick on the validation error paths.
+    pub(super) fn maybe_mangle_image(buf: &mut Vec<u8>) {
+        if TRUNCATE_READ_IN.load(Ordering::Relaxed) != 0
+            && TRUNCATE_READ_IN.fetch_sub(1, Ordering::Relaxed) == 1
+        {
+            buf.truncate(buf.len() / 2);
+        }
+        if BAD_HEADER_READ_IN.load(Ordering::Relaxed) != 0
+            && BAD_HEADER_READ_IN.fetch_sub(1, Ordering::Relaxed) == 1
+            && buf.len() >= 4
+        {
+            buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        }
+    }
+
     /// Arm the hook: the `n`-th spill-image *read* from now (1-based)
     /// fails with an injected [`io::Error`]. Test-only.
     #[doc(hidden)]
     pub fn fail_nth_spill_read(n: u64) {
         FAIL_READ_IN.store(n, Ordering::Relaxed);
+    }
+
+    /// Arm the hook: the `n`-th spill-image read from now (1-based)
+    /// returns only half the image — a short read. Test-only.
+    #[doc(hidden)]
+    pub fn truncate_nth_spill_read(n: u64) {
+        TRUNCATE_READ_IN.store(n, Ordering::Relaxed);
+    }
+
+    /// Arm the hook: the `n`-th spill-image read from now (1-based)
+    /// returns an image whose version/kind header is garbage.
+    /// Test-only.
+    #[doc(hidden)]
+    pub fn bad_header_nth_spill_read(n: u64) {
+        BAD_HEADER_READ_IN.store(n, Ordering::Relaxed);
     }
 
     /// Arm the hook: the `n`-th spill-image *write* from now (1-based)
@@ -444,6 +520,8 @@ pub mod fail {
         FAIL_READ_IN.store(0, Ordering::Relaxed);
         FAIL_WRITE_IN.store(0, Ordering::Relaxed);
         CORRUPT_READ_IN.store(0, Ordering::Relaxed);
+        TRUNCATE_READ_IN.store(0, Ordering::Relaxed);
+        BAD_HEADER_READ_IN.store(0, Ordering::Relaxed);
     }
 }
 
@@ -1045,7 +1123,17 @@ impl<S: SegmentContent> Paged<S> {
     /// Slow path of [`Self::segment`]: reload an evicted segment.
     #[cold]
     fn fault(&self, seg: usize) -> Result<&S, ReachError> {
-        let _guard = self.fault_lock.lock().expect("pager fault lock");
+        // Recover a poisoned guard instead of propagating the poison:
+        // the real protocol invariant is the `AtomicPtr` install below
+        // (a fully-built segment published with `Release`, freed only
+        // at `&mut` eviction points — see docs/CONCURRENCY.md), not
+        // any state the lock itself protects. A holder that panicked
+        // left the slot either still null (this fault simply redoes
+        // the work) or fully installed (the re-check below observes
+        // it); there is no partially-mutated middle state. Treating
+        // poison as fatal would instead cascade one worker's panic
+        // into a second panic in every sibling's fault.
+        let _guard = self.fault_lock.lock().unwrap_or_else(|e| e.into_inner());
         let slot = &self.segments[seg];
         let p = slot.data.load(Ordering::Acquire);
         if !p.is_null() && !mutation::active(mutation::DROP_FAULT_RECHECK) {
@@ -1063,12 +1151,12 @@ impl<S: SegmentContent> Paged<S> {
         obs::metrics::PAGER_FAULTS.inc();
         let image = spill.read(span).map_err(|e| {
             obs::metrics::PAGER_FAULT_FAILURES.inc();
-            spill_err("read", e)
+            spill_err("read", seg, Some(Arc::clone(&spill.path)), e)
         })?;
         obs::metrics::PAGER_SPILL_READ_BYTES.add(image.len() as u64);
         let data = S::deserialize(&image, self.places).map_err(|e| {
             obs::metrics::PAGER_FAULT_FAILURES.inc();
-            spill_err("read", e)
+            spill_err("read", seg, Some(Arc::clone(&spill.path)), e)
         })?;
         obs::metrics::PAGER_RELOADS.inc();
         let fresh = raw::alloc(data);
@@ -1190,19 +1278,18 @@ impl<S: SegmentContent> Paged<S> {
             if self.spill.is_none() {
                 self.spill = Some(
                     SpillFile::create(self.spill_dir.as_deref())
-                        .map_err(|e| spill_err("create", e))?,
+                        .map_err(|e| spill_err("create", seg, None, e))?,
                 );
             }
             // SAFETY: `p` is the live segment pointer read above;
             // `&mut self` excludes all other borrows, and this shared
             // borrow ends before the data is freed below.
             let image = unsafe { raw::deref(p) }.serialize();
-            let span = self
-                .spill
-                .as_mut()
-                .expect("just created")
+            let spill = self.spill.as_mut().expect("just created");
+            let path = Arc::clone(&spill.path);
+            let span = spill
                 .append(&image)
-                .map_err(|e| spill_err("write", e))?;
+                .map_err(|e| spill_err("write", seg, Some(path), e))?;
             obs::metrics::PAGER_SPILL_WRITE_BYTES.add(image.len() as u64);
             self.segments[seg].disk = Some(span);
         }

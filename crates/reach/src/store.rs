@@ -476,55 +476,6 @@ impl StateStore {
         self.states.env_id(i)
     }
 
-    /// Unwrap a paged read for the infallible view accessors: analyses
-    /// read through these after a successful build, where a reload
-    /// failure means the spill file vanished underneath the process.
-    #[track_caller]
-    fn paged<T>(r: Result<T, ReachError>) -> T {
-        match r {
-            Ok(v) => v,
-            Err(e) => panic!("paged state store: segment reload failed: {e}"),
-        }
-    }
-
-    /// The marking arena slice of state `i`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range, or if reloading an evicted
-    /// segment fails (see [`Self::try_marking_slice`] for the fallible
-    /// form).
-    pub fn marking_slice(&self, i: usize) -> &[u32] {
-        Self::paged(self.states.marking(i))
-    }
-
-    /// The in-flight slice of state `i`.
-    ///
-    /// # Panics
-    ///
-    /// As [`Self::marking_slice`].
-    pub fn in_flight_slice(&self, i: usize) -> &[(TransitionId, u64)] {
-        Self::paged(self.states.in_flight(i))
-    }
-
-    /// The enabling-clock slice of state `i`.
-    ///
-    /// # Panics
-    ///
-    /// As [`Self::marking_slice`].
-    pub fn enabling_slice(&self, i: usize) -> &[(TransitionId, u64)] {
-        Self::paged(self.states.enabling(i))
-    }
-
-    /// The environment id of state `i`.
-    ///
-    /// # Panics
-    ///
-    /// As [`Self::marking_slice`].
-    pub fn env_id(&self, i: usize) -> u32 {
-        Self::paged(self.states.env_id(i))
-    }
-
     /// The interned environment `id`.
     ///
     /// # Panics
@@ -534,18 +485,22 @@ impl StateStore {
         &self.envs[id as usize]
     }
 
-    /// A full view of state `i`.
+    /// A full view of state `i`, faulting its segment in if evicted.
+    ///
+    /// # Errors
+    ///
+    /// [`ReachError::Spill`] if the reload fails.
     ///
     /// # Panics
     ///
-    /// As [`Self::marking_slice`].
-    pub fn state(&self, i: usize) -> StateRef<'_> {
-        StateRef {
-            marking: MarkingView(self.marking_slice(i)),
-            env: self.env(self.env_id(i)),
-            in_flight: self.in_flight_slice(i),
-            enabling: self.enabling_slice(i),
-        }
+    /// Panics if `i` is out of range.
+    pub fn state(&self, i: usize) -> Result<StateRef<'_>, ReachError> {
+        Ok(StateRef {
+            marking: MarkingView(self.try_marking_slice(i)?),
+            env: self.env(self.try_env_id(i)?),
+            in_flight: self.try_in_flight_slice(i)?,
+            enabling: self.try_enabling_slice(i)?,
+        })
     }
 
     /// Evict cold *state* segments until the resident arenas fit the
@@ -1195,7 +1150,7 @@ mod tests {
         assert_eq!((b, new_b), (0, false));
         assert_eq!((c, new_c), (1, true));
         assert_eq!(s.len(), 2);
-        assert_eq!(s.marking_slice(1), &[1, 0, 3]);
+        assert_eq!(s.try_marking_slice(1).unwrap(), &[1, 0, 3]);
     }
 
     #[test]
@@ -1209,8 +1164,8 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_ne!(a, b);
         assert_ne!(b, c);
-        assert_eq!(s.state(a).in_flight, &[(t0, 3)]);
-        assert!(s.state(c).in_flight.is_empty());
+        assert_eq!(s.state(a).unwrap().in_flight, &[(t0, 3)]);
+        assert!(s.state(c).unwrap().in_flight.is_empty());
     }
 
     #[test]
@@ -1250,7 +1205,7 @@ mod tests {
         let mut s = StateStore::new(3);
         let e = s.intern_env(&Env::new()).unwrap();
         s.intern(&[1, 0, 6], e, &[], &[]).unwrap();
-        let v = s.state(0).marking;
+        let v = s.state(0).unwrap().marking;
         assert_eq!(v.tokens(PlaceId::new(2)), 6);
         assert!(v.covers(PlaceId::new(0), 1));
         assert!(!v.covers(PlaceId::new(1), 1));
@@ -1503,13 +1458,13 @@ mod tests {
         let map = store.splice_level(&mut shards, &novel).unwrap();
         // Key 2 (marking [1]) commits before key 4 (marking [2]).
         assert_eq!(store.len(), 3);
-        assert_eq!(store.marking_slice(1), &[1]);
-        assert_eq!(store.marking_slice(2), &[2]);
+        assert_eq!(store.try_marking_slice(1).unwrap(), &[1]);
+        assert_eq!(store.try_marking_slice(2).unwrap(), &[2]);
         assert_eq!(map[pending_shard(p_early)][pending_local(p_early)], 1);
         assert_eq!(map[pending_shard(p_late)][pending_local(p_late)], 2);
         // The pending env was committed and the state references it.
         assert_eq!(store.env_count(), 2);
-        assert_eq!(store.state(2).env.var("x"), Some(Value::Int(9)));
+        assert_eq!(store.state(2).unwrap().env.var("x"), Some(Value::Int(9)));
         // Shards are reset for the next level.
         assert!(collect_novel_states(&shards).is_empty());
     }
@@ -1572,9 +1527,17 @@ mod race_tests {
             // Discovery-key order, regardless of interleaving: the
             // store is bit-identical to the sequential build's.
             assert_eq!(store.len(), 4);
-            assert_eq!(store.marking_slice(1), &[8, 0], "key 5 splices first");
-            assert_eq!(store.marking_slice(2), &[9, 0], "key 10 second");
-            assert_eq!(store.marking_slice(3), &[7, 0], "key 12 last");
+            assert_eq!(
+                store.try_marking_slice(1).unwrap(),
+                &[8, 0],
+                "key 5 splices first"
+            );
+            assert_eq!(
+                store.try_marking_slice(2).unwrap(),
+                &[9, 0],
+                "key 10 second"
+            );
+            assert_eq!(store.try_marking_slice(3).unwrap(), &[7, 0], "key 12 last");
         })
         .expect("level splice has no defects");
     }

@@ -160,6 +160,153 @@ fn spill_write_failure_surfaces_during_eviction_and_is_retryable() {
     assert_eq!(s.try_marking_slice(139).expect("tail stays"), &[139, 0]);
 }
 
+/// A chain net with a marking wide enough (64 places × 4 bytes) that a
+/// few hundred states outgrow a 64 KiB budget: `step` moves one token
+/// at a time from `src` to `dst`, and the filler places never change, so
+/// `src + dst = 800` is invariant and `dst = 800` is the single deadlock.
+fn wide_chain_net() -> pnut_core::Net {
+    let mut b = NetBuilder::new("wide_chain");
+    b.place("src", 800);
+    b.place("dst", 0);
+    for p in 0..62 {
+        b.place(format!("w{p}"), 1);
+    }
+    b.transition("step").input("src").output("dst").add();
+    b.build().expect("builds")
+}
+
+/// Sweep every segment once so the pager's residency (and therefore
+/// the fault sequence of whatever runs next) depends only on the sweep
+/// order, not on build history or worker timing.
+fn normalize(g: &mut pnut_reach::ReachabilityGraph) {
+    g.for_each_state_in_segments(|_, _, _| {})
+        .expect("normalization sweep");
+}
+
+fn faults() -> u64 {
+    pnut_obs::snapshot().counter("pager.faults")
+}
+
+/// One cell of the injection matrix. Runs `op` three times on two
+/// identically-built graphs: a clean metering run (counts the phase's
+/// faults, checks the paged answer against the resident `expected`),
+/// an injected run arming the *last* of those faults — deep inside the
+/// phase, e.g. a late fixpoint iteration for CTL — which must return
+/// `Err`, and an uninjected retry that must again match `expected`
+/// bit for bit. Returns the injected error for a typed assertion.
+fn assert_phase<T, E, F>(
+    label: &str,
+    g_meter: &mut pnut_reach::ReachabilityGraph,
+    g_inject: &mut pnut_reach::ReachabilityGraph,
+    expected: &T,
+    mut op: F,
+) -> E
+where
+    T: PartialEq + std::fmt::Debug,
+    E: std::fmt::Debug,
+    F: FnMut(&mut pnut_reach::ReachabilityGraph) -> Result<T, E>,
+{
+    normalize(g_meter);
+    normalize(g_inject);
+    let before = faults();
+    let clean = op(g_meter).expect("clean metering run");
+    let n = faults() - before;
+    assert!(
+        n >= 1,
+        "{label}: the phase must fault under a 64 KiB budget"
+    );
+    assert_eq!(&clean, expected, "{label}: paged result != resident");
+
+    fail_nth_spill_read(n);
+    let err = op(g_inject).expect_err("injected mid-phase read must fail");
+    reset_spill_failures();
+
+    let retry = op(g_inject).expect("uninjected retry");
+    assert_eq!(
+        &retry, expected,
+        "{label}: retry after the fault cleared is not bit-identical"
+    );
+    err
+}
+
+/// The analysis-phase matrix of the issue: fail a spill read *inside*
+/// `deadlocks`, `place_bounds`, `ever_fires`, a CTL `EU` fixpoint, and
+/// a CTL `EG` fixpoint, at budget 64 KiB × jobs {1, 4}. Every phase
+/// must surface a typed `Spill` error (the process stays alive — this
+/// test keeps running), and the uninjected retry on the very graph
+/// that faulted must match the fully resident run bit for bit.
+#[test]
+fn every_analysis_phase_survives_an_injected_reload_failure() {
+    use pnut_reach::ctl;
+    use pnut_reach::CtlError;
+
+    let _g = arm();
+    let net = wide_chain_net();
+    let step = net.transition_id("step").expect("exists");
+    let eu = ctl::Formula::parse("E [ src + dst = 800 U dst = 800 ]").expect("parses");
+    let eg = ctl::Formula::parse("EG (src + dst = 800)").expect("parses");
+
+    // Fully resident reference run.
+    let mut resident = build_untimed(&net, &ReachOptions::default()).expect("builds");
+    let ref_deadlocks = resident.deadlocks().expect("resident");
+    let ref_bounds = resident.place_bounds().expect("resident");
+    let ref_fires = resident.ever_fires(step).expect("resident");
+    let ref_eu = ctl::check(&mut resident, &net, &eu)
+        .expect("resident")
+        .satisfying;
+    let ref_eg = ctl::check(&mut resident, &net, &eg)
+        .expect("resident")
+        .satisfying;
+    assert!(
+        ref_fires && !ref_deadlocks.is_empty(),
+        "matrix is not vacuous"
+    );
+
+    pnut_obs::install();
+    for jobs in [1, 4] {
+        let opts = ReachOptions {
+            jobs,
+            mem_budget: 64 * 1024,
+            ..ReachOptions::default()
+        };
+        // Two identical builds: fault counts metered on one graph
+        // transfer to the other (construction is deterministic and
+        // `assert_phase` normalizes residency before each run).
+        let mut g_meter = build_untimed(&net, &opts).expect("bounded build");
+        let mut g_inject = build_untimed(&net, &opts).expect("bounded build");
+        assert!(g_inject.spilled_bytes() > 0, "jobs={jobs}: must spill");
+
+        let label = format!("deadlocks (jobs={jobs})");
+        let err = assert_phase(&label, &mut g_meter, &mut g_inject, &ref_deadlocks, |g| {
+            g.deadlocks()
+        });
+        expect_spill(err, "read");
+
+        let label = format!("place_bounds (jobs={jobs})");
+        let err = assert_phase(&label, &mut g_meter, &mut g_inject, &ref_bounds, |g| {
+            g.place_bounds()
+        });
+        expect_spill(err, "read");
+
+        let label = format!("ever_fires (jobs={jobs})");
+        let err = assert_phase(&label, &mut g_meter, &mut g_inject, &ref_fires, |g| {
+            g.ever_fires(step)
+        });
+        expect_spill(err, "read");
+
+        for (what, formula, reference) in [("EU", &eu, &ref_eu), ("EG", &eg, &ref_eg)] {
+            let label = format!("CTL {what} (jobs={jobs})");
+            let err = assert_phase(&label, &mut g_meter, &mut g_inject, reference, |g| {
+                ctl::check(g, &net, formula).map(|o| o.satisfying)
+            });
+            match err {
+                CtlError::Reach(e) => expect_spill(e, "read"),
+                other => panic!("{label}: expected CtlError::Reach, got {other:?}"),
+            }
+        }
+    }
+}
+
 #[test]
 fn mid_sweep_reload_failure_in_a_parallel_paged_graph() {
     let _g = arm();
@@ -167,9 +314,9 @@ fn mid_sweep_reload_failure_in_a_parallel_paged_graph() {
     // that segments spill during construction and the sweep must fault
     // them back in.
     let mut b = NetBuilder::new("chain");
-    b.place("A", 200);
-    b.place("B", 0);
-    b.transition("step").input("A").output("B").add();
+    b.place("src", 200);
+    b.place("dst", 0);
+    b.transition("step").input("src").output("dst").add();
     let net = b.build().expect("builds");
     let opts = ReachOptions {
         jobs: 4,

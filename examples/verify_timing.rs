@@ -164,8 +164,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The verified timing bound: total time the graph lets pass while
     // the bus is held, per acquisition cycle.
     let held: u64 = (0..graph.state_count())
-        .filter(|&s| graph.state(s).marking.tokens(busy) == 1)
-        .flat_map(|s| graph.successors(s).iter())
+        .filter(|&s| graph.state(s).expect("resident graph").marking.tokens(busy) == 1)
+        .flat_map(|s| graph.successors(s).expect("resident graph").iter())
         .map(|&(l, _)| match l {
             EdgeLabel::Advance(d) => d,
             EdgeLabel::Fire(_) => 0,

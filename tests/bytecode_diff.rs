@@ -285,7 +285,7 @@ fn assert_matches_legacy(g: &ReachabilityGraph, l: &LegacyGraph, what: &str) {
     assert_eq!(g.state_count(), l.state_count(), "{what}: state counts");
     assert_eq!(g.edge_count(), l.edge_count(), "{what}: edge counts");
     for i in 0..g.state_count() {
-        let a = g.state(i);
+        let a = g.state(i).expect("resident graph");
         let b = l.state(i);
         assert_eq!(
             a.marking.as_slice(),
@@ -296,6 +296,7 @@ fn assert_matches_legacy(g: &ReachabilityGraph, l: &LegacyGraph, what: &str) {
         assert_eq!(a.in_flight, &b.in_flight[..], "{what}: in-flight of {i}");
         let got: Vec<(EdgeLabel, usize)> = g
             .successors(i)
+            .expect("resident graph")
             .iter()
             .map(|&(label, target)| (label, target as usize))
             .collect();

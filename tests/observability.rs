@@ -149,3 +149,99 @@ fn parallel_counters_obey_the_catalogue_invariants() {
         .expect("registered");
     assert!(splices.count > 0, "parallel build splices shards");
 }
+
+/// Satellite audit of the fault counters: every reload error path —
+/// injected I/O error, short read, bad version/kind header — must tick
+/// `pager.fault_failures` exactly once before propagating, the silent
+/// data corruption must NOT (it reloads "successfully"; only a
+/// semantic check can catch it), and `faults == fault_failures +
+/// reloads` holds after every step.
+#[test]
+fn fault_failures_tick_on_every_reload_error_path() {
+    use pnut::core::expr::Env;
+    use pnut::reach::pager::fail;
+    use pnut::reach::{PagerConfig, StateStore};
+
+    let _g = serial();
+
+    // Hooks are process-global; disarm them even if an assert fires.
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            fail::reset_spill_failures();
+        }
+    }
+    let _d = Disarm;
+
+    // A store whose sealed segments are spilled (same shape as the
+    // reach crate's injection suite: grain 64, 140 two-place states).
+    let cfg = PagerConfig {
+        mem_budget: 512,
+        spill_dir: None,
+    };
+    let mut s = StateStore::with_config(2, &cfg);
+    let env = s.intern_env(&Env::new()).expect("env");
+    for i in 0..140u32 {
+        s.intern(&[i, 0], env, &[], &[]).expect("intern");
+    }
+    s.maintain().expect("seal + evict");
+    assert!(s.spilled_bytes() > 0, "setup must actually spill");
+    obs::install();
+
+    let seq = || {
+        let snap = obs::snapshot();
+        (
+            snap.counter("pager.faults"),
+            snap.counter("pager.fault_failures"),
+            snap.counter("pager.reloads"),
+            snap.counter("pager.spill_read_bytes"),
+        )
+    };
+
+    // Baseline: one clean fault to learn the image length L.
+    assert_eq!(s.try_marking_slice(0).expect("clean fault"), &[0, 0]);
+    let (f, ff, r, len) = seq();
+    assert_eq!((f, ff, r), (1, 0, 1), "clean fault: one reload");
+    assert!(len > 0, "the reload read the image");
+    s.maintain().expect("evict the faulted segment again");
+
+    // 1. I/O error: the read itself fails — no bytes are accounted.
+    fail::fail_nth_spill_read(1);
+    s.try_marking_slice(0).expect_err("injected I/O error");
+    assert_eq!(seq(), (2, 1, 1, len), "I/O error path");
+
+    // 2. Short read: the bytes arrive (and are counted — half of
+    // them), but the format's bounds checks reject the image.
+    fail::truncate_nth_spill_read(1);
+    s.try_marking_slice(0)
+        .expect_err("truncated image rejected");
+    assert_eq!(seq(), (3, 2, 1, len + len / 2), "short-read path");
+
+    // 3. Bad version/kind header: a full-length read whose header word
+    // is garbage fails validation before anything is materialized.
+    fail::bad_header_nth_spill_read(1);
+    s.try_marking_slice(0).expect_err("garbled header rejected");
+    assert_eq!(seq(), (4, 3, 1, 2 * len + len / 2), "bad-header path");
+
+    // 4. Silent marking corruption: structurally valid, so the reload
+    // *succeeds* — fault_failures must NOT tick; the flipped token
+    // count is visible in the reloaded data (that is what the
+    // `--check-invariants` semantic sweep exists to catch).
+    fail::corrupt_nth_spill_read(1);
+    assert_eq!(
+        s.try_marking_slice(0).expect("silent corruption reloads"),
+        &[1, 0],
+        "the low bit of the first marking byte flipped"
+    );
+    assert_eq!(
+        seq(),
+        (5, 3, 2, 3 * len + len / 2),
+        "silent-corruption path"
+    );
+    s.maintain().expect("evict the corrupted reload");
+
+    // 5. The corruption mangled only the in-memory reload, never the
+    // spill file: a clean refault restores the true data.
+    assert_eq!(s.try_marking_slice(0).expect("clean refault"), &[0, 0]);
+    assert_eq!(seq(), (6, 3, 3, 4 * len + len / 2), "clean refault");
+}

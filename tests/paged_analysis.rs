@@ -66,11 +66,11 @@ fn run_battery(
     // construction envelope tests in `reach_golden.rs`.
     g.reset_peak_resident_bytes();
 
-    let bounds = g.place_bounds();
-    let deadlocks = g.deadlocks();
+    let bounds = g.place_bounds().expect("paged sweep");
+    let deadlocks = g.deadlocks().expect("paged sweep");
     let fires: Vec<bool> = net
         .transitions()
-        .map(|(tid, _)| g.ever_fires(tid))
+        .map(|(tid, _)| g.ever_fires(tid).expect("paged sweep"))
         .collect();
     let ctl: Vec<Vec<bool>> = formulas
         .iter()
@@ -224,8 +224,8 @@ fn for_each_state_in_segments_agrees_with_the_analyses() {
     );
     assert_eq!(visited, (0..g.state_count()).collect::<Vec<_>>());
     assert_eq!(edge_total, g.edge_count());
-    assert_eq!(bounds, g.place_bounds());
-    assert_eq!(deadlocks, g.deadlocks());
+    assert_eq!(bounds, g.place_bounds().expect("paged sweep"));
+    assert_eq!(deadlocks, g.deadlocks().expect("paged sweep"));
 }
 
 /// Deterministic random-net agreement sweep — the always-on analogue

@@ -38,7 +38,7 @@ fn assert_equivalent(g: &ReachabilityGraph, l: &LegacyGraph) {
     assert_eq!(g.state_count(), l.state_count(), "state counts differ");
     assert_eq!(g.edge_count(), l.edge_count(), "edge counts differ");
     for i in 0..g.state_count() {
-        let a = g.state(i);
+        let a = g.state(i).expect("resident graph");
         let b = l.state(i);
         assert_eq!(
             a.marking.as_slice(),
@@ -53,6 +53,7 @@ fn assert_equivalent(g: &ReachabilityGraph, l: &LegacyGraph) {
         );
         let got: Vec<(EdgeLabel, usize)> = g
             .successors(i)
+            .expect("resident graph")
             .iter()
             .map(|&(label, target)| (label, target as usize))
             .collect();
@@ -139,7 +140,11 @@ fn timed_pipelines_have_golden_counts_and_deterministic_builds() {
         // The whole point of the extension: enabling clocks really are
         // part of the reachable state space of these models.
         assert!(
-            (0..reference.state_count()).any(|i| !reference.state(i).enabling.is_empty()),
+            (0..reference.state_count()).any(|i| !reference
+                .state(i)
+                .expect("resident graph")
+                .enabling
+                .is_empty()),
             "`{}` should carry enabling clocks",
             net.name()
         );

@@ -127,7 +127,7 @@ fn enabling_clock_graph_matches_hold_place_desugaring() {
         i
     }
     for s in 0..gb.state_count() {
-        for &(l, t) in gb.successors(s) {
+        for &(l, t) in gb.successors(s).expect("resident graph") {
             if l == EdgeLabel::Fire(we) {
                 let (rs, rt) = (find(&mut rep, s), find(&mut rep, t as usize));
                 rep[rs] = rt;
@@ -145,7 +145,7 @@ fn enabling_clock_graph_matches_hold_place_desugaring() {
     };
     let mut quotient: BTreeMap<usize, BTreeMap<String, usize>> = BTreeMap::new();
     for s in 0..gb.state_count() {
-        for &(l, t) in gb.successors(s) {
+        for &(l, t) in gb.successors(s).expect("resident graph") {
             if l == EdgeLabel::Fire(we) {
                 continue;
             }
@@ -175,6 +175,7 @@ fn enabling_clock_graph_matches_hold_place_desugaring() {
         }
         let edges_a: BTreeMap<String, usize> = ga
             .successors(sa)
+            .expect("resident graph")
             .iter()
             .map(|&(l, t)| (label("work", l, &net_a), t as usize))
             .collect();
@@ -233,7 +234,10 @@ fn expression_enabling_time_matches_constant_desugaring() {
     assert_eq!(ge.state_count(), gc.state_count(), "state counts differ");
     assert_eq!(ge.edge_count(), gc.edge_count(), "edge counts differ");
     for i in 0..ge.state_count() {
-        let (a, b) = (ge.state(i), gc.state(i));
+        let (a, b) = (
+            ge.state(i).expect("resident graph"),
+            gc.state(i).expect("resident graph"),
+        );
         assert_eq!(
             a.marking.as_slice(),
             b.marking.as_slice(),
@@ -245,12 +249,17 @@ fn expression_enabling_time_matches_constant_desugaring() {
             "enabling clocks of state {i} (arm-time resolution must \
              yield the constant's countdown)"
         );
-        assert_eq!(ge.successors(i), gc.successors(i), "edges of state {i}");
+        assert_eq!(
+            ge.successors(i).expect("resident graph"),
+            gc.successors(i).expect("resident graph"),
+            "edges of state {i}"
+        );
     }
     // The clock really arms at 4 somewhere (the test is not vacuous).
     assert!(
         (0..ge.state_count()).any(|i| ge
             .state(i)
+            .expect("resident graph")
             .enabling
             .contains(&(build(true).transition_id("work").unwrap(), 4))),
         "the expression delay must arm a 4-tick clock"

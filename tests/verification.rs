@@ -16,12 +16,12 @@ fn full_pipeline_model_is_bounded_and_deadlock_free() {
     let mut g = untimed(&net);
     assert!(g.state_count() > 10, "nontrivial state space");
     assert!(
-        g.deadlocks().is_empty(),
+        g.deadlocks().expect("paged sweep").is_empty(),
         "the pipeline must never deadlock: {:?}",
         g.deadlocks()
     );
     // Boundedness facts: the bus is 1-safe, the buffer 6-bounded.
-    let bounds = g.place_bounds();
+    let bounds = g.place_bounds().expect("paged sweep");
     let bound_of = |name: &str| bounds[net.place_id(name).expect("exists").index()];
     assert_eq!(bound_of("Bus_busy"), 1);
     assert_eq!(bound_of("Bus_free"), 1);
@@ -38,7 +38,7 @@ fn every_transition_of_the_pipeline_can_fire() {
     let mut g = untimed(&net);
     for (tid, t) in net.transitions() {
         assert!(
-            g.ever_fires(tid),
+            g.ever_fires(tid).expect("paged sweep"),
             "transition `{}` can never fire",
             t.name()
         );
@@ -105,14 +105,24 @@ fn timed_reachability_of_a_pipeline_fragment() {
     );
     // Some state has Decode in flight.
     let decode = net.transition_id("Decode").expect("exists");
-    assert!(
-        (0..g.state_count()).any(|i| { g.state(i).in_flight.iter().any(|&(t, _)| t == decode) })
-    );
+    assert!((0..g.state_count()).any(|i| {
+        g.state(i)
+            .expect("resident graph")
+            .in_flight
+            .iter()
+            .any(|&(t, _)| t == decode)
+    }));
     // Terminal state: both instructions done.
     let done = net.place_id("Done").expect("exists");
-    let deadlocks = g.deadlocks();
+    let deadlocks = g.deadlocks().expect("paged sweep");
     assert_eq!(deadlocks.len(), 1);
-    assert_eq!(g.state(deadlocks[0]).marking.tokens(done), 2);
+    assert_eq!(
+        g.state(deadlocks[0])
+            .expect("resident graph")
+            .marking
+            .tokens(done),
+        2
+    );
 }
 
 #[test]
@@ -142,7 +152,7 @@ fn structural_and_reachability_bounds_agree_on_the_bus() {
     // state.
     let g = untimed(&net);
     for i in 0..g.state_count() {
-        let s = g.state(i);
+        let s = g.state(i).expect("resident graph");
         assert_eq!(
             s.marking.tokens(group[0]) + s.marking.tokens(group[1]),
             1,
@@ -237,7 +247,7 @@ fn coverability_agrees_with_reachability_on_a_plain_fragment() {
     )
     .expect("plain net");
     assert!(!tree.is_unbounded());
-    let bounds = g.place_bounds();
+    let bounds = g.place_bounds().expect("paged sweep");
     for (pid, p) in net.places() {
         assert_eq!(
             tree.place_bound(pid),
